@@ -1,0 +1,64 @@
+//! Criterion bench: microinstruction-composition algorithm runtimes
+//! (the compile-time half of experiment E2 — the paper worries that a
+//! "full optimizing compiler … will be huge"; here is what the algorithms
+//! cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use mcc_compact::{compact, Algorithm};
+use mcc_machine::machines::hm1;
+use mcc_machine::{AluOp, ConflictModel, RegRef, ShiftOp};
+use mcc_mir::select::{select_op, SelectedOp};
+use mcc_mir::{MirOp, Operand};
+
+fn random_block(len: usize, seed: u64) -> Vec<SelectedOp> {
+    let m = hm1();
+    let file = m.find_file("R").unwrap();
+    let rr = |i: u16| Operand::Reg(RegRef::new(file, i % 12));
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let d = rng.gen_range(0..12u16);
+            let a = rng.gen_range(0..12u16);
+            let b = rng.gen_range(0..12u16);
+            let op = match rng.gen_range(0..5) {
+                0 => MirOp::mov(rr(d), rr(a)),
+                1 => MirOp::alu(AluOp::Add, rr(d), rr(a), rr(b)),
+                2 => MirOp::alu(AluOp::Xor, rr(d), rr(a), rr(b)),
+                3 => MirOp::shift(ShiftOp::Shr, rr(d), rr(a), 1),
+                _ => MirOp::ldi(rr(d), rng.gen_range(0..0xFFFF)),
+            };
+            select_op(&m, &op).unwrap()
+        })
+        .collect()
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let m = hm1();
+    let mut g = c.benchmark_group("compaction");
+    g.sample_size(10);
+    g.nresamples(1_000);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for len in [6usize, 10, 14] {
+        let block = random_block(len, 42);
+        for algo in Algorithm::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), len),
+                &block,
+                |bench, block| {
+                    bench.iter(|| compact(&m, block, algo, ConflictModel::Fine).len())
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().plotting_backend(criterion::PlottingBackend::None);
+    targets = bench_compaction
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench: end-to-end compilation throughput of the kernel
+//! suite on each reference machine (source → control store).
+//!
+//! The paper's §2.2.4 observes that both 5000-line YALLL compilers
+//! suggested "a full optimizing compiler … will be huge"; this bench
+//! tracks what this one costs at runtime instead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mcc_bench::kernels::suite;
+use mcc_core::Compiler;
+use mcc_machine::machines::{bx2, hm1, vm1, wm64};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    g.sample_size(10);
+    g.nresamples(1_000);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for m in [hm1(), vm1(), bx2(), wm64()] {
+        let compiler = Compiler::new(m.clone());
+        for k in suite() {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{}/{}", m.name, k.name), ""),
+                &k,
+                |bench, k| bench.iter(|| k.compile(&compiler).unwrap().stats.micro_instrs),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate");
+    g.sample_size(10);
+    g.nresamples(1_000);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    let compiler = Compiler::new(hm1());
+    for k in suite() {
+        let art = k.compile(&compiler).unwrap();
+        g.bench_with_input(BenchmarkId::new("hm1", k.name), &art, |bench, art| {
+            bench.iter(|| {
+                let mut sim = art.simulator();
+                (k.setup)(&mut sim);
+                sim.run(&mcc_sim::SimOptions {
+                    max_cycles: 5_000_000,
+                    ..Default::default()
+                })
+                .unwrap()
+                .cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().plotting_backend(criterion::PlottingBackend::None);
+    targets = bench_compile, bench_simulate
+}
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Regenerates every experiment table in one run.
+fn main() {
+    use mcc_bench::experiments as ex;
+    ex::e1().print("E1: compiled vs hand-written microcode (HM-1)");
+    ex::e2().print("E2: microinstruction composition algorithms (HM-1)");
+    ex::e3().print("E3: YALLL portability - HM-1 (HP300 role) vs BX-2 (VAX role)");
+    ex::e4().print("E4: horizontal (HM-1) vs vertical (VM-1) microarchitecture");
+    ex::e5().print("E5: macrocode vs compiled microcode vs expert microcode");
+    ex::e6().print("E6: register budget sweep");
+    ex::e6b().print("E6b: allocation policy ablation (spread vs reuse)");
+    ex::e7().print("E7: interrupt poll-point frequency (section 2.1.5)");
+    ex::e8().print("E8: the survey's own observations, regenerated");
+}

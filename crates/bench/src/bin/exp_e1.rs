@@ -1,0 +1,4 @@
+//! Regenerates experiment E1's table (see EXPERIMENTS.md).
+fn main() {
+    mcc_bench::experiments::e1().print("E1: compiled vs hand-written microcode (HM-1)");
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment E2's table (see EXPERIMENTS.md).
+fn main() {
+    mcc_bench::experiments::e2().print("E2: microinstruction composition algorithms (HM-1)");
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment E3's table (see EXPERIMENTS.md).
+fn main() {
+    mcc_bench::experiments::e3().print("E3: YALLL portability - HM-1 (HP300 role) vs BX-2 (VAX role)");
+}

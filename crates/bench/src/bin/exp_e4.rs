@@ -1,0 +1,4 @@
+//! Regenerates experiment E4's table (see EXPERIMENTS.md).
+fn main() {
+    mcc_bench::experiments::e4().print("E4: horizontal (HM-1) vs vertical (VM-1) microarchitecture");
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment E5's table (see EXPERIMENTS.md).
+fn main() {
+    mcc_bench::experiments::e5().print("E5: macrocode vs compiled microcode vs expert microcode");
+}

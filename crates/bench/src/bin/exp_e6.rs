@@ -1,0 +1,5 @@
+//! Regenerates experiment E6's table (see EXPERIMENTS.md).
+fn main() {
+    mcc_bench::experiments::e6().print("E6: register budget sweep");
+    mcc_bench::experiments::e6b().print("E6b: allocation policy ablation (spread vs reuse)");
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment E7's table (see EXPERIMENTS.md).
+fn main() {
+    mcc_bench::experiments::e7().print("E7: interrupt poll-point frequency (section 2.1.5)");
+}

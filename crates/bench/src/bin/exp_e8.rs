@@ -1,0 +1,4 @@
+//! Regenerates experiment E8's table (see EXPERIMENTS.md).
+fn main() {
+    mcc_bench::experiments::e8().print("E8: the survey's own observations, regenerated");
+}

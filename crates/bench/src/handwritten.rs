@@ -1,0 +1,299 @@
+//! Genuinely hand-written microcode for HM-1 — the "expert
+//! microprogrammer" baseline of experiments E1 and E5.
+//!
+//! These programs use the tricks a human expert uses and a straightforward
+//! compiler does not:
+//!
+//! * **flag reuse** — the loop's final ALU operation doubles as the branch
+//!   test, eliminating the compiler's explicit `pass`;
+//! * **read-phase exchange** — `mov R0←R1 ∥ pass R1←R0` swaps two
+//!   registers in one microinstruction because all reads precede writes;
+//! * **branch/flag overlap** — a branch may share a microinstruction with
+//!   a flag-*writing* operation, because it reads the pre-cycle flags
+//!   (set by the previous instruction);
+//! * **memory overlap** — address bumps ride the ALU while the memory
+//!   interface is busy.
+//!
+//! Every program is validated microinstruction-by-microinstruction under
+//! the fine (phase-accurate) conflict model and checked against the same
+//! reference functions as the compiled kernels.
+
+use mcc_machine::op::MicroBlock;
+use mcc_machine::{
+    BoundOp, CondKind, ConflictModel, MachineDesc, MicroInstr, MicroProgram, RegRef,
+};
+
+/// A tiny micro-assembler over a machine's template names.
+pub struct Asm<'m> {
+    m: &'m MachineDesc,
+    /// The program under construction.
+    pub prog: MicroProgram,
+    cur: Vec<MicroInstr>,
+}
+
+impl<'m> Asm<'m> {
+    /// Starts assembling for `m`.
+    pub fn new(m: &'m MachineDesc) -> Self {
+        Asm {
+            m,
+            prog: MicroProgram::new(),
+            cur: Vec::new(),
+        }
+    }
+
+    /// Register by name (`"R3"`, `"ACC"`, …).
+    pub fn r(&self, name: &str) -> RegRef {
+        self.m
+            .resolve_reg_name(name)
+            .unwrap_or_else(|| panic!("no register {name}"))
+    }
+
+    fn t(&self, name: &str) -> mcc_machine::TemplateId {
+        self.m
+            .find_template(name)
+            .unwrap_or_else(|| panic!("no template {name}"))
+    }
+
+    /// `op dst, a, b`.
+    pub fn rrr(&self, name: &str, d: &str, a: &str, b: &str) -> BoundOp {
+        BoundOp::new(self.t(name))
+            .with_dst(self.r(d))
+            .with_src(self.r(a))
+            .with_src(self.r(b))
+    }
+
+    /// `op dst, a, #imm`.
+    pub fn rri(&self, name: &str, d: &str, a: &str, imm: u64) -> BoundOp {
+        BoundOp::new(self.t(name))
+            .with_dst(self.r(d))
+            .with_src(self.r(a))
+            .with_imm(imm)
+    }
+
+    /// `op dst, a` (unary ALU / mov).
+    pub fn rr(&self, name: &str, d: &str, a: &str) -> BoundOp {
+        BoundOp::new(self.t(name))
+            .with_dst(self.r(d))
+            .with_src(self.r(a))
+    }
+
+    /// `ldi dst, #imm`.
+    pub fn ldi(&self, d: &str, imm: u64) -> BoundOp {
+        BoundOp::new(self.t("ldi")).with_dst(self.r(d)).with_imm(imm)
+    }
+
+    /// Bare template (read/write/halt/ret…).
+    pub fn bare(&self, name: &str) -> BoundOp {
+        BoundOp::new(self.t(name))
+    }
+
+    /// `br cond, block`.
+    pub fn br(&self, cond: CondKind, block: u32) -> BoundOp {
+        BoundOp::new(self.t("br")).with_cond(cond).with_target(block)
+    }
+
+    /// `jmp block`.
+    pub fn jmp(&self, block: u32) -> BoundOp {
+        BoundOp::new(self.t("jmp")).with_target(block)
+    }
+
+    /// Emits one microinstruction packing `ops`, validating it.
+    pub fn mi(&mut self, ops: Vec<BoundOp>) {
+        let mi = MicroInstr::of(ops);
+        self.m
+            .validate_instr(&mi, ConflictModel::Fine)
+            .unwrap_or_else(|e| panic!("hand-written microinstruction invalid: {e}"));
+        self.cur.push(mi);
+    }
+
+    /// Closes the current block and starts the next.
+    pub fn end_block(&mut self) {
+        self.prog.blocks.push(MicroBlock {
+            instrs: std::mem::take(&mut self.cur),
+        });
+    }
+
+    /// Finishes the program.
+    pub fn finish(mut self) -> MicroProgram {
+        if !self.cur.is_empty() {
+            self.end_block();
+        }
+        self.prog
+    }
+}
+
+/// Hand-written popcount: x in R0 → count in R1 (clobbers R2).
+///
+/// 3 entry + 4 loop + 1 exit microinstructions; the shifter's Z flag is
+/// the loop test.
+pub fn popcount(m: &MachineDesc) -> MicroProgram {
+    let mut a = Asm::new(m);
+    // b0: entry
+    a.mi(vec![a.ldi("R1", 0)]);
+    a.mi(vec![a.rr("pass", "R2", "R0")]); // flags := Z(x); R2 scratch
+    a.mi(vec![a.br(CondKind::Zero, 2)]);
+    a.end_block();
+    // b1: loop
+    a.mi(vec![a.rri("andi", "R2", "R0", 1)]);
+    a.mi(vec![a.rrr("add", "R1", "R1", "R2")]);
+    a.mi(vec![a.rri("shr", "R0", "R0", 1)]); // Z flag of the shifted x
+    a.mi(vec![a.br(CondKind::NotZero, 1)]);
+    a.end_block();
+    // b2: done
+    a.mi(vec![a.bare("halt")]);
+    a.finish()
+}
+
+/// Hand-written gcd: a in R0, b in R1 → gcd in R0 (clobbers R2).
+///
+/// The subtraction result is reused both as the comparison and as the new
+/// `a`; the swap is a single-cycle read-phase exchange.
+pub fn gcd(m: &MachineDesc) -> MicroProgram {
+    let mut a = Asm::new(m);
+    // b0: head — test b.
+    a.mi(vec![a.rr("pass", "R2", "R1")]);
+    a.mi(vec![a.br(CondKind::Zero, 3)]);
+    a.end_block();
+    // b1: t := a - b; if negative swap, else commit.
+    a.mi(vec![a.rrr("sub", "R2", "R0", "R1")]);
+    a.mi(vec![a.br(CondKind::Neg, 2)]);
+    a.mi(vec![a.rr("mov", "R0", "R2"), a.jmp(0)]); // a := a-b ∥ loop
+    a.end_block();
+    // b2: one-cycle swap: R0←R1 over the bus ∥ R1←R0 through the ALU.
+    a.mi(vec![a.rr("mov", "R0", "R1"), a.rr("pass", "R1", "R0"), a.jmp(0)]);
+    a.end_block();
+    // b3: done
+    a.mi(vec![a.bare("halt")]);
+    a.finish()
+}
+
+/// Hand-written 16-word copy: src R0, dst R1, n R2, scratchless.
+///
+/// Four microinstructions per word: address bumps overlap the memory
+/// interface, the count's flags survive into the branch cycle.
+pub fn memcpy16(m: &MachineDesc) -> MicroProgram {
+    let mut a = Asm::new(m);
+    // b0: entry
+    a.mi(vec![a.ldi("R0", 0x100)]);
+    a.mi(vec![a.ldi("R1", 0x80)]);
+    a.mi(vec![a.ldi("R2", 16)]);
+    a.mi(vec![a.rr("pass", "R3", "R2")]);
+    a.mi(vec![a.br(CondKind::Zero, 2)]);
+    a.end_block();
+    // b1: loop — 4 MIs per word.
+    a.mi(vec![a.rr("mov", "MAR", "R0")]);
+    a.mi(vec![a.bare("read"), a.rri("addi", "R0", "R0", 1)]);
+    a.mi(vec![a.rr("mov", "MAR", "R1"), a.rr("dec", "R2", "R2")]);
+    // write (mem) ∥ dst bump (ALU, writes flags) ∥ branch reading the
+    // PRE-cycle flags — i.e. the dec from the previous instruction.
+    a.mi(vec![
+        a.bare("write"),
+        a.rri("addi", "R1", "R1", 1),
+        a.br(CondKind::NotZero, 1),
+    ]);
+    a.end_block();
+    // b2: done
+    a.mi(vec![a.bare("halt")]);
+    a.finish()
+}
+
+/// Hand-written sum of `n` words starting at `base`: ptr R0, n R1,
+/// acc R2, scratch R3. Four microinstructions per element.
+pub fn sum_words(m: &MachineDesc, base: u64, n: u64) -> MicroProgram {
+    let mut a = Asm::new(m);
+    // b0: entry
+    a.mi(vec![a.ldi("R0", base)]);
+    a.mi(vec![a.ldi("R1", n)]);
+    a.mi(vec![a.ldi("R2", 0)]);
+    a.mi(vec![a.rr("pass", "R3", "R1")]);
+    a.mi(vec![a.br(CondKind::Zero, 2)]);
+    a.end_block();
+    // b1: loop
+    a.mi(vec![a.rr("mov", "MAR", "R0")]);
+    a.mi(vec![a.bare("read"), a.rri("addi", "R0", "R0", 1)]);
+    a.mi(vec![a.rr("mov", "R3", "MBR"), a.rr("dec", "R1", "R1")]);
+    a.mi(vec![a.rrr("add", "R2", "R2", "R3"), a.br(CondKind::NotZero, 1)]);
+    a.end_block();
+    // b2: done
+    a.mi(vec![a.bare("halt")]);
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_machine::machines::hm1;
+    use mcc_sim::{SimOptions, Simulator};
+
+    fn run(m: &MachineDesc, p: &MicroProgram, setup: impl FnOnce(&mut Simulator)) -> Simulator {
+        let mut s = Simulator::new(m.clone(), p);
+        setup(&mut s);
+        s.run(&SimOptions::default()).unwrap();
+        s
+    }
+
+    #[test]
+    fn hand_popcount_is_correct_and_small() {
+        let m = hm1();
+        let p = popcount(&m);
+        let r0 = m.resolve_reg_name("R0").unwrap();
+        let r1 = m.resolve_reg_name("R1").unwrap();
+        for x in [0u64, 1, 0xB7, 0xFFFF, 0x8000] {
+            let s = run(&m, &p, |s| s.set_reg(r0, x));
+            assert_eq!(s.reg(r1), x.count_ones() as u64, "x={x:#x}");
+        }
+        assert_eq!(p.instr_count(), 8);
+    }
+
+    #[test]
+    fn hand_gcd_is_correct() {
+        let m = hm1();
+        let p = gcd(&m);
+        let r0 = m.resolve_reg_name("R0").unwrap();
+        let r1 = m.resolve_reg_name("R1").unwrap();
+        for (x, y, g) in [(252u64, 105u64, 21u64), (17, 5, 1), (12, 18, 6), (7, 0, 7)] {
+            let s = run(&m, &p, |s| {
+                s.set_reg(r0, x);
+                s.set_reg(r1, y);
+            });
+            assert_eq!(s.reg(r0), g, "gcd({x},{y})");
+        }
+        assert!(p.instr_count() <= 7);
+    }
+
+    #[test]
+    fn hand_memcpy_is_correct() {
+        let m = hm1();
+        let p = memcpy16(&m);
+        let s = run(&m, &p, |s| {
+            for i in 0..16u64 {
+                s.set_mem(0x100 + i, (i * 7 + 3) & 0xFFFF);
+            }
+        });
+        for i in 0..16u64 {
+            assert_eq!(s.mem(0x80 + i), (i * 7 + 3) & 0xFFFF);
+        }
+        assert!(p.instr_count() <= 10);
+    }
+
+    #[test]
+    fn hand_sum_is_correct() {
+        let m = hm1();
+        let p = sum_words(&m, 0x100, 8);
+        let r2 = m.resolve_reg_name("R2").unwrap();
+        let s = run(&m, &p, |s| {
+            for i in 0..8u64 {
+                s.set_mem(0x100 + i, i + 1);
+            }
+        });
+        assert_eq!(s.reg(r2), 36);
+    }
+
+    #[test]
+    fn hand_code_encodes() {
+        let m = hm1();
+        for p in [popcount(&m), gcd(&m), memcpy16(&m), sum_words(&m, 0, 4)] {
+            mcc_machine::encode_program(&m, &p).unwrap();
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! The kernel suite: small microprograms in the toolkit's languages,
+//! parameterised by the target's general-purpose file name so the same
+//! kernel retargets to every reference machine.
+//!
+//! Each kernel carries a *reference function* computing the expected
+//! result in plain Rust, so every experiment validates what it measures.
+
+use mcc_core::{Artifact, Compiler};
+use mcc_machine::MachineDesc;
+use mcc_sim::{SimOptions, Simulator};
+
+/// Which frontend a kernel is written in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lang {
+    /// YALLL assembly.
+    Yalll,
+    /// SIMPL.
+    Simpl,
+    /// EMPL.
+    Empl,
+}
+
+/// One kernel: a name, a source generator, a setup, and a checker.
+pub struct Kernel {
+    /// Short name for tables.
+    pub name: &'static str,
+    /// The language it is written in.
+    pub lang: Lang,
+    /// Produces the source for a machine (binding registers by file name).
+    pub source: fn(&MachineDesc) -> String,
+    /// Prepares simulator state (memory contents etc.).
+    pub setup: fn(&mut Simulator),
+    /// Extracts the observable result after the run.
+    pub result: fn(&Artifact, &Simulator) -> u64,
+    /// The expected result.
+    pub expected: u64,
+}
+
+impl Kernel {
+    /// Compiles this kernel with the given compiler.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors.
+    pub fn compile(&self, c: &Compiler) -> Result<Artifact, mcc_core::CompileError> {
+        let src = (self.source)(c.machine());
+        match self.lang {
+            Lang::Yalll => c.compile_yalll(&src),
+            Lang::Simpl => c.compile_simpl(&src),
+            Lang::Empl => c.compile_empl(&src),
+        }
+    }
+
+    /// Compiles, runs and checks; returns `(artifact, cycles)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the simulated result disagrees with the reference —
+    /// an experiment must never tabulate wrong code.
+    pub fn run(&self, c: &Compiler) -> (Artifact, u64) {
+        let art = self
+            .compile(c)
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", self.name, c.machine().name));
+        let mut sim = art.simulator();
+        (self.setup)(&mut sim);
+        let stats = sim
+            .run(&SimOptions {
+                max_cycles: 5_000_000,
+                ..Default::default()
+            })
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", self.name, c.machine().name));
+        let got = (self.result)(&art, &sim);
+        assert_eq!(
+            got, self.expected,
+            "{} on {} computed the wrong answer",
+            self.name,
+            c.machine().name
+        );
+        (art, stats.cycles)
+    }
+}
+
+fn gp(m: &MachineDesc) -> &'static str {
+    if m.find_file("R").is_some() {
+        "R"
+    } else {
+        "G"
+    }
+}
+
+fn sym(art: &Artifact, sim: &Simulator, name: &str) -> u64 {
+    art.read_symbol(sim, name)
+        .unwrap_or_else(|| panic!("symbol `{name}` missing"))
+}
+
+/// `popcount(0xB7B7) = 10`
+fn popcount_src(m: &MachineDesc) -> String {
+    let g = gp(m);
+    format!(
+        "\
+reg x = {g}0
+reg n = {g}1
+reg bit = {g}2
+const x, 0xB7
+const n, 0
+loop: jump done if x = 0
+    move bit, x
+    and bit, bit, 1
+    add n, n, bit
+    shr x, x, 1
+    jump loop
+done: exit n
+"
+    )
+}
+
+/// `gcd(252, 105) = 21`
+fn gcd_src(m: &MachineDesc) -> String {
+    let g = gp(m);
+    format!(
+        "\
+reg a = {g}0
+reg b = {g}1
+reg t = {g}2
+const a, 252
+const b, 105
+loop: jump done if b = 0
+    jump swap if a < b
+    sub a, a, b
+    jump loop
+swap: move t, a
+    move a, b
+    move b, t
+    jump loop
+done: exit a
+"
+    )
+}
+
+/// Copies 16 words from 0x100 to 0x180; result = checksum of the copy.
+fn memcpy_src(m: &MachineDesc) -> String {
+    let g = gp(m);
+    format!(
+        "\
+reg src = {g}0
+reg dst = {g}1
+reg n = {g}2
+reg t = {g}3
+const src, 0x100
+const dst, 0x80
+const n, 16
+loop: jump done if n = 0
+    load t, src
+    stor t, dst
+    add src, src, 1
+    add dst, dst, 1
+    sub n, n, 1
+    jump loop
+done: exit t
+"
+    )
+}
+
+fn memcpy_setup(sim: &mut Simulator) {
+    for i in 0..16u64 {
+        sim.set_mem(0x100 + i, (i * 7 + 3) & 0xFFFF);
+    }
+}
+
+fn memcpy_result(_art: &Artifact, sim: &Simulator) -> u64 {
+    (0..16u64).map(|i| sim.mem(0x80 + i)).sum::<u64>() & 0xFFFF
+}
+
+/// `fib(14) = 377`
+fn fib_src(m: &MachineDesc) -> String {
+    let g = gp(m);
+    format!(
+        "\
+reg a = {g}0
+reg b = {g}1
+reg t = {g}2
+reg n = {g}3
+const a, 0
+const b, 1
+const n, 14
+loop: jump done if n = 0
+    move t, b
+    add b, a, b
+    move a, t
+    sub n, n, 1
+    jump loop
+done: exit a
+"
+    )
+}
+
+/// Bit-reverse a 16-bit word with SIMPL (`0x1234` → `0x2C48`).
+fn bitrev_src(m: &MachineDesc) -> String {
+    let g = gp(m);
+    format!(
+        "\
+program bitrev;
+begin
+    0x1234 -> {g}1;
+    0 -> {g}2;
+    16 -> {g}3;
+    while {g}3 <> 0 do
+    begin
+        {g}2 shl 1 -> {g}2;
+        {g}1 shr 1 -> {g}1;
+        if UF = 1 then {g}2 | 1 -> {g}2;
+        {g}3 - 1 -> {g}3;
+    end;
+end"
+    )
+}
+
+/// Sum an 8-word table with EMPL (symbolic variables + memory array).
+fn table_sum_src(_m: &MachineDesc) -> String {
+    "DECLARE A(8) FIXED; DECLARE I FIXED; DECLARE S FIXED; DECLARE T FIXED;
+I = 0; S = 0;
+A(0) = 3; A(1) = 1; A(2) = 4; A(3) = 1; A(4) = 5; A(5) = 9; A(6) = 2; A(7) = 6;
+WHILE I < 8 DO;
+  T = A(I);
+  S = S + T;
+  I = I + 1;
+END;
+"
+    .to_string()
+}
+
+/// One step of a linear congruential PRNG chain (20 rounds), SIMPL.
+fn lcg_src(m: &MachineDesc) -> String {
+    let g = gp(m);
+    format!(
+        "\
+program lcg;
+begin
+    7 -> {g}1;
+    20 -> {g}2;
+    while {g}2 <> 0 do
+    begin
+        comment x times 5 plus 1 via shifts;
+        {g}1 shl 2 -> {g}3;
+        {g}1 + {g}3 -> {g}1;
+        {g}1 + 1 -> {g}1;
+        {g}2 - 1 -> {g}2;
+    end;
+end"
+    )
+}
+
+fn lcg_expected() -> u64 {
+    let mut x: u16 = 7;
+    for _ in 0..20 {
+        x = x.wrapping_mul(5).wrapping_add(1);
+    }
+    x as u64
+}
+
+/// 6×7 via EMPL's expanded multiply.
+fn mul_src(_m: &MachineDesc) -> String {
+    "DECLARE X FIXED; DECLARE Y FIXED; DECLARE Z FIXED; X = 57; Y = 83; Z = X * Y;".to_string()
+}
+
+/// The kernel suite.
+pub fn suite() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            name: "popcount",
+            lang: Lang::Yalll,
+            source: popcount_src,
+            setup: |_| {},
+            result: |a, s| sym(a, s, "n"),
+            expected: 0xB7u64.count_ones() as u64,
+        },
+        Kernel {
+            name: "gcd",
+            lang: Lang::Yalll,
+            source: gcd_src,
+            setup: |_| {},
+            result: |a, s| sym(a, s, "a"),
+            expected: 21,
+        },
+        Kernel {
+            name: "memcpy16",
+            lang: Lang::Yalll,
+            source: memcpy_src,
+            setup: memcpy_setup,
+            result: memcpy_result,
+            expected: (0..16u64).map(|i| (i * 7 + 3) & 0xFFFF).sum::<u64>() & 0xFFFF,
+        },
+        Kernel {
+            name: "fib14",
+            lang: Lang::Yalll,
+            source: fib_src,
+            setup: |_| {},
+            result: |a, s| sym(a, s, "a"),
+            expected: 377,
+        },
+        Kernel {
+            name: "bitrev",
+            lang: Lang::Simpl,
+            source: bitrev_src,
+            setup: |_| {},
+            result: |a, s| {
+                let g = if a.machine.find_file("R").is_some() { "R2" } else { "G2" };
+                let r = a.machine.resolve_reg_name(g).unwrap();
+                s.reg(r)
+            },
+            expected: (0x1234u16.reverse_bits()) as u64,
+        },
+        Kernel {
+            name: "lcg20",
+            lang: Lang::Simpl,
+            source: lcg_src,
+            setup: |_| {},
+            result: |a, s| {
+                let g = if a.machine.find_file("R").is_some() { "R1" } else { "G1" };
+                let r = a.machine.resolve_reg_name(g).unwrap();
+                s.reg(r)
+            },
+            expected: lcg_expected(),
+        },
+        Kernel {
+            name: "tablesum",
+            lang: Lang::Empl,
+            source: table_sum_src,
+            setup: |_| {},
+            result: |a, s| sym(a, s, "S"),
+            expected: 3 + 1 + 4 + 1 + 5 + 9 + 2 + 6,
+        },
+        Kernel {
+            name: "mul16",
+            lang: Lang::Empl,
+            source: mul_src,
+            setup: |_| {},
+            result: |a, s| sym(a, s, "Z"),
+            expected: 57 * 83,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_machine::machines::{all, hm1};
+
+    #[test]
+    fn all_kernels_run_on_hm1() {
+        let c = Compiler::new(hm1());
+        for k in suite() {
+            let (_, cycles) = k.run(&c);
+            assert!(cycles > 0, "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn yalll_kernels_run_on_all_machines() {
+        for m in all() {
+            let c = Compiler::new(m);
+            for k in suite().into_iter().filter(|k| k.lang == Lang::Yalll) {
+                k.run(&c);
+            }
+        }
+    }
+}

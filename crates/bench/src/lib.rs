@@ -1,0 +1,32 @@
+//! # `mcc-bench` — the experiment harnesses
+//!
+//! One module per experiment of EXPERIMENTS.md (E1–E8), a shared kernel
+//! suite, genuinely hand-written microcode baselines, and the MAC-1
+//! interpreter microprogram. Each `exp_*` binary regenerates one table.
+
+pub mod experiments;
+pub mod handwritten;
+pub mod kernels;
+pub mod macrointerp;
+
+/// Prints a row-aligned table: header plus rows of equal arity.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(header.iter().map(|s| s.to_string()).collect());
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for r in rows {
+        line(r.clone());
+    }
+}

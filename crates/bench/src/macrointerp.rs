@@ -1,0 +1,255 @@
+//! The MAC-1 interpreter, written as a microprogram.
+//!
+//! "Traditionally, microprogramming has been used for the realization of
+//! macroarchitectures" (§1 of the survey) — this module realises one: the
+//! [`mcc_sim::macroisa`] accumulator ISA, interpreted by a microprogram
+//! built in MIR and compiled through the ordinary pipeline (emulator
+//! construction, the use case of the survey's reference \[14\]).
+//!
+//! Register assignment on the host machine: `R15` = macro PC, `R14` =
+//! macro ACC, `R13` = IR, `R12` = operand, `R11` = opcode, `R10` =
+//! scratch. The opcode dispatch uses the host's multiway-branch facility
+//! (§2.1.6: "multiway branches, which are available on many machines").
+
+use mcc_core::{Artifact, Compiler, CompileError};
+use mcc_machine::{AluOp, CondKind, MachineDesc, ShiftOp};
+use mcc_mir::{FuncBuilder, MirFunction, Operand, Term};
+use mcc_sim::macroisa::MacroInstr;
+use mcc_sim::{SimOptions, SimStats, Simulator};
+
+/// Builds the interpreter as machine-level MIR for a machine with ≥16
+/// general-purpose registers and a dispatch facility (HM-1, WM-64).
+pub fn interpreter_mir(m: &MachineDesc) -> MirFunction {
+    let r = |name: &str| Operand::Reg(m.resolve_reg_name(name).unwrap());
+    let (pc, acc, ir, opd, opc, t) =
+        (r("R15"), r("R14"), r("R13"), r("R12"), r("R11"), r("R10"));
+
+    let mut b = FuncBuilder::new("mac1_interp");
+    let fetch = b.new_labeled_block("fetch");
+    b.jump_and_switch(fetch);
+    b.load(ir, pc);
+    b.alu_imm(AluOp::Add, pc, pc, 1);
+    b.alu_imm(AluOp::And, opd, ir, 0x0FFF);
+    b.shift(ShiftOp::Shr, opc, ir, 12);
+
+    // Handlers.
+    let h_halt = b.new_labeled_block("h_halt");
+    let h_lda = b.new_labeled_block("h_lda");
+    let h_sta = b.new_labeled_block("h_sta");
+    let h_add = b.new_labeled_block("h_add");
+    let h_sub = b.new_labeled_block("h_sub");
+    let h_ldi = b.new_labeled_block("h_ldi");
+    let h_jmp = b.new_labeled_block("h_jmp");
+    let h_jz = b.new_labeled_block("h_jz");
+    let h_jnz = b.new_labeled_block("h_jnz");
+    let h_and = b.new_labeled_block("h_and");
+    let h_shr = b.new_labeled_block("h_shr");
+    let h_shl = b.new_labeled_block("h_shl");
+
+    let handlers = [
+        h_halt, h_lda, h_sta, h_add, h_sub, h_ldi, h_jmp, h_jz, h_jnz, h_and, h_shr, h_shl,
+        h_halt, h_halt, h_halt, h_halt,
+    ];
+    // The dispatch table: 16 consecutive single-jump blocks.
+    let table: Vec<u32> = (0..16)
+        .map(|k| {
+            let blk = b.new_block();
+            b.switch_to(blk);
+            b.terminate(Term::Jump(handlers[k]));
+            blk
+        })
+        .collect();
+    b.switch_to(fetch);
+    b.terminate(Term::Dispatch {
+        src: opc,
+        mask: 0xF,
+        table,
+    });
+
+    // HALT
+    b.switch_to(h_halt);
+    b.terminate(Term::Halt);
+    // LDA: ACC = MEM[opd]
+    b.switch_to(h_lda);
+    b.load(acc, opd);
+    b.terminate(Term::Jump(fetch));
+    // STA
+    b.switch_to(h_sta);
+    b.store(opd, acc);
+    b.terminate(Term::Jump(fetch));
+    // ADD
+    b.switch_to(h_add);
+    b.load(t, opd);
+    b.alu(AluOp::Add, acc, acc, t);
+    b.terminate(Term::Jump(fetch));
+    // SUB
+    b.switch_to(h_sub);
+    b.load(t, opd);
+    b.alu(AluOp::Sub, acc, acc, t);
+    b.terminate(Term::Jump(fetch));
+    // LDI
+    b.switch_to(h_ldi);
+    b.mov(acc, opd);
+    b.terminate(Term::Jump(fetch));
+    // JMP
+    b.switch_to(h_jmp);
+    b.mov(pc, opd);
+    b.terminate(Term::Jump(fetch));
+    // JZ
+    b.switch_to(h_jz);
+    {
+        let set = b.new_block();
+        b.alu_un(AluOp::Pass, t, acc);
+        b.branch(CondKind::Zero, set, fetch);
+        b.switch_to(set);
+        b.mov(pc, opd);
+        b.terminate(Term::Jump(fetch));
+    }
+    // JNZ
+    b.switch_to(h_jnz);
+    {
+        let set = b.new_block();
+        b.alu_un(AluOp::Pass, t, acc);
+        b.branch(CondKind::NotZero, set, fetch);
+        b.switch_to(set);
+        b.mov(pc, opd);
+        b.terminate(Term::Jump(fetch));
+    }
+    // AND
+    b.switch_to(h_and);
+    b.load(t, opd);
+    b.alu(AluOp::And, acc, acc, t);
+    b.terminate(Term::Jump(fetch));
+    // SHR / SHL: variable amounts become single-bit loops.
+    for (h, op) in [(h_shr, ShiftOp::Shr), (h_shl, ShiftOp::Shl)] {
+        b.switch_to(h);
+        let head = b.new_labeled_block("sh_head");
+        let body = b.new_block();
+        b.jump_and_switch(head);
+        b.alu_un(AluOp::Pass, t, opd);
+        b.branch(CondKind::Zero, fetch, body);
+        b.switch_to(body);
+        b.shift(op, acc, acc, 1);
+        b.alu_imm(AluOp::Sub, opd, opd, 1);
+        b.terminate(Term::Jump(head));
+    }
+
+    // The macro state is observable.
+    b.mark_live_out(pc);
+    b.mark_live_out(acc);
+    let f = b.finish();
+    f.validate().expect("interpreter MIR is well-formed");
+    f
+}
+
+/// Compiles the interpreter for machine `m`.
+///
+/// # Errors
+///
+/// Propagates pipeline errors (e.g. a machine without dispatch and
+/// without the legalisation ingredients).
+pub fn compile_interpreter(m: &MachineDesc) -> Result<Artifact, CompileError> {
+    Compiler::new(m.clone()).compile_mir(interpreter_mir(m))
+}
+
+/// Loads a MAC-1 program at macro address 0 and interprets it on the
+/// microcoded interpreter. Returns the simulator (for state inspection)
+/// and statistics.
+///
+/// # Panics
+///
+/// Panics if the interpreter does not halt within `max_cycles`.
+pub fn interpret(
+    art: &Artifact,
+    program: &[MacroInstr],
+    data: &[(u64, u64)],
+    max_cycles: u64,
+) -> (Simulator, SimStats) {
+    let mut sim = art.simulator();
+    for (i, instr) in program.iter().enumerate() {
+        sim.set_mem(i as u64, instr.encode() as u64);
+    }
+    for &(a, v) in data {
+        sim.set_mem(a, v);
+    }
+    let stats = sim
+        .run(&SimOptions {
+            max_cycles,
+            ..Default::default()
+        })
+        .expect("interpreter run");
+    (sim, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_machine::machines::hm1;
+    use mcc_sim::macroisa::{assemble, MacroMachine, MacroOp};
+
+    fn mk(ops: &[(MacroOp, u16)]) -> Vec<MacroInstr> {
+        ops.iter().map(|&(o, a)| MacroInstr::new(o, a)).collect()
+    }
+
+    #[test]
+    fn interpreter_matches_reference_machine() {
+        use MacroOp::*;
+        let m = hm1();
+        let art = compile_interpreter(&m).unwrap();
+        let acc_reg = m.resolve_reg_name("R14").unwrap();
+
+        let programs: Vec<Vec<MacroInstr>> = vec![
+            mk(&[(Ldi, 5), (Sta, 100), (Lda, 100), (Add, 100), (Halt, 0)]),
+            mk(&[(Ldi, 7), (Sub, 200), (Jz, 4), (Ldi, 99), (Halt, 0)]),
+            mk(&[(Ldi, 0b1010), (Shl, 3), (Shr, 1), (Halt, 0)]),
+            mk(&[
+                // countdown loop: acc = 5; while acc != 0: acc -= 1
+                (Ldi, 5),
+                (Sub, 300),
+                (Jnz, 1),
+                (Halt, 0),
+            ]),
+            mk(&[(Ldi, 0xFF), (And, 101), (Halt, 0)]),
+        ];
+        let data: Vec<(u64, u64)> = vec![(100, 0), (101, 0x0F0F), (200, 7), (300, 1)];
+
+        for prog in &programs {
+            // Reference.
+            let mut mm = MacroMachine::new();
+            mm.load(0, &assemble(prog));
+            for &(a, v) in &data {
+                mm.mem[a as usize] = v as u16;
+            }
+            mm.run(10_000);
+            assert!(mm.halted);
+
+            // Microcoded.
+            let (sim, _) = interpret(&art, prog, &data, 2_000_000);
+            assert_eq!(
+                sim.reg(acc_reg),
+                mm.acc as u64,
+                "ACC mismatch for {prog:?}"
+            );
+            // Memory effects agree.
+            for a in [100u64, 101, 200, 300] {
+                assert_eq!(sim.mem(a), mm.mem[a as usize] as u64, "mem[{a}]");
+            }
+        }
+    }
+
+    #[test]
+    fn interpretation_overhead_is_large() {
+        // The E5 premise: interpreting costs an order of magnitude.
+        use MacroOp::*;
+        let m = hm1();
+        let art = compile_interpreter(&m).unwrap();
+        let prog = mk(&[(Ldi, 1), (Add, 50), (Sta, 51), (Halt, 0)]);
+        let (_, stats) = interpret(&art, &prog, &[(50, 2)], 100_000);
+        // Four macroinstructions; each costs many microcycles.
+        assert!(
+            stats.cycles > 4 * 6,
+            "interpretation should cost ≫ direct microcode, got {}",
+            stats.cycles
+        );
+    }
+}

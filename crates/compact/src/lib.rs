@@ -1,0 +1,537 @@
+//! # `mcc-compact` — microinstruction composition
+//!
+//! The survey's §2.1.4 calls microinstruction composition — packing a
+//! sequential stream of micro-operations into as few horizontal
+//! microinstructions as dependences and resources allow — the most
+//! studied problem of microcode compilation, and its §3 argues it was
+//! *over*-studied relative to register allocation. This crate implements
+//! the algorithm family the survey cites:
+//!
+//! | Algorithm | Survey reference | Idea |
+//! |---|---|---|
+//! | [`Algorithm::Linear`] | Ramamoorthy & Tsuchiya \[18\] | first-fit in program order |
+//! | [`Algorithm::CriticalPath`] | Tsuchiya & Gonzalez \[22\] | list scheduling, longest-path priority |
+//! | [`Algorithm::LevelPack`] | Dasgupta & Tartar \[3\] | maximal-parallelism level partitioning |
+//! | [`Algorithm::Tokoro`] | Tokoro et al. \[21\] | list scheduling under the *fine* phase-occupancy conflict model |
+//! | [`Algorithm::BranchBound`] | the "minimal sequence" baseline | exact search with pruning |
+//!
+//! All algorithms share one conflict oracle
+//! ([`MachineDesc::conflicts`](mcc_machine::MachineDesc::conflicts)) and one
+//! dependence DAG ([`mcc_mir::DepGraph`]); they differ only in *order* and
+//! *placement policy*, which is exactly what experiment E2 measures.
+
+use mcc_machine::{BoundOp, ConflictModel, MachineDesc, MicroInstr};
+use mcc_mir::dep::DepGraph;
+use mcc_mir::select::SelectedOp;
+
+mod bb;
+
+/// The compaction algorithm to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// First-come-first-served first-fit (SIMPL's approach).
+    Linear,
+    /// List scheduling with critical-path priority.
+    CriticalPath,
+    /// Dasgupta–Tartar level partitioning: ops of ASAP level *k* may not
+    /// share an instruction with ops of level *k+1*.
+    LevelPack,
+    /// Tokoro-style: critical-path list scheduling, but conflicts are
+    /// judged per phase ([`ConflictModel::Fine`]) regardless of the model
+    /// passed in.
+    Tokoro,
+    /// Exact branch-and-bound (falls back to critical-path above
+    /// [`BB_MAX_OPS`] operations).
+    BranchBound,
+}
+
+impl Algorithm {
+    /// All algorithms, for sweeps.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::Linear,
+        Algorithm::CriticalPath,
+        Algorithm::LevelPack,
+        Algorithm::Tokoro,
+        Algorithm::BranchBound,
+    ];
+
+    /// Short display name (used in experiment tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Linear => "linear",
+            Algorithm::CriticalPath => "critpath",
+            Algorithm::LevelPack => "levelpack",
+            Algorithm::Tokoro => "tokoro",
+            Algorithm::BranchBound => "optimal",
+        }
+    }
+}
+
+/// Block size limit for the exact search.
+pub const BB_MAX_OPS: usize = 14;
+
+/// Result of compacting one basic block.
+#[derive(Debug, Clone)]
+pub struct Compaction {
+    /// The packed microinstructions.
+    pub instrs: Vec<MicroInstr>,
+    /// For each input op, the index of the instruction it landed in.
+    pub mi_of: Vec<usize>,
+}
+
+impl Compaction {
+    /// Number of microinstructions produced.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the block compacted to nothing.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+/// Whether `op` can join microinstruction `mi` without conflicts.
+pub(crate) fn fits(m: &MachineDesc, mi: &MicroInstr, op: &BoundOp, model: ConflictModel) -> bool {
+    mi.ops.iter().all(|o| !m.conflicts(o, op, model))
+}
+
+/// Picks the first candidate of `op` that fits `mi`.
+fn pick_candidate<'a>(
+    m: &MachineDesc,
+    mi: &MicroInstr,
+    op: &'a SelectedOp,
+    model: ConflictModel,
+) -> Option<&'a BoundOp> {
+    op.candidates.iter().find(|c| fits(m, mi, c, model))
+}
+
+/// Earliest legal instruction index for op `j` given already-placed preds.
+fn earliest(g: &DepGraph, mi_of: &[Option<usize>], j: usize) -> Option<usize> {
+    let mut e = 0usize;
+    for &(i, kind) in g.preds(j) {
+        match mi_of[i] {
+            Some(s) => e = e.max(s + kind.min_distance()),
+            None => return None, // predecessor unscheduled
+        }
+    }
+    Some(e)
+}
+
+/// First-fit placement of op `j` from index `from` upward.
+fn place_first_fit(
+    m: &MachineDesc,
+    instrs: &mut Vec<MicroInstr>,
+    op: &SelectedOp,
+    from: usize,
+    model: ConflictModel,
+) -> usize {
+    let mut t = from;
+    loop {
+        if t >= instrs.len() {
+            instrs.resize_with(t + 1, MicroInstr::new);
+        }
+        if let Some(c) = pick_candidate(m, &instrs[t], op, model) {
+            let c = c.clone();
+            instrs[t].ops.push(c);
+            return t;
+        }
+        t += 1;
+    }
+}
+
+fn linear(m: &MachineDesc, ops: &[SelectedOp], g: &DepGraph, model: ConflictModel) -> Compaction {
+    let mut instrs: Vec<MicroInstr> = Vec::new();
+    let mut placed: Vec<Option<usize>> = vec![None; ops.len()];
+    for j in 0..ops.len() {
+        let e = earliest(g, &placed, j).expect("program order schedules preds first");
+        let t = place_first_fit(m, &mut instrs, &ops[j], e, model);
+        placed[j] = Some(t);
+    }
+    finish(m, instrs, placed, g, model)
+}
+
+fn list_schedule(
+    m: &MachineDesc,
+    ops: &[SelectedOp],
+    g: &DepGraph,
+    model: ConflictModel,
+) -> Compaction {
+    let prio = g.critical_path();
+    let n = ops.len();
+    let mut placed: Vec<Option<usize>> = vec![None; n];
+    let mut instrs: Vec<MicroInstr> = Vec::new();
+    let mut done = 0usize;
+    let mut t = 0usize;
+    while done < n {
+        if t >= instrs.len() {
+            instrs.resize_with(t + 1, MicroInstr::new);
+        }
+        // Ready ops whose earliest slot is ≤ t, by priority then order.
+        let mut ready: Vec<usize> = (0..n)
+            .filter(|&j| placed[j].is_none())
+            .filter(|&j| earliest(g, &placed, j).map_or(false, |e| e <= t))
+            .collect();
+        ready.sort_by_key(|&j| (std::cmp::Reverse(prio[j]), j));
+        let mut progressed = false;
+        for j in ready {
+            // Re-check: an op placed this cycle may create a same-cycle
+            // hazard only through conflicts, which `fits` sees; dependence
+            // distances are fixed before the cycle starts.
+            if let Some(c) = pick_candidate(m, &instrs[t], &ops[j], model) {
+                let c = c.clone();
+                instrs[t].ops.push(c);
+                placed[j] = Some(t);
+                done += 1;
+                progressed = true;
+            }
+        }
+        let _ = progressed;
+        t += 1;
+    }
+    finish(m, instrs, placed, g, model)
+}
+
+fn level_pack(
+    m: &MachineDesc,
+    ops: &[SelectedOp],
+    g: &DepGraph,
+    model: ConflictModel,
+) -> Compaction {
+    let levels = g.asap_levels();
+    let max_level = levels.iter().copied().max().unwrap_or(0);
+    let n = ops.len();
+    let mut placed: Vec<Option<usize>> = vec![None; n];
+    let mut instrs: Vec<MicroInstr> = Vec::new();
+    let mut level_start = 0usize;
+    for l in 0..=max_level {
+        let mut level_end = level_start;
+        for j in 0..n {
+            if levels[j] != l {
+                continue;
+            }
+            // Anti-dependences within a level still constrain placement.
+            let e = earliest(g, &placed, j).unwrap_or(level_start).max(level_start);
+            let t = place_first_fit(m, &mut instrs, &ops[j], e, model);
+            placed[j] = Some(t);
+            level_end = level_end.max(t + 1);
+        }
+        // The next level starts strictly after this one's instructions.
+        level_start = level_end.max(level_start);
+    }
+    finish(m, instrs, placed, g, model)
+}
+
+pub(crate) fn finish(
+    m: &MachineDesc,
+    mut instrs: Vec<MicroInstr>,
+    placed: Vec<Option<usize>>,
+    g: &DepGraph,
+    model: ConflictModel,
+) -> Compaction {
+    // Drop empty trailing/interior instructions, remapping indices.
+    let mut remap = vec![usize::MAX; instrs.len()];
+    let mut out: Vec<MicroInstr> = Vec::new();
+    for (i, mi) in instrs.drain(..).enumerate() {
+        if !mi.is_empty() {
+            remap[i] = out.len();
+            out.push(mi);
+        }
+    }
+    let mi_of: Vec<usize> = placed
+        .into_iter()
+        .map(|p| remap[p.expect("all ops placed")])
+        .collect();
+    debug_assert!(g.schedule_respects(&mi_of), "dependence violated");
+    debug_assert!(
+        out.iter().all(|mi| m.validate_instr(mi, model).is_ok()),
+        "conflicting pack emitted"
+    );
+    Compaction { instrs: out, mi_of }
+}
+
+/// Compacts one basic block of selected operations.
+///
+/// The `model` chooses the conflict oracle; [`Algorithm::Tokoro`] always
+/// uses [`ConflictModel::Fine`] (that *is* the algorithm's contribution).
+pub fn compact(
+    m: &MachineDesc,
+    ops: &[SelectedOp],
+    algo: Algorithm,
+    model: ConflictModel,
+) -> Compaction {
+    if ops.is_empty() {
+        return Compaction {
+            instrs: Vec::new(),
+            mi_of: Vec::new(),
+        };
+    }
+    let g = DepGraph::build(ops);
+    match algo {
+        Algorithm::Linear => linear(m, ops, &g, model),
+        Algorithm::CriticalPath => list_schedule(m, ops, &g, model),
+        Algorithm::LevelPack => level_pack(m, ops, &g, model),
+        Algorithm::Tokoro => list_schedule(m, ops, &g, ConflictModel::Fine),
+        Algorithm::BranchBound => {
+            if ops.len() <= BB_MAX_OPS {
+                bb::branch_and_bound(m, ops, &g, model)
+            } else {
+                list_schedule(m, ops, &g, model)
+            }
+        }
+    }
+}
+
+/// Packs a terminator (or other control op) after a compacted body: into
+/// the body's last instruction when conflict-free and dependence-safe, or
+/// into a fresh instruction otherwise. Returns the instruction index used.
+///
+/// Dependence safety: within one microinstruction all reads precede all
+/// writes, so the control op may not read anything the last instruction
+/// writes (a branch testing flags must not share a cycle with the op that
+/// sets them).
+pub fn pack_control(
+    m: &MachineDesc,
+    instrs: &mut Vec<MicroInstr>,
+    op: BoundOp,
+    model: ConflictModel,
+) -> usize {
+    if let Some(last) = instrs.last() {
+        let reads = m.read_set(&op);
+        let raw_hazard = last
+            .ops
+            .iter()
+            .any(|o| m.write_set(o).iter().any(|w| reads.contains(w)));
+        let has_control = last
+            .ops
+            .iter()
+            .any(|o| m.template(o.template).semantic.is_control());
+        if !raw_hazard && !has_control && fits(m, last, &op, model) {
+            let idx = instrs.len() - 1;
+            instrs.last_mut().expect("nonempty").ops.push(op);
+            return idx;
+        }
+    }
+    instrs.push(MicroInstr::single(op));
+    instrs.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_machine::machines::{bx2, hm1, vm1, wm64};
+    use mcc_machine::{AluOp, CondKind, RegRef, Semantic};
+    use mcc_mir::op::MirOp;
+    use mcc_mir::operand::Operand;
+    use mcc_mir::select::select_op;
+
+    fn sel(m: &MachineDesc, mir: &[MirOp]) -> Vec<SelectedOp> {
+        mir.iter().map(|o| select_op(m, o).unwrap()).collect()
+    }
+
+    fn r(m: &MachineDesc, i: u16) -> Operand {
+        let f = m.find_file("R").or_else(|| m.find_file("G")).unwrap();
+        Operand::Reg(RegRef::new(f, i))
+    }
+
+    /// Four independent movs on HM-1: only one move bus, so four cycles —
+    /// unless we also use the ALU pass-through... which writes flags, so
+    /// two movs per cycle never happen on the bus. Expect 4 MIs via bus
+    /// (mov candidates only).
+    #[test]
+    fn independent_movs_serialise_on_one_bus() {
+        let m = hm1();
+        let ops = sel(
+            &m,
+            &[
+                MirOp::mov(r(&m, 0), r(&m, 1)),
+                MirOp::mov(r(&m, 2), r(&m, 3)),
+                MirOp::mov(r(&m, 4), r(&m, 5)),
+                MirOp::mov(r(&m, 6), r(&m, 7)),
+            ],
+        );
+        for algo in Algorithm::ALL {
+            let c = compact(&m, &ops, algo, ConflictModel::Coarse);
+            assert_eq!(c.len(), 4, "{}", algo.name());
+        }
+    }
+
+    /// A mov and an ALU op are independent and use distinct units → 1 MI
+    /// under the fine model, 2 under the coarse model (ALU write-back
+    /// touches the move bus in phase 2).
+    #[test]
+    fn fine_model_packs_tighter_than_coarse() {
+        let m = hm1();
+        let ops = sel(
+            &m,
+            &[
+                MirOp::alu(AluOp::Add, r(&m, 0), r(&m, 1), r(&m, 2)),
+                MirOp::mov(r(&m, 4), r(&m, 5)),
+            ],
+        );
+        let coarse = compact(&m, &ops, Algorithm::CriticalPath, ConflictModel::Coarse);
+        let fine = compact(&m, &ops, Algorithm::Tokoro, ConflictModel::Coarse);
+        assert_eq!(coarse.len(), 2);
+        assert_eq!(fine.len(), 1, "Tokoro sees the phase-disjoint bus use");
+    }
+
+    /// Two independent adds on WM-64 pack into one MI via the second ALU.
+    #[test]
+    fn unit_choice_on_wm64() {
+        let m = wm64();
+        // Use the `.1` twin by hand? No — selection returns both and the
+        // compactor must discover the combination. Note both `add`
+        // templates write flags except add.1; add+add.1 is the only pair.
+        let ops = sel(
+            &m,
+            &[
+                MirOp::alu(AluOp::Add, r(&m, 0), r(&m, 1), r(&m, 2)),
+                MirOp::alu(AluOp::Xor, r(&m, 3), r(&m, 4), r(&m, 5)),
+            ],
+        );
+        // xor/xor.1 candidate choice: one of them must land beside add.
+        // But add writes flags and xor writes flags; xor.1 does not.
+        let c = compact(&m, &ops, Algorithm::CriticalPath, ConflictModel::Coarse);
+        assert_eq!(c.len(), 2, "both flag-writers: output dep forces 2 MIs");
+
+        // With explicitly independent ops (second op on ALU-1 semantics,
+        // no flags): mov + add pack fine.
+        let ops = sel(
+            &m,
+            &[
+                MirOp::alu(AluOp::Add, r(&m, 0), r(&m, 1), r(&m, 2)),
+                MirOp::mov(r(&m, 3), r(&m, 4)),
+            ],
+        );
+        let c = compact(&m, &ops, Algorithm::CriticalPath, ConflictModel::Coarse);
+        assert_eq!(c.len(), 1);
+    }
+
+    /// Dependent chain cannot compact below its height anywhere.
+    #[test]
+    fn chains_respect_height_bound() {
+        for m in [hm1(), vm1(), bx2(), wm64()] {
+            let ops = sel(
+                &m,
+                &[
+                    MirOp::alu(AluOp::Add, r(&m, 0), r(&m, 1), r(&m, 2)),
+                    MirOp::alu(AluOp::Add, r(&m, 3), r(&m, 0), r(&m, 2)),
+                    MirOp::alu(AluOp::Add, r(&m, 4), r(&m, 3), r(&m, 2)),
+                ],
+            );
+            for algo in Algorithm::ALL {
+                let c = compact(&m, &ops, algo, ConflictModel::Coarse);
+                assert_eq!(c.len(), 3, "{} on {}", algo.name(), m.name);
+            }
+        }
+    }
+
+    /// On VM-1 everything serialises: op count == MI count.
+    #[test]
+    fn vertical_machine_never_packs() {
+        let m = vm1();
+        let ops = sel(
+            &m,
+            &[
+                MirOp::mov(r(&m, 0), r(&m, 1)),
+                MirOp::mov(r(&m, 2), r(&m, 3)),
+                MirOp::ldi(r(&m, 4), 7),
+            ],
+        );
+        for algo in Algorithm::ALL {
+            let c = compact(&m, &ops, algo, ConflictModel::Coarse);
+            assert_eq!(c.len(), 3, "{}", algo.name());
+        }
+    }
+
+    /// Branch-and-bound is never worse than any heuristic.
+    #[test]
+    fn optimal_dominates_heuristics() {
+        let m = hm1();
+        // A mix with reordering opportunities: two chains interleaved.
+        let ops = sel(
+            &m,
+            &[
+                MirOp::mov(r(&m, 0), r(&m, 1)),
+                MirOp::mov(r(&m, 2), r(&m, 0)),
+                MirOp::alu(AluOp::Add, r(&m, 3), r(&m, 4), r(&m, 5)),
+                MirOp::alu(AluOp::Or, r(&m, 6), r(&m, 3), r(&m, 5)),
+                MirOp::mov(r(&m, 7), r(&m, 8)),
+                MirOp::shift(mcc_machine::ShiftOp::Shl, r(&m, 9), r(&m, 9), 1),
+            ],
+        );
+        let best = compact(&m, &ops, Algorithm::BranchBound, ConflictModel::Coarse).len();
+        for algo in [Algorithm::Linear, Algorithm::CriticalPath, Algorithm::LevelPack] {
+            let c = compact(&m, &ops, algo, ConflictModel::Coarse);
+            assert!(
+                best <= c.len(),
+                "optimal {} vs {} {}",
+                best,
+                algo.name(),
+                c.len()
+            );
+        }
+    }
+
+    #[test]
+    fn pack_control_merges_when_safe() {
+        let m = hm1();
+        // Body: one mov. A jmp has no reads: packs into the same MI.
+        let ops = sel(&m, &[MirOp::mov(r(&m, 0), r(&m, 1))]);
+        let mut c = compact(&m, &ops, Algorithm::CriticalPath, ConflictModel::Coarse);
+        let jmp = BoundOp::new(m.find_template("jmp").unwrap()).with_target(3);
+        let idx = pack_control(&m, &mut c.instrs, jmp, ConflictModel::Coarse);
+        assert_eq!(idx, 0);
+        assert_eq!(c.instrs.len(), 1);
+        assert_eq!(c.instrs[0].len(), 2);
+    }
+
+    #[test]
+    fn pack_control_respects_flag_raw() {
+        let m = hm1();
+        // Body: add (writes flags). A branch reading flags must wait.
+        let ops = sel(&m, &[MirOp::alu(AluOp::Add, r(&m, 0), r(&m, 1), r(&m, 2))]);
+        let mut c = compact(&m, &ops, Algorithm::CriticalPath, ConflictModel::Coarse);
+        let br = BoundOp::new(m.find_template("br").unwrap())
+            .with_cond(CondKind::Zero)
+            .with_target(3);
+        let idx = pack_control(&m, &mut c.instrs, br, ConflictModel::Coarse);
+        assert_eq!(idx, 1, "branch lands in a fresh MI");
+        assert_eq!(c.instrs.len(), 2);
+    }
+
+    #[test]
+    fn pack_control_never_doubles_control() {
+        let m = hm1();
+        let mut instrs = vec![MicroInstr::single(
+            BoundOp::new(m.find_template("jmp").unwrap()).with_target(1),
+        )];
+        let halt = BoundOp::new(m.find_template("halt").unwrap());
+        let idx = pack_control(&m, &mut instrs, halt, ConflictModel::Coarse);
+        assert_eq!(idx, 1);
+    }
+
+    #[test]
+    fn empty_block_compacts_to_nothing() {
+        let m = hm1();
+        let c = compact(&m, &[], Algorithm::Linear, ConflictModel::Coarse);
+        assert!(c.is_empty());
+    }
+
+    /// Memory expansion compacts sensibly: mov MAR / read / mov from MBR is
+    /// a 3-high chain.
+    #[test]
+    fn memory_chain_height() {
+        let m = hm1();
+        let ops = sel(
+            &m,
+            &[
+                MirOp::mov(Operand::Reg(m.special.mar.unwrap()), r(&m, 0)),
+                MirOp::new(Semantic::MemRead),
+                MirOp::mov(r(&m, 1), Operand::Reg(m.special.mbr.unwrap())),
+            ],
+        );
+        let c = compact(&m, &ops, Algorithm::CriticalPath, ConflictModel::Coarse);
+        assert_eq!(c.len(), 3);
+    }
+}

@@ -1,0 +1,211 @@
+//! Emission: compacted blocks + terminators → a [`MicroProgram`].
+//!
+//! Terminator micro-operations are packed into the last microinstruction
+//! of their block when dependence- and conflict-safe
+//! ([`mcc_compact::pack_control`]); fallthrough jumps to the next block
+//! are elided — except for dispatch-table blocks, which must stay exactly
+//! one microinstruction long so that `µPC = base + index` lands correctly.
+
+use std::collections::HashSet;
+
+use mcc_compact::{compact, pack_control, Algorithm};
+use mcc_machine::op::MicroBlock;
+use mcc_machine::{BoundOp, CondKind, ConflictModel, MachineDesc, MicroProgram, Semantic};
+use mcc_mir::select::{SelectedFunction, SelectedTerm};
+
+fn control_op(m: &MachineDesc, sem: Semantic) -> mcc_machine::TemplateId {
+    m.templates_for(sem)
+        .next()
+        .unwrap_or_else(|| panic!("machine {} lacks {:?}", m.name, sem))
+}
+
+/// Whether `cond` has a genuine machine-testable negation.
+fn negatable(m: &MachineDesc, cond: CondKind) -> bool {
+    let n = cond.negate();
+    n != cond && m.supports_cond(n)
+}
+
+/// Assembles the selected function into a block-structured microprogram.
+pub fn emit(
+    m: &MachineDesc,
+    f: &SelectedFunction,
+    algo: Algorithm,
+    model: ConflictModel,
+) -> MicroProgram {
+    // Tokoro-style compaction always judges conflicts per phase; the
+    // emitted code must be validated (and terminators packed) under the
+    // same model it was scheduled with.
+    let model = if algo == Algorithm::Tokoro {
+        ConflictModel::Fine
+    } else {
+        model
+    };
+    // Dispatch-table blocks may not collapse to zero instructions.
+    let mut table_blocks: HashSet<u32> = HashSet::new();
+    for b in &f.blocks {
+        if let SelectedTerm::Dispatch { table, .. } = &b.term {
+            table_blocks.extend(table.iter().copied());
+        }
+    }
+
+    let mut out = MicroProgram::new();
+    for (i, b) in f.blocks.iter().enumerate() {
+        let i = i as u32;
+        let mut instrs = compact(m, &b.ops, algo, model).instrs;
+        match &b.term {
+            SelectedTerm::Jump(t) => {
+                if *t != i + 1 || table_blocks.contains(&i) {
+                    let op = BoundOp::new(control_op(m, Semantic::Jump)).with_target(*t);
+                    pack_control(m, &mut instrs, op, model);
+                }
+            }
+            SelectedTerm::Branch {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                let br = control_op(m, Semantic::Branch);
+                if *else_block == i + 1 {
+                    let op = BoundOp::new(br).with_cond(*cond).with_target(*then_block);
+                    pack_control(m, &mut instrs, op, model);
+                } else if *then_block == i + 1 && negatable(m, *cond) {
+                    let op = BoundOp::new(br)
+                        .with_cond(cond.negate())
+                        .with_target(*else_block);
+                    pack_control(m, &mut instrs, op, model);
+                } else {
+                    let op = BoundOp::new(br).with_cond(*cond).with_target(*then_block);
+                    pack_control(m, &mut instrs, op, model);
+                    let jmp =
+                        BoundOp::new(control_op(m, Semantic::Jump)).with_target(*else_block);
+                    instrs.push(mcc_machine::MicroInstr::single(jmp));
+                }
+            }
+            SelectedTerm::Dispatch { src, mask, table } => {
+                let op = BoundOp::new(control_op(m, Semantic::Dispatch))
+                    .with_src(*src)
+                    .with_imm(*mask)
+                    .with_target(table[0]);
+                pack_control(m, &mut instrs, op, model);
+            }
+            SelectedTerm::Ret => {
+                let op = BoundOp::new(control_op(m, Semantic::Return));
+                pack_control(m, &mut instrs, op, model);
+            }
+            SelectedTerm::Halt => {
+                let op = BoundOp::new(control_op(m, Semantic::Halt));
+                pack_control(m, &mut instrs, op, model);
+            }
+        }
+        out.blocks.push(MicroBlock { instrs });
+    }
+
+    debug_assert!(
+        out.blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .all(|mi| m.validate_instr(mi, model).is_ok()),
+        "emitted invalid microinstruction"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_machine::machines::hm1;
+    use mcc_machine::{AluOp, RegRef};
+    use mcc_mir::select::select_function;
+    use mcc_mir::{FuncBuilder, Operand, Term};
+
+    fn emit_simple(term_to_next: bool) -> MicroProgram {
+        let m = hm1();
+        let r0 = Operand::Reg(RegRef::new(m.find_file("R").unwrap(), 0));
+        let mut b = FuncBuilder::new("t");
+        b.alu_imm(AluOp::Add, r0, r0, 1);
+        let nxt = b.new_block();
+        if term_to_next {
+            b.terminate(Term::Jump(nxt));
+        } else {
+            // jump back to self — can't be elided
+            b.terminate(Term::Jump(0));
+        }
+        b.switch_to(nxt);
+        b.terminate(Term::Halt);
+        let mut f = b.finish();
+        mcc_mir::legalize(&m, &mut f).unwrap();
+        let sf = select_function(&m, &f).unwrap();
+        emit(&m, &sf, Algorithm::CriticalPath, ConflictModel::Fine)
+    }
+
+    #[test]
+    fn fallthrough_jump_elided() {
+        let p = emit_simple(true);
+        // Block 0: just the add (jump elided). Block 1: halt.
+        assert_eq!(p.blocks[0].instrs.len(), 1);
+        assert_eq!(p.instr_count(), 2);
+    }
+
+    #[test]
+    fn backward_jump_kept_and_packed() {
+        let p = emit_simple(false);
+        // The jmp packs into the add's microinstruction (no conflicts).
+        assert_eq!(p.blocks[0].instrs.len(), 1);
+        assert_eq!(p.blocks[0].instrs[0].len(), 2);
+    }
+
+    #[test]
+    fn branch_with_far_else_gets_trailing_jump() {
+        let m = hm1();
+        let r0 = Operand::Reg(RegRef::new(m.find_file("R").unwrap(), 0));
+        let mut b = FuncBuilder::new("t");
+        b.alu_imm(AluOp::Add, r0, r0, 1);
+        let t1 = b.new_block();
+        let t2 = b.new_block();
+        // then = next block, else = far: emit negated branch to else.
+        b.branch(mcc_machine::CondKind::Zero, t1, t2);
+        b.switch_to(t1);
+        b.terminate(Term::Halt);
+        b.switch_to(t2);
+        b.terminate(Term::Halt);
+        let mut f = b.finish();
+        mcc_mir::legalize(&m, &mut f).unwrap();
+        let sf = select_function(&m, &f).unwrap();
+        let p = emit(&m, &sf, Algorithm::CriticalPath, ConflictModel::Fine);
+        // Block 0: add-MI, then branch-MI (flag RAW forbids packing).
+        assert_eq!(p.blocks[0].instrs.len(), 2);
+        let br = &p.blocks[0].instrs[1].ops[0];
+        assert_eq!(br.cond, Some(mcc_machine::CondKind::NotZero), "negated");
+        assert_eq!(br.target, Some(t2));
+    }
+
+    #[test]
+    fn dispatch_table_blocks_never_collapse() {
+        let m = hm1();
+        let mut b = FuncBuilder::new("t");
+        let x = b.vreg();
+        b.ldi(x, 0);
+        let t0 = b.new_block();
+        let t1 = b.new_block();
+        let end = b.new_block();
+        b.terminate(Term::Dispatch {
+            src: x.into(),
+            mask: 1,
+            table: vec![t0, t1],
+        });
+        b.switch_to(t0);
+        b.terminate(Term::Jump(end)); // would normally be elidable if end == t0+1? no: t1 intervenes
+        b.switch_to(t1);
+        b.terminate(Term::Jump(end)); // end == t1+1 → normally elided!
+        b.switch_to(end);
+        b.terminate(Term::Halt);
+        let mut f = b.finish();
+        f.validate().unwrap();
+        mcc_mir::legalize(&m, &mut f).unwrap();
+        mcc_regalloc::allocate(&m, &mut f, &Default::default()).unwrap();
+        let sf = select_function(&m, &f).unwrap();
+        let p = emit(&m, &sf, Algorithm::CriticalPath, ConflictModel::Fine);
+        assert_eq!(p.blocks[t0 as usize].instrs.len(), 1, "table entry is 1 MI");
+        assert_eq!(p.blocks[t1 as usize].instrs.len(), 1, "table entry kept");
+    }
+}

@@ -1,0 +1,541 @@
+//! # `mcc-core` — the compilation pipeline
+//!
+//! Ties the toolkit together: one [`Compiler`] object drives
+//!
+//! ```text
+//! source ─(frontend)→ MIR ─(legalize)→ MIR ─(insert_polls)→ MIR
+//!        ─(regalloc)→ MIR ─(select)→ bound µops ─(compact)→ µinstrs
+//!        ─(emit)→ MicroProgram ─(encode / simulate)
+//! ```
+//!
+//! plus the §2.1.5 facilities no surveyed language implemented: automatic
+//! interrupt poll-point insertion and the microtrap restart-safety
+//! analysis that catches the paper's `incread` double-increment bug.
+
+pub mod autoverify;
+pub mod emit;
+pub mod passes;
+
+use std::collections::HashMap;
+
+use mcc_compact::Algorithm;
+use mcc_machine::{ConflictModel, MachineDesc, MicroProgram};
+use mcc_mir::operand::VReg;
+use mcc_mir::MirFunction;
+use mcc_regalloc::{AllocOptions, AllocReport, Location};
+use mcc_sim::{SimOptions, SimStats, Simulator};
+
+pub use autoverify::{block_assigns, check_block};
+pub use passes::{insert_polls, mark_dead_flags, thread_jumps, trap_safety, Warning};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct CompilerOptions {
+    /// Compaction algorithm.
+    pub algorithm: Algorithm,
+    /// Conflict model for compaction and validation.
+    pub model: ConflictModel,
+    /// Register allocation options.
+    pub alloc: AllocOptions,
+    /// When set, insert an interrupt poll point at every loop header and
+    /// every `n` straight-line operations (§2.1.5).
+    pub poll_interval: Option<usize>,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions {
+            algorithm: Algorithm::CriticalPath,
+            model: ConflictModel::Fine,
+            alloc: AllocOptions::default(),
+            poll_interval: None,
+        }
+    }
+}
+
+/// Anything the pipeline can fail with.
+#[derive(Debug, Clone)]
+pub enum CompileError {
+    /// Frontend syntax/semantic error (message carries position info).
+    Language(String),
+    /// Malformed MIR.
+    Mir(mcc_mir::func::MirError),
+    /// The machine cannot express the program.
+    Legalize(mcc_mir::LegalizeError),
+    /// Register allocation failed.
+    Alloc(mcc_regalloc::AllocError),
+    /// Instruction selection failed.
+    Select(mcc_mir::SelectError),
+    /// Binary encoding failed.
+    Encode(mcc_machine::EncodeError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Language(s) => write!(f, "language error: {s}"),
+            CompileError::Mir(e) => write!(f, "mir error: {e}"),
+            CompileError::Legalize(e) => write!(f, "legalize error: {e}"),
+            CompileError::Alloc(e) => write!(f, "allocation error: {e}"),
+            CompileError::Select(e) => write!(f, "selection error: {e}"),
+            CompileError::Encode(e) => write!(f, "encode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<mcc_mir::func::MirError> for CompileError {
+    fn from(e: mcc_mir::func::MirError) -> Self {
+        CompileError::Mir(e)
+    }
+}
+impl From<mcc_mir::LegalizeError> for CompileError {
+    fn from(e: mcc_mir::LegalizeError) -> Self {
+        CompileError::Legalize(e)
+    }
+}
+impl From<mcc_regalloc::AllocError> for CompileError {
+    fn from(e: mcc_regalloc::AllocError) -> Self {
+        CompileError::Alloc(e)
+    }
+}
+impl From<mcc_mir::SelectError> for CompileError {
+    fn from(e: mcc_mir::SelectError) -> Self {
+        CompileError::Select(e)
+    }
+}
+impl From<mcc_machine::EncodeError> for CompileError {
+    fn from(e: mcc_machine::EncodeError) -> Self {
+        CompileError::Encode(e)
+    }
+}
+
+/// Compilation statistics for the experiment tables.
+#[derive(Debug, Clone, Default)]
+pub struct CompileStats {
+    /// Abstract operations after legalisation.
+    pub mir_ops: usize,
+    /// Microinstructions emitted (code size, experiment E1).
+    pub micro_instrs: usize,
+    /// Micro-operations packed.
+    pub micro_ops: usize,
+    /// Virtual registers spilled.
+    pub spills: usize,
+    /// Spill fills/stores inserted.
+    pub spill_moves: usize,
+    /// Poll points inserted.
+    pub polls: usize,
+    /// Operations whose flag writes were proven dead (freeing flag-free
+    /// template variants for packing).
+    pub dead_flags: usize,
+}
+
+impl CompileStats {
+    /// Mean micro-operations per microinstruction.
+    pub fn packing_ratio(&self) -> f64 {
+        if self.micro_instrs == 0 {
+            0.0
+        } else {
+            self.micro_ops as f64 / self.micro_instrs as f64
+        }
+    }
+}
+
+/// The output of a compilation.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// The machine compiled for.
+    pub machine: MachineDesc,
+    /// The microprogram (block-structured; flatten to get a control store).
+    pub program: MicroProgram,
+    /// Where each symbolic variable's virtual register ended up.
+    pub locations: HashMap<VReg, Location>,
+    /// Source-level names resolved to final locations (populated by the
+    /// language entry points; empty for raw [`Compiler::compile_mir`]).
+    pub symbols: HashMap<String, Location>,
+    /// Source-level arrays resolved to memory regions `(base, length)`.
+    pub memory_symbols: HashMap<String, (u64, u64)>,
+    /// Trap-safety and other warnings.
+    pub warnings: Vec<Warning>,
+    /// Pipeline statistics.
+    pub stats: CompileStats,
+}
+
+impl Artifact {
+    /// Resolves a source operand to its final location.
+    pub fn locate(&self, op: mcc_mir::Operand) -> Option<Location> {
+        match op {
+            mcc_mir::Operand::Reg(r) => Some(Location::Reg(r)),
+            mcc_mir::Operand::Vreg(v) => self.locations.get(&v).copied(),
+        }
+    }
+
+    /// Reads the value of a named symbol from a finished simulator.
+    ///
+    /// Returns `None` when the symbol is unknown or was optimised away.
+    pub fn read_symbol(&self, sim: &Simulator, name: &str) -> Option<u64> {
+        match self.symbols.get(name)? {
+            Location::Reg(r) | Location::Scratch(r) => Some(sim.reg(*r)),
+            Location::Mem(a) => Some(sim.mem(*a)),
+        }
+    }
+
+    /// Encodes the program into control-store words.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`mcc_machine::EncodeError`].
+    pub fn encode(&self) -> Result<Vec<u128>, mcc_machine::EncodeError> {
+        mcc_machine::encode_program(&self.machine, &self.program)
+    }
+
+    /// Loads the program into a fresh simulator.
+    pub fn simulator(&self) -> Simulator {
+        Simulator::new(self.machine.clone(), &self.program)
+    }
+
+    /// Runs the program to halt with default options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`mcc_sim::SimError`].
+    pub fn run(&self) -> Result<(Simulator, SimStats), mcc_sim::SimError> {
+        self.run_with(&SimOptions::default())
+    }
+
+    /// Runs the program under the given simulation options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`mcc_sim::SimError`].
+    pub fn run_with(&self, opts: &SimOptions) -> Result<(Simulator, SimStats), mcc_sim::SimError> {
+        let mut s = self.simulator();
+        let stats = s.run(opts)?;
+        Ok((s, stats))
+    }
+}
+
+/// The compiler: a machine plus pipeline options.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    machine: MachineDesc,
+    options: CompilerOptions,
+}
+
+impl Compiler {
+    /// A compiler for `machine` with default options.
+    pub fn new(machine: MachineDesc) -> Self {
+        Compiler {
+            machine,
+            options: CompilerOptions::default(),
+        }
+    }
+
+    /// A compiler with explicit options.
+    pub fn with_options(machine: MachineDesc, options: CompilerOptions) -> Self {
+        Compiler { machine, options }
+    }
+
+    /// The target machine.
+    pub fn machine(&self) -> &MachineDesc {
+        &self.machine
+    }
+
+    /// The pipeline options.
+    pub fn options(&self) -> &CompilerOptions {
+        &self.options
+    }
+
+    /// Mutable access to the pipeline options (builder-style tweaks).
+    pub fn options_mut(&mut self) -> &mut CompilerOptions {
+        &mut self.options
+    }
+
+    /// Compiles a MIR function through the whole pipeline.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile_mir(&self, mut f: MirFunction) -> Result<Artifact, CompileError> {
+        f.validate()?;
+        mcc_mir::legalize(&self.machine, &mut f)?;
+        f.validate()?;
+        passes::thread_jumps(&mut f);
+
+        let mut stats = CompileStats::default();
+        if let Some(n) = self.options.poll_interval {
+            stats.polls = passes::insert_polls(&mut f, n);
+        }
+
+        let report: AllocReport = mcc_regalloc::allocate(&self.machine, &mut f, &self.options.alloc)?;
+        stats.spills = report.spilled;
+        stats.spill_moves = report.spill_moves;
+        // Spill code may introduce operations that still need legalising
+        // on narrow machines (wide spill addresses); one more round is
+        // always enough because spill addresses fit the immediate path.
+        mcc_mir::legalize(&self.machine, &mut f)?;
+        if f.has_virtual_regs() {
+            // Legalisation after spilling created scratch vregs; allocate
+            // them too (no further spilling expected).
+            let r2 = mcc_regalloc::allocate(&self.machine, &mut f, &self.options.alloc)?;
+            stats.spills += r2.spilled;
+            stats.spill_moves += r2.spill_moves;
+        }
+
+        let warnings = passes::trap_safety(&self.machine, &f);
+        stats.mir_ops = f.op_count();
+        stats.dead_flags = passes::mark_dead_flags(&mut f);
+
+        let selected = mcc_mir::select_function(&self.machine, &f)?;
+        let program = emit::emit(&self.machine, &selected, self.options.algorithm, self.options.model);
+        stats.micro_instrs = program.instr_count();
+        stats.micro_ops = program.op_count();
+
+        Ok(Artifact {
+            machine: self.machine.clone(),
+            program,
+            locations: report.locations,
+            symbols: HashMap::new(),
+            memory_symbols: HashMap::new(),
+            warnings,
+            stats,
+        })
+    }
+
+    fn attach_symbols(
+        art: &mut Artifact,
+        names: impl IntoIterator<Item = (String, mcc_mir::Operand)>,
+    ) {
+        for (name, op) in names {
+            if let Some(loc) = art.locate(op) {
+                art.symbols.insert(name, loc);
+            }
+        }
+    }
+
+    /// Compiles a SIMPL program (§2.2.1 of the survey).
+    ///
+    /// SIMPL variables are machine registers, so symbols resolve directly.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`]; frontend diagnostics arrive as
+    /// [`CompileError::Language`] with line/column prefixes.
+    pub fn compile_simpl(&self, src: &str) -> Result<Artifact, CompileError> {
+        let p = mcc_simpl::parse(src, &self.machine)
+            .map_err(|e| CompileError::Language(e.render(src)))?;
+        self.compile_mir(p.func)
+    }
+
+    /// Compiles a YALLL program (§2.2.4). Declared register names become
+    /// artifact symbols.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile_yalll(&self, src: &str) -> Result<Artifact, CompileError> {
+        let p = mcc_yalll::parse(src, &self.machine)
+            .map_err(|e| CompileError::Language(e.render(src)))?;
+        let bindings = p.bindings.clone();
+        let mut art = self.compile_mir(p.func)?;
+        Self::attach_symbols(&mut art, bindings);
+        Ok(art)
+    }
+
+    /// Compiles an EMPL program (§2.2.2). Global variables (including type
+    /// instance fields as `INSTANCE.FIELD`) become symbols; arrays become
+    /// memory symbols. The special symbol `"ERROR"` holds the error flag.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile_empl(&self, src: &str) -> Result<Artifact, CompileError> {
+        let p = mcc_empl::compile(src).map_err(|e| CompileError::Language(e.render(src)))?;
+        let globals = p.globals.clone();
+        let arrays = p.arrays.clone();
+        let eflag = p.error_flag;
+        let mut art = self.compile_mir(p.func)?;
+        Self::attach_symbols(&mut art, globals);
+        Self::attach_symbols(&mut art, [("ERROR".to_string(), eflag)]);
+        art.memory_symbols = arrays;
+        Ok(art)
+    }
+
+    /// Compiles an S\* program (§2.2.3) and *verifies the explicit
+    /// parallelism*: every `cobegin … coend` group must fit one
+    /// microinstruction on this machine, otherwise compilation fails —
+    /// S\* programmers specify composition, the compiler only checks it.
+    /// The special symbol `"ASSERT"` holds the runtime assertion flag
+    /// (0 = all passed).
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`]; an unschedulable `cobegin` is reported as
+    /// [`CompileError::Language`].
+    pub fn compile_sstar(&self, src: &str) -> Result<Artifact, CompileError> {
+        let p = mcc_sstar::parse(src, &self.machine)
+            .map_err(|e| CompileError::Language(e.render(src)))?;
+        let vars = p.vars.clone();
+        let cogroups = p.cogroups.clone();
+        let aflag = p.assert_flag;
+        let mut art = self.compile_mir(p.func)?;
+        for g in cogroups {
+            let n = art.program.blocks[g as usize].instrs.len();
+            // The group block holds its ops plus an elidable jump; more
+            // than one instruction means the hardware could not take the
+            // whole group in one cycle.
+            if n > 1 {
+                return Err(CompileError::Language(format!(
+                    "cobegin group at block b{g} needs {n} microinstructions on {}; \
+                     the statements cannot be co-scheduled",
+                    self.machine.name
+                )));
+            }
+        }
+        Self::attach_symbols(&mut art, vars);
+        if let Some(f) = aflag {
+            Self::attach_symbols(&mut art, [("ASSERT".to_string(), f)]);
+        }
+        Ok(art)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_machine::machines::{bx2, hm1, vm1, wm64};
+    use mcc_machine::{AluOp, CondKind, RegRef};
+    use mcc_mir::{FuncBuilder, Term};
+
+    /// End-to-end: sum 1..=5 with symbolic variables on every machine.
+    #[test]
+    fn sum_compiles_and_runs_everywhere() {
+        for m in [hm1(), vm1(), bx2(), wm64()] {
+            let mut b = FuncBuilder::new("sum");
+            let i = b.vreg();
+            let acc = b.vreg();
+            b.ldi(i, 5);
+            b.ldi(acc, 0);
+            let head = b.new_block();
+            let body = b.new_block();
+            let done = b.new_block();
+            b.jump_and_switch(head);
+            b.alu_un(AluOp::Pass, i, i);
+            b.branch(CondKind::Zero, done, body);
+            b.switch_to(body);
+            b.alu(AluOp::Add, acc, acc, i);
+            b.alu_imm(AluOp::Sub, i, i, 1);
+            b.terminate(Term::Jump(head));
+            b.switch_to(done);
+            b.mark_live_out(acc);
+            b.terminate(Term::Halt);
+            let f = b.finish();
+
+            let c = Compiler::new(m.clone());
+            let art = c.compile_mir(f).unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            let (sim, stats) = art.run().unwrap();
+            // Find where acc ended up and check the value.
+            let loc = art.locations[&acc];
+            let v = match loc {
+                Location::Reg(r) | Location::Scratch(r) => sim.reg(r),
+                Location::Mem(a) => sim.mem(a),
+            };
+            assert_eq!(v, 15, "{}", m.name);
+            assert!(stats.cycles > 0);
+            // The binary encodes and decodes.
+            let words = art.encode().unwrap();
+            assert_eq!(words.len(), art.program.instr_count());
+        }
+    }
+
+    /// The same program takes more instructions on the vertical machine.
+    #[test]
+    fn vertical_code_is_longer() {
+        let build = || {
+            let mut b = FuncBuilder::new("k");
+            let x = b.vreg();
+            let y = b.vreg();
+            let z = b.vreg();
+            b.ldi(x, 3);
+            b.ldi(y, 4);
+            b.alu(AluOp::Add, z, x, y);
+            b.alu(AluOp::Xor, x, x, y);
+            b.mark_live_out(z);
+            b.mark_live_out(x);
+            b.terminate(Term::Halt);
+            b.finish()
+        };
+        let h = Compiler::new(hm1()).compile_mir(build()).unwrap();
+        let v = Compiler::new(vm1()).compile_mir(build()).unwrap();
+        assert!(
+            v.program.instr_count() >= h.program.instr_count(),
+            "vertical {} vs horizontal {}",
+            v.program.instr_count(),
+            h.program.instr_count()
+        );
+    }
+
+    #[test]
+    fn trap_safety_warning_on_incread() {
+        // The paper's incread: reg[n] := reg[n]+1; mbr := readmem(reg[n]).
+        let m = hm1();
+        let r0 = RegRef::new(m.find_file("R").unwrap(), 0);
+        let mut b = FuncBuilder::new("incread");
+        let r0 = mcc_mir::Operand::Reg(r0);
+        b.alu_un(AluOp::Inc, r0, r0);
+        let d = b.vreg();
+        b.load(d, r0);
+        b.mark_live_out(d);
+        b.terminate(Term::Halt);
+        let art = Compiler::new(m).compile_mir(b.finish()).unwrap();
+        assert!(
+            art.warnings.iter().any(|w| w.message.contains("restart")),
+            "expected a trap-safety warning, got {:?}",
+            art.warnings
+        );
+    }
+
+    #[test]
+    fn poll_insertion_counts() {
+        let m = hm1();
+        let mut c = Compiler::new(m);
+        c.options_mut().poll_interval = Some(2);
+        let mut b = FuncBuilder::new("p");
+        let x = b.vreg();
+        b.ldi(x, 9);
+        let head = b.new_block();
+        let body = b.new_block();
+        let done = b.new_block();
+        b.jump_and_switch(head);
+        b.alu_un(AluOp::Pass, x, x);
+        b.branch(CondKind::Zero, done, body);
+        b.switch_to(body);
+        b.alu_imm(AluOp::Sub, x, x, 1);
+        b.terminate(Term::Jump(head));
+        b.switch_to(done);
+        b.terminate(Term::Halt);
+        let art = c.compile_mir(b.finish()).unwrap();
+        assert!(art.stats.polls > 0);
+        // And the program still runs with interrupts arriving.
+        let opts = SimOptions {
+            interrupts: vec![1, 5, 9],
+            ..Default::default()
+        };
+        let (_, stats) = art.run_with(&opts).unwrap();
+        assert_eq!(stats.interrupts, 3);
+    }
+
+    #[test]
+    fn compile_stats_populated() {
+        let m = hm1();
+        let mut b = FuncBuilder::new("s");
+        let x = b.vreg();
+        b.ldi(x, 1);
+        b.mark_live_out(x);
+        b.terminate(Term::Halt);
+        let art = Compiler::new(m).compile_mir(b.finish()).unwrap();
+        assert!(art.stats.micro_instrs > 0);
+        assert!(art.stats.packing_ratio() > 0.0);
+    }
+}

@@ -1,0 +1,740 @@
+//! EMPL lexer, AST and parser.
+//!
+//! EMPL is PL/I-flavoured: uppercase-insensitive keywords, `/* … */`
+//! comments, statements terminated by `;`, `DO; … END;` groups.
+
+use mcc_lang::{parse_int, Cursor, Diagnostic, Span};
+
+// ----------------------------------------------------------------- tokens --
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    Ident(String),
+    Num(u64),
+    Sym(String),
+    Eof,
+}
+
+pub struct Lexer<'a> {
+    c: Cursor<'a>,
+    pub tok: Tok,
+    pub span: Span,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Result<Self, Diagnostic> {
+        let mut l = Lexer {
+            c: Cursor::new(src),
+            tok: Tok::Eof,
+            span: Span::default(),
+        };
+        l.advance()?;
+        Ok(l)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Diagnostic> {
+        loop {
+            self.c.skip_ws();
+            if self.c.eat_str("/*") {
+                let start = self.c.pos();
+                loop {
+                    if self.c.at_end() {
+                        return Err(Diagnostic::new(
+                            "unterminated comment",
+                            Span::new(start, self.c.pos()),
+                        ));
+                    }
+                    if self.c.eat_str("*/") {
+                        break;
+                    }
+                    self.c.bump();
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    pub fn advance(&mut self) -> Result<(), Diagnostic> {
+        self.skip_trivia()?;
+        let start = self.c.pos();
+        let tok = match self.c.peek() {
+            None => Tok::Eof,
+            Some(ch) if ch.is_alphabetic() || ch == '_' => {
+                let w = self
+                    .c
+                    .take_while(|c| c.is_alphanumeric() || c == '_')
+                    .to_string();
+                Tok::Ident(w.to_ascii_uppercase())
+            }
+            Some(ch) if ch.is_ascii_digit() => {
+                let w = self.c.take_while(|c| c.is_alphanumeric());
+                match parse_int(w) {
+                    Some(v) => Tok::Num(v),
+                    None => {
+                        return Err(Diagnostic::new(
+                            format!("bad number `{w}`"),
+                            Span::new(start, self.c.pos()),
+                        ))
+                    }
+                }
+            }
+            Some(_) => {
+                let mut sym = None;
+                for s in ["<>", "<=", ">="] {
+                    if self.c.eat_str(s) {
+                        sym = Some(s.to_string());
+                        break;
+                    }
+                }
+                let s = match sym {
+                    Some(s) => s,
+                    None => self.c.bump().expect("peeked").to_string(),
+                };
+                Tok::Sym(s)
+            }
+        };
+        self.span = Span::new(start, self.c.pos());
+        self.tok = tok;
+        Ok(())
+    }
+}
+
+// -------------------------------------------------------------------- AST --
+
+/// A simple operand: variable or number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Atom {
+    /// A named variable (or formal parameter).
+    Var(String),
+    /// A literal.
+    Num(u64),
+}
+
+/// A right-hand side — EMPL expressions contain at most one operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rhs {
+    /// A bare operand.
+    Atom(Atom),
+    /// `a <op> b` with `op` ∈ `+ - * / & | XOR`.
+    Bin(String, Atom, Atom),
+    /// `-a`, `NOT a`.
+    Un(String, Atom),
+    /// `a SHL n` etc.
+    Shift(String, Atom, u64),
+    /// `ARR(i)` — array element read.
+    ArrGet(String, Atom),
+    /// `OPNAME(args…)` — user operator invocation.
+    OpCall(String, Vec<Atom>),
+}
+
+/// Assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lhs {
+    /// A scalar variable.
+    Var(String),
+    /// `ARR(i)`.
+    Arr(String, Atom),
+}
+
+/// A comparison `a relop b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cond {
+    /// Left operand.
+    pub a: Atom,
+    /// `= <> < <= > >=`.
+    pub rel: String,
+    /// Right operand.
+    pub b: Atom,
+}
+
+/// An EMPL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `lhs = rhs;`
+    Assign(Lhs, Rhs),
+    /// `IF c THEN s; [ELSE s;]`
+    If(Cond, Box<Stmt>, Option<Box<Stmt>>),
+    /// `WHILE c DO; … END;`
+    While(Cond, Vec<Item>),
+    /// `DO; … END;`
+    Do(Vec<Item>),
+    /// `GOTO label;`
+    Goto(String),
+    /// `CALL proc;` or an operation invocation statement `P(args);`
+    Call(String, Vec<Atom>),
+    /// `RETURN;`
+    Return,
+    /// `ERROR;` — abort with the error flag set.
+    Error,
+    /// `;`
+    Empty,
+}
+
+/// A labelled or plain statement in a statement list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `label:` prefix.
+    Label(String),
+    /// The statement.
+    Stmt(Stmt),
+}
+
+/// A user operator / operation declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorDef {
+    /// Name.
+    pub name: String,
+    /// `ACCEPTS (…)` formals.
+    pub accepts: Vec<String>,
+    /// `RETURNS (…)` formal, if any.
+    pub returns: Option<String>,
+    /// `MICROOP name …;` hardware hint, if any.
+    pub hint: Option<String>,
+    /// Body statements.
+    pub body: Vec<Item>,
+}
+
+/// A field of a TYPE declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// `DECLARE F FIXED;`
+    Scalar(String),
+    /// `DECLARE F(n) FIXED;`
+    Array(String, u64),
+}
+
+/// A `TYPE … ENDTYPE` extension statement (the SIMULA-class analogue).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeDef {
+    /// Type name.
+    pub name: String,
+    /// Instance fields.
+    pub fields: Vec<Field>,
+    /// `INITIALLY DO; … END;` body.
+    pub initially: Vec<Item>,
+    /// Operations declared inside the type.
+    pub operations: Vec<OperatorDef>,
+}
+
+/// A top-level declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// `DECLARE X FIXED;`
+    Scalar(String),
+    /// `DECLARE A(n) FIXED;`
+    Array(String, u64),
+    /// `DECLARE S T;` — instance of a user type.
+    Instance(String, String),
+}
+
+/// A `name: PROCEDURE; … END;` declaration (parameterless, per §2.2.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcDef {
+    /// Name.
+    pub name: String,
+    /// Body.
+    pub body: Vec<Item>,
+}
+
+/// A whole EMPL compilation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// Global declarations, in order.
+    pub decls: Vec<Decl>,
+    /// Type definitions.
+    pub types: Vec<TypeDef>,
+    /// Free-standing operators.
+    pub operators: Vec<OperatorDef>,
+    /// Procedures.
+    pub procs: Vec<ProcDef>,
+    /// The main program: top-level statements in order.
+    pub main: Vec<Item>,
+}
+
+// ------------------------------------------------------------------ parser --
+
+pub struct Parser<'a> {
+    pub lx: Lexer<'a>,
+    /// `NAME :` declaration header discovered by lookahead in `module()`,
+    /// consumed by the next `stmt_item`.
+    pending_decl: Option<String>,
+}
+
+impl<'a> Parser<'a> {
+    pub fn new(src: &'a str) -> Result<Self, Diagnostic> {
+        Ok(Parser {
+            lx: Lexer::new(src)?,
+            pending_decl: None,
+        })
+    }
+
+    fn diag(&self, msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(msg, self.lx.span)
+    }
+
+    fn kw(&mut self, w: &str) -> Result<bool, Diagnostic> {
+        if matches!(&self.lx.tok, Tok::Ident(x) if x == w) {
+            self.lx.advance()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn peek_kw(&self, w: &str) -> bool {
+        matches!(&self.lx.tok, Tok::Ident(x) if x == w)
+    }
+
+    fn expect_kw(&mut self, w: &str) -> Result<(), Diagnostic> {
+        if self.kw(w)? {
+            Ok(())
+        } else {
+            Err(self.diag(format!("expected `{w}`")))
+        }
+    }
+
+    fn sym(&mut self, s: &str) -> Result<bool, Diagnostic> {
+        if matches!(&self.lx.tok, Tok::Sym(x) if x == s) {
+            self.lx.advance()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<(), Diagnostic> {
+        if self.sym(s)? {
+            Ok(())
+        } else {
+            Err(self.diag(format!("expected `{s}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, Diagnostic> {
+        match &self.lx.tok {
+            Tok::Ident(w) => {
+                let w = w.clone();
+                self.lx.advance()?;
+                Ok(w)
+            }
+            _ => Err(self.diag("expected identifier")),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, Diagnostic> {
+        match self.lx.tok.clone() {
+            Tok::Num(v) => {
+                self.lx.advance()?;
+                Ok(Atom::Num(v))
+            }
+            Tok::Ident(w) => {
+                self.lx.advance()?;
+                Ok(Atom::Var(w))
+            }
+            _ => Err(self.diag("expected variable or number")),
+        }
+    }
+
+    /// Parses the whole module.
+    pub fn module(&mut self) -> Result<Module, Diagnostic> {
+        let mut m = Module::default();
+        loop {
+            match &self.lx.tok {
+                Tok::Eof => break,
+                _ => {}
+            }
+            if self.kw("DECLARE")? {
+                self.declare(&mut m.decls)?;
+                continue;
+            }
+            if self.kw("TYPE")? {
+                m.types.push(self.type_def()?);
+                continue;
+            }
+            // `name: PROCEDURE;` / `name: OPERATOR …` / `label:` / stmt
+            if let Tok::Ident(w) = self.lx.tok.clone() {
+                if self.is_decl_header(&w)? {
+                    // consumed `name :` and the keyword
+                    continue;
+                }
+            }
+            // Plain statement (possibly labelled — handled inside).
+            let items = self.stmt_item(&mut m)?;
+            m.main.extend(items);
+        }
+        Ok(m)
+    }
+
+    /// If the input starts `NAME : PROCEDURE|OPERATOR|OPERATION`, parses
+    /// the declaration into the module (stored via the pending slot) and
+    /// returns true. This needs two tokens of lookahead, done by cloning
+    /// the lexer.
+    fn is_decl_header(&mut self, _name: &str) -> Result<bool, Diagnostic> {
+        // Cheap lookahead: clone lexer state.
+        let save = self.lx.clone_state();
+        let name = match self.ident() {
+            Ok(n) => n,
+            Err(_) => {
+                self.lx.restore(save);
+                return Ok(false);
+            }
+        };
+        if !self.sym(":")? {
+            self.lx.restore(save);
+            return Ok(false);
+        }
+        if self.peek_kw("PROCEDURE") || self.peek_kw("OPERATOR") || self.peek_kw("OPERATION") {
+            self.pending_decl = Some(name);
+            Ok(true)
+        } else {
+            self.lx.restore(save);
+            Ok(false)
+        }
+    }
+
+    fn declare(&mut self, decls: &mut Vec<Decl>) -> Result<(), Diagnostic> {
+        loop {
+            let name = self.ident()?;
+            if self.sym("(")? {
+                let n = match self.lx.tok {
+                    Tok::Num(v) => v,
+                    _ => return Err(self.diag("expected array size")),
+                };
+                self.lx.advance()?;
+                self.expect_sym(")")?;
+                self.expect_kw("FIXED")?;
+                decls.push(Decl::Array(name, n));
+            } else if self.kw("FIXED")? {
+                decls.push(Decl::Scalar(name));
+            } else {
+                // Instance of a user type.
+                let tname = self.ident()?;
+                decls.push(Decl::Instance(name, tname));
+            }
+            if self.sym(",")? {
+                continue;
+            }
+            self.expect_sym(";")?;
+            return Ok(());
+        }
+    }
+
+    fn type_def(&mut self) -> Result<TypeDef, Diagnostic> {
+        let name = self.ident()?;
+        let mut t = TypeDef {
+            name,
+            fields: Vec::new(),
+            initially: Vec::new(),
+            operations: Vec::new(),
+        };
+        loop {
+            if self.kw("ENDTYPE")? {
+                let _ = self.sym(";")?;
+                return Ok(t);
+            }
+            if self.kw("DECLARE")? {
+                let mut ds = Vec::new();
+                self.declare(&mut ds)?;
+                for d in ds {
+                    match d {
+                        Decl::Scalar(n) => t.fields.push(Field::Scalar(n)),
+                        Decl::Array(n, k) => t.fields.push(Field::Array(n, k)),
+                        Decl::Instance(_, _) => {
+                            return Err(self.diag("nested type instances not supported"))
+                        }
+                    }
+                }
+                continue;
+            }
+            if self.kw("INITIALLY")? {
+                t.initially = self.do_group_items()?;
+                let _ = self.sym(";")?;
+                continue;
+            }
+            // `NAME: OPERATION …`
+            let opname = self.ident()?;
+            self.expect_sym(":")?;
+            if !(self.kw("OPERATION")? || self.kw("OPERATOR")?) {
+                return Err(self.diag("expected OPERATION"));
+            }
+            t.operations.push(self.operator_tail(opname)?);
+        }
+    }
+
+    /// Parses the remainder of an operator/operation/procedure after
+    /// `NAME : KEYWORD` (with the keyword for procedures vs operators
+    /// distinguished by the caller).
+    fn operator_tail(&mut self, name: String) -> Result<OperatorDef, Diagnostic> {
+        let mut def = OperatorDef {
+            name,
+            accepts: Vec::new(),
+            returns: None,
+            hint: None,
+            body: Vec::new(),
+        };
+        if self.kw("ACCEPTS")? {
+            self.expect_sym("(")?;
+            loop {
+                def.accepts.push(self.ident()?);
+                if !self.sym(",")? {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+        }
+        if self.kw("RETURNS")? {
+            self.expect_sym("(")?;
+            def.returns = Some(self.ident()?);
+            self.expect_sym(")")?;
+        }
+        let _ = self.sym(";")?;
+        if self.kw("MICROOP")? {
+            let h = self.ident()?;
+            // Optional numeric control-word parameters, skipped.
+            while matches!(self.lx.tok, Tok::Num(_)) {
+                self.lx.advance()?;
+            }
+            self.expect_sym(";")?;
+            def.hint = Some(h);
+        }
+        def.body = self.stmt_list_until_end()?;
+        let _ = self.sym(";")?;
+        Ok(def)
+    }
+
+    /// Parses statements up to a closing `END`.
+    fn stmt_list_until_end(&mut self) -> Result<Vec<Item>, Diagnostic> {
+        let mut items = Vec::new();
+        let mut dummy = Module::default();
+        loop {
+            if self.kw("END")? {
+                return Ok(items);
+            }
+            if self.lx.tok == Tok::Eof {
+                return Err(self.diag("missing END"));
+            }
+            items.extend(self.stmt_item(&mut dummy)?);
+        }
+    }
+
+    /// `DO; … END` group.
+    fn do_group_items(&mut self) -> Result<Vec<Item>, Diagnostic> {
+        self.expect_kw("DO")?;
+        self.expect_sym(";")?;
+        self.stmt_list_until_end()
+    }
+
+    /// One statement (possibly preceded by labels), appending procedure
+    /// and operator declarations encountered to `module`.
+    fn stmt_item(&mut self, module: &mut Module) -> Result<Vec<Item>, Diagnostic> {
+        let mut items = Vec::new();
+        // Pending declaration from lookahead in `module()`?
+        if let Some(name) = self.pending_decl.take() {
+            if self.kw("PROCEDURE")? {
+                let _ = self.sym(";")?;
+                let body = self.stmt_list_until_end()?;
+                let _ = self.sym(";")?;
+                module.procs.push(ProcDef { name, body });
+                return Ok(items);
+            }
+            if self.kw("OPERATOR")? || self.kw("OPERATION")? {
+                module.operators.push(self.operator_tail(name)?);
+                return Ok(items);
+            }
+            unreachable!("lookahead guaranteed a declaration keyword");
+        }
+        // Labels: IDENT ':' not followed by PROCEDURE/OPERATOR.
+        loop {
+            let save = self.lx.clone_state();
+            if let Tok::Ident(w) = self.lx.tok.clone() {
+                self.lx.advance()?;
+                if self.sym(":")? {
+                    if self.peek_kw("PROCEDURE") {
+                        self.lx.advance()?;
+                        let _ = self.sym(";")?;
+                        let body = self.stmt_list_until_end()?;
+                        let _ = self.sym(";")?;
+                        module.procs.push(ProcDef { name: w, body });
+                        return Ok(items);
+                    }
+                    if self.peek_kw("OPERATOR") || self.peek_kw("OPERATION") {
+                        self.lx.advance()?;
+                        module.operators.push(self.operator_tail(w)?);
+                        return Ok(items);
+                    }
+                    items.push(Item::Label(w));
+                    continue;
+                }
+            }
+            self.lx.restore(save);
+            break;
+        }
+        items.push(Item::Stmt(self.stmt()?));
+        Ok(items)
+    }
+
+    fn cond(&mut self) -> Result<Cond, Diagnostic> {
+        let a = self.atom()?;
+        let rel = match &self.lx.tok {
+            Tok::Sym(s) if ["=", "<>", "<", "<=", ">", ">="].contains(&s.as_str()) => s.clone(),
+            _ => return Err(self.diag("expected relational operator")),
+        };
+        self.lx.advance()?;
+        let b = self.atom()?;
+        Ok(Cond { a, rel, b })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        if self.sym(";")? {
+            return Ok(Stmt::Empty);
+        }
+        if self.kw("DO")? {
+            self.expect_sym(";")?;
+            let body = self.stmt_list_until_end()?;
+            let _ = self.sym(";")?;
+            return Ok(Stmt::Do(body));
+        }
+        if self.kw("IF")? {
+            let c = self.cond()?;
+            self.expect_kw("THEN")?;
+            let then_s = Box::new(self.stmt()?);
+            let else_s = if self.kw("ELSE")? {
+                Some(Box::new(self.stmt()?))
+            } else {
+                None
+            };
+            return Ok(Stmt::If(c, then_s, else_s));
+        }
+        if self.kw("WHILE")? {
+            let c = self.cond()?;
+            self.expect_kw("DO")?;
+            self.expect_sym(";")?;
+            let body = self.stmt_list_until_end()?;
+            let _ = self.sym(";")?;
+            return Ok(Stmt::While(c, body));
+        }
+        if self.kw("GOTO")? {
+            let l = self.ident()?;
+            self.expect_sym(";")?;
+            return Ok(Stmt::Goto(l));
+        }
+        if self.kw("CALL")? {
+            let p = self.ident()?;
+            let mut args = Vec::new();
+            if self.sym("(")? {
+                loop {
+                    args.push(self.atom()?);
+                    if !self.sym(",")? {
+                        break;
+                    }
+                }
+                self.expect_sym(")")?;
+            }
+            self.expect_sym(";")?;
+            return Ok(Stmt::Call(p, args));
+        }
+        if self.kw("RETURN")? {
+            self.expect_sym(";")?;
+            return Ok(Stmt::Return);
+        }
+        if self.kw("ERROR")? {
+            self.expect_sym(";")?;
+            return Ok(Stmt::Error);
+        }
+
+        // Assignment or invocation: IDENT …
+        let name = self.ident()?;
+        if self.sym("(")? {
+            // `ARR(i) = rhs;` or `OPNAME(args);`
+            let first = self.atom()?;
+            if self.sym(")")? {
+                if self.sym("=")? {
+                    let rhs = self.rhs()?;
+                    self.expect_sym(";")?;
+                    return Ok(Stmt::Assign(Lhs::Arr(name, first), rhs));
+                }
+                // Single-argument invocation statement.
+                self.expect_sym(";")?;
+                return Ok(Stmt::Call(name, vec![first]));
+            }
+            // Multi-argument invocation statement.
+            let mut args = vec![first];
+            while self.sym(",")? {
+                args.push(self.atom()?);
+            }
+            self.expect_sym(")")?;
+            self.expect_sym(";")?;
+            return Ok(Stmt::Call(name, args));
+        }
+        self.expect_sym("=")?;
+        let rhs = self.rhs()?;
+        self.expect_sym(";")?;
+        Ok(Stmt::Assign(Lhs::Var(name), rhs))
+    }
+
+    fn rhs(&mut self) -> Result<Rhs, Diagnostic> {
+        // Unary forms.
+        if self.sym("-")? {
+            return Ok(Rhs::Un("-".into(), self.atom()?));
+        }
+        if self.kw("NOT")? {
+            return Ok(Rhs::Un("NOT".into(), self.atom()?));
+        }
+        // IDENT '(' → array read or operator call.
+        if let Tok::Ident(w) = self.lx.tok.clone() {
+            let save = self.lx.clone_state();
+            self.lx.advance()?;
+            if self.sym("(")? {
+                let mut args = vec![self.atom()?];
+                while self.sym(",")? {
+                    args.push(self.atom()?);
+                }
+                self.expect_sym(")")?;
+                if args.len() == 1 {
+                    // Disambiguated during lowering (array vs operator).
+                    return Ok(Rhs::ArrGet(w, args[0].clone()));
+                }
+                return Ok(Rhs::OpCall(w, args));
+            }
+            self.lx.restore(save);
+        }
+        let a = self.atom()?;
+        // Shift forms: `a SHL 3`.
+        for sh in ["SHL", "SHR", "SAR", "ROL", "ROR"] {
+            if self.kw(sh)? {
+                let n = match self.lx.tok {
+                    Tok::Num(v) => v,
+                    _ => return Err(self.diag("expected shift amount")),
+                };
+                self.lx.advance()?;
+                return Ok(Rhs::Shift(sh.into(), a, n));
+            }
+        }
+        if self.kw("XOR")? {
+            let b = self.atom()?;
+            return Ok(Rhs::Bin("XOR".into(), a, b));
+        }
+        for op in ["+", "-", "*", "/", "&", "|"] {
+            if self.sym(op)? {
+                let b = self.atom()?;
+                return Ok(Rhs::Bin(op.to_string(), a, b));
+            }
+        }
+        Ok(Rhs::Atom(a))
+    }
+}
+
+// Lookahead support: the lexer state is small enough to clone.
+impl<'a> Lexer<'a> {
+    pub(crate) fn clone_state(&self) -> (Cursor<'a>, Tok, Span) {
+        (self.c.clone(), self.tok.clone(), self.span)
+    }
+
+    pub(crate) fn restore(&mut self, s: (Cursor<'a>, Tok, Span)) {
+        self.c = s.0;
+        self.tok = s.1;
+        self.span = s.2;
+    }
+}
+

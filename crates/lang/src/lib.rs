@@ -1,0 +1,268 @@
+//! # `mcc-lang` — shared frontend infrastructure
+//!
+//! Source positions, diagnostics and a character cursor used by all four
+//! language frontends (SIMPL, EMPL, S\*, YALLL). Each language keeps its
+//! own lexer — their token vocabularies are from different decades of
+//! language design — but they share the plumbing.
+
+/// A byte span in the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both.
+    pub fn to(self, other: Span) -> Span {
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+}
+
+/// A diagnostic: message plus location (resolved to line/column on demand).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// What went wrong.
+    pub message: String,
+    /// Where.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the diagnostic against the source as `line:col: message`.
+    pub fn render(&self, source: &str) -> String {
+        let (line, col) = line_col(source, self.span.start);
+        format!("{line}:{col}: {}", self.message)
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "byte {}: {}", self.span.start, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// 1-based line/column of a byte offset.
+pub fn line_col(source: &str, offset: usize) -> (usize, usize) {
+    let mut line = 1;
+    let mut col = 1;
+    for (i, ch) in source.char_indices() {
+        if i >= offset {
+            break;
+        }
+        if ch == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+/// A character cursor over source text, with the helpers every
+/// hand-written lexer needs.
+#[derive(Debug, Clone)]
+pub struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Starts at the beginning of `src`.
+    pub fn new(src: &'a str) -> Self {
+        Cursor { src, pos: 0 }
+    }
+
+    /// Current byte position.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// The full source.
+    pub fn source(&self) -> &'a str {
+        self.src
+    }
+
+    /// Next character without consuming.
+    pub fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    /// Character after next, without consuming.
+    pub fn peek2(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next()
+    }
+
+    /// Consumes and returns the next character.
+    pub fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    /// Consumes `c` if it is next; returns whether it did.
+    pub fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the literal `s` if it is next (case-sensitive).
+    pub fn eat_str(&mut self, s: &str) -> bool {
+        if self.src[self.pos..].starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes characters while `f` holds, returning the consumed slice.
+    pub fn take_while(&mut self, mut f: impl FnMut(char) -> bool) -> &'a str {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if !f(c) {
+                break;
+            }
+            self.bump();
+        }
+        &self.src[start..self.pos]
+    }
+
+    /// Skips ASCII whitespace.
+    pub fn skip_ws(&mut self) {
+        self.take_while(|c| c.is_whitespace());
+    }
+
+    /// Skips whitespace and line comments starting with `marker`.
+    pub fn skip_ws_and_line_comments(&mut self, marker: &str) {
+        loop {
+            self.skip_ws();
+            if self.src[self.pos..].starts_with(marker) {
+                self.take_while(|c| c != '\n');
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Whether the cursor is at end of input.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+}
+
+/// Parses an integer literal in the notations the 1970s languages share:
+/// decimal, `0x`/`0o`/`0b` prefixes, and a trailing `H`/`B` suffix form.
+pub fn parse_int(text: &str) -> Option<u64> {
+    let t = text.trim();
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        return u64::from_str_radix(hex, 16).ok();
+    }
+    if let Some(oct) = t.strip_prefix("0o").or_else(|| t.strip_prefix("0O")) {
+        return u64::from_str_radix(oct, 8).ok();
+    }
+    if let Some(bin) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        return u64::from_str_radix(bin, 2).ok();
+    }
+    if let Some(hex) = t.strip_suffix('H').or_else(|| t.strip_suffix('h')) {
+        if hex.chars().all(|c| c.is_ascii_hexdigit()) {
+            return u64::from_str_radix(hex, 16).ok();
+        }
+    }
+    if let Some(bin) = t.strip_suffix('B').or_else(|| t.strip_suffix('b')) {
+        if bin.chars().all(|c| c == '0' || c == '1') {
+            return u64::from_str_radix(bin, 2).ok();
+        }
+    }
+    t.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_merge() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+    }
+
+    #[test]
+    fn line_col_counts_newlines() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 4), (2, 2));
+        assert_eq!(line_col(src, 6), (3, 1));
+    }
+
+    #[test]
+    fn diagnostic_renders_position() {
+        let src = "x\nyz";
+        let d = Diagnostic::new("bad thing", Span::new(3, 4));
+        assert_eq!(d.render(src), "2:2: bad thing");
+    }
+
+    #[test]
+    fn cursor_basics() {
+        let mut c = Cursor::new("ab cd");
+        assert_eq!(c.peek(), Some('a'));
+        assert_eq!(c.peek2(), Some('b'));
+        assert_eq!(c.bump(), Some('a'));
+        assert!(c.eat('b'));
+        c.skip_ws();
+        assert_eq!(c.take_while(|ch| ch.is_alphabetic()), "cd");
+        assert!(c.at_end());
+    }
+
+    #[test]
+    fn cursor_comments() {
+        let mut c = Cursor::new("  ; note\n  x");
+        c.skip_ws_and_line_comments(";");
+        assert_eq!(c.peek(), Some('x'));
+    }
+
+    #[test]
+    fn eat_str_advances_only_on_match() {
+        let mut c = Cursor::new("begin end");
+        assert!(c.eat_str("begin"));
+        assert!(!c.eat_str("begin"));
+        c.skip_ws();
+        assert!(c.eat_str("end"));
+    }
+
+    #[test]
+    fn int_formats() {
+        assert_eq!(parse_int("42"), Some(42));
+        assert_eq!(parse_int("0x2A"), Some(42));
+        assert_eq!(parse_int("0o52"), Some(42));
+        assert_eq!(parse_int("0b101010"), Some(42));
+        assert_eq!(parse_int("2AH"), Some(42));
+        assert_eq!(parse_int("101010B"), Some(42));
+        assert_eq!(parse_int("nope"), None);
+    }
+}

@@ -1,0 +1,397 @@
+//! Binary encoding and decoding of microinstructions.
+//!
+//! Encoding resolves every [`FieldSetting`](crate::template::FieldSetting)
+//! of every packed operation into bits of the control word (up to 128 bits
+//! wide). Decoding matches templates back against a word — possible because
+//! every template carries at least one nonzero constant *selector* field
+//! (field value 0 means "unit idle" on all reference machines).
+
+use crate::ids::FieldId;
+use crate::machine::MachineDesc;
+use crate::op::{BoundOp, MicroInstr, MicroProgram};
+use crate::template::{FieldValueSrc, MicroOpTemplate, SrcSpec};
+
+/// Errors during encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A value does not fit its field.
+    ValueTooWide {
+        /// Field name.
+        field: String,
+        /// The offending value.
+        value: u64,
+    },
+    /// Two operations drive the same field with different values.
+    FieldCollision {
+        /// Field name.
+        field: String,
+    },
+    /// An operand needed by a field setting is missing or unencodable.
+    MissingOperand(String),
+    /// The control word is wider than 128 bits.
+    WordTooWide(u16),
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::ValueTooWide { field, value } => {
+                write!(f, "value {value} too wide for field `{field}`")
+            }
+            EncodeError::FieldCollision { field } => {
+                write!(f, "conflicting assignments to field `{field}`")
+            }
+            EncodeError::MissingOperand(s) => write!(f, "missing operand: {s}"),
+            EncodeError::WordTooWide(b) => write!(f, "control word of {b} bits exceeds 128"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Errors during decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Bits remain set that no template accounts for.
+    UnknownBits(u128),
+    /// An operand field held an out-of-range encoding.
+    BadOperand(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnknownBits(w) => write!(f, "undecodable bits: {w:#x}"),
+            DecodeError::BadOperand(s) => write!(f, "bad operand encoding: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn field_value(
+    m: &MachineDesc,
+    t: &MicroOpTemplate,
+    op: &BoundOp,
+    src: FieldValueSrc,
+) -> Result<u64, EncodeError> {
+    match src {
+        FieldValueSrc::Const(v) => Ok(v),
+        FieldValueSrc::Dst => {
+            let class = t
+                .dst
+                .ok_or_else(|| EncodeError::MissingOperand(format!("`{}`: dst class", t.name)))?;
+            let reg = op
+                .dst
+                .ok_or_else(|| EncodeError::MissingOperand(format!("`{}`: dst reg", t.name)))?;
+            m.class(class)
+                .encoding_of(reg)
+                .ok_or_else(|| EncodeError::MissingOperand(format!("`{}`: dst not in class", t.name)))
+        }
+        FieldValueSrc::Src(n) => {
+            let classes: Vec<_> = t
+                .srcs
+                .iter()
+                .filter_map(|s| match s {
+                    SrcSpec::Class(c) => Some(*c),
+                    SrcSpec::Imm { .. } => None,
+                })
+                .collect();
+            let class = *classes.get(n as usize).ok_or_else(|| {
+                EncodeError::MissingOperand(format!("`{}`: src {n} class", t.name))
+            })?;
+            let reg = *op.srcs.get(n as usize).ok_or_else(|| {
+                EncodeError::MissingOperand(format!("`{}`: src {n} reg", t.name))
+            })?;
+            m.class(class)
+                .encoding_of(reg)
+                .ok_or_else(|| EncodeError::MissingOperand(format!("`{}`: src not in class", t.name)))
+        }
+        FieldValueSrc::Imm => op
+            .imm
+            .ok_or_else(|| EncodeError::MissingOperand(format!("`{}`: immediate", t.name))),
+        FieldValueSrc::Target => op
+            .target
+            .map(u64::from)
+            .ok_or_else(|| EncodeError::MissingOperand(format!("`{}`: target", t.name))),
+        FieldValueSrc::Cond => {
+            let c = op
+                .cond
+                .ok_or_else(|| EncodeError::MissingOperand(format!("`{}`: condition", t.name)))?;
+            m.cond_encoding(c)
+                .ok_or_else(|| EncodeError::MissingOperand(format!("`{}`: condition {c:?}", t.name)))
+        }
+    }
+}
+
+/// Encodes one microinstruction into a control word.
+///
+/// # Errors
+///
+/// Fails when a value overflows its field, when two packed operations drive
+/// a field inconsistently, or when the word exceeds 128 bits.
+pub fn encode_instr(m: &MachineDesc, mi: &MicroInstr) -> Result<u128, EncodeError> {
+    let bits = m.control_word_bits();
+    if bits > 128 {
+        return Err(EncodeError::WordTooWide(bits));
+    }
+    let mut word: u128 = 0;
+    let mut assigned: Vec<Option<u64>> = vec![None; m.control.len()];
+    for op in &mi.ops {
+        let t = m.template(op.template);
+        for fs in &t.fields {
+            let field = m.control.get(fs.field).expect("validated field");
+            let v = field_value(m, t, op, fs.value)?;
+            if v > field.max_value() {
+                return Err(EncodeError::ValueTooWide {
+                    field: field.name.clone(),
+                    value: v,
+                });
+            }
+            match assigned[fs.field.index()] {
+                Some(prev) if prev != v => {
+                    return Err(EncodeError::FieldCollision {
+                        field: field.name.clone(),
+                    })
+                }
+                Some(_) => {}
+                None => {
+                    assigned[fs.field.index()] = Some(v);
+                    word |= (v as u128) << field.offset;
+                }
+            }
+        }
+    }
+    Ok(word)
+}
+
+fn extract(word: u128, m: &MachineDesc, f: FieldId) -> u64 {
+    let field = m.control.get(f).expect("field");
+    ((word >> field.offset) as u64) & field.max_value()
+}
+
+/// Whether `t`'s constant selectors match the word, with at least one
+/// nonzero constant (so idle units never match).
+fn template_matches(m: &MachineDesc, t: &MicroOpTemplate, word: u128) -> bool {
+    let mut nonzero = false;
+    for fs in &t.fields {
+        if let FieldValueSrc::Const(v) = fs.value {
+            if extract(word, m, fs.field) != v {
+                return false;
+            }
+            if v != 0 {
+                nonzero = true;
+            }
+        }
+    }
+    nonzero
+}
+
+/// Decodes a control word back into a set of bound operations.
+///
+/// Templates are matched most-specific-first (most constant fields), and
+/// each control field may be claimed by at most one operation.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::BadOperand`] when an operand field holds an
+/// encoding outside its register class.
+pub fn decode_instr(m: &MachineDesc, word: u128) -> Result<MicroInstr, DecodeError> {
+    let mut order: Vec<usize> = (0..m.templates.len()).collect();
+    order.sort_by_key(|&i| {
+        std::cmp::Reverse(
+            m.templates[i]
+                .fields
+                .iter()
+                .filter(|f| matches!(f.value, FieldValueSrc::Const(_)))
+                .count(),
+        )
+    });
+
+    let mut claimed = vec![false; m.control.len()];
+    let mut ops = Vec::new();
+    for i in order {
+        let t = &m.templates[i];
+        if !template_matches(m, t, word) {
+            continue;
+        }
+        if t.fields.iter().any(|f| claimed[f.field.index()]) {
+            continue;
+        }
+        // Reconstruct operands.
+        let mut op = BoundOp::new(crate::ids::TemplateId(i as u16));
+        let mut ok = true;
+        for fs in &t.fields {
+            match fs.value {
+                FieldValueSrc::Const(_) => {}
+                FieldValueSrc::Dst => {
+                    let class = t.dst.expect("validated");
+                    match m.class(class).member_at(extract(word, m, fs.field)) {
+                        Some(r) => op.dst = Some(r),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                FieldValueSrc::Src(n) => {
+                    let classes: Vec<_> = t
+                        .srcs
+                        .iter()
+                        .filter_map(|s| match s {
+                            SrcSpec::Class(c) => Some(*c),
+                            SrcSpec::Imm { .. } => None,
+                        })
+                        .collect();
+                    let class = classes[n as usize];
+                    match m.class(class).member_at(extract(word, m, fs.field)) {
+                        Some(r) => {
+                            while op.srcs.len() <= n as usize {
+                                op.srcs.push(r);
+                            }
+                            op.srcs[n as usize] = r;
+                        }
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                FieldValueSrc::Imm => op.imm = Some(extract(word, m, fs.field)),
+                FieldValueSrc::Target => op.target = Some(extract(word, m, fs.field) as u32),
+                FieldValueSrc::Cond => {
+                    let code = extract(word, m, fs.field) as usize;
+                    match m.conditions.get(code) {
+                        Some(&c) => op.cond = Some(c),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if !ok {
+            return Err(DecodeError::BadOperand(t.name.clone()));
+        }
+        for fs in &t.fields {
+            claimed[fs.field.index()] = true;
+        }
+        ops.push(op);
+    }
+    // Restore a canonical order (template id) so decode is deterministic.
+    ops.sort_by_key(|o| o.template);
+    Ok(MicroInstr::of(ops))
+}
+
+/// Encodes a whole program into a control store image (one word per
+/// microinstruction, symbolic targets resolved to absolute addresses).
+///
+/// # Errors
+///
+/// Propagates any [`EncodeError`] from the individual instructions.
+pub fn encode_program(m: &MachineDesc, p: &MicroProgram) -> Result<Vec<u128>, EncodeError> {
+    p.flatten().iter().map(|mi| encode_instr(m, mi)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::hm1;
+    use crate::op::{MicroBlock, MicroProgram};
+    use crate::regs::RegRef;
+    use crate::semantic::CondKind;
+
+    #[test]
+    fn encode_empty_is_zero() {
+        let m = hm1();
+        let w = encode_instr(&m, &MicroInstr::new()).unwrap();
+        assert_eq!(w, 0, "an empty microinstruction is the all-idle word");
+    }
+
+    #[test]
+    fn roundtrip_single_add() {
+        let m = hm1();
+        let add = m.find_template("add").unwrap();
+        let gp = m.find_file("R").unwrap();
+        let op = BoundOp::new(add)
+            .with_dst(RegRef::new(gp, 1))
+            .with_src(RegRef::new(gp, 2))
+            .with_src(RegRef::new(gp, 3));
+        let mi = MicroInstr::single(op);
+        let w = encode_instr(&m, &mi).unwrap();
+        let back = decode_instr(&m, w).unwrap();
+        assert_eq!(back, mi);
+    }
+
+    #[test]
+    fn roundtrip_parallel_pack() {
+        let m = hm1();
+        let add = m.find_template("add").unwrap();
+        let mov = m.find_template("mov").unwrap();
+        let gp = m.find_file("R").unwrap();
+        let a = BoundOp::new(add)
+            .with_dst(RegRef::new(gp, 1))
+            .with_src(RegRef::new(gp, 2))
+            .with_src(RegRef::new(gp, 3));
+        let b = BoundOp::new(mov)
+            .with_dst(RegRef::new(gp, 4))
+            .with_src(RegRef::new(gp, 5));
+        let mi = MicroInstr::of(vec![a, b]);
+        let w = encode_instr(&m, &mi).unwrap();
+        let mut back = decode_instr(&m, w).unwrap();
+        back.ops.sort_by_key(|o| o.template);
+        let mut want = mi.clone();
+        want.ops.sort_by_key(|o| o.template);
+        assert_eq!(back, want);
+    }
+
+    #[test]
+    fn roundtrip_branch() {
+        let m = hm1();
+        let br = m.find_template("br").unwrap();
+        let op = BoundOp::new(br).with_cond(CondKind::Zero).with_target(7);
+        let mi = MicroInstr::single(op);
+        let w = encode_instr(&m, &mi).unwrap();
+        let back = decode_instr(&m, w).unwrap();
+        assert_eq!(back, mi);
+    }
+
+    #[test]
+    fn collision_detected() {
+        let m = hm1();
+        let add = m.find_template("add").unwrap();
+        let sub = m.find_template("sub").unwrap();
+        let gp = m.find_file("R").unwrap();
+        let a = BoundOp::new(add)
+            .with_dst(RegRef::new(gp, 1))
+            .with_src(RegRef::new(gp, 2))
+            .with_src(RegRef::new(gp, 3));
+        let b = BoundOp::new(sub)
+            .with_dst(RegRef::new(gp, 4))
+            .with_src(RegRef::new(gp, 5))
+            .with_src(RegRef::new(gp, 6));
+        let mi = MicroInstr::of(vec![a, b]);
+        assert!(matches!(
+            encode_instr(&m, &mi),
+            Err(EncodeError::FieldCollision { .. })
+        ));
+    }
+
+    #[test]
+    fn program_encoding_resolves_block_targets() {
+        let m = hm1();
+        let jmp = m.find_template("jmp").unwrap();
+        let mut p = MicroProgram::new();
+        p.blocks.push(MicroBlock {
+            instrs: vec![MicroInstr::single(BoundOp::new(jmp).with_target(1))],
+        });
+        p.blocks.push(MicroBlock {
+            instrs: vec![MicroInstr::single(BoundOp::new(jmp).with_target(1))],
+        });
+        let words = encode_program(&m, &p).unwrap();
+        assert_eq!(words.len(), 2);
+        let mi0 = decode_instr(&m, words[0]).unwrap();
+        assert_eq!(mi0.ops[0].target, Some(1), "block 1 starts at address 1");
+    }
+}

@@ -1,0 +1,270 @@
+//! **VM-1 "Vertica"** — the vertical reference machine.
+//!
+//! One micro-operation per microinstruction, enforced by a single `core`
+//! resource every template occupies for the whole cycle. The control word
+//! is short (the paper's \[5\]: vertical encoding trades word width for
+//! "a loss of flexibility and speed"). Used by experiment E4.
+
+use crate::field::ControlWordFormat;
+use crate::machine::MachineDesc;
+use crate::regs::{RegClass, RegRef, RegisterFile};
+use crate::resource::{Resource, ResourceKind, ResourceUse};
+use crate::semantic::{AluOp, CondKind, Semantic, ShiftOp};
+use crate::template::{FieldValueSrc as V, MicroOpTemplate};
+
+/// Builds the VM-1 machine description.
+pub fn vm1() -> MachineDesc {
+    let mut m = MachineDesc::new("VM-1", 16, 1);
+    m.interrupt_service_cycles = 40;
+    m.trap_service_cycles = 300;
+
+    let r = m.add_file(RegisterFile::new("R", 16, 16, true));
+    let s = m.add_file(RegisterFile::new("S", 3, 16, false));
+    let f = m.add_file(RegisterFile::new("F", 1, 8, false));
+    let ls = m.add_file(RegisterFile::new("LS", 16, 16, false));
+    m.scratch_file = Some(ls);
+
+    let acc = RegRef::new(s, 0);
+    let mar = RegRef::new(s, 1);
+    let mbr = RegRef::new(s, 2);
+    m.special.acc = Some(acc);
+    m.special.mar = Some(mar);
+    m.special.mbr = Some(mbr);
+    m.special.flags = Some(RegRef::new(f, 0));
+
+    // One homogeneous class: vertical machines hide the datapath.
+    let any = m.add_class(RegClass::from_ranges(
+        "any",
+        vec![(r, 0, 16), (s, 0, 3), (ls, 0, 16)],
+    ));
+
+    let core = m.add_resource(Resource::new("core", ResourceKind::Other));
+
+    let mut cw = ControlWordFormat::new();
+    let f_op = cw.push("op", 5);
+    let f_a = cw.push("a", 6);
+    let f_b = cw.push("b", 6);
+    let f_d = cw.push("d", 6);
+    let f_imm = cw.push("imm", 8);
+    let f_addr = cw.push("addr", 11);
+    let f_cond = cw.push("cond", 3);
+    m.control = cw;
+
+    for c in [
+        CondKind::True,
+        CondKind::Zero,
+        CondKind::NotZero,
+        CondKind::Neg,
+        CondKind::Carry,
+        CondKind::Uf,
+    ] {
+        m.add_condition(c);
+    }
+
+    let whole = ResourceUse::whole(core, 1);
+
+    let bin = [
+        ("add", AluOp::Add, 1u64),
+        ("adc", AluOp::Adc, 2),
+        ("sub", AluOp::Sub, 3),
+        ("and", AluOp::And, 4),
+        ("or", AluOp::Or, 5),
+        ("xor", AluOp::Xor, 6),
+    ];
+    for (name, op, code) in bin {
+        let mut t = MicroOpTemplate::new(name, Semantic::Alu(op))
+            .with_dst(any)
+            .with_src(any)
+            .with_src(any)
+            .flags()
+            .set(f_op, V::Const(code))
+            .set(f_a, V::Src(0))
+            .set(f_b, V::Src(1))
+            .set(f_d, V::Dst)
+            .occupies(whole);
+        if op == AluOp::Adc {
+            t = t.reads(m.special.flags.unwrap());
+        }
+        m.add_template(t);
+    }
+    let un = [
+        ("not", AluOp::Not, 7u64),
+        ("neg", AluOp::Neg, 8),
+        ("inc", AluOp::Inc, 9),
+        ("dec", AluOp::Dec, 10),
+        ("pass", AluOp::Pass, 11),
+    ];
+    for (name, op, code) in un {
+        m.add_template(
+            MicroOpTemplate::new(name, Semantic::Alu(op))
+                .with_dst(any)
+                .with_src(any)
+                .flags()
+                .set(f_op, V::Const(code))
+                .set(f_a, V::Src(0))
+                .set(f_d, V::Dst)
+                .occupies(whole),
+        );
+    }
+    // addi/subi with a small 8-bit immediate.
+    let bin_imm = [("addi", AluOp::Add, 12u64), ("subi", AluOp::Sub, 13)];
+    for (name, op, code) in bin_imm {
+        m.add_template(
+            MicroOpTemplate::new(name, Semantic::Alu(op))
+                .with_dst(any)
+                .with_src(any)
+                .with_imm(8)
+                .flags()
+                .set(f_op, V::Const(code))
+                .set(f_a, V::Src(0))
+                .set(f_d, V::Dst)
+                .set(f_imm, V::Imm)
+                .occupies(whole),
+        );
+    }
+
+    let shifts = [
+        ("shl", ShiftOp::Shl, 14u64),
+        ("shr", ShiftOp::Shr, 15),
+        ("sar", ShiftOp::Sar, 16),
+        ("rol", ShiftOp::Rol, 17),
+        ("ror", ShiftOp::Ror, 18),
+    ];
+    for (name, op, code) in shifts {
+        m.add_template(
+            MicroOpTemplate::new(name, Semantic::Shift(op))
+                .with_dst(any)
+                .with_src(any)
+                .with_imm(4)
+                .flags()
+                .set(f_op, V::Const(code))
+                .set(f_a, V::Src(0))
+                .set(f_d, V::Dst)
+                .set(f_imm, V::Imm)
+                .occupies(whole),
+        );
+    }
+
+    m.add_template(
+        MicroOpTemplate::new("mov", Semantic::Move)
+            .with_dst(any)
+            .with_src(any)
+            .set(f_op, V::Const(19))
+            .set(f_a, V::Src(0))
+            .set(f_d, V::Dst)
+            .occupies(whole),
+    );
+    m.add_template(
+        MicroOpTemplate::new("ldi", Semantic::LoadImm)
+            .with_dst(any)
+            .with_imm(8)
+            .set(f_op, V::Const(20))
+            .set(f_d, V::Dst)
+            .set(f_imm, V::Imm)
+            .occupies(whole),
+    );
+    m.add_template(
+        MicroOpTemplate::new("read", Semantic::MemRead)
+            .reads(mar)
+            .writes(mbr)
+            .set(f_op, V::Const(21))
+            .occupies(whole),
+    );
+    m.add_template(
+        MicroOpTemplate::new("write", Semantic::MemWrite)
+            .reads(mar)
+            .reads(mbr)
+            .set(f_op, V::Const(22))
+            .occupies(whole),
+    );
+    m.add_template(
+        MicroOpTemplate::new("jmp", Semantic::Jump)
+            .target()
+            .set(f_op, V::Const(23))
+            .set(f_addr, V::Target)
+            .occupies(whole),
+    );
+    m.add_template(
+        MicroOpTemplate::new("br", Semantic::Branch)
+            .cond()
+            .target()
+            .set(f_op, V::Const(24))
+            .set(f_cond, V::Cond)
+            .set(f_addr, V::Target)
+            .occupies(whole),
+    );
+    m.add_template(
+        MicroOpTemplate::new("dispatch", Semantic::Dispatch)
+            .with_src(any)
+            .with_imm(8)
+            .target()
+            .set(f_op, V::Const(25))
+            .set(f_a, V::Src(0))
+            .set(f_imm, V::Imm)
+            .set(f_addr, V::Target)
+            .occupies(whole),
+    );
+    m.add_template(
+        MicroOpTemplate::new("call", Semantic::Call)
+            .target()
+            .set(f_op, V::Const(26))
+            .set(f_addr, V::Target)
+            .occupies(whole),
+    );
+    m.add_template(
+        MicroOpTemplate::new("ret", Semantic::Return)
+            .set(f_op, V::Const(27))
+            .occupies(whole),
+    );
+    m.add_template(
+        MicroOpTemplate::new("poll", Semantic::Poll)
+            .set(f_op, V::Const(28))
+            .occupies(whole),
+    );
+    m.add_template(
+        MicroOpTemplate::new("halt", Semantic::Halt)
+            .set(f_op, V::Const(29))
+            .occupies(whole),
+    );
+
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::ConflictModel;
+    use crate::op::{BoundOp, MicroInstr};
+
+    #[test]
+    fn vm1_validates() {
+        vm1().validate().unwrap();
+    }
+
+    #[test]
+    fn only_one_op_per_instruction() {
+        let m = vm1();
+        let r = m.find_file("R").unwrap();
+        let a = BoundOp::new(m.find_template("mov").unwrap())
+            .with_dst(RegRef::new(r, 0))
+            .with_src(RegRef::new(r, 1));
+        let b = BoundOp::new(m.find_template("ldi").unwrap())
+            .with_dst(RegRef::new(r, 2))
+            .with_imm(1);
+        let mi = MicroInstr::of(vec![a, b]);
+        assert!(m.validate_instr(&mi, ConflictModel::Fine).is_err());
+        assert!(m.validate_instr(&mi, ConflictModel::Coarse).is_err());
+    }
+
+    #[test]
+    fn word_is_short() {
+        assert_eq!(vm1().control_word_bits(), 45);
+    }
+
+    #[test]
+    fn small_immediates_only() {
+        let m = vm1();
+        let ldi = m.template(m.find_template("ldi").unwrap());
+        assert_eq!(ldi.imm_bits(), Some(8), "wide constants need composition");
+    }
+}

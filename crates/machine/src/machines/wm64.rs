@@ -1,0 +1,351 @@
+//! **WM-64 "Wide"** — the very wide reference machine.
+//!
+//! Stands in for the Control Data 480 class of machines the paper cites for
+//! its 256 microregisters. Two full ALUs, a shifter, a move bus and the
+//! memory interface can all fire in one microcycle; register pressure is a
+//! non-issue (experiment E6 sweeps register budgets *up to* this machine's
+//! 256).
+
+use crate::field::ControlWordFormat;
+use crate::machine::MachineDesc;
+use crate::regs::{RegClass, RegRef, RegisterFile};
+use crate::resource::{Resource, ResourceKind, ResourceUse};
+use crate::semantic::{AluOp, CondKind, Semantic, ShiftOp};
+use crate::template::{FieldValueSrc as V, MicroOpTemplate};
+
+/// Builds the WM-64 machine description.
+pub fn wm64() -> MachineDesc {
+    let mut m = MachineDesc::new("WM-64", 16, 3);
+    m.interrupt_service_cycles = 40;
+    m.trap_service_cycles = 300;
+
+    let r = m.add_file(RegisterFile::new("R", 256, 16, true));
+    let s = m.add_file(RegisterFile::new("S", 2, 16, false)); // MAR, MBR
+    let f = m.add_file(RegisterFile::new("F", 1, 8, false));
+    m.scratch_file = None; // 256 registers: spilling is academic
+
+    let mar = RegRef::new(s, 0);
+    let mbr = RegRef::new(s, 1);
+    m.special.mar = Some(mar);
+    m.special.mbr = Some(mbr);
+    m.special.flags = Some(RegRef::new(f, 0));
+
+    let gp = m.add_class(RegClass::whole_file("gp", r, 256));
+    // Real wide machines are not uniform either: the second ALU reaches
+    // only the first 64 registers, the shifter the first 128.
+    let gp_alu1 = m.add_class(RegClass::from_ranges("gp_alu1", vec![(r, 0, 64)]));
+    let gp_sh = m.add_class(RegClass::from_ranges("gp_sh", vec![(r, 0, 128)]));
+    let mv_cls = m.add_class(RegClass::from_ranges(
+        "mv_any",
+        vec![(r, 0, 256), (s, 0, 2)],
+    ));
+
+    let alu0 = m.add_resource(Resource::new("alu0", ResourceKind::Alu));
+    let alu1 = m.add_resource(Resource::new("alu1", ResourceKind::Alu));
+    let sh = m.add_resource(Resource::new("shifter", ResourceKind::Shifter));
+    let mem = m.add_resource(Resource::new("mem", ResourceKind::Memory));
+    let seq = m.add_resource(Resource::new("seq", ResourceKind::Sequencer));
+    let bus = m.add_resource(Resource::new("move_bus", ResourceKind::Bus));
+
+    let mut cw = ControlWordFormat::new();
+    let f_a0_op = cw.push("a0_op", 5);
+    let f_a0_l = cw.push("a0_l", 8);
+    let f_a0_r = cw.push("a0_r", 8);
+    let f_a0_rsel = cw.push("a0_rsel", 1);
+    let f_a0_d = cw.push("a0_d", 8);
+    let f_a1_op = cw.push("a1_op", 5);
+    let f_a1_l = cw.push("a1_l", 6);
+    let f_a1_r = cw.push("a1_r", 6);
+    let f_a1_d = cw.push("a1_d", 6);
+    let f_sh_op = cw.push("sh_op", 3);
+    let f_sh_s = cw.push("sh_s", 7);
+    let f_sh_d = cw.push("sh_d", 7);
+    let f_sh_n = cw.push("sh_n", 4);
+    let f_mem_op = cw.push("mem_op", 2);
+    let f_mv_op = cw.push("mv_op", 2);
+    let f_mv_s = cw.push("mv_s", 9);
+    let f_mv_d = cw.push("mv_d", 9);
+    let f_imm = cw.push("imm", 16);
+    let f_seq_op = cw.push("seq_op", 3);
+    let f_cond = cw.push("cond", 4);
+    let f_addr = cw.push("addr", 9);
+    m.control = cw;
+    // Dispatch shares the ALU-0 left selector (a field conflict a real
+    // encoder would have too).
+    let f_dsp = f_a0_l;
+
+    for c in [
+        CondKind::True,
+        CondKind::Zero,
+        CondKind::NotZero,
+        CondKind::Neg,
+        CondKind::NotNeg,
+        CondKind::Carry,
+        CondKind::NotCarry,
+        CondKind::Overflow,
+        CondKind::Uf,
+        CondKind::NotUf,
+    ] {
+        m.add_condition(c);
+    }
+
+    // Two ALUs. Only ALU-0 updates the flags (a real-machine quirk: the
+    // second ALU exists for address arithmetic), so flag-free packing of
+    // two additions is possible.
+    let bin = [
+        ("add", AluOp::Add, 1u64),
+        ("adc", AluOp::Adc, 2),
+        ("sub", AluOp::Sub, 3),
+        ("sbb", AluOp::Sbb, 4),
+        ("and", AluOp::And, 5),
+        ("or", AluOp::Or, 6),
+        ("xor", AluOp::Xor, 7),
+    ];
+    for (name, op, code) in bin {
+        let mut t0 = MicroOpTemplate::new(name, Semantic::Alu(op))
+            .with_dst(gp)
+            .with_src(gp)
+            .with_src(gp)
+            .flags()
+            .set(f_a0_op, V::Const(code))
+            .set(f_a0_rsel, V::Const(0))
+            .set(f_a0_l, V::Src(0))
+            .set(f_a0_r, V::Src(1))
+            .set(f_a0_d, V::Dst)
+            .occupies(ResourceUse::phases(alu0, 0, 3));
+        if matches!(op, AluOp::Adc | AluOp::Sbb) {
+            t0 = t0.reads(m.special.flags.unwrap());
+        }
+        m.add_template(t0);
+        // The ALU-1 twin: no flags, no immediate form.
+        if !matches!(op, AluOp::Adc | AluOp::Sbb) {
+            m.add_template(
+                MicroOpTemplate::new(format!("{name}.1"), Semantic::Alu(op))
+                    .with_dst(gp_alu1)
+                    .with_src(gp_alu1)
+                    .with_src(gp_alu1)
+                    .set(f_a1_op, V::Const(code))
+                    .set(f_a1_l, V::Src(0))
+                    .set(f_a1_r, V::Src(1))
+                    .set(f_a1_d, V::Dst)
+                    .occupies(ResourceUse::phases(alu1, 0, 3)),
+            );
+        }
+    }
+    let un = [
+        ("not", AluOp::Not, 10u64),
+        ("neg", AluOp::Neg, 11),
+        ("inc", AluOp::Inc, 12),
+        ("dec", AluOp::Dec, 13),
+        ("pass", AluOp::Pass, 14),
+    ];
+    for (name, op, code) in un {
+        m.add_template(
+            MicroOpTemplate::new(name, Semantic::Alu(op))
+                .with_dst(gp)
+                .with_src(gp)
+                .flags()
+                .set(f_a0_op, V::Const(code))
+                .set(f_a0_rsel, V::Const(0))
+                .set(f_a0_l, V::Src(0))
+                .set(f_a0_d, V::Dst)
+                .occupies(ResourceUse::phases(alu0, 0, 3)),
+        );
+        m.add_template(
+            MicroOpTemplate::new(format!("{name}.1"), Semantic::Alu(op))
+                .with_dst(gp_alu1)
+                .with_src(gp_alu1)
+                .set(f_a1_op, V::Const(code))
+                .set(f_a1_l, V::Src(0))
+                .set(f_a1_d, V::Dst)
+                .occupies(ResourceUse::phases(alu1, 0, 3)),
+        );
+    }
+    let bin_imm = [
+        ("addi", AluOp::Add, 1u64),
+        ("subi", AluOp::Sub, 3),
+        ("andi", AluOp::And, 5),
+        ("ori", AluOp::Or, 6),
+        ("xori", AluOp::Xor, 7),
+    ];
+    for (name, op, code) in bin_imm {
+        m.add_template(
+            MicroOpTemplate::new(name, Semantic::Alu(op))
+                .with_dst(gp)
+                .with_src(gp)
+                .with_imm(16)
+                .flags()
+                .set(f_a0_op, V::Const(code))
+                .set(f_a0_rsel, V::Const(1))
+                .set(f_a0_l, V::Src(0))
+                .set(f_a0_d, V::Dst)
+                .set(f_imm, V::Imm)
+                .occupies(ResourceUse::phases(alu0, 0, 3)),
+        );
+    }
+
+    let shifts = [
+        ("shl", ShiftOp::Shl, 1u64),
+        ("shr", ShiftOp::Shr, 2),
+        ("sar", ShiftOp::Sar, 3),
+        ("rol", ShiftOp::Rol, 4),
+        ("ror", ShiftOp::Ror, 5),
+    ];
+    for (name, op, code) in shifts {
+        m.add_template(
+            MicroOpTemplate::new(name, Semantic::Shift(op))
+                .with_dst(gp_sh)
+                .with_src(gp_sh)
+                .with_imm(4)
+                .flags()
+                .set(f_sh_op, V::Const(code))
+                .set(f_sh_s, V::Src(0))
+                .set(f_sh_d, V::Dst)
+                .set(f_sh_n, V::Imm)
+                .occupies(ResourceUse::phases(sh, 0, 3)),
+        );
+    }
+
+    m.add_template(
+        MicroOpTemplate::new("mov", Semantic::Move)
+            .with_dst(mv_cls)
+            .with_src(mv_cls)
+            .set(f_mv_op, V::Const(1))
+            .set(f_mv_s, V::Src(0))
+            .set(f_mv_d, V::Dst)
+            .occupies(ResourceUse::phases(bus, 0, 2)),
+    );
+    m.add_template(
+        MicroOpTemplate::new("ldi", Semantic::LoadImm)
+            .with_dst(mv_cls)
+            .with_imm(16)
+            .set(f_mv_op, V::Const(2))
+            .set(f_mv_d, V::Dst)
+            .set(f_imm, V::Imm)
+            .occupies(ResourceUse::phases(bus, 0, 2)),
+    );
+    m.add_template(
+        MicroOpTemplate::new("read", Semantic::MemRead)
+            .reads(mar)
+            .writes(mbr)
+            .set(f_mem_op, V::Const(1))
+            .occupies(ResourceUse::phases(mem, 0, 3)),
+    );
+    m.add_template(
+        MicroOpTemplate::new("write", Semantic::MemWrite)
+            .reads(mar)
+            .reads(mbr)
+            .set(f_mem_op, V::Const(2))
+            .occupies(ResourceUse::phases(mem, 0, 3)),
+    );
+
+    let sq = ResourceUse::phases(seq, 1, 3);
+    m.add_template(
+        MicroOpTemplate::new("jmp", Semantic::Jump)
+            .target()
+            .set(f_seq_op, V::Const(1))
+            .set(f_addr, V::Target)
+            .occupies(sq),
+    );
+    m.add_template(
+        MicroOpTemplate::new("br", Semantic::Branch)
+            .cond()
+            .target()
+            .set(f_seq_op, V::Const(2))
+            .set(f_cond, V::Cond)
+            .set(f_addr, V::Target)
+            .occupies(sq),
+    );
+    m.add_template(
+        MicroOpTemplate::new("dispatch", Semantic::Dispatch)
+            .with_src(gp)
+            .with_imm(16)
+            .target()
+            .set(f_seq_op, V::Const(3))
+            .set(f_dsp, V::Src(0))
+            .set(f_imm, V::Imm)
+            .set(f_addr, V::Target)
+            .occupies(sq),
+    );
+    m.add_template(
+        MicroOpTemplate::new("call", Semantic::Call)
+            .target()
+            .set(f_seq_op, V::Const(4))
+            .set(f_addr, V::Target)
+            .occupies(sq),
+    );
+    m.add_template(
+        MicroOpTemplate::new("ret", Semantic::Return)
+            .set(f_seq_op, V::Const(5))
+            .occupies(sq),
+    );
+    m.add_template(
+        MicroOpTemplate::new("poll", Semantic::Poll)
+            .set(f_seq_op, V::Const(6))
+            .occupies(sq),
+    );
+    m.add_template(
+        MicroOpTemplate::new("halt", Semantic::Halt)
+            .set(f_seq_op, V::Const(7))
+            .occupies(sq),
+    );
+
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::ConflictModel;
+    use crate::op::{BoundOp, MicroInstr};
+
+    #[test]
+    fn wm64_validates() {
+        wm64().validate().unwrap();
+    }
+
+    #[test]
+    fn two_adds_per_cycle() {
+        let m = wm64();
+        let r = m.find_file("R").unwrap();
+        let a = BoundOp::new(m.find_template("add").unwrap())
+            .with_dst(RegRef::new(r, 0))
+            .with_src(RegRef::new(r, 1))
+            .with_src(RegRef::new(r, 2));
+        let b = BoundOp::new(m.find_template("add.1").unwrap())
+            .with_dst(RegRef::new(r, 3))
+            .with_src(RegRef::new(r, 4))
+            .with_src(RegRef::new(r, 5));
+        let mi = MicroInstr::of(vec![a, b]);
+        m.validate_instr(&mi, ConflictModel::Coarse).unwrap();
+    }
+
+    #[test]
+    fn word_is_very_wide() {
+        let m = wm64();
+        assert!(m.control_word_bits() > 100);
+        assert!(m.control_word_bits() <= 128, "{}", m.control_word_bits());
+    }
+
+    #[test]
+    fn dispatch_conflicts_with_alu0() {
+        // dispatch borrows the a0_l selector field.
+        let m = wm64();
+        let r = m.find_file("R").unwrap();
+        let a = BoundOp::new(m.find_template("add").unwrap())
+            .with_dst(RegRef::new(r, 0))
+            .with_src(RegRef::new(r, 1))
+            .with_src(RegRef::new(r, 2));
+        let d = BoundOp::new(m.find_template("dispatch").unwrap())
+            .with_src(RegRef::new(r, 3))
+            .with_imm(3)
+            .with_target(0);
+        assert!(m.conflicts(&a, &d, ConflictModel::Fine));
+    }
+
+    #[test]
+    fn has_256_registers() {
+        let m = wm64();
+        assert_eq!(m.file(m.find_file("R").unwrap()).count, 256);
+    }
+}

@@ -1,0 +1,123 @@
+//! Human-readable rendering of bound operations and microprograms.
+
+use crate::machine::MachineDesc;
+use crate::op::{BoundOp, MicroInstr, MicroProgram};
+
+/// Renders a register as `FILE<index>` (or a special-role name).
+pub fn reg_name(m: &MachineDesc, r: crate::regs::RegRef) -> String {
+    if Some(r) == m.special.acc {
+        return "ACC".into();
+    }
+    if Some(r) == m.special.mar {
+        return "MAR".into();
+    }
+    if Some(r) == m.special.mbr {
+        return "MBR".into();
+    }
+    format!("{}{}", m.file(r.file).name, r.index)
+}
+
+/// Renders one bound operation, assembler style.
+pub fn format_op(m: &MachineDesc, op: &BoundOp) -> String {
+    let t = m.template(op.template);
+    let mut parts: Vec<String> = Vec::new();
+    if let Some(d) = op.dst {
+        parts.push(reg_name(m, d));
+    }
+    for &s in &op.srcs {
+        parts.push(reg_name(m, s));
+    }
+    if let Some(i) = op.imm {
+        parts.push(format!("#{i}"));
+    }
+    if let Some(c) = op.cond {
+        parts.push(format!("{c:?}").to_lowercase());
+    }
+    if let Some(tgt) = op.target {
+        parts.push(format!("@{tgt}"));
+    }
+    if parts.is_empty() {
+        t.name.clone()
+    } else {
+        format!("{} {}", t.name, parts.join(", "))
+    }
+}
+
+/// Renders one microinstruction: its packed operations joined by `∥`.
+pub fn format_instr(m: &MachineDesc, mi: &MicroInstr) -> String {
+    if mi.is_empty() {
+        return "nop".into();
+    }
+    mi.ops
+        .iter()
+        .map(|o| format_op(m, o))
+        .collect::<Vec<_>>()
+        .join("  ∥  ")
+}
+
+/// Renders a whole program with addresses and block markers. Branch
+/// targets are control-store addresses (the program is flattened first).
+pub fn format_program(m: &MachineDesc, p: &MicroProgram) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let addrs = p.block_addresses();
+    let flat = p.flatten();
+    let mut next_block = 0usize;
+    for (a, mi) in flat.iter().enumerate() {
+        while next_block < addrs.len() && addrs[next_block] == a as u32 {
+            // Only mark blocks that are not empty (empty blocks share an
+            // address with their successor).
+            if next_block >= p.blocks.len() || !p.blocks[next_block].instrs.is_empty() {
+                let _ = writeln!(out, "b{next_block}:");
+            }
+            next_block += 1;
+        }
+        let _ = writeln!(out, "  {a:4}  {}", format_instr(m, mi));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::hm1;
+    use crate::op::MicroBlock;
+    use crate::regs::RegRef;
+    use crate::semantic::CondKind;
+
+    #[test]
+    fn format_samples() {
+        let m = hm1();
+        let r = m.find_file("R").unwrap();
+        let add = BoundOp::new(m.find_template("add").unwrap())
+            .with_dst(RegRef::new(r, 1))
+            .with_src(RegRef::new(r, 2))
+            .with_src(RegRef::new(r, 3));
+        assert_eq!(format_op(&m, &add), "add R1, R2, R3");
+        let br = BoundOp::new(m.find_template("br").unwrap())
+            .with_cond(CondKind::Zero)
+            .with_target(7);
+        assert_eq!(format_op(&m, &br), "br zero, @7");
+        let mov = BoundOp::new(m.find_template("mov").unwrap())
+            .with_dst(m.special.mar.unwrap())
+            .with_src(RegRef::new(r, 0));
+        assert_eq!(format_op(&m, &mov), "mov MAR, R0");
+        let mi = MicroInstr::of(vec![add, br]);
+        assert!(format_instr(&m, &mi).contains("∥"));
+        assert_eq!(format_instr(&m, &MicroInstr::new()), "nop");
+    }
+
+    #[test]
+    fn program_listing_has_addresses() {
+        let m = hm1();
+        let mut p = MicroProgram::new();
+        p.blocks.push(MicroBlock {
+            instrs: vec![MicroInstr::single(
+                BoundOp::new(m.find_template("halt").unwrap()),
+            )],
+        });
+        let s = format_program(&m, &p);
+        assert!(s.contains("b0:"));
+        assert!(s.contains("halt"));
+    }
+}

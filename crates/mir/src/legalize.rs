@@ -1,0 +1,795 @@
+//! Machine-dependent legalisation of MIR.
+//!
+//! §2.1.2 of the survey: a machine-independent operation repertoire will
+//! not match any concrete machine exactly. This pass rewrites whatever the
+//! target cannot express into what it can, *before* register allocation
+//! (so rewrites may allocate fresh virtual registers):
+//!
+//! * memory access is funnelled through MAR/MBR,
+//! * constants wider than the machine's immediate path are built by
+//!   load-high / shift / add-low sequences,
+//! * shift amounts beyond the shifter's reach become shift chains
+//!   (on BX-2, which shifts one bit at a time, a `shr 8` becomes eight
+//!   micro-operations — the price of a baroque machine),
+//! * immediate ALU forms the machine lacks go through a scratch register,
+//! * `Nand`/`Nor`/`Pass` are decomposed when missing,
+//! * branch conditions are negated or mapped (`UF` → carry: every shifter
+//!   in this toolkit deposits the last bit shifted out in the carry flag),
+//! * multiway dispatch becomes a compare-and-branch chain on machines
+//!   without a dispatch facility (the paper: "multiway branches will
+//!   therefore be hard to utilize").
+
+use mcc_machine::{AluOp, CondKind, MachineDesc, Semantic};
+
+use crate::func::{BlockId, MirBlock, MirFunction, Term};
+use crate::op::MirOp;
+use crate::operand::Operand;
+
+/// Legalisation failures: the machine genuinely cannot express the program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LegalizeError {
+    /// No `LoadImm` template at all.
+    NoLoadImm,
+    /// An operation has no realisation and no known decomposition.
+    Unsupported(String),
+    /// A branch condition is untestable even after negation/mapping.
+    UntestableCond(CondKind),
+}
+
+impl std::fmt::Display for LegalizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LegalizeError::NoLoadImm => write!(f, "machine cannot load constants"),
+            LegalizeError::Unsupported(s) => write!(f, "no realisation for `{s}`"),
+            LegalizeError::UntestableCond(c) => write!(f, "condition {c:?} untestable"),
+        }
+    }
+}
+
+impl std::error::Error for LegalizeError {}
+
+/// Machine capability summary used by the rewrite rules.
+struct Caps {
+    ldi_bits: Option<u16>,
+    shift_bits: u16, // max shift-amount immediate width (0 = no shifter)
+}
+
+impl Caps {
+    fn of(m: &MachineDesc) -> Self {
+        let ldi_bits = m
+            .templates_for(Semantic::LoadImm)
+            .filter_map(|t| m.template(t).imm_bits())
+            .max();
+        let shift_bits = m
+            .templates
+            .iter()
+            .filter(|t| matches!(t.semantic, Semantic::Shift(_)))
+            .filter_map(|t| t.imm_bits())
+            .max()
+            .unwrap_or(0);
+        Caps {
+            ldi_bits,
+            shift_bits,
+        }
+    }
+
+    fn max_shift(&self) -> u64 {
+        if self.shift_bits == 0 {
+            0
+        } else {
+            (1u64 << self.shift_bits.min(16)) - 1
+        }
+    }
+}
+
+/// Whether the machine has an immediate form of `op` accepting `imm`.
+fn alu_imm_fits(m: &MachineDesc, op: AluOp, imm: u64) -> bool {
+    m.templates_for(Semantic::Alu(op)).any(|tid| {
+        let t = m.template(tid);
+        t.has_imm()
+            && t.imm_bits()
+                .map_or(false, |b| b >= 64 || imm < (1u64 << b))
+    })
+}
+
+/// Whether the machine has a register-register form of `op` with `nsrcs`
+/// register sources.
+fn alu_reg_form(m: &MachineDesc, op: AluOp, nsrcs: usize) -> bool {
+    m.templates_for(Semantic::Alu(op)).any(|tid| {
+        let t = m.template(tid);
+        !t.has_imm() && t.reg_src_count() == nsrcs
+    })
+}
+
+fn has_sem(m: &MachineDesc, sem: Semantic) -> bool {
+    m.templates_for(sem).next().is_some()
+}
+
+/// Emits MIR ops loading `value` into `dst`, honouring the immediate width.
+fn emit_ldi(
+    m: &MachineDesc,
+    caps: &Caps,
+    out: &mut Vec<MirOp>,
+    dst: Operand,
+    value: u64,
+) -> Result<(), LegalizeError> {
+    let bits = caps.ldi_bits.ok_or(LegalizeError::NoLoadImm)?;
+    let max = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    if value <= max {
+        out.push(MirOp::ldi(dst, value));
+        return Ok(());
+    }
+    // Build high-to-low in `bits`-sized chunks: dst = hi; dst <<= k; dst += lo.
+    let chunk = bits.min(8) as u64; // shift in byte steps for simplicity
+    let hi = value >> chunk;
+    let lo = value & ((1u64 << chunk) - 1);
+    emit_ldi(m, caps, out, dst, hi)?;
+    emit_shift(m, caps, out, mcc_machine::ShiftOp::Shl, dst, dst, chunk)?;
+    if lo != 0 {
+        if alu_imm_fits(m, AluOp::Add, lo) {
+            out.push(MirOp::alu_imm(AluOp::Add, dst, dst, lo));
+        } else if alu_imm_fits(m, AluOp::Or, lo) {
+            out.push(MirOp::alu_imm(AluOp::Or, dst, dst, lo));
+        } else {
+            return Err(LegalizeError::Unsupported(format!(
+                "cannot add low chunk {lo:#x} of wide constant"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Emits shift ops, splitting amounts beyond the shifter's immediate
+/// reach. The caller guarantees the machine realises `op` (see
+/// [`emit_any_shift`] for decomposition of missing shift kinds).
+fn emit_shift(
+    _m: &MachineDesc,
+    caps: &Caps,
+    out: &mut Vec<MirOp>,
+    op: mcc_machine::ShiftOp,
+    dst: Operand,
+    src: Operand,
+    mut amount: u64,
+) -> Result<(), LegalizeError> {
+    let max = caps.max_shift();
+    if max == 0 {
+        return Err(LegalizeError::Unsupported("machine has no shifter".into()));
+    }
+    if amount <= max {
+        out.push(MirOp::shift(op, dst, src, amount));
+        return Ok(());
+    }
+    let mut cur_src = src;
+    while amount > 0 {
+        let step = amount.min(max);
+        out.push(MirOp::shift(op, dst, cur_src, step));
+        cur_src = dst;
+        amount -= step;
+    }
+    Ok(())
+}
+
+/// Emits `dst = shift(src, n)` for any shift kind, decomposing kinds the
+/// machine lacks (BX-2 shifts logically only):
+///
+/// * `rol n` → `(src << n) | (src >> w-n)`,
+/// * `ror n` → `(src >> n) | (src << w-n)`,
+/// * `sar n` → `(src >> n) | (-(src >> w-1) << w-n)` (branch-free sign
+///   fill).
+///
+/// The decompositions preserve the *value* but not the shifted-out
+/// UF/carry bit — a documented approximation for baroque targets.
+fn emit_any_shift(
+    m: &MachineDesc,
+    caps: &Caps,
+    f: &mut MirFunction,
+    out: &mut Vec<MirOp>,
+    op: mcc_machine::ShiftOp,
+    dst: Operand,
+    src: Operand,
+    amount: u64,
+) -> Result<(), LegalizeError> {
+    use mcc_machine::ShiftOp as S;
+    let supported = |k: S| has_sem(m, Semantic::Shift(k));
+    if supported(op) {
+        return emit_shift(m, caps, out, op, dst, src, amount);
+    }
+    let w = m.word_bits as u64;
+    let n = amount.min(w);
+    match op {
+        S::Rol | S::Ror if supported(S::Shl) && supported(S::Shr) => {
+            let (main, other) = if op == S::Rol { (S::Shl, S::Shr) } else { (S::Shr, S::Shl) };
+            let t = Operand::Vreg(f.new_vreg());
+            emit_shift(m, caps, out, other, t, src, w - n)?;
+            emit_shift(m, caps, out, main, dst, src, n)?;
+            if alu_reg_form(m, AluOp::Or, 2) {
+                out.push(MirOp::alu(AluOp::Or, dst, dst, t));
+                Ok(())
+            } else {
+                Err(LegalizeError::Unsupported("rotate decomposition needs OR".into()))
+            }
+        }
+        S::Sar if supported(S::Shr) && supported(S::Shl) && alu_reg_form(m, AluOp::Or, 2) => {
+            // sign = src >> (w-1); fill = (-sign) << (w-n); dst = (src>>n) | fill
+            let sign = Operand::Vreg(f.new_vreg());
+            emit_shift(m, caps, out, S::Shr, sign, src, w - 1)?;
+            if alu_reg_form(m, AluOp::Neg, 1) {
+                out.push(MirOp::alu_un(AluOp::Neg, sign, sign));
+            } else {
+                return Err(LegalizeError::Unsupported("sar decomposition needs NEG".into()));
+            }
+            emit_shift(m, caps, out, S::Shl, sign, sign, w - n)?;
+            emit_shift(m, caps, out, S::Shr, dst, src, n)?;
+            out.push(MirOp::alu(AluOp::Or, dst, dst, sign));
+            Ok(())
+        }
+        _ => Err(LegalizeError::Unsupported(format!(
+            "machine cannot realise {op:?}"
+        ))),
+    }
+}
+
+/// Union of register classes any shape-compatible template admits at the
+/// given operand position (`None` = destination, `Some(i)` = i-th register
+/// source). Mirrors the shape test of `select::try_bind`.
+fn admits(m: &MachineDesc, op: &MirOp, pos: Option<usize>, reg: mcc_machine::RegRef) -> bool {
+    for tid in m.templates_for(op.sem) {
+        let t = m.template(tid);
+        if t.dst.is_some() != op.dst.is_some()
+            || t.reg_src_count() != op.srcs.len()
+            || t.has_imm() != op.imm.is_some()
+        {
+            continue;
+        }
+        let class = match pos {
+            None => t.dst,
+            Some(i) => t
+                .srcs
+                .iter()
+                .filter_map(|s| match s {
+                    mcc_machine::SrcSpec::Class(c) => Some(*c),
+                    mcc_machine::SrcSpec::Imm { .. } => None,
+                })
+                .nth(i),
+        };
+        if let Some(c) = class {
+            if m.class(c).contains(reg) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Routes ALU/shift operands that no template admits (e.g. an S\*
+/// variable bound to the local store fed to the ALU) through fresh
+/// virtual registers: a `mov` brings the value into an allocatable
+/// register before the operation, and another carries the result back.
+/// §2.1.3's point made executable — *where* a value lives decides what may
+/// touch it, and the compiler inserts the datapath moves.
+fn route_operands(
+    m: &MachineDesc,
+    f: &mut MirFunction,
+    out: &mut Vec<MirOp>,
+    mut op: MirOp,
+) -> (MirOp, Option<(Operand, Operand)>) {
+    if !matches!(op.sem, Semantic::Alu(_) | Semantic::Shift(_)) {
+        return (op, None);
+    }
+    // When no template matches the op's *shape* at all (e.g. an immediate
+    // form the machine lacks), `legalize_op` will rewrite the shape first;
+    // routing cannot judge operand classes of a nonexistent template.
+    let any_shape = m.templates_for(op.sem).any(|tid| {
+        let t = m.template(tid);
+        t.dst.is_some() == op.dst.is_some()
+            && t.reg_src_count() == op.srcs.len()
+            && t.has_imm() == op.imm.is_some()
+    });
+    if !any_shape {
+        return (op, None);
+    }
+    for i in 0..op.srcs.len() {
+        if let Operand::Reg(r) = op.srcs[i] {
+            if !admits(m, &op, Some(i), r) {
+                let tmp = Operand::Vreg(f.new_vreg());
+                out.push(MirOp::mov(tmp, op.srcs[i]));
+                op.srcs[i] = tmp;
+            }
+        }
+    }
+    let mut writeback = None;
+    if let Some(Operand::Reg(r)) = op.dst {
+        if !admits(m, &op, None, r) {
+            let tmp = Operand::Vreg(f.new_vreg());
+            writeback = Some((op.dst.expect("dst"), tmp));
+            op.dst = Some(tmp);
+        }
+    }
+    (op, writeback)
+}
+
+/// Rewrites a single op into zero or more machine-expressible ops.
+fn legalize_op(
+    m: &MachineDesc,
+    caps: &Caps,
+    f: &mut MirFunction,
+    op: MirOp,
+    out: &mut Vec<MirOp>,
+) -> Result<(), LegalizeError> {
+    match op.sem {
+        Semantic::MemRead if !op.srcs.is_empty() => {
+            // dst = MEM[addr]  →  MAR := addr; read; dst := MBR
+            let mar = Operand::Reg(m.special.mar.expect("machine with memory has MAR"));
+            let mbr = Operand::Reg(m.special.mbr.expect("machine with memory has MBR"));
+            let addr = op.srcs[0];
+            if addr != mar {
+                out.push(MirOp::mov(mar, addr));
+            }
+            out.push(MirOp::new(Semantic::MemRead));
+            let dst = op.dst.expect("load has a destination");
+            if dst != mbr {
+                out.push(MirOp::mov(dst, mbr));
+            }
+            Ok(())
+        }
+        Semantic::MemWrite if !op.srcs.is_empty() => {
+            let mar = Operand::Reg(m.special.mar.expect("machine with memory has MAR"));
+            let mbr = Operand::Reg(m.special.mbr.expect("machine with memory has MBR"));
+            let (addr, data) = (op.srcs[0], op.srcs[1]);
+            if addr != mar {
+                out.push(MirOp::mov(mar, addr));
+            }
+            if data != mbr {
+                out.push(MirOp::mov(mbr, data));
+            }
+            out.push(MirOp::new(Semantic::MemWrite));
+            Ok(())
+        }
+        Semantic::LoadImm => {
+            emit_ldi(m, caps, out, op.dst.expect("ldi dst"), op.imm.unwrap_or(0))
+        }
+        Semantic::Shift(s) => {
+            let dst = op.dst.expect("shift dst");
+            let src = op.srcs[0];
+            emit_any_shift(m, caps, f, out, s, dst, src, op.imm.unwrap_or(0))
+        }
+        Semantic::Alu(a) => {
+            let dst = op.dst.expect("alu dst");
+            match (op.imm, op.srcs.len()) {
+                // Immediate binary form.
+                (Some(imm), 1) if !a.is_unary() => {
+                    if alu_imm_fits(m, a, imm) {
+                        out.push(op);
+                    } else if alu_reg_form(m, a, 2) {
+                        let tmp = Operand::Vreg(f.new_vreg());
+                        emit_ldi(m, caps, out, tmp, imm)?;
+                        out.push(MirOp::alu(a, dst, op.srcs[0], tmp));
+                    } else {
+                        return Err(LegalizeError::Unsupported(op.to_string()));
+                    }
+                    Ok(())
+                }
+                // Register binary form.
+                (None, 2) => {
+                    if alu_reg_form(m, a, 2) {
+                        out.push(op);
+                        return Ok(());
+                    }
+                    // Decompositions for missing binary ops.
+                    match a {
+                        AluOp::Nand if alu_reg_form(m, AluOp::And, 2) => {
+                            out.push(MirOp::alu(AluOp::And, dst, op.srcs[0], op.srcs[1]));
+                            legalize_op(m, caps, f, MirOp::alu_un(AluOp::Not, dst, dst), out)
+                        }
+                        AluOp::Nor if alu_reg_form(m, AluOp::Or, 2) => {
+                            out.push(MirOp::alu(AluOp::Or, dst, op.srcs[0], op.srcs[1]));
+                            legalize_op(m, caps, f, MirOp::alu_un(AluOp::Not, dst, dst), out)
+                        }
+                        _ => Err(LegalizeError::Unsupported(op.to_string())),
+                    }
+                }
+                // Unary form.
+                (None, 1) => {
+                    if alu_reg_form(m, a, 1) {
+                        out.push(op);
+                        return Ok(());
+                    }
+                    match a {
+                        // A flag-setting pass: `or dst, s, s` or `add dst, s, 0`.
+                        AluOp::Pass if alu_reg_form(m, AluOp::Or, 2) => {
+                            out.push(MirOp::alu(AluOp::Or, dst, op.srcs[0], op.srcs[0]));
+                            Ok(())
+                        }
+                        AluOp::Pass if alu_imm_fits(m, AluOp::Add, 0) => {
+                            out.push(MirOp::alu_imm(AluOp::Add, dst, op.srcs[0], 0));
+                            Ok(())
+                        }
+                        AluOp::Inc if alu_imm_fits(m, AluOp::Add, 1) => {
+                            out.push(MirOp::alu_imm(AluOp::Add, dst, op.srcs[0], 1));
+                            Ok(())
+                        }
+                        AluOp::Dec if alu_imm_fits(m, AluOp::Sub, 1) => {
+                            out.push(MirOp::alu_imm(AluOp::Sub, dst, op.srcs[0], 1));
+                            Ok(())
+                        }
+                        _ => Err(LegalizeError::Unsupported(op.to_string())),
+                    }
+                }
+                _ => Err(LegalizeError::Unsupported(op.to_string())),
+            }
+        }
+        // Everything else passes through if the machine has it.
+        sem => {
+            if has_sem(m, sem) {
+                out.push(op);
+                Ok(())
+            } else {
+                Err(LegalizeError::Unsupported(op.to_string()))
+            }
+        }
+    }
+}
+
+/// Rewrites a branch condition into one the machine can test, possibly
+/// swapping the branch arms. Returns `(cond, swapped)`.
+fn legalize_cond(m: &MachineDesc, cond: CondKind) -> Result<(CondKind, bool), LegalizeError> {
+    if m.supports_cond(cond) {
+        return Ok((cond, false));
+    }
+    // Every shifter here deposits the shifted-out bit in carry too.
+    let mapped = match cond {
+        CondKind::Uf => Some(CondKind::Carry),
+        CondKind::NotUf => Some(CondKind::NotCarry),
+        _ => None,
+    };
+    if let Some(c) = mapped {
+        if m.supports_cond(c) {
+            return Ok((c, false));
+        }
+        if m.supports_cond(c.negate()) {
+            return Ok((c.negate(), true));
+        }
+    }
+    if m.supports_cond(cond.negate()) {
+        return Ok((cond.negate(), true));
+    }
+    Err(LegalizeError::UntestableCond(cond))
+}
+
+/// Legalises a whole function in place for machine `m`.
+///
+/// # Errors
+///
+/// Fails when the machine genuinely cannot express an operation or test a
+/// condition even after decomposition.
+pub fn legalize(m: &MachineDesc, f: &mut MirFunction) -> Result<(), LegalizeError> {
+    let caps = Caps::of(m);
+
+    // 1. Straight-line op rewrites.
+    for bi in 0..f.blocks.len() {
+        let ops = std::mem::take(&mut f.blocks[bi].ops);
+        let mut out = Vec::with_capacity(ops.len());
+        for op in ops {
+            let (op, writeback) = route_operands(m, f, &mut out, op);
+            legalize_op(m, &caps, f, op, &mut out)?;
+            if let Some((dst, tmp)) = writeback {
+                out.push(MirOp::mov(dst, tmp));
+            }
+        }
+        f.blocks[bi].ops = out;
+    }
+
+    // 2. Terminators: conditions and dispatch.
+    let has_dispatch = has_sem(m, Semantic::Dispatch);
+    for bi in 0..f.blocks.len() {
+        let term = f.blocks[bi].term.clone();
+        match term {
+            Some(Term::Branch {
+                cond,
+                then_block,
+                else_block,
+            }) => {
+                let (c, swapped) = legalize_cond(m, cond)?;
+                f.blocks[bi].term = Some(if swapped {
+                    Term::Branch {
+                        cond: c,
+                        then_block: else_block,
+                        else_block: then_block,
+                    }
+                } else {
+                    Term::Branch {
+                        cond: c,
+                        then_block,
+                        else_block,
+                    }
+                });
+            }
+            Some(Term::Dispatch { src, mask, table }) if !has_dispatch => {
+                lower_dispatch_to_chain(m, &caps, f, bi as BlockId, src, mask, table)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Replaces `Dispatch` in `block` with a compare-and-branch chain.
+fn lower_dispatch_to_chain(
+    m: &MachineDesc,
+    caps: &Caps,
+    f: &mut MirFunction,
+    block: BlockId,
+    src: Operand,
+    mask: u64,
+    table: Vec<BlockId>,
+) -> Result<(), LegalizeError> {
+    let masked = Operand::Vreg(f.new_vreg());
+    let chk = Operand::Vreg(f.new_vreg());
+
+    // masked = src & mask
+    let mut head_ops = Vec::new();
+    if alu_imm_fits(m, AluOp::And, mask) {
+        head_ops.push(MirOp::alu_imm(AluOp::And, masked, src, mask));
+    } else if alu_reg_form(m, AluOp::And, 2) {
+        let tmp = Operand::Vreg(f.new_vreg());
+        emit_ldi(m, caps, &mut head_ops, tmp, mask)?;
+        head_ops.push(MirOp::alu(AluOp::And, masked, src, tmp));
+    } else {
+        return Err(LegalizeError::Unsupported("dispatch masking".into()));
+    }
+
+    let (zero_cond, _) = legalize_cond(m, CondKind::Zero)?;
+
+    // Chain blocks: check index k, branch to table[k] or the next check.
+    // The first check lives in the dispatch block itself.
+    let n = table.len();
+    assert!(n >= 1, "empty dispatch table");
+    let mut check_blocks = Vec::with_capacity(n);
+    check_blocks.push(block);
+    for _ in 1..n.saturating_sub(1) {
+        f.blocks.push(MirBlock::new());
+        check_blocks.push((f.blocks.len() - 1) as BlockId);
+    }
+
+    for (pos, &cb) in check_blocks.iter().enumerate() {
+        let mut ops = if pos == 0 {
+            std::mem::take(&mut f.blocks[block as usize].ops)
+                .into_iter()
+                .chain(head_ops.drain(..))
+                .collect::<Vec<_>>()
+        } else {
+            Vec::new()
+        };
+        // chk = masked - pos (sets Z when the index equals pos).
+        if alu_imm_fits(m, AluOp::Sub, pos as u64) {
+            ops.push(MirOp::alu_imm(AluOp::Sub, chk, masked, pos as u64));
+        } else {
+            return Err(LegalizeError::Unsupported("dispatch compare".into()));
+        }
+        let next: BlockId = if pos + 1 < check_blocks.len() {
+            check_blocks[pos + 1]
+        } else {
+            // Last check falls through to the final table entry.
+            table[n - 1]
+        };
+        let fb = &mut f.blocks[cb as usize];
+        fb.ops = ops;
+        fb.term = Some(Term::Branch {
+            cond: zero_cond,
+            then_block: table[pos],
+            else_block: next,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::FuncBuilder;
+    use crate::select::select_function;
+    use mcc_machine::machines::{bx2, hm1, vm1};
+    use mcc_machine::ShiftOp;
+
+    #[test]
+    fn memread_is_funnelled_through_mar_mbr() {
+        let m = hm1();
+        let mut b = FuncBuilder::new("t");
+        let a = b.vreg();
+        let d = b.vreg();
+        b.ldi(a, 100);
+        b.load(d, a);
+        b.terminate(Term::Halt);
+        let mut f = b.finish();
+        legalize(&m, &mut f).unwrap();
+        let sems: Vec<_> = f.blocks[0].ops.iter().map(|o| o.sem).collect();
+        assert_eq!(
+            sems,
+            vec![
+                Semantic::LoadImm,
+                Semantic::Move,    // MAR := a
+                Semantic::MemRead, // raw read
+                Semantic::Move,    // d := MBR
+            ]
+        );
+    }
+
+    #[test]
+    fn wide_constant_explodes_on_bx2() {
+        let m = bx2();
+        let g = m.find_file("G").unwrap();
+        let mut b = FuncBuilder::new("t");
+        let dst = Operand::Reg(mcc_machine::RegRef::new(g, 0));
+        b.ldi(dst, 0x1234);
+        b.terminate(Term::Halt);
+        let mut f = b.finish();
+        legalize(&m, &mut f).unwrap();
+        // ldi 0x12; shl ×8 (one bit each!); addi 0x34 → 1 + 8 + 1 ops.
+        assert_eq!(f.blocks[0].ops.len(), 10);
+        // And everything now selects.
+        select_function(&m, &f).unwrap();
+    }
+
+    #[test]
+    fn wide_constant_is_cheap_on_vm1() {
+        // VM-1 shifts up to 15 at once: ldi, shl 8, addi = 3 ops.
+        let m = vm1();
+        let r = m.find_file("R").unwrap();
+        let mut b = FuncBuilder::new("t");
+        let dst = Operand::Reg(mcc_machine::RegRef::new(r, 0));
+        b.ldi(dst, 0xABCD);
+        b.terminate(Term::Halt);
+        let mut f = b.finish();
+        legalize(&m, &mut f).unwrap();
+        assert_eq!(f.blocks[0].ops.len(), 3);
+        select_function(&m, &f).unwrap();
+    }
+
+    #[test]
+    fn long_shift_becomes_chain_on_bx2() {
+        let m = bx2();
+        let g = m.find_file("G").unwrap();
+        let dst = Operand::Reg(mcc_machine::RegRef::new(g, 0));
+        let mut b = FuncBuilder::new("t");
+        b.shift(ShiftOp::Shr, dst, dst, 3);
+        b.terminate(Term::Halt);
+        let mut f = b.finish();
+        legalize(&m, &mut f).unwrap();
+        assert_eq!(f.blocks[0].ops.len(), 3, "three single-bit shifts");
+        select_function(&m, &f).unwrap();
+    }
+
+    #[test]
+    fn missing_imm_form_goes_through_scratch() {
+        // BX-2 has no xori: xor r0, r0, 0x0F must load 0x0F first.
+        let m = bx2();
+        let g = m.find_file("G").unwrap();
+        let dst = Operand::Reg(mcc_machine::RegRef::new(g, 0));
+        let mut b = FuncBuilder::new("t");
+        b.alu_imm(AluOp::Xor, dst, dst, 0x0F);
+        b.terminate(Term::Halt);
+        let mut f = b.finish();
+        legalize(&m, &mut f).unwrap();
+        let sems: Vec<_> = f.blocks[0].ops.iter().map(|o| o.sem).collect();
+        assert_eq!(sems, vec![Semantic::LoadImm, Semantic::Alu(AluOp::Xor)]);
+        assert!(f.has_virtual_regs(), "a scratch vreg was created");
+    }
+
+    #[test]
+    fn nand_decomposes_on_bx2() {
+        let m = bx2();
+        let g = m.find_file("G").unwrap();
+        let rr = |i| Operand::Reg(mcc_machine::RegRef::new(g, i));
+        let mut b = FuncBuilder::new("t");
+        b.alu(AluOp::Nand, rr(0), rr(1), rr(2));
+        b.terminate(Term::Halt);
+        let mut f = b.finish();
+        legalize(&m, &mut f).unwrap();
+        let sems: Vec<_> = f.blocks[0].ops.iter().map(|o| o.sem).collect();
+        assert_eq!(
+            sems,
+            vec![Semantic::Alu(AluOp::And), Semantic::Alu(AluOp::Not)]
+        );
+    }
+
+    #[test]
+    fn pass_decomposes_on_bx2() {
+        let m = bx2();
+        let g = m.find_file("G").unwrap();
+        let rr = |i| Operand::Reg(mcc_machine::RegRef::new(g, i));
+        let mut b = FuncBuilder::new("t");
+        b.alu_un(AluOp::Pass, rr(0), rr(0));
+        b.terminate(Term::Halt);
+        let mut f = b.finish();
+        legalize(&m, &mut f).unwrap();
+        assert_eq!(f.blocks[0].ops.len(), 1);
+        assert_eq!(f.blocks[0].ops[0].sem, Semantic::Alu(AluOp::Or));
+    }
+
+    #[test]
+    fn uf_condition_maps_to_carry_on_bx2() {
+        let m = bx2();
+        let g = m.find_file("G").unwrap();
+        let rr = |i| Operand::Reg(mcc_machine::RegRef::new(g, i));
+        let mut b = FuncBuilder::new("t");
+        let t1 = b.new_block();
+        let t2 = b.new_block();
+        b.shift(ShiftOp::Shr, rr(0), rr(0), 1);
+        b.branch(CondKind::Uf, t1, t2);
+        for t in [t1, t2] {
+            b.switch_to(t);
+            b.terminate(Term::Halt);
+        }
+        let mut f = b.finish();
+        legalize(&m, &mut f).unwrap();
+        match f.blocks[0].term.as_ref().unwrap() {
+            Term::Branch { cond, .. } => assert_eq!(*cond, CondKind::Carry),
+            t => panic!("unexpected {t:?}"),
+        }
+    }
+
+    #[test]
+    fn dispatch_becomes_chain_on_bx2() {
+        let m = bx2();
+        let mut b = FuncBuilder::new("t");
+        let x = b.vreg();
+        b.ldi(x, 2);
+        let t0 = b.new_block();
+        let t1 = b.new_block();
+        let t2 = b.new_block();
+        let end = b.new_block();
+        b.terminate(Term::Dispatch {
+            src: x.into(),
+            mask: 3,
+            table: vec![t0, t1, t2],
+        });
+        for t in [t0, t1, t2] {
+            b.switch_to(t);
+            b.terminate(Term::Jump(end));
+        }
+        b.switch_to(end);
+        b.terminate(Term::Halt);
+        let mut f = b.finish();
+        f.validate().unwrap();
+        legalize(&m, &mut f).unwrap();
+        f.validate().unwrap();
+        // No dispatch terms remain.
+        assert!(!f
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Some(Term::Dispatch { .. }))));
+        // The head block now ends in a conditional branch.
+        assert!(matches!(
+            f.blocks[0].term,
+            Some(Term::Branch { .. })
+        ));
+    }
+
+    #[test]
+    fn dispatch_survives_on_hm1() {
+        let m = hm1();
+        let mut b = FuncBuilder::new("t");
+        let x = b.vreg();
+        b.ldi(x, 0);
+        let t0 = b.new_block();
+        let t1 = b.new_block();
+        let end = b.new_block();
+        b.terminate(Term::Dispatch {
+            src: x.into(),
+            mask: 1,
+            table: vec![t0, t1],
+        });
+        for t in [t0, t1] {
+            b.switch_to(t);
+            b.terminate(Term::Jump(end));
+        }
+        b.switch_to(end);
+        b.terminate(Term::Halt);
+        let mut f = b.finish();
+        legalize(&m, &mut f).unwrap();
+        assert!(matches!(
+            f.blocks[0].term,
+            Some(Term::Dispatch { .. })
+        ));
+    }
+}

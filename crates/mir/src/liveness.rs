@@ -1,0 +1,227 @@
+//! Liveness analysis over MIR.
+//!
+//! Classic backward dataflow on the block CFG, tracking *both* virtual and
+//! physical register operands (a function may mix them: YALLL binds some
+//! variables to machine registers while the compiler allocates the rest —
+//! §2.2.4 of the paper leaves it open whether binding is required for all).
+
+use std::collections::HashSet;
+
+use crate::func::{BlockId, MirFunction, Term};
+use crate::operand::Operand;
+
+/// Per-block live-in/live-out sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveSets {
+    /// Operands live on entry to each block.
+    pub live_in: Vec<HashSet<Operand>>,
+    /// Operands live on exit from each block.
+    pub live_out: Vec<HashSet<Operand>>,
+}
+
+/// Liveness analysis results.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    sets: LiveSets,
+}
+
+impl Liveness {
+    /// Runs the analysis to fixpoint.
+    pub fn compute(f: &MirFunction) -> Self {
+        let n = f.blocks.len();
+        let mut live_in = vec![HashSet::new(); n];
+        let mut live_out = vec![HashSet::new(); n];
+
+        // use/def per block.
+        let mut uses = vec![HashSet::new(); n];
+        let mut defs = vec![HashSet::new(); n];
+        for (i, b) in f.blocks.iter().enumerate() {
+            for op in &b.ops {
+                for &s in op.uses() {
+                    if !defs[i].contains(&s) {
+                        uses[i].insert(s);
+                    }
+                }
+                if let Some(d) = op.def() {
+                    defs[i].insert(d);
+                }
+            }
+            if let Some(t) = &b.term {
+                for u in t.uses() {
+                    if !defs[i].contains(&u) {
+                        uses[i].insert(u);
+                    }
+                }
+            }
+        }
+
+        // Exit blocks see the function's observable results.
+        let exit_live: HashSet<Operand> = f.live_out.iter().copied().collect();
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in (0..n).rev() {
+                let mut out: HashSet<Operand> = HashSet::new();
+                match &f.blocks[i].term {
+                    Some(Term::Ret) | Some(Term::Halt) => out.extend(exit_live.iter().copied()),
+                    Some(t) => {
+                        for s in t.successors() {
+                            out.extend(live_in[s as usize].iter().copied());
+                        }
+                    }
+                    None => {}
+                }
+                let mut inn: HashSet<Operand> = uses[i].clone();
+                for &o in &out {
+                    if !defs[i].contains(&o) {
+                        inn.insert(o);
+                    }
+                }
+                if out != live_out[i] {
+                    live_out[i] = out;
+                    changed = true;
+                }
+                if inn != live_in[i] {
+                    live_in[i] = inn;
+                    changed = true;
+                }
+            }
+        }
+
+        Liveness {
+            sets: LiveSets { live_in, live_out },
+        }
+    }
+
+    /// The computed sets.
+    pub fn sets(&self) -> &LiveSets {
+        &self.sets
+    }
+
+    /// Operands live *after* each op of `block` (index `i` = live after
+    /// `ops[i]`), plus the set live before the first op, returned as
+    /// `(before_first, after_each)`.
+    pub fn block_points(
+        &self,
+        f: &MirFunction,
+        block: BlockId,
+    ) -> (HashSet<Operand>, Vec<HashSet<Operand>>) {
+        let b = &f.blocks[block as usize];
+        let mut live = self.sets.live_out[block as usize].clone();
+        if let Some(t) = &b.term {
+            live.extend(t.uses());
+        }
+        let mut after = vec![HashSet::new(); b.ops.len()];
+        for (i, op) in b.ops.iter().enumerate().rev() {
+            after[i] = live.clone();
+            if let Some(d) = op.def() {
+                live.remove(&d);
+            }
+            for &s in op.uses() {
+                live.insert(s);
+            }
+        }
+        (live, after)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::FuncBuilder;
+    use mcc_machine::{AluOp, CondKind};
+
+    #[test]
+    fn straight_line_liveness() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.vreg();
+        let y = b.vreg();
+        b.ldi(x, 1);
+        b.alu_imm(AluOp::Add, y, x, 2);
+        b.mark_live_out(y);
+        b.terminate(crate::Term::Halt);
+        let f = b.finish();
+        let l = Liveness::compute(&f);
+        // y is live out of the (only) block; x is not.
+        assert!(l.sets().live_out[0].contains(&Operand::Vreg(y)));
+        assert!(!l.sets().live_in[0].contains(&Operand::Vreg(x)), "x is defined locally");
+    }
+
+    #[test]
+    fn loop_carried_liveness() {
+        // b0: ldi x; jump b1
+        // b1: pass x (flags); br zero -> b3 else b2
+        // b2: sub x, x, 1; jump b1
+        // b3: halt (x live out)
+        let mut b = FuncBuilder::new("l");
+        let x = b.vreg();
+        b.ldi(x, 3);
+        let head = b.new_block();
+        let body = b.new_block();
+        let done = b.new_block();
+        b.jump_and_switch(head);
+        b.alu_un(AluOp::Pass, x, x);
+        b.branch(CondKind::Zero, done, body);
+        b.switch_to(body);
+        b.alu_imm(AluOp::Sub, x, x, 1);
+        b.terminate(crate::Term::Jump(head));
+        b.switch_to(done);
+        b.mark_live_out(x);
+        b.terminate(crate::Term::Halt);
+        let f = b.finish();
+        let l = Liveness::compute(&f);
+        // x live around the back edge.
+        for blk in 0..4 {
+            assert!(
+                l.sets().live_in[blk].contains(&Operand::Vreg(x))
+                    || blk == 0,
+                "x should be live into b{blk}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_points_track_per_op() {
+        let mut b = FuncBuilder::new("p");
+        let x = b.vreg();
+        let y = b.vreg();
+        b.ldi(x, 1);
+        b.mov(y, x);
+        b.mark_live_out(y);
+        b.terminate(crate::Term::Halt);
+        let f = b.finish();
+        let l = Liveness::compute(&f);
+        let (before, after) = l.block_points(&f, 0);
+        assert!(!before.contains(&Operand::Vreg(x)), "x not live before its def");
+        assert!(after[0].contains(&Operand::Vreg(x)), "x live between def and use");
+        assert!(!after[1].contains(&Operand::Vreg(x)), "x dead after last use");
+        assert!(after[1].contains(&Operand::Vreg(y)));
+    }
+
+    #[test]
+    fn dispatch_source_is_live() {
+        let mut b = FuncBuilder::new("d");
+        let x = b.vreg();
+        b.ldi(x, 0);
+        let t0 = b.new_block();
+        let t1 = b.new_block();
+        let end = b.new_block();
+        b.terminate(crate::Term::Dispatch {
+            src: x.into(),
+            mask: 1,
+            table: vec![t0, t1],
+        });
+        for t in [t0, t1] {
+            b.switch_to(t);
+            b.terminate(crate::Term::Jump(end));
+        }
+        b.switch_to(end);
+        b.terminate(crate::Term::Halt);
+        let f = b.finish();
+        let l = Liveness::compute(&f);
+        // x used by the terminator: live after the ldi.
+        let (_, after) = l.block_points(&f, 0);
+        assert!(after[0].contains(&Operand::Vreg(x)));
+    }
+}

@@ -1,0 +1,215 @@
+//! Per-vreg candidate sets from template class constraints.
+//!
+//! "Allocating a variable to a certain register at a certain program point
+//! also determines which subset of microoperations can be applied to that
+//! variable at that point" (§2.1.3). The allocator therefore intersects,
+//! over every occurrence of a virtual register, the union of register
+//! classes any realising template admits at that operand position.
+
+use std::collections::BTreeSet;
+
+use mcc_machine::{MachineDesc, RegRef, SrcSpec};
+use mcc_mir::operand::{Operand, VReg};
+use mcc_mir::{MirFunction, MirOp};
+
+/// Registers never handed out by the allocator: the special registers
+/// (MAR/MBR/ACC/flags — they carry implicit template semantics) and the
+/// scratch file (reserved for spill slots).
+fn reserved(m: &MachineDesc, r: RegRef) -> bool {
+    Some(r) == m.special.mar
+        || Some(r) == m.special.mbr
+        || Some(r) == m.special.acc
+        || Some(r) == m.special.flags
+        || Some(r.file) == m.scratch_file
+        || m.special.flags.map(|f| f.file) == Some(r.file)
+}
+
+/// Union of class members admissible for the operand at `pos` of `op`
+/// across all shape-compatible templates.
+fn position_union(m: &MachineDesc, op: &MirOp, dst: bool, src_idx: usize) -> BTreeSet<RegRef> {
+    let mut set = BTreeSet::new();
+    for tid in m.templates_for(op.sem) {
+        let t = m.template(tid);
+        // Shape compatibility mirrors `select::try_bind`.
+        if t.dst.is_some() != op.dst.is_some() {
+            continue;
+        }
+        if t.reg_src_count() != op.srcs.len() {
+            continue;
+        }
+        if t.has_imm() != op.imm.is_some() {
+            continue;
+        }
+        if dst {
+            if let Some(c) = t.dst {
+                set.extend(m.class(c).members());
+            }
+        } else {
+            let classes: Vec<_> = t
+                .srcs
+                .iter()
+                .filter_map(|s| match s {
+                    SrcSpec::Class(c) => Some(*c),
+                    SrcSpec::Imm { .. } => None,
+                })
+                .collect();
+            if let Some(c) = classes.get(src_idx) {
+                set.extend(m.class(*c).members());
+            }
+        }
+    }
+    set
+}
+
+/// The default candidate pool for unconstrained vregs (e.g. appearing only
+/// in `live_out` or dispatch indices): every non-reserved register of every
+/// file that some template can read *and* write.
+fn default_pool(m: &MachineDesc, budget: Option<u16>) -> Vec<RegRef> {
+    let mut readable: BTreeSet<RegRef> = BTreeSet::new();
+    let mut writable: BTreeSet<RegRef> = BTreeSet::new();
+    for t in &m.templates {
+        if let Some(c) = t.dst {
+            writable.extend(m.class(c).members());
+        }
+        for s in &t.srcs {
+            if let SrcSpec::Class(c) = s {
+                readable.extend(m.class(*c).members());
+            }
+        }
+    }
+    readable
+        .intersection(&writable)
+        .copied()
+        .filter(|&r| !reserved(m, r))
+        .filter(|&r| budget.map_or(true, |b| r.index < b))
+        .collect()
+}
+
+/// Computes the admissible registers for `v` in `f` on machine `m`,
+/// optionally limited to the first `budget` registers of each file.
+///
+/// The result is ordered (file, index) so allocation is deterministic.
+pub fn allowed_registers(
+    m: &MachineDesc,
+    f: &MirFunction,
+    v: VReg,
+    budget: Option<u16>,
+) -> Vec<RegRef> {
+    let mut acc: Option<BTreeSet<RegRef>> = None;
+    let mut constrain = |set: BTreeSet<RegRef>| {
+        acc = Some(match acc.take() {
+            None => set,
+            Some(prev) => prev.intersection(&set).copied().collect(),
+        });
+    };
+
+    for b in &f.blocks {
+        for op in &b.ops {
+            if op.dst == Some(Operand::Vreg(v)) {
+                constrain(position_union(m, op, true, 0));
+            }
+            for (i, s) in op.srcs.iter().enumerate() {
+                if *s == Operand::Vreg(v) {
+                    constrain(position_union(m, op, false, i));
+                }
+            }
+        }
+        if let Some(mcc_mir::Term::Dispatch { src, .. }) = &b.term {
+            if *src == Operand::Vreg(v) {
+                // Dispatch index class union.
+                let mut set = BTreeSet::new();
+                for tid in m.templates_for(mcc_machine::Semantic::Dispatch) {
+                    let t = m.template(tid);
+                    for s in &t.srcs {
+                        if let SrcSpec::Class(c) = s {
+                            set.extend(m.class(*c).members());
+                        }
+                    }
+                }
+                constrain(set);
+            }
+        }
+    }
+
+    match acc {
+        Some(set) => set
+            .into_iter()
+            .filter(|&r| !reserved(m, r))
+            .filter(|&r| budget.map_or(true, |b| r.index < b))
+            .collect(),
+        None => default_pool(m, budget),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_machine::machines::{hm1, wm64};
+    use mcc_machine::AluOp;
+    use mcc_mir::{FuncBuilder, Term};
+
+    #[test]
+    fn alu_operand_constrains_to_alu_classes() {
+        let m = hm1();
+        let mut b = FuncBuilder::new("t");
+        let x = b.vreg();
+        let y = b.vreg();
+        b.alu(AluOp::Add, y, x, x);
+        b.mark_live_out(y);
+        b.terminate(Term::Halt);
+        let f = b.finish();
+        let cand = allowed_registers(&m, &f, x, None);
+        // alu_left ∩ alu_right = R0..R15 + ACC, minus reserved ACC → 16.
+        assert_eq!(cand.len(), 16);
+        let rfile = m.find_file("R").unwrap();
+        assert!(cand.iter().all(|r| r.file == rfile));
+    }
+
+    #[test]
+    fn budget_truncates_pool() {
+        let m = hm1();
+        let mut b = FuncBuilder::new("t");
+        let x = b.vreg();
+        b.ldi(x, 3);
+        b.mark_live_out(x);
+        b.terminate(Term::Halt);
+        let f = b.finish();
+        let all = allowed_registers(&m, &f, x, None);
+        let four = allowed_registers(&m, &f, x, Some(4));
+        assert!(four.len() < all.len());
+        assert!(four.iter().all(|r| r.index < 4));
+    }
+
+    #[test]
+    fn reserved_registers_excluded() {
+        let m = hm1();
+        let mut b = FuncBuilder::new("t");
+        let x = b.vreg();
+        b.ldi(x, 3);
+        b.mark_live_out(x);
+        b.terminate(Term::Halt);
+        let f = b.finish();
+        let cand = allowed_registers(&m, &f, x, None);
+        assert!(!cand.contains(&m.special.mar.unwrap()));
+        assert!(!cand.contains(&m.special.mbr.unwrap()));
+        // The LS scratch file is reserved for spills even though `mov`
+        // could address it.
+        let ls = m.find_file("LS").unwrap();
+        assert!(cand.iter().all(|r| r.file != ls));
+    }
+
+    #[test]
+    fn alu1_narrow_class_on_wm64_does_not_block() {
+        // On WM-64, `add` is realised by both ALUs; the union is all 256.
+        let m = wm64();
+        let mut b = FuncBuilder::new("t");
+        let x = b.vreg();
+        let y = b.vreg();
+        b.alu(AluOp::Add, y, x, x);
+        b.mark_live_out(y);
+        b.terminate(Term::Halt);
+        let f = b.finish();
+        let cand = allowed_registers(&m, &f, x, None);
+        assert_eq!(cand.len(), 256);
+    }
+}

@@ -1,0 +1,288 @@
+//! Spill-code generation.
+//!
+//! Spill slots come from the machine's scratch file (local store), taken
+//! from the *top* of the file downward (frontends that address the local
+//! store explicitly, like S\*, use it from the bottom). When the local
+//! store is exhausted the spiller falls back to a reserved area of main
+//! memory — §2.1.3: "temporarily storing variables in a reserved area of
+//! main memory will sometimes be unavoidable, but should be done in such a
+//! way that the number of fetches and stores is minimized".
+
+use mcc_machine::{MachineDesc, RegRef, Semantic};
+use mcc_mir::operand::{Operand, VReg};
+use mcc_mir::{MirFunction, MirOp};
+
+/// One spill location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// A local-store register.
+    Scratch(RegRef),
+    /// A main-memory word at this address.
+    Mem(u64),
+}
+
+/// Hands out spill slots and rewrites spilled vregs.
+pub struct Spiller {
+    scratch: Vec<RegRef>,         // remaining scratch slots (top-down)
+    mem_next: Option<(u64, u64)>, // (next address, limit)
+    has_memory: bool,
+    mar: Option<RegRef>,
+    mbr: Option<RegRef>,
+}
+
+impl Spiller {
+    /// Prepares a spiller for machine `m`.
+    pub fn new(m: &MachineDesc) -> Self {
+        let scratch = match m.scratch_file {
+            Some(fid) => {
+                let n = m.file(fid).count;
+                (0..n).map(|i| RegRef::new(fid, i)).collect()
+            }
+            None => Vec::new(),
+        };
+        let has_memory = m.templates_for(Semantic::MemRead).next().is_some()
+            && m.special.mar.is_some()
+            && m.special.mbr.is_some();
+        // The memory spill area sits just below the top of what a single
+        // `ldi` can address: 64 words.
+        let ldi_bits = m
+            .templates_for(Semantic::LoadImm)
+            .filter_map(|t| m.template(t).imm_bits())
+            .max()
+            .unwrap_or(0)
+            .min(16);
+        let mem_next = if has_memory && ldi_bits >= 7 {
+            let top = 1u64 << ldi_bits;
+            Some((top - 64, top))
+        } else {
+            None
+        };
+        Spiller {
+            scratch,
+            mem_next,
+            has_memory,
+            mar: m.special.mar,
+            mbr: m.special.mbr,
+        }
+    }
+
+    /// Hands out the next free slot.
+    pub fn next_slot(&mut self) -> Option<Slot> {
+        if let Some(r) = self.scratch.pop() {
+            return Some(Slot::Scratch(r));
+        }
+        if !self.has_memory {
+            return None;
+        }
+        let (next, limit) = self.mem_next.as_mut()?;
+        if next >= limit {
+            return None;
+        }
+        let a = *next;
+        *next += 1;
+        Some(Slot::Mem(a))
+    }
+
+    fn fill_ops(&self, slot: &Slot, tmp: Operand) -> Vec<MirOp> {
+        match slot {
+            Slot::Scratch(r) => vec![MirOp::mov(tmp, Operand::Reg(*r))],
+            Slot::Mem(addr) => {
+                let mar = Operand::Reg(self.mar.expect("memory machine"));
+                let mbr = Operand::Reg(self.mbr.expect("memory machine"));
+                vec![
+                    MirOp::ldi(mar, *addr),
+                    MirOp::new(Semantic::MemRead),
+                    MirOp::mov(tmp, mbr),
+                ]
+            }
+        }
+    }
+
+    fn store_ops(&self, slot: &Slot, tmp: Operand) -> Vec<MirOp> {
+        match slot {
+            Slot::Scratch(r) => vec![MirOp::mov(Operand::Reg(*r), tmp)],
+            Slot::Mem(addr) => {
+                let mar = Operand::Reg(self.mar.expect("memory machine"));
+                let mbr = Operand::Reg(self.mbr.expect("memory machine"));
+                vec![
+                    MirOp::ldi(mar, *addr),
+                    MirOp::mov(mbr, tmp),
+                    MirOp::new(Semantic::MemWrite),
+                ]
+            }
+        }
+    }
+
+    /// Whether `op` sets up MAR/MBR for a following memory operation —
+    /// memory fills must not be wedged into such a setup group.
+    fn writes_special(&self, op: &MirOp) -> bool {
+        matches!(op.dst, Some(Operand::Reg(r))
+            if Some(r) == self.mar || Some(r) == self.mbr)
+    }
+
+    /// Rewrites every occurrence of `v` to go through `slot`, inserting
+    /// fill/store code. Returns the number of operations inserted.
+    pub fn rewrite(&mut self, f: &mut MirFunction, v: VReg, slot: &Slot) -> usize {
+        let mut inserted = 0usize;
+        for bi in 0..f.blocks.len() {
+            let old = std::mem::take(&mut f.blocks[bi].ops);
+            let mut new: Vec<MirOp> = Vec::with_capacity(old.len());
+            for mut op in old {
+                let uses_v = op.srcs.contains(&Operand::Vreg(v));
+                let defs_v = op.dst == Some(Operand::Vreg(v));
+                if !uses_v && !defs_v {
+                    new.push(op);
+                    continue;
+                }
+                let tmp = Operand::Vreg(f.new_vreg());
+                if uses_v {
+                    // Insert fills before any MAR/MBR setup group the op
+                    // belongs to (a memory fill clobbers MAR and MBR).
+                    let mut at = new.len();
+                    while at > 0 && self.writes_special(&new[at - 1]) {
+                        at -= 1;
+                    }
+                    let fill = self.fill_ops(slot, tmp);
+                    inserted += fill.len();
+                    for (k, fo) in fill.into_iter().enumerate() {
+                        new.insert(at + k, fo);
+                    }
+                    for s in &mut op.srcs {
+                        if *s == Operand::Vreg(v) {
+                            *s = tmp;
+                        }
+                    }
+                }
+                if defs_v {
+                    op.dst = Some(tmp);
+                }
+                new.push(op);
+                if defs_v {
+                    let st = self.store_ops(slot, tmp);
+                    inserted += st.len();
+                    new.extend(st);
+                }
+            }
+            f.blocks[bi].ops = new;
+        }
+        // The spilled value is henceforth observable in its slot, not in a
+        // register: drop it from live_out so liveness stops pinning it.
+        f.live_out.retain(|o| *o != Operand::Vreg(v));
+        // Dispatch terminators may use the spilled vreg.
+        for bi in 0..f.blocks.len() {
+            let needs = matches!(
+                &f.blocks[bi].term,
+                Some(mcc_mir::Term::Dispatch { src, .. }) if *src == Operand::Vreg(v)
+            );
+            if needs {
+                let tmp = Operand::Vreg(f.new_vreg());
+                let fill = self.fill_ops(slot, tmp);
+                inserted += fill.len();
+                f.blocks[bi].ops.extend(fill);
+                if let Some(mcc_mir::Term::Dispatch { src, .. }) = &mut f.blocks[bi].term {
+                    *src = tmp;
+                }
+            }
+        }
+        inserted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_machine::machines::{hm1, wm64};
+
+    #[test]
+    fn scratch_slots_come_from_the_top() {
+        let m = hm1();
+        let mut s = Spiller::new(&m);
+        let ls = m.find_file("LS").unwrap();
+        assert_eq!(s.next_slot(), Some(Slot::Scratch(RegRef::new(ls, 31))));
+        assert_eq!(s.next_slot(), Some(Slot::Scratch(RegRef::new(ls, 30))));
+    }
+
+    #[test]
+    fn memory_overflow_after_scratch() {
+        let m = hm1();
+        let mut s = Spiller::new(&m);
+        for _ in 0..32 {
+            assert!(matches!(s.next_slot(), Some(Slot::Scratch(_))));
+        }
+        match s.next_slot() {
+            Some(Slot::Mem(a)) => assert_eq!(a, (1 << 16) - 64),
+            other => panic!("expected memory slot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wm64_has_memory_spill_only() {
+        // WM-64 declares no scratch file.
+        let m = wm64();
+        let mut s = Spiller::new(&m);
+        assert!(matches!(s.next_slot(), Some(Slot::Mem(_))));
+    }
+
+    #[test]
+    fn rewrite_inserts_fill_and_store() {
+        use mcc_machine::AluOp;
+        use mcc_mir::{FuncBuilder, Term};
+        let m = hm1();
+        let mut b = FuncBuilder::new("t");
+        let v = b.vreg();
+        b.ldi(v, 1);
+        b.alu_imm(AluOp::Add, v, v, 2);
+        b.terminate(Term::Halt);
+        let mut f = b.finish();
+        let mut s = Spiller::new(&m);
+        let slot = s.next_slot().unwrap();
+        let n = s.rewrite(&mut f, v, &slot);
+        // ldi defines v → 1 store; add uses+defines → 1 fill + 1 store.
+        assert_eq!(n, 3);
+        assert_eq!(f.blocks[0].ops.len(), 5);
+        // v itself no longer appears.
+        assert!(!f.blocks[0].ops.iter().any(|op| {
+            op.dst == Some(Operand::Vreg(v)) || op.srcs.contains(&Operand::Vreg(v))
+        }));
+    }
+
+    #[test]
+    fn memory_fill_respects_mar_setup_group() {
+        use mcc_mir::{FuncBuilder, Term};
+        let m = hm1();
+        let mar = Operand::Reg(m.special.mar.unwrap());
+        let mut b = FuncBuilder::new("t");
+        let v = b.vreg();
+        b.ldi(v, 1);
+        // A hand-built MAR setup followed by an op using v.
+        b.mov(mar, v); // uses v! fill must go before this mov
+        b.push(MirOp::new(Semantic::MemRead));
+        b.terminate(Term::Halt);
+        let mut f = b.finish();
+        let mut s = Spiller::new(&m);
+        // Force a memory slot.
+        for _ in 0..32 {
+            s.next_slot();
+        }
+        let slot = s.next_slot().unwrap();
+        assert!(matches!(slot, Slot::Mem(_)));
+        s.rewrite(&mut f, v, &slot);
+        // The MemRead of the fill must come before the `mov MAR, tmp`,
+        // never between `mov MAR, _` and the original MemRead.
+        let ops = &f.blocks[0].ops;
+        let positions: Vec<usize> = ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.sem == Semantic::MemRead)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(positions.len(), 2);
+        // Between the two MemReads there must be a write to MAR (the
+        // original setup) — i.e. the fill group completed first.
+        let between = &ops[positions[0] + 1..positions[1]];
+        assert!(
+            between.iter().any(|o| o.dst == Some(mar)),
+            "fill group and setup group interleaved: {ops:#?}"
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: compile a small YALLL program for the HM-1 horizontal
+//! machine, look at the microcode, and run it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use mcc::core::Compiler;
+use mcc::machine::machines::hm1;
+use mcc::machine::format_program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // GCD of two numbers, YALLL style. `a` and `b` are bound to machine
+    // registers; `t` is symbolic — the compiler allocates it (§2.2.4 of
+    // the survey leaves open whether binding is required; we support both).
+    let src = "\
+; gcd(a, b) by repeated subtraction (Euclid)
+reg a = R0
+reg b = R1
+reg t
+const a, 252
+const b, 105
+loop: jump done if b = 0
+    jump swap if a < b
+    sub a, a, b
+    jump loop
+swap: move t, a
+    move a, b
+    move b, t
+    jump loop
+done: exit a
+";
+
+    let compiler = Compiler::new(hm1());
+    let artifact = compiler.compile_yalll(src)?;
+
+    println!("=== microcode for {} ===", artifact.machine.name);
+    println!("{}", format_program(&artifact.machine, &artifact.program));
+    println!(
+        "{} microinstructions, {} micro-operations ({:.2} ops/instr)",
+        artifact.stats.micro_instrs,
+        artifact.stats.micro_ops,
+        artifact.stats.packing_ratio()
+    );
+
+    let (sim, stats) = artifact.run()?;
+    let gcd = artifact.read_symbol(&sim, "a").expect("symbol a");
+    println!("\ngcd(252, 105) = {gcd} in {} cycles", stats.cycles);
+    assert_eq!(gcd, 21);
+
+    // The same binary, encoded for the control store:
+    let words = artifact.encode()?;
+    println!(
+        "control store: {} words x {} bits",
+        words.len(),
+        artifact.machine.control_word_bits()
+    );
+    Ok(())
+}

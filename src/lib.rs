@@ -1,0 +1,38 @@
+//! # `mcc` — a microcode compilation toolkit
+//!
+//! A reproduction of the system landscape surveyed in H.J. Sint, *"A survey
+//! of high level microprogramming languages"* (Mathematisch Centrum, 1980):
+//! four high level microprogramming languages (SIMPL, EMPL, S\*, YALLL)
+//! compiling through a common micro-IR onto simulated horizontal
+//! microarchitectures, with the microinstruction-composition and
+//! register-allocation machinery the survey describes.
+//!
+//! This crate is a facade: it re-exports every subsystem crate under one
+//! name. See the README for a tour and `DESIGN.md` for the architecture.
+//!
+//! ```
+//! use mcc::core::Compiler;
+//! use mcc::machine::machines::hm1;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let artifact = Compiler::new(hm1()).compile_yalll(
+//!     "reg a = R0\nstart: add a, a, 1\n exit\n",
+//! )?;
+//! assert!(artifact.program.instr_count() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use mcc_compact as compact;
+pub use mcc_core as core;
+pub use mcc_empl as empl;
+pub use mcc_lang as lang;
+pub use mcc_machine as machine;
+pub use mcc_mir as mir;
+pub use mcc_regalloc as regalloc;
+pub use mcc_sim as sim;
+pub use mcc_simpl as simpl;
+pub use mcc_sstar as sstar;
+pub use mcc_survey as survey;
+pub use mcc_verify as verify;
+pub use mcc_yalll as yalll;

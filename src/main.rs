@@ -1,0 +1,245 @@
+//! `mcc` — the command-line driver.
+//!
+//! ```text
+//! mcc machines                          list the reference machines
+//! mcc compile -m hm1 -l yalll f.yll     compile, print stats
+//! mcc disasm  -m hm1 -l simpl f.sim     compile and list the microcode
+//! mcc run     -m bx2 -l empl  f.emp     compile, simulate, print symbols
+//! mcc encode  -m hm1 -l yalll f.yll     compile and hex-dump the control store
+//! mcc mdl dump hm1                      print a machine as MDL text
+//! mcc compile --mdl my.mdl -l yalll f   compile for a machine described in MDL
+//! ```
+//!
+//! The language defaults from the file extension: `.yll`/`.yalll` → YALLL,
+//! `.sim`/`.simpl` → SIMPL, `.emp`/`.empl` → EMPL, `.ss`/`.sstar` → S\*.
+
+use std::process::ExitCode;
+
+use mcc::compact::Algorithm;
+use mcc::core::{Compiler, CompilerOptions};
+use mcc::machine::{format_program, ConflictModel, MachineDesc};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mcc <command> [options]
+
+commands:
+  machines                     list reference machines
+  compile  [opts] <file>       compile and report statistics
+  disasm   [opts] <file>       compile and print the microcode listing
+  encode   [opts] <file>       compile and hex-dump the control store
+  run      [opts] <file>       compile, simulate, print symbol values
+  mdl dump <machine>           print a reference machine as MDL text
+
+options:
+  -m, --machine <name>         hm1 | vm1 | bx2 | wm64   (default hm1)
+      --mdl <file>             use a machine described in MDL instead
+  -l, --lang <name>            yalll | simpl | empl | sstar
+                               (default: from the file extension)
+  -a, --algo <name>            linear | critpath | levelpack | tokoro | optimal
+      --coarse                 use the coarse conflict model
+      --budget <n>             restrict each register file to n registers
+      --poll <n>               insert interrupt polls every n operations"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    command: String,
+    machine: Option<String>,
+    mdl: Option<String>,
+    lang: Option<String>,
+    algo: Option<String>,
+    coarse: bool,
+    budget: Option<u16>,
+    poll: Option<usize>,
+    positional: Vec<String>,
+}
+
+fn parse_args() -> Option<Args> {
+    let mut it = std::env::args().skip(1);
+    let command = it.next()?;
+    let mut a = Args {
+        command,
+        machine: None,
+        mdl: None,
+        lang: None,
+        algo: None,
+        coarse: false,
+        budget: None,
+        poll: None,
+        positional: Vec::new(),
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-m" | "--machine" => a.machine = Some(it.next()?),
+            "--mdl" => a.mdl = Some(it.next()?),
+            "-l" | "--lang" => a.lang = Some(it.next()?),
+            "-a" | "--algo" => a.algo = Some(it.next()?),
+            "--coarse" => a.coarse = true,
+            "--budget" => a.budget = it.next()?.parse().ok(),
+            "--poll" => a.poll = it.next()?.parse().ok(),
+            _ => a.positional.push(arg),
+        }
+    }
+    Some(a)
+}
+
+fn lang_of(args: &Args, path: &str) -> Result<String, String> {
+    if let Some(l) = &args.lang {
+        return Ok(l.to_lowercase());
+    }
+    let ext = path.rsplit('.').next().unwrap_or("");
+    match ext {
+        "yll" | "yalll" => Ok("yalll".into()),
+        "sim" | "simpl" => Ok("simpl".into()),
+        "emp" | "empl" => Ok("empl".into()),
+        "ss" | "sstar" => Ok("sstar".into()),
+        _ => Err(format!(
+            "cannot infer language from `{path}`; pass --lang"
+        )),
+    }
+}
+
+fn machine_of(args: &Args) -> Result<MachineDesc, String> {
+    if let Some(path) = &args.mdl {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let m = mcc::machine::mdl::parse(&text).map_err(|e| e.to_string())?;
+        m.validate().map_err(|e| e.to_string())?;
+        return Ok(m);
+    }
+    let name = args.machine.as_deref().unwrap_or("hm1");
+    mcc::machine::machines::by_name(name).ok_or_else(|| format!("unknown machine `{name}`"))
+}
+
+fn compiler_of(args: &Args) -> Result<Compiler, String> {
+    let machine = machine_of(args)?;
+    let mut opts = CompilerOptions::default();
+    if let Some(algo) = &args.algo {
+        opts.algorithm = match algo.as_str() {
+            "linear" => Algorithm::Linear,
+            "critpath" => Algorithm::CriticalPath,
+            "levelpack" => Algorithm::LevelPack,
+            "tokoro" => Algorithm::Tokoro,
+            "optimal" => Algorithm::BranchBound,
+            other => return Err(format!("unknown algorithm `{other}`")),
+        };
+    }
+    if args.coarse {
+        opts.model = ConflictModel::Coarse;
+    }
+    opts.alloc.budget = args.budget;
+    opts.poll_interval = args.poll;
+    Ok(Compiler::with_options(machine, opts))
+}
+
+fn compile(args: &Args) -> Result<mcc::core::Artifact, String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| "missing input file".to_string())?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let lang = lang_of(args, path)?;
+    let c = compiler_of(args)?;
+    let art = match lang.as_str() {
+        "yalll" => c.compile_yalll(&src),
+        "simpl" => c.compile_simpl(&src),
+        "empl" => c.compile_empl(&src),
+        "sstar" => c.compile_sstar(&src),
+        other => return Err(format!("unknown language `{other}`")),
+    }
+    .map_err(|e| e.to_string())?;
+    for w in &art.warnings {
+        eprintln!("warning: {}", w.message);
+    }
+    Ok(art)
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        return usage();
+    };
+    let result = match args.command.as_str() {
+        "machines" => {
+            for m in mcc::machine::machines::all() {
+                println!(
+                    "{:<6} {:>3}-bit control word, {} phases, {} templates, {} registers",
+                    m.name,
+                    m.control_word_bits(),
+                    m.phases,
+                    m.templates.len(),
+                    m.files.iter().map(|f| f.count as usize).sum::<usize>(),
+                );
+            }
+            Ok(())
+        }
+        "mdl" => {
+            if args.positional.first().map(String::as_str) == Some("dump") {
+                match args
+                    .positional
+                    .get(1)
+                    .and_then(|n| mcc::machine::machines::by_name(n))
+                {
+                    Some(m) => {
+                        print!("{}", mcc::machine::mdl::to_mdl(&m));
+                        Ok(())
+                    }
+                    None => Err("mdl dump: unknown or missing machine name".to_string()),
+                }
+            } else {
+                Err("mdl: expected `dump <machine>`".to_string())
+            }
+        }
+        "compile" => compile(&args).map(|art| {
+            println!(
+                "{}: {} microinstructions, {} micro-ops ({:.2} ops/instr), \
+                 {} spills, {} polls, {} dead flag writes",
+                art.machine.name,
+                art.stats.micro_instrs,
+                art.stats.micro_ops,
+                art.stats.packing_ratio(),
+                art.stats.spills,
+                art.stats.polls,
+                art.stats.dead_flags,
+            );
+        }),
+        "disasm" => compile(&args).map(|art| {
+            print!("{}", format_program(&art.machine, &art.program));
+        }),
+        "encode" => compile(&args).and_then(|art| {
+            let words = art.encode().map_err(|e| e.to_string())?;
+            let digits = (art.machine.control_word_bits() as usize).div_ceil(4);
+            for (i, w) in words.iter().enumerate() {
+                println!("{i:4}  {w:0digits$x}");
+            }
+            Ok(())
+        }),
+        "run" => compile(&args).and_then(|art| {
+            let (sim, stats) = art.run().map_err(|e| e.to_string())?;
+            println!(
+                "halted after {} cycles ({} instructions, {} µops)",
+                stats.cycles, stats.instrs, stats.uops
+            );
+            let mut names: Vec<&String> = art.symbols.keys().collect();
+            names.sort();
+            for n in names {
+                if let Some(v) = art.read_symbol(&sim, n) {
+                    println!("  {n} = {v} ({v:#x})");
+                }
+            }
+            Ok(())
+        }),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mcc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

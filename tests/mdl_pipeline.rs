@@ -1,0 +1,219 @@
+//! MDL end-to-end: a machine described purely as text goes through the
+//! whole pipeline (MPGL's §2.2.5 machine-specification idea).
+
+use mcc::core::Compiler;
+use mcc::machine::mdl;
+
+/// A deliberately small 8-bit machine with one ALU and one move path.
+const TINY: &str = "\
+machine TINY-8 width 8 phases 2
+file R count 4 width 8 macro
+file S count 2 width 8
+file F count 1 width 8
+special mar = S 0
+special mbr = S 1
+special flags = F 0
+class gp = R[0..4]
+class mv = R[0..4], S[0..2]
+resource alu kind alu
+resource bus kind bus
+resource mem kind memory
+resource seq kind sequencer
+field alu_op width 3
+field alu_a width 2
+field alu_b width 2
+field alu_d width 2
+field alu_sel width 1
+field mv_op width 2
+field mv_s width 3
+field mv_d width 3
+field mem_op width 2
+field imm width 8
+field seq_op width 2
+field cond width 2
+field addr width 8
+cond true
+cond zero
+cond notzero
+cond neg
+template add semantic alu.add
+  dst gp
+  src gp
+  src gp
+  flags
+  set alu_op = const 1
+  set alu_sel = const 0
+  set alu_a = src 0
+  set alu_b = src 1
+  set alu_d = dst
+  occupy alu 0..2
+end
+template sub semantic alu.sub
+  dst gp
+  src gp
+  src gp
+  flags
+  set alu_op = const 2
+  set alu_sel = const 0
+  set alu_a = src 0
+  set alu_b = src 1
+  set alu_d = dst
+  occupy alu 0..2
+end
+template subi semantic alu.sub
+  dst gp
+  src gp
+  imm 8
+  flags
+  set alu_op = const 2
+  set alu_sel = const 1
+  set alu_a = src 0
+  set alu_d = dst
+  set imm = imm
+  occupy alu 0..2
+end
+template pass semantic alu.pass
+  dst gp
+  src gp
+  flags
+  set alu_op = const 3
+  set alu_sel = const 0
+  set alu_a = src 0
+  set alu_d = dst
+  occupy alu 0..2
+end
+template mov semantic move
+  dst mv
+  src mv
+  set mv_op = const 1
+  set mv_s = src 0
+  set mv_d = dst
+  occupy bus 0..1
+end
+template ldi semantic loadimm
+  dst mv
+  imm 8
+  set mv_op = const 2
+  set mv_d = dst
+  set imm = imm
+  occupy bus 0..1
+end
+template read semantic memread
+  reads S 0
+  writes S 1
+  set mem_op = const 1
+  occupy mem 0..2
+end
+template write semantic memwrite
+  reads S 0
+  reads S 1
+  set mem_op = const 2
+  occupy mem 0..2
+end
+template jmp semantic jump
+  target
+  set seq_op = const 1
+  set addr = target
+  occupy seq 1..2
+end
+template br semantic branch
+  cond
+  target
+  set seq_op = const 2
+  set cond = cond
+  set addr = target
+  occupy seq 1..2
+end
+template halt semantic halt
+  set seq_op = const 3
+  occupy seq 1..2
+end
+";
+
+#[test]
+fn text_machine_compiles_and_runs_yalll() {
+    let m = mdl::parse(TINY).unwrap();
+    m.validate().unwrap();
+    assert_eq!(m.name, "TINY-8");
+
+    let src = "\
+reg n = R0
+reg acc = R1
+const n, 10
+const acc, 0
+loop: jump done if n = 0
+    add acc, acc, n
+    sub n, n, 1
+    jump loop
+done: exit acc
+";
+    let art = Compiler::new(m).compile_yalll(src).unwrap();
+    let (sim, _) = art.run().unwrap();
+    // 8-bit machine: 55 fits.
+    assert_eq!(art.read_symbol(&sim, "acc"), Some(55));
+}
+
+#[test]
+fn text_machine_legalises_wide_constants() {
+    // 200 fits 8 bits; 300 does not exist on an 8-bit datapath (values
+    // wrap) — but a 16-bit constant *request* is masked by legalisation
+    // through the 8-bit ldi path. Check wrapping semantics end to end.
+    let m = mdl::parse(TINY).unwrap();
+    let art = Compiler::new(m)
+        .compile_yalll("reg x = R0\nconst x, 200\nsub x, x, 100\nexit x\n")
+        .unwrap();
+    let (sim, _) = art.run().unwrap();
+    assert_eq!(art.read_symbol(&sim, "x"), Some(100));
+}
+
+#[test]
+fn text_machine_memory_roundtrip() {
+    let m = mdl::parse(TINY).unwrap();
+    let src = "\
+reg a = R0
+reg v = R1
+const a, 0x20
+const v, 77
+stor v, a
+reg w = R2
+load w, a
+exit w
+";
+    let art = Compiler::new(m).compile_yalll(src).unwrap();
+    let (sim, _) = art.run().unwrap();
+    assert_eq!(art.read_symbol(&sim, "w"), Some(77));
+    assert_eq!(sim.mem(0x20), 77);
+}
+
+#[test]
+fn text_machine_encodes_and_decodes() {
+    let m = mdl::parse(TINY).unwrap();
+    let art = Compiler::new(m.clone())
+        .compile_yalll("reg x = R0\nconst x, 5\nadd x, x, x\nexit x\n")
+        .unwrap();
+    let words = art.encode().unwrap();
+    assert_eq!(words.len(), art.program.instr_count());
+    for (mi, w) in art.program.flatten().iter().zip(&words) {
+        let mut back = mcc::machine::decode_instr(&m, *w).unwrap();
+        back.ops.sort_by_key(|o| o.template);
+        let mut want = mi.clone();
+        want.ops.sort_by_key(|o| o.template);
+        assert_eq!(back, want);
+    }
+}
+
+#[test]
+fn dump_and_reparse_reference_machines_compile() {
+    // by_name → to_mdl → parse → compile: the full circle.
+    for name in ["hm1", "vm1", "bx2", "wm64"] {
+        let m = mcc::machine::machines::by_name(name).unwrap();
+        let text = mdl::to_mdl(&m);
+        let back = mdl::parse(&text).unwrap();
+        let gp = if back.find_file("R").is_some() { "R0" } else { "G0" };
+        let art = Compiler::new(back)
+            .compile_yalll(&format!("reg x = {gp}\nconst x, 3\nadd x, x, 4\nexit x\n"))
+            .unwrap();
+        let (sim, _) = art.run().unwrap();
+        assert_eq!(art.read_symbol(&sim, "x"), Some(7), "{name}");
+    }
+}

@@ -1,0 +1,351 @@
+//! Property-based tests over the pipeline's core invariants (proptest).
+
+use proptest::prelude::*;
+
+use mcc::compact::{compact, Algorithm};
+use mcc::core::{Compiler, CompilerOptions};
+use mcc::machine::machines::{bx2, hm1, vm1, wm64};
+use mcc::machine::{AluOp, ConflictModel, MachineDesc, RegRef, ShiftOp};
+use mcc::mir::select::select_op;
+use mcc::mir::{FuncBuilder, Operand, Term};
+
+/// A randomly generated straight-line operation over registers R0..R7.
+#[derive(Debug, Clone)]
+enum GenOp {
+    Ldi { d: u16, v: u16 },
+    Mov { d: u16, s: u16 },
+    Alu { op: u8, d: u16, a: u16, b: u16 },
+    AluImm { op: u8, d: u16, a: u16, v: u16 },
+    Shift { op: u8, d: u16, a: u16, n: u8 },
+}
+
+fn alu_of(code: u8) -> AluOp {
+    match code % 7 {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::And,
+        3 => AluOp::Or,
+        4 => AluOp::Xor,
+        5 => AluOp::Inc,
+        _ => AluOp::Not,
+    }
+}
+
+fn shift_of(code: u8) -> ShiftOp {
+    match code % 5 {
+        0 => ShiftOp::Shl,
+        1 => ShiftOp::Shr,
+        2 => ShiftOp::Sar,
+        3 => ShiftOp::Rol,
+        _ => ShiftOp::Ror,
+    }
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (0u16..8, any::<u16>()).prop_map(|(d, v)| GenOp::Ldi { d, v }),
+        (0u16..8, 0u16..8).prop_map(|(d, s)| GenOp::Mov { d, s }),
+        (any::<u8>(), 0u16..8, 0u16..8, 0u16..8)
+            .prop_map(|(op, d, a, b)| GenOp::Alu { op, d, a, b }),
+        (any::<u8>(), 0u16..8, 0u16..8, any::<u16>())
+            .prop_map(|(op, d, a, v)| GenOp::AluImm { op, d, a, v }),
+        (any::<u8>(), 0u16..8, 0u16..8, 0u8..15)
+            .prop_map(|(op, d, a, n)| GenOp::Shift { op, d, a, n }),
+    ]
+}
+
+fn build(m: &MachineDesc, ops: &[GenOp]) -> mcc::mir::MirFunction {
+    let file = m.find_file("R").unwrap();
+    let r = |i: u16| Operand::Reg(RegRef::new(file, i));
+    let mut b = FuncBuilder::new("prop");
+    for op in ops {
+        match *op {
+            GenOp::Ldi { d, v } => b.ldi(r(d), v as u64),
+            GenOp::Mov { d, s } => b.mov(r(d), r(s)),
+            GenOp::Alu { op, d, a, b: bb } => {
+                let op = alu_of(op);
+                if op.is_unary() {
+                    b.alu_un(op, r(d), r(a));
+                } else {
+                    b.alu(op, r(d), r(a), r(bb));
+                }
+            }
+            GenOp::AluImm { op, d, a, v } => {
+                let op = alu_of(op);
+                if op.is_unary() {
+                    b.alu_un(op, r(d), r(a));
+                } else {
+                    b.alu_imm(op, r(d), r(a), v as u64);
+                }
+            }
+            GenOp::Shift { op, d, a, n } => b.shift(shift_of(op), r(d), r(a), n as u64),
+        }
+    }
+    // The harness seeds and reads R0..R7 externally: they are observable,
+    // so compiler temporaries must not be allocated over them.
+    for i in 0..8 {
+        b.mark_live_out(r(i));
+    }
+    b.terminate(Term::Halt);
+    b.finish()
+}
+
+fn run_regs(m: &MachineDesc, f: mcc::mir::MirFunction, algo: Algorithm, model: ConflictModel) -> Vec<u64> {
+    let opts = CompilerOptions {
+        algorithm: algo,
+        model,
+        ..Default::default()
+    };
+    let art = Compiler::with_options(m.clone(), opts).compile_mir(f).unwrap();
+    let mut sim = art.simulator();
+    let file = m.find_file("R").unwrap();
+    for i in 0..8 {
+        sim.set_reg(RegRef::new(file, i), 0x1111u64.wrapping_mul(i as u64 + 1) & 0xFFFF);
+    }
+    sim.run(&Default::default()).unwrap();
+    (0..8).map(|i| sim.reg(RegRef::new(file, i))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every compaction algorithm, under both conflict models, preserves
+    /// the architectural semantics of a random straight-line block.
+    #[test]
+    fn compaction_preserves_semantics(ops in proptest::collection::vec(gen_op(), 1..14)) {
+        let m = hm1();
+        let reference = run_regs(&m, build(&m, &ops), Algorithm::Linear, ConflictModel::Coarse);
+        for algo in Algorithm::ALL {
+            for model in [ConflictModel::Coarse, ConflictModel::Fine] {
+                let got = run_regs(&m, build(&m, &ops), algo, model);
+                prop_assert_eq!(&got, &reference, "{} / {:?}", algo.name(), model);
+            }
+        }
+    }
+
+    /// The same programs run identically on the vertical machine (one op
+    /// per instruction): machine choice must not change semantics.
+    #[test]
+    fn machines_agree_on_semantics(ops in proptest::collection::vec(gen_op(), 1..10)) {
+        let h = run_regs(&hm1(), build(&hm1(), &ops), Algorithm::CriticalPath, ConflictModel::Fine);
+        let v = run_regs(&vm1(), build(&vm1(), &ops), Algorithm::CriticalPath, ConflictModel::Fine);
+        prop_assert_eq!(h, v);
+    }
+
+    /// Compaction never emits more instructions than operations, and the
+    /// optimal schedule is at most as long as every heuristic's.
+    #[test]
+    fn optimal_is_a_lower_bound(ops in proptest::collection::vec(gen_op(), 1..10)) {
+        let m = hm1();
+        let f = build(&m, &ops);
+        let mut f2 = f.clone();
+        mcc::mir::legalize(&m, &mut f2).unwrap();
+        let sel: Vec<_> = f2.blocks[0]
+            .ops
+            .iter()
+            .map(|o| select_op(&m, o).unwrap())
+            .collect();
+        let best = compact(&m, &sel, Algorithm::BranchBound, ConflictModel::Fine).len();
+        for algo in [Algorithm::Linear, Algorithm::CriticalPath, Algorithm::LevelPack, Algorithm::Tokoro] {
+            let c = compact(&m, &sel, algo, ConflictModel::Fine);
+            prop_assert!(c.len() <= sel.len());
+            prop_assert!(best <= c.len(), "{} beat optimal", algo.name());
+        }
+    }
+
+    /// encode → decode is the identity on every microinstruction of a
+    /// compiled random block, on every machine.
+    #[test]
+    fn encoding_roundtrips(ops in proptest::collection::vec(gen_op(), 1..8)) {
+        for m in [hm1(), vm1(), wm64(), bx2()] {
+            // BX-2 has no "R" file; map register indices into G0..G7.
+            let f = if m.find_file("R").is_some() {
+                build(&m, &ops)
+            } else {
+                // Rebuild over the G file.
+                let file = m.find_file("G").unwrap();
+                let r = |i: u16| Operand::Reg(RegRef::new(file, i % 8));
+                let mut b = FuncBuilder::new("prop");
+                for op in &ops {
+                    match *op {
+                        GenOp::Ldi { d, v } => b.ldi(r(d), (v & 0xFF) as u64),
+                        GenOp::Mov { d, s } => b.mov(r(d), r(s)),
+                        GenOp::Alu { op, d, a, b: bb } => {
+                            let op = alu_of(op);
+                            if op.is_unary() {
+                                b.alu_un(op, r(d), r(a));
+                            } else {
+                                b.alu(op, r(d), r(a), r(bb));
+                            }
+                        }
+                        GenOp::AluImm { op, d, a, v } => {
+                            let op = alu_of(op);
+                            if op.is_unary() {
+                                b.alu_un(op, r(d), r(a));
+                            } else {
+                                b.alu_imm(op, r(d), r(a), (v & 0xFF) as u64);
+                            }
+                        }
+                        GenOp::Shift { op, d, a, n } => {
+                            b.shift(shift_of(op), r(d), r(a), (n % 4) as u64)
+                        }
+                    }
+                }
+                b.terminate(Term::Halt);
+                b.finish()
+            };
+            let art = Compiler::new(m.clone()).compile_mir(f).unwrap();
+            for mi in art.program.flatten() {
+                let w = mcc::machine::encode_instr(&m, &mi).unwrap();
+                let mut back = mcc::machine::decode_instr(&m, w).unwrap();
+                back.ops.sort_by_key(|o| o.template);
+                let mut want = mi.clone();
+                want.ops.sort_by_key(|o| o.template);
+                prop_assert_eq!(back, want, "machine {}", m.name);
+            }
+        }
+    }
+
+    /// Register allocation under a starvation budget computes the same
+    /// values as with all registers available.
+    #[test]
+    fn spilling_preserves_values(
+        ops in proptest::collection::vec(gen_op(), 1..12),
+        budget in 3u16..6,
+    ) {
+        // Rebuild over virtual registers: v0..v7.
+        let m = hm1();
+        let mk = |_budget: Option<u16>| {
+            let mut b = FuncBuilder::new("prop");
+            let vs: Vec<_> = (0..8).map(|_| b.vreg()).collect();
+            // Seed every vreg so results are deterministic.
+            for (i, &v) in vs.iter().enumerate() {
+                b.ldi(v, (0x1111 * (i as u64 + 1)) & 0xFFFF);
+            }
+            let r = |i: u16| Operand::Vreg(vs[i as usize]);
+            for op in &ops {
+                match *op {
+                    GenOp::Ldi { d, v } => b.ldi(r(d), v as u64),
+                    GenOp::Mov { d, s } => b.mov(r(d), r(s)),
+                    GenOp::Alu { op, d, a, b: bb } => {
+                        let op = alu_of(op);
+                        if op.is_unary() {
+                            b.alu_un(op, r(d), r(a));
+                        } else {
+                            b.alu(op, r(d), r(a), r(bb));
+                        }
+                    }
+                    GenOp::AluImm { op, d, a, v } => {
+                        let op = alu_of(op);
+                        if op.is_unary() {
+                            b.alu_un(op, r(d), r(a));
+                        } else {
+                            b.alu_imm(op, r(d), r(a), v as u64);
+                        }
+                    }
+                    GenOp::Shift { op, d, a, n } => b.shift(shift_of(op), r(d), r(a), n as u64),
+                }
+            }
+            for &v in &vs {
+                b.mark_live_out(v);
+            }
+            b.terminate(Term::Halt);
+            (b.finish(), vs)
+        };
+
+        let read = |budget: Option<u16>| -> Vec<u64> {
+            let (f, vs) = mk(budget);
+            let mut opts = CompilerOptions::default();
+            opts.alloc.budget = budget;
+            let art = Compiler::with_options(m.clone(), opts).compile_mir(f).unwrap();
+            let (sim, _) = art.run().unwrap();
+            vs.iter()
+                .map(|&v| match art.locations.get(&v) {
+                    Some(mcc::regalloc::Location::Reg(r))
+                    | Some(mcc::regalloc::Location::Scratch(r)) => sim.reg(*r),
+                    Some(mcc::regalloc::Location::Mem(a)) => sim.mem(*a),
+                    None => 0,
+                })
+                .collect()
+        };
+
+        let ample = read(None);
+        let tight = read(Some(budget));
+        prop_assert_eq!(ample, tight);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Weakest preconditions are sound: `wp(assigns, post)` holds in a
+    /// state iff `post` holds after executing the assignments.
+    #[test]
+    fn wp_is_sound(
+        seed_x in any::<u16>(),
+        seed_y in any::<u16>(),
+        k in any::<u16>(),
+    ) {
+        use mcc::verify::{parse_expr, parse_pred, wp, Assign};
+        let assigns = vec![
+            Assign::new("x", parse_expr("x + y").unwrap()),
+            Assign::new("y", parse_expr(&format!("y ^ {k}")).unwrap()),
+            Assign::new("x", parse_expr("x & y").unwrap()),
+        ];
+        let post = parse_pred("x <= y or x = 0").unwrap();
+        let pre = wp(&assigns, &post);
+
+        let mut env = std::collections::BTreeMap::new();
+        env.insert("x".to_string(), seed_x as u64);
+        env.insert("y".to_string(), seed_y as u64);
+        let pre_holds = pre.eval(&env, 16);
+
+        // Execute.
+        let mut st = env.clone();
+        for a in &assigns {
+            let v = a.expr.eval(&st, 16);
+            st.insert(a.var.clone(), v);
+        }
+        let post_holds = post.eval(&st, 16);
+        prop_assert_eq!(pre_holds, post_holds);
+    }
+
+    /// ALU semantics agree with Rust's wrapping u16 arithmetic.
+    #[test]
+    fn alu_matches_u16(a in any::<u16>(), b in any::<u16>()) {
+        use mcc::machine::AluOp as A;
+        let cases: Vec<(A, u16)> = vec![
+            (A::Add, a.wrapping_add(b)),
+            (A::Sub, a.wrapping_sub(b)),
+            (A::And, a & b),
+            (A::Or, a | b),
+            (A::Xor, a ^ b),
+            (A::Nand, !(a & b)),
+            (A::Nor, !(a | b)),
+        ];
+        for (op, want) in cases {
+            let (got, _, _) = op.apply(a as u64, b as u64, false, 16);
+            prop_assert_eq!(got, want as u64, "{:?}", op);
+        }
+        let (inc, _, _) = A::Inc.apply(a as u64, 0, false, 16);
+        prop_assert_eq!(inc, a.wrapping_add(1) as u64);
+        let (neg, _, _) = A::Neg.apply(a as u64, 0, false, 16);
+        prop_assert_eq!(neg, a.wrapping_neg() as u64);
+    }
+
+    /// Shift semantics agree with Rust, including the UF bit.
+    #[test]
+    fn shifts_match_u16(a in any::<u16>(), n in 1u32..16) {
+        use mcc::machine::ShiftOp as S;
+        let (shl, uf) = S::Shl.apply(a as u64, n, 16);
+        prop_assert_eq!(shl, (a << n) as u64);
+        prop_assert_eq!(uf, (a >> (16 - n)) & 1 == 1);
+        let (shr, uf) = S::Shr.apply(a as u64, n, 16);
+        prop_assert_eq!(shr, (a >> n) as u64);
+        prop_assert_eq!(uf, (a >> (n - 1)) & 1 == 1);
+        let (rol, _) = S::Rol.apply(a as u64, n, 16);
+        prop_assert_eq!(rol, a.rotate_left(n) as u64);
+        let (ror, _) = S::Ror.apply(a as u64, n, 16);
+        prop_assert_eq!(ror, a.rotate_right(n) as u64);
+    }
+}
