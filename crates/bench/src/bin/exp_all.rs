@@ -10,4 +10,5 @@ fn main() {
     ex::e6b().print("E6b: allocation policy ablation (spread vs reuse)");
     ex::e7().print("E7: interrupt poll-point frequency (section 2.1.5)");
     ex::e8().print("E8: the survey's own observations, regenerated");
+    ex::e9().print("E9: fault-injection dependability - raw vs parity-protected control store");
 }

@@ -1,0 +1,5 @@
+//! Regenerates experiment E9's table (see EXPERIMENTS.md).
+fn main() {
+    mcc_bench::experiments::e9()
+        .print("E9: fault-injection dependability - raw vs parity-protected control store");
+}

@@ -1,4 +1,4 @@
-//! The experiment harnesses E1–E8 (see EXPERIMENTS.md for the mapping to
+//! The experiment harnesses E1–E9 (see EXPERIMENTS.md for the mapping to
 //! the paper's claims). Each function returns `(header, rows, notes)` so
 //! the `exp_*` binaries and EXPERIMENTS.md share one source of numbers.
 
@@ -629,8 +629,10 @@ done: exit acc
         ("every 8 ops", Some(8)),
         ("every 2 ops", Some(2)),
     ] {
-        let mut opts = CompilerOptions::default();
-        opts.poll_interval = interval;
+        let opts = CompilerOptions {
+            poll_interval: interval,
+            ..Default::default()
+        };
         let art = Compiler::with_options(hm1(), opts).compile_yalll(src).unwrap();
         let mut sim = art.simulator();
         for i in 0..192u64 {
@@ -716,6 +718,132 @@ pub fn e8() -> Table {
     }
 }
 
+// ----------------------------------------------------------------- E9 ----
+
+/// Watchdog budget for E9: generous against the ≤8-op poll spacing the
+/// campaign compiles its kernels with, tight against corrupted poll-less
+/// loops.
+const E9_WATCHDOG: u64 = 512;
+
+/// Runs one dependability campaign: kernel `k` under `trials` seeded
+/// single-fault runs, with the control store parity-protected or raw.
+///
+/// The same `seed` against both store modes injects the *identical* fault
+/// sequence, so protected and raw rows compare like for like.
+pub fn e9_campaign(
+    k: &crate::kernels::Kernel,
+    c: &Compiler,
+    protect: bool,
+    seed: u64,
+    trials: usize,
+) -> mcc_faults::Tally {
+    let art = k
+        .compile(c)
+        .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+    // Fault-free reference run fixes the injection horizon.
+    let mut sim = art.simulator();
+    (k.setup)(&mut sim);
+    let clean = sim
+        .run(&SimOptions {
+            watchdog: Some(E9_WATCHDOG),
+            ..Default::default()
+        })
+        .unwrap_or_else(|e| panic!("{} clean run: {e}", k.name));
+    assert_eq!(
+        (k.result)(&art, &sim),
+        k.expected,
+        "{} clean run computed the wrong answer",
+        k.name
+    );
+
+    let mut space = mcc_faults::FaultSpace::new(
+        c.machine(),
+        art.program.instr_count() as u32,
+        clean.cycles,
+    );
+    // Target the kernels' working set so memory upsets can matter.
+    space.mem_lo = 0;
+    space.mem_hi = 0x200;
+    let spec = mcc_faults::CampaignSpec {
+        seed,
+        trials,
+        mix: mcc_faults::FaultMix::default(),
+    };
+    // Runaways that keep polling escape the watchdog; the cycle budget is
+    // the blunt backstop.
+    let max_cycles = clean.cycles * 20 + 20_000;
+    let report = mcc_faults::run_campaign(&spec, &space, |plan| {
+        let mut sim = art.simulator();
+        (k.setup)(&mut sim);
+        let res = sim.run(&SimOptions {
+            max_cycles,
+            faults: plan,
+            watchdog: Some(E9_WATCHDOG),
+            protect_store: protect,
+            ..Default::default()
+        });
+        let correct = res.is_ok() && (k.result)(&art, &sim) == k.expected;
+        (res, correct)
+    });
+    report.tally
+}
+
+/// E9 with an explicit trial count (tests use a small one).
+pub fn e9_with(trials: usize) -> Table {
+    // Poll points let the watchdog distinguish a hung machine from a
+    // working loop (§2.1.5's polling, reused as a liveness heartbeat).
+    let opts = CompilerOptions {
+        poll_interval: Some(8),
+        ..Default::default()
+    };
+    let c = Compiler::with_options(hm1(), opts);
+    let mut rows = Vec::new();
+    for (i, k) in suite().iter().enumerate() {
+        for (label, protect) in [("raw", false), ("ecc", true)] {
+            let t = e9_campaign(k, &c, protect, 1980 + i as u64, trials);
+            rows.push(vec![
+                format!("{}/{label}", k.name),
+                t.masked.to_string(),
+                t.recovered.to_string(),
+                t.detected_halt.to_string(),
+                t.hang.to_string(),
+                t.sdc.to_string(),
+                format!("{:.1}%", t.coverage() * 100.0),
+            ]);
+        }
+    }
+    Table {
+        header: vec![
+            "kernel/store",
+            "masked",
+            "recovered",
+            "detected",
+            "hang",
+            "SDC",
+            "coverage",
+        ],
+        rows,
+        notes: vec![
+            format!(
+                "{trials} seeded single-fault trials per row; mix = control flips 50%, \
+                 register 20%, memory 15%, stuck-at 10%, page unmap 5%."
+            ),
+            "raw = corrupted control words execute; ecc = parity-checked fetch with".into(),
+            format!(
+                "scrub + restart-from-checkpoint recovery. Watchdog {E9_WATCHDOG} cycles; \
+                 the same seed feeds both store modes."
+            ),
+            "coverage = fraction of trials not ending in silent data corruption.".into(),
+        ],
+    }
+}
+
+/// E9: dependability under seeded fault injection (§2.1.5 extended: the
+/// microarchitecture must keep its promises when hardware misbehaves).
+pub fn e9() -> Table {
+    e9_with(1000)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -791,6 +919,40 @@ mod tests {
             lat[0] > lat[3],
             "polling must reduce worst-case latency: {lat:?}"
         );
+    }
+
+    /// The acceptance pair for E9: a parity-protected store turns control
+    /// corruption into detect → scrub → restart recoveries, and a raw
+    /// store produces watchdog-caught hangs. Small trial count so the
+    /// suite stays fast; the `exp_e9` binary runs the full 1000.
+    #[test]
+    fn e9_protected_store_recovers_and_raw_store_hangs() {
+        let a = e9_with(120);
+        let count = |suffix: &str, col: usize| -> u64 {
+            a.rows
+                .iter()
+                .filter(|r| r[0].ends_with(suffix))
+                .map(|r| r[col].parse::<u64>().unwrap())
+                .sum()
+        };
+        // Columns: 1 masked, 2 recovered, 3 detected, 4 hang, 5 SDC.
+        assert!(count("/ecc", 2) > 0, "no ECC recovery seen: {:?}", a.rows);
+        assert!(count("/raw", 4) > 0, "no raw-store hang seen: {:?}", a.rows);
+        // Protection must not lose ground on silent corruption overall.
+        assert!(
+            count("/ecc", 5) <= count("/raw", 5),
+            "ECC store shows more SDC than raw: {:?}",
+            a.rows
+        );
+    }
+
+    /// Same seed, same campaign: the table is a pure function of its
+    /// seeds.
+    #[test]
+    fn e9_is_deterministic() {
+        let a = e9_with(40);
+        let b = e9_with(40);
+        assert_eq!(a.rows, b.rows);
     }
 
     #[test]

@@ -79,13 +79,23 @@ impl<'a> Search<'a> {
     }
 }
 
-/// Finds a minimum-length schedule (within the node budget).
-pub fn branch_and_bound(
+/// How a bounded search ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BbStatus {
+    /// The node budget ran out before the search space was exhausted; the
+    /// returned schedule is the best found, not a proven optimum.
+    pub exhausted: bool,
+}
+
+/// Finds a minimum-length schedule within an explicit node budget,
+/// reporting whether the budget ran out.
+pub fn branch_and_bound_budgeted(
     m: &MachineDesc,
     ops: &[SelectedOp],
     g: &DepGraph,
     model: ConflictModel,
-) -> Compaction {
+    budget: u64,
+) -> (Compaction, BbStatus) {
     // Start from the critical-path heuristic as the incumbent.
     let seed = crate::compact(m, ops, crate::Algorithm::CriticalPath, model);
     let mut search = Search {
@@ -96,12 +106,15 @@ pub fn branch_and_bound(
         below: g.critical_path(),
         best_len: seed.len(),
         best: None,
-        budget: 2_000_000,
+        budget,
     };
     let mut instrs = Vec::new();
     let mut placed = Vec::new();
     search.run(0, &mut instrs, &mut placed);
-    match search.best {
+    let status = BbStatus {
+        exhausted: search.budget == 0,
+    };
+    let c = match search.best {
         Some((instrs, mi_of)) => {
             // The search may leave interior empty slots (gaps a later op
             // was expected to fill); `finish` compresses them, which is
@@ -109,7 +122,18 @@ pub fn branch_and_bound(
             crate::finish(m, instrs, mi_of.into_iter().map(Some).collect(), g, model)
         }
         None => seed, // heuristic was already optimal (or budget ran out)
-    }
+    };
+    (c, status)
+}
+
+/// Finds a minimum-length schedule (within the default node budget).
+pub fn branch_and_bound(
+    m: &MachineDesc,
+    ops: &[SelectedOp],
+    g: &DepGraph,
+    model: ConflictModel,
+) -> Compaction {
+    branch_and_bound_budgeted(m, ops, g, model, crate::BB_DEFAULT_BUDGET).0
 }
 
 #[cfg(test)]

@@ -70,6 +70,10 @@ impl Algorithm {
 /// Block size limit for the exact search.
 pub const BB_MAX_OPS: usize = 14;
 
+/// Default node budget for the exact search: deterministic (a node count,
+/// not a timeout), so the same input degrades the same way everywhere.
+pub const BB_DEFAULT_BUDGET: u64 = 2_000_000;
+
 /// Result of compacting one basic block.
 #[derive(Debug, Clone)]
 pub struct Compaction {
@@ -170,7 +174,7 @@ fn list_schedule(
         // Ready ops whose earliest slot is ≤ t, by priority then order.
         let mut ready: Vec<usize> = (0..n)
             .filter(|&j| placed[j].is_none())
-            .filter(|&j| earliest(g, &placed, j).map_or(false, |e| e <= t))
+            .filter(|&j| earliest(g, &placed, j).is_some_and(|e| e <= t))
             .collect();
         ready.sort_by_key(|&j| (std::cmp::Reverse(prio[j]), j));
         let mut progressed = false;
@@ -282,6 +286,164 @@ pub fn compact(
     }
 }
 
+/// The result of [`compact_degrading`]: the schedule, the algorithm that
+/// finally produced it, and the fallback chain taken to get there.
+#[derive(Debug, Clone)]
+pub struct DegradedCompaction {
+    /// The packed schedule.
+    pub compaction: Compaction,
+    /// Name of the algorithm that produced it (`"sequential"` at the
+    /// bottom of the chain).
+    pub algorithm_used: &'static str,
+    /// One entry per degradation step; empty when the requested algorithm
+    /// succeeded outright.
+    pub events: Vec<String>,
+}
+
+/// Last-resort schedule: one operation per microinstruction, in program
+/// order. Structurally incapable of packing conflicts or reordering
+/// hazards, so it needs no validation to be safe.
+fn sequential(ops: &[SelectedOp]) -> Compaction {
+    Compaction {
+        instrs: ops
+            .iter()
+            .map(|o| MicroInstr::single(o.candidates[0].clone()))
+            .collect(),
+        mi_of: (0..ops.len()).collect(),
+    }
+}
+
+/// Full validation of a finished schedule (release-mode checked — unlike
+/// the `debug_assert`s in [`finish`], this is what the degradation chain
+/// keys off).
+fn check(
+    m: &MachineDesc,
+    g: &DepGraph,
+    c: &Compaction,
+    model: ConflictModel,
+) -> Result<(), String> {
+    if c.mi_of.len() != g.len() {
+        return Err(format!(
+            "{} of {} ops scheduled",
+            c.mi_of.len(),
+            g.len()
+        ));
+    }
+    if !g.schedule_respects(&c.mi_of) {
+        return Err("dependence order violated".into());
+    }
+    for (i, mi) in c.instrs.iter().enumerate() {
+        if let Err(e) = m.validate_instr(mi, model) {
+            return Err(format!("instruction {i}: {e}"));
+        }
+    }
+    Ok(())
+}
+
+/// Compacts a block with graceful degradation instead of failure.
+///
+/// The chain is: the requested algorithm (the exact search is capped by
+/// the deterministic `bb_budget` node budget and the [`BB_MAX_OPS`] size
+/// limit) → critical-path list scheduling → first-come-first-served →
+/// strictly sequential. Every attempt is validated against the dependence
+/// DAG and the machine's conflict oracle; an invalid schedule drops to the
+/// next stage and records why, so the pipeline always emits *correct*
+/// code, merely less compact under duress.
+pub fn compact_degrading(
+    m: &MachineDesc,
+    ops: &[SelectedOp],
+    algo: Algorithm,
+    model: ConflictModel,
+    bb_budget: u64,
+) -> DegradedCompaction {
+    if ops.is_empty() {
+        return DegradedCompaction {
+            compaction: Compaction {
+                instrs: Vec::new(),
+                mi_of: Vec::new(),
+            },
+            algorithm_used: algo.name(),
+            events: Vec::new(),
+        };
+    }
+    let g = DepGraph::build(ops);
+    let used_model = if algo == Algorithm::Tokoro {
+        ConflictModel::Fine
+    } else {
+        model
+    };
+    let mut events: Vec<String> = Vec::new();
+
+    // Stage 1: the requested algorithm.
+    let attempt = match algo {
+        Algorithm::BranchBound if ops.len() > BB_MAX_OPS => {
+            events.push(format!(
+                "optimal: {} ops exceed the {BB_MAX_OPS}-op exact-search limit; \
+                 degrading to list scheduling",
+                ops.len()
+            ));
+            None
+        }
+        Algorithm::BranchBound => {
+            let (c, status) = bb::branch_and_bound_budgeted(m, ops, &g, model, bb_budget);
+            if status.exhausted {
+                events.push(format!(
+                    "optimal: node budget {bb_budget} exhausted; \
+                     keeping best schedule found so far"
+                ));
+            }
+            Some(c)
+        }
+        Algorithm::Linear => Some(linear(m, ops, &g, model)),
+        Algorithm::CriticalPath => Some(list_schedule(m, ops, &g, model)),
+        Algorithm::LevelPack => Some(level_pack(m, ops, &g, model)),
+        Algorithm::Tokoro => Some(list_schedule(m, ops, &g, ConflictModel::Fine)),
+    };
+    if let Some(c) = attempt {
+        match check(m, &g, &c, used_model) {
+            Ok(()) => {
+                return DegradedCompaction {
+                    compaction: c,
+                    algorithm_used: algo.name(),
+                    events,
+                }
+            }
+            Err(e) => events.push(format!("{}: invalid schedule ({e}); degrading", algo.name())),
+        }
+    }
+
+    // Stage 2/3: list scheduling, then first-come-first-served.
+    for fallback in [Algorithm::CriticalPath, Algorithm::Linear] {
+        if fallback == algo {
+            continue; // already tried as the request itself
+        }
+        let c = match fallback {
+            Algorithm::Linear => linear(m, ops, &g, model),
+            _ => list_schedule(m, ops, &g, model),
+        };
+        match check(m, &g, &c, model) {
+            Ok(()) => {
+                return DegradedCompaction {
+                    compaction: c,
+                    algorithm_used: fallback.name(),
+                    events,
+                }
+            }
+            Err(e) => {
+                events.push(format!("{}: invalid schedule ({e}); degrading", fallback.name()))
+            }
+        }
+    }
+
+    // Stage 4: strictly sequential — cannot fail.
+    events.push("sequential: one operation per microinstruction".into());
+    DegradedCompaction {
+        compaction: sequential(ops),
+        algorithm_used: "sequential",
+        events,
+    }
+}
+
 /// Packs a terminator (or other control op) after a compacted body: into
 /// the body's last instruction when conflict-free and dependence-safe, or
 /// into a fresh instruction otherwise. Returns the instruction index used.
@@ -332,6 +494,69 @@ mod tests {
     fn r(m: &MachineDesc, i: u16) -> Operand {
         let f = m.find_file("R").or_else(|| m.find_file("G")).unwrap();
         Operand::Reg(RegRef::new(f, i))
+    }
+
+    /// An oversize block under the exact algorithm degrades to list
+    /// scheduling and records why; the schedule stays valid.
+    #[test]
+    fn degrading_skips_oversize_exact_search() {
+        let m = hm1();
+        let mir: Vec<MirOp> = (0..BB_MAX_OPS as u16 + 6)
+            .map(|i| MirOp::alu(AluOp::Add, r(&m, i % 8), r(&m, (i + 1) % 8), r(&m, (i + 2) % 8)))
+            .collect();
+        let ops = sel(&m, &mir);
+        let d = compact_degrading(&m, &ops, Algorithm::BranchBound, ConflictModel::Fine, 1_000);
+        assert_eq!(d.algorithm_used, "critpath");
+        assert_eq!(d.events.len(), 1);
+        assert!(d.events[0].contains("exceed"), "{}", d.events[0]);
+        let g = DepGraph::build(&ops);
+        assert!(check(&m, &g, &d.compaction, ConflictModel::Fine).is_ok());
+    }
+
+    /// Budget exhaustion keeps the incumbent (still valid, still reported
+    /// as the exact algorithm's best effort) and records the event.
+    #[test]
+    fn degrading_reports_budget_exhaustion() {
+        let m = hm1();
+        let mir: Vec<MirOp> = (0..8u16)
+            .map(|i| MirOp::alu(AluOp::Add, r(&m, i % 8), r(&m, (i + 1) % 8), r(&m, (i + 2) % 8)))
+            .collect();
+        let ops = sel(&m, &mir);
+        let d = compact_degrading(&m, &ops, Algorithm::BranchBound, ConflictModel::Fine, 1);
+        assert_eq!(d.algorithm_used, "optimal");
+        assert!(d.events.iter().any(|e| e.contains("budget")), "{:?}", d.events);
+        let g = DepGraph::build(&ops);
+        assert!(check(&m, &g, &d.compaction, ConflictModel::Fine).is_ok());
+    }
+
+    /// Same seed in = same schedule out: the node budget is deterministic,
+    /// not wall-clock based.
+    #[test]
+    fn degrading_is_deterministic() {
+        let m = hm1();
+        let mir: Vec<MirOp> = (0..10u16)
+            .map(|i| MirOp::alu(AluOp::Add, r(&m, i % 8), r(&m, (i + 1) % 8), r(&m, (i + 2) % 8)))
+            .collect();
+        let ops = sel(&m, &mir);
+        let a = compact_degrading(&m, &ops, Algorithm::BranchBound, ConflictModel::Fine, 5_000);
+        let b = compact_degrading(&m, &ops, Algorithm::BranchBound, ConflictModel::Fine, 5_000);
+        assert_eq!(a.compaction.mi_of, b.compaction.mi_of);
+        assert_eq!(a.events, b.events);
+    }
+
+    /// The sequential floor of the chain is dependence- and conflict-safe
+    /// by construction.
+    #[test]
+    fn sequential_floor_is_valid() {
+        let m = hm1();
+        let mir: Vec<MirOp> = (0..6u16)
+            .map(|i| MirOp::alu(AluOp::Add, r(&m, i), r(&m, i), r(&m, i)))
+            .collect();
+        let ops = sel(&m, &mir);
+        let c = sequential(&ops);
+        let g = DepGraph::build(&ops);
+        assert!(check(&m, &g, &c, ConflictModel::Fine).is_ok());
+        assert_eq!(c.len(), ops.len());
     }
 
     /// Four independent movs on HM-1: only one move bus, so four cycles —

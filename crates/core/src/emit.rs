@@ -8,10 +8,30 @@
 
 use std::collections::HashSet;
 
-use mcc_compact::{compact, pack_control, Algorithm};
+use mcc_compact::{compact_degrading, pack_control, Algorithm};
 use mcc_machine::op::MicroBlock;
 use mcc_machine::{BoundOp, CondKind, ConflictModel, MachineDesc, MicroProgram, Semantic};
 use mcc_mir::select::{SelectedFunction, SelectedTerm};
+
+/// What emission actually did: the algorithm the schedule came from (the
+/// most degraded one across all blocks) and every degradation event.
+#[derive(Debug, Clone, Default)]
+pub struct EmitReport {
+    /// Name of the weakest algorithm any block fell back to.
+    pub algorithm_used: String,
+    /// One entry per degradation step, prefixed with the block index.
+    pub degradations: Vec<String>,
+}
+
+/// Degradation rank: higher = weaker algorithm.
+fn degrade_rank(name: &str) -> u32 {
+    match name {
+        "critpath" => 1,
+        "linear" => 2,
+        "sequential" => 3,
+        _ => 0, // the requested algorithm itself
+    }
+}
 
 fn control_op(m: &MachineDesc, sem: Semantic) -> mcc_machine::TemplateId {
     m.templates_for(sem)
@@ -26,12 +46,18 @@ fn negatable(m: &MachineDesc, cond: CondKind) -> bool {
 }
 
 /// Assembles the selected function into a block-structured microprogram.
+///
+/// Compaction never fails: each block runs through the degradation chain
+/// (requested algorithm → list scheduling → FCFS → sequential), and the
+/// returned [`EmitReport`] records which algorithm the weakest block ended
+/// up with plus every fallback event.
 pub fn emit(
     m: &MachineDesc,
     f: &SelectedFunction,
     algo: Algorithm,
     model: ConflictModel,
-) -> MicroProgram {
+    bb_budget: u64,
+) -> (MicroProgram, EmitReport) {
     // Tokoro-style compaction always judges conflicts per phase; the
     // emitted code must be validated (and terminators packed) under the
     // same model it was scheduled with.
@@ -48,10 +74,28 @@ pub fn emit(
         }
     }
 
+    let mut report = EmitReport {
+        algorithm_used: algo.name().to_string(),
+        degradations: Vec::new(),
+    };
+    let mut worst = 0u32;
     let mut out = MicroProgram::new();
     for (i, b) in f.blocks.iter().enumerate() {
         let i = i as u32;
-        let mut instrs = compact(m, &b.ops, algo, model).instrs;
+        let d = compact_degrading(m, &b.ops, algo, model, bb_budget);
+        for ev in &d.events {
+            report.degradations.push(format!("b{i}: {ev}"));
+        }
+        let rank = if d.algorithm_used == algo.name() {
+            0
+        } else {
+            degrade_rank(d.algorithm_used)
+        };
+        if rank > worst {
+            worst = rank;
+            report.algorithm_used = d.algorithm_used.to_string();
+        }
+        let mut instrs = d.compaction.instrs;
         match &b.term {
             SelectedTerm::Jump(t) => {
                 if *t != i + 1 || table_blocks.contains(&i) {
@@ -107,7 +151,7 @@ pub fn emit(
             .all(|mi| m.validate_instr(mi, model).is_ok()),
         "emitted invalid microinstruction"
     );
-    out
+    (out, report)
 }
 
 #[cfg(test)]
@@ -135,7 +179,7 @@ mod tests {
         let mut f = b.finish();
         mcc_mir::legalize(&m, &mut f).unwrap();
         let sf = select_function(&m, &f).unwrap();
-        emit(&m, &sf, Algorithm::CriticalPath, ConflictModel::Fine)
+        emit(&m, &sf, Algorithm::CriticalPath, ConflictModel::Fine, 0).0
     }
 
     #[test]
@@ -171,7 +215,9 @@ mod tests {
         let mut f = b.finish();
         mcc_mir::legalize(&m, &mut f).unwrap();
         let sf = select_function(&m, &f).unwrap();
-        let p = emit(&m, &sf, Algorithm::CriticalPath, ConflictModel::Fine);
+        let (p, rep) = emit(&m, &sf, Algorithm::CriticalPath, ConflictModel::Fine, 0);
+        assert_eq!(rep.algorithm_used, "critpath");
+        assert!(rep.degradations.is_empty());
         // Block 0: add-MI, then branch-MI (flag RAW forbids packing).
         assert_eq!(p.blocks[0].instrs.len(), 2);
         let br = &p.blocks[0].instrs[1].ops[0];
@@ -204,7 +250,7 @@ mod tests {
         mcc_mir::legalize(&m, &mut f).unwrap();
         mcc_regalloc::allocate(&m, &mut f, &Default::default()).unwrap();
         let sf = select_function(&m, &f).unwrap();
-        let p = emit(&m, &sf, Algorithm::CriticalPath, ConflictModel::Fine);
+        let p = emit(&m, &sf, Algorithm::CriticalPath, ConflictModel::Fine, 0).0;
         assert_eq!(p.blocks[t0 as usize].instrs.len(), 1, "table entry is 1 MI");
         assert_eq!(p.blocks[t1 as usize].instrs.len(), 1, "table entry kept");
     }

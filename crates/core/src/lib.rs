@@ -40,6 +40,9 @@ pub struct CompilerOptions {
     /// When set, insert an interrupt poll point at every loop header and
     /// every `n` straight-line operations (§2.1.5).
     pub poll_interval: Option<usize>,
+    /// Deterministic node budget for the exact branch-and-bound search;
+    /// exhaustion degrades gracefully instead of hanging the compiler.
+    pub bb_budget: u64,
 }
 
 impl Default for CompilerOptions {
@@ -49,6 +52,7 @@ impl Default for CompilerOptions {
             model: ConflictModel::Fine,
             alloc: AllocOptions::default(),
             poll_interval: None,
+            bb_budget: mcc_compact::BB_DEFAULT_BUDGET,
         }
     }
 }
@@ -129,6 +133,13 @@ pub struct CompileStats {
     /// Operations whose flag writes were proven dead (freeing flag-free
     /// template variants for packing).
     pub dead_flags: usize,
+    /// The compaction algorithm that finally produced the schedule — the
+    /// requested one, or whatever the degradation chain fell back to
+    /// (`"sequential"` at the bottom).
+    pub algorithm_used: String,
+    /// Degradation events recorded during emission, one per fallback step
+    /// (empty when every block compacted with the requested algorithm).
+    pub degradations: Vec<String>,
 }
 
 impl CompileStats {
@@ -288,9 +299,17 @@ impl Compiler {
         stats.dead_flags = passes::mark_dead_flags(&mut f);
 
         let selected = mcc_mir::select_function(&self.machine, &f)?;
-        let program = emit::emit(&self.machine, &selected, self.options.algorithm, self.options.model);
+        let (program, emitted) = emit::emit(
+            &self.machine,
+            &selected,
+            self.options.algorithm,
+            self.options.model,
+            self.options.bb_budget,
+        );
         stats.micro_instrs = program.instr_count();
         stats.micro_ops = program.op_count();
+        stats.algorithm_used = emitted.algorithm_used;
+        stats.degradations = emitted.degradations;
 
         Ok(Artifact {
             machine: self.machine.clone(),
@@ -494,6 +513,55 @@ mod tests {
             "expected a trap-safety warning, got {:?}",
             art.warnings
         );
+    }
+
+    /// A straight-line block far over the exact-search size limit still
+    /// compiles under `Algorithm::BranchBound`: the degradation chain
+    /// falls back to list scheduling, the artifact records which
+    /// algorithm actually produced the code, and the result is correct.
+    #[test]
+    fn oversize_block_compiles_via_degradation_chain() {
+        let m = hm1();
+        let mut c = Compiler::new(m);
+        c.options_mut().algorithm = Algorithm::BranchBound;
+        let mut b = FuncBuilder::new("big");
+        let a = b.vreg();
+        b.ldi(a, 1);
+        for _ in 0..21 {
+            b.alu_imm(AluOp::Add, a, a, 1);
+        }
+        b.mark_live_out(a);
+        b.terminate(Term::Halt);
+        let f = b.finish();
+        assert!(f.blocks[0].ops.len() >= 20, "crafted block must be ≥20 ops");
+        let art = c.compile_mir(f).unwrap();
+        assert_eq!(art.stats.algorithm_used, "critpath", "degraded to list scheduling");
+        assert!(
+            art.stats.degradations.iter().any(|d| d.contains("exceed")),
+            "degradation recorded: {:?}",
+            art.stats.degradations
+        );
+        let (sim, _) = art.run().unwrap();
+        let v = match art.locations[&a] {
+            Location::Reg(r) | Location::Scratch(r) => sim.reg(r),
+            Location::Mem(addr) => sim.mem(addr),
+        };
+        assert_eq!(v, 22);
+    }
+
+    /// When compaction succeeds outright the stats name the requested
+    /// algorithm and record no degradations.
+    #[test]
+    fn undegraded_compile_reports_requested_algorithm() {
+        let m = hm1();
+        let mut b = FuncBuilder::new("small");
+        let a = b.vreg();
+        b.ldi(a, 7);
+        b.mark_live_out(a);
+        b.terminate(Term::Halt);
+        let art = Compiler::new(m).compile_mir(b.finish()).unwrap();
+        assert_eq!(art.stats.algorithm_used, "critpath");
+        assert!(art.stats.degradations.is_empty());
     }
 
     #[test]

@@ -340,9 +340,8 @@ impl<'a> Parser<'a> {
     pub fn module(&mut self) -> Result<Module, Diagnostic> {
         let mut m = Module::default();
         loop {
-            match &self.lx.tok {
-                Tok::Eof => break,
-                _ => {}
+            if matches!(self.lx.tok, Tok::Eof) {
+                break;
             }
             if self.kw("DECLARE")? {
                 self.declare(&mut m.decls)?;

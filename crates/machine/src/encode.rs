@@ -56,6 +56,14 @@ pub enum DecodeError {
     UnknownBits(u128),
     /// An operand field held an out-of-range encoding.
     BadOperand(String),
+    /// A matched template is missing operand metadata (corrupt machine
+    /// description rather than corrupt word).
+    MalformedTemplate(String),
+    /// The parity check word disagrees with the control word.
+    EccMismatch {
+        /// XOR of stored and recomputed check bits; nonzero by definition.
+        syndrome: u8,
+    },
 }
 
 impl std::fmt::Display for DecodeError {
@@ -63,11 +71,45 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::UnknownBits(w) => write!(f, "undecodable bits: {w:#x}"),
             DecodeError::BadOperand(s) => write!(f, "bad operand encoding: {s}"),
+            DecodeError::MalformedTemplate(s) => {
+                write!(f, "template `{s}` lacks operand metadata")
+            }
+            DecodeError::EccMismatch { syndrome } => {
+                write!(f, "control-word parity mismatch (syndrome {syndrome:#04x})")
+            }
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
+
+/// Eight-way interleaved parity over a control word: check bit `j` is the
+/// XOR of word bits `i` with `i ≡ j (mod 8)`. Any single-bit upset in the
+/// word (or in the check byte itself) flips exactly one syndrome bit, so
+/// single-event upsets are always detected; correction is not attempted —
+/// recovery re-fetches from a golden copy.
+pub fn ecc_of(word: u128) -> u8 {
+    word.to_le_bytes().iter().fold(0, |acc, b| acc ^ b)
+}
+
+/// The parity syndrome of a stored `(word, check)` pair; zero means clean.
+pub fn ecc_syndrome(word: u128, check: u8) -> u8 {
+    ecc_of(word) ^ check
+}
+
+/// Decodes a control word after verifying its parity check byte.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::EccMismatch`] when the check byte disagrees with
+/// the word, otherwise behaves as [`decode_instr`].
+pub fn decode_checked(m: &MachineDesc, word: u128, check: u8) -> Result<MicroInstr, DecodeError> {
+    let syndrome = ecc_syndrome(word, check);
+    if syndrome != 0 {
+        return Err(DecodeError::EccMismatch { syndrome });
+    }
+    decode_instr(m, word)
+}
 
 fn field_value(
     m: &MachineDesc,
@@ -225,7 +267,9 @@ pub fn decode_instr(m: &MachineDesc, word: u128) -> Result<MicroInstr, DecodeErr
             match fs.value {
                 FieldValueSrc::Const(_) => {}
                 FieldValueSrc::Dst => {
-                    let class = t.dst.expect("validated");
+                    let Some(class) = t.dst else {
+                        return Err(DecodeError::MalformedTemplate(t.name.clone()));
+                    };
                     match m.class(class).member_at(extract(word, m, fs.field)) {
                         Some(r) => op.dst = Some(r),
                         None => {
@@ -243,7 +287,9 @@ pub fn decode_instr(m: &MachineDesc, word: u128) -> Result<MicroInstr, DecodeErr
                             SrcSpec::Imm { .. } => None,
                         })
                         .collect();
-                    let class = classes[n as usize];
+                    let Some(&class) = classes.get(n as usize) else {
+                        return Err(DecodeError::MalformedTemplate(t.name.clone()));
+                    };
                     match m.class(class).member_at(extract(word, m, fs.field)) {
                         Some(r) => {
                             while op.srcs.len() <= n as usize {
@@ -281,7 +327,15 @@ pub fn decode_instr(m: &MachineDesc, word: u128) -> Result<MicroInstr, DecodeErr
     }
     // Restore a canonical order (template id) so decode is deterministic.
     ops.sort_by_key(|o| o.template);
-    Ok(MicroInstr::of(ops))
+    let mi = MicroInstr::of(ops);
+    // Strict inverse check: bits no template claimed (or claimed
+    // inconsistently) would otherwise be dropped silently — exactly the
+    // failure mode a fault campaign must detect, not mask.
+    let back = encode_instr(m, &mi).map_err(|e| DecodeError::BadOperand(e.to_string()))?;
+    if back != word {
+        return Err(DecodeError::UnknownBits(word ^ back));
+    }
+    Ok(mi)
 }
 
 /// Encodes a whole program into a control store image (one word per
@@ -292,6 +346,22 @@ pub fn decode_instr(m: &MachineDesc, word: u128) -> Result<MicroInstr, DecodeErr
 /// Propagates any [`EncodeError`] from the individual instructions.
 pub fn encode_program(m: &MachineDesc, p: &MicroProgram) -> Result<Vec<u128>, EncodeError> {
     p.flatten().iter().map(|mi| encode_instr(m, mi)).collect()
+}
+
+/// Encodes a whole program into `(control word, parity check)` pairs, the
+/// image a fault-tolerant control store loads (see [`ecc_of`]).
+///
+/// # Errors
+///
+/// Propagates any [`EncodeError`] from the individual instructions.
+pub fn encode_program_ecc(
+    m: &MachineDesc,
+    p: &MicroProgram,
+) -> Result<Vec<(u128, u8)>, EncodeError> {
+    Ok(encode_program(m, p)?
+        .into_iter()
+        .map(|w| (w, ecc_of(w)))
+        .collect())
 }
 
 #[cfg(test)]
@@ -376,6 +446,71 @@ mod tests {
             encode_instr(&m, &mi),
             Err(EncodeError::FieldCollision { .. })
         ));
+    }
+
+    #[test]
+    fn ecc_detects_every_single_bit_flip() {
+        let m = hm1();
+        let add = m.find_template("add").unwrap();
+        let gp = m.find_file("R").unwrap();
+        let op = BoundOp::new(add)
+            .with_dst(RegRef::new(gp, 1))
+            .with_src(RegRef::new(gp, 2))
+            .with_src(RegRef::new(gp, 3));
+        let w = encode_instr(&m, &MicroInstr::single(op)).unwrap();
+        let check = ecc_of(w);
+        assert_eq!(ecc_syndrome(w, check), 0);
+        for bit in 0..128 {
+            let flipped = w ^ (1u128 << bit);
+            assert_ne!(
+                ecc_syndrome(flipped, check),
+                0,
+                "flip of word bit {bit} must raise a nonzero syndrome"
+            );
+            assert!(matches!(
+                decode_checked(&m, flipped, check),
+                Err(DecodeError::EccMismatch { .. })
+            ));
+        }
+        for bit in 0..8 {
+            assert_ne!(
+                ecc_syndrome(w, check ^ (1 << bit)),
+                0,
+                "flip of check bit {bit} must raise a nonzero syndrome"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_checked_round_trips_clean_words() {
+        let m = hm1();
+        let mov = m.find_template("mov").unwrap();
+        let gp = m.find_file("R").unwrap();
+        let op = BoundOp::new(mov)
+            .with_dst(RegRef::new(gp, 4))
+            .with_src(RegRef::new(gp, 5));
+        let mi = MicroInstr::single(op);
+        let w = encode_instr(&m, &mi).unwrap();
+        assert_eq!(decode_checked(&m, w, ecc_of(w)).unwrap(), mi);
+    }
+
+    #[test]
+    fn corrupted_words_error_or_roundtrip_without_panicking() {
+        let m = hm1();
+        let add = m.find_template("add").unwrap();
+        let gp = m.find_file("R").unwrap();
+        let op = BoundOp::new(add)
+            .with_dst(RegRef::new(gp, 1))
+            .with_src(RegRef::new(gp, 2))
+            .with_src(RegRef::new(gp, 3));
+        let w = encode_instr(&m, &MicroInstr::single(op)).unwrap();
+        for bit in 0..m.control_word_bits() as u32 {
+            let flipped = w ^ (1u128 << bit);
+            if let Ok(mi) = decode_instr(&m, flipped) {
+                let back = encode_instr(&m, &mi).unwrap();
+                assert_eq!(back, flipped, "a decode that succeeds must be exact");
+            }
+        }
     }
 
     #[test]

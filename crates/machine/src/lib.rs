@@ -53,7 +53,10 @@ pub mod resource;
 pub mod semantic;
 pub mod template;
 
-pub use encode::{decode_instr, encode_instr, encode_program, DecodeError, EncodeError};
+pub use encode::{
+    decode_checked, decode_instr, ecc_of, ecc_syndrome, encode_instr, encode_program,
+    encode_program_ecc, DecodeError, EncodeError,
+};
 pub use field::{ControlField, ControlWordFormat};
 pub use ids::{ClassId, CondId, FieldId, FileId, ResourceId, TemplateId};
 pub use machine::{ConflictModel, MachineDesc, MachineError};

@@ -64,7 +64,7 @@ mod tests {
         let h = hm1().control_word_bits();
         let v = vm1().control_word_bits();
         assert!(
-            h > 2 * v as u16 / 1,
+            h > 2 * v,
             "HM-1 ({h} bits) should dwarf VM-1 ({v} bits)"
         );
     }

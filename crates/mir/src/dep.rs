@@ -78,9 +78,7 @@ impl DepGraph {
                 let b = &ops[j];
                 let barrier = is_barrier(a.sem) || is_barrier(b.sem);
                 let both_mem = a.sem.may_trap() && b.sem.may_trap();
-                let kind = if barrier || both_mem {
-                    Some(DepKind::Flow)
-                } else if intersects(&a.writes, &b.reads) {
+                let kind = if barrier || both_mem || intersects(&a.writes, &b.reads) {
                     Some(DepKind::Flow)
                 } else if intersects(&a.writes, &b.writes) {
                     Some(DepKind::Output)

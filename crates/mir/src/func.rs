@@ -166,12 +166,12 @@ impl MirFunction {
     pub fn has_virtual_regs(&self) -> bool {
         self.blocks.iter().any(|b| {
             b.ops.iter().any(|op| {
-                op.dst.map_or(false, |d| d.is_virtual())
+                op.dst.is_some_and(|d| d.is_virtual())
                     || op.srcs.iter().any(|s| s.is_virtual())
             }) || b
                 .term
                 .as_ref()
-                .map_or(false, |t| t.uses().iter().any(|u| u.is_virtual()))
+                .is_some_and(|t| t.uses().iter().any(|u| u.is_virtual()))
         }) || self.live_out.iter().any(|o| o.is_virtual())
     }
 

@@ -88,7 +88,7 @@ fn alu_imm_fits(m: &MachineDesc, op: AluOp, imm: u64) -> bool {
         let t = m.template(tid);
         t.has_imm()
             && t.imm_bits()
-                .map_or(false, |b| b >= 64 || imm < (1u64 << b))
+                .is_some_and(|b| b >= 64 || imm < (1u64 << b))
     })
 }
 
@@ -179,6 +179,7 @@ fn emit_shift(
 ///
 /// The decompositions preserve the *value* but not the shifted-out
 /// UF/carry bit — a documented approximation for baroque targets.
+#[allow(clippy::too_many_arguments)]
 fn emit_any_shift(
     m: &MachineDesc,
     caps: &Caps,

@@ -81,7 +81,7 @@ fn default_pool(m: &MachineDesc, budget: Option<u16>) -> Vec<RegRef> {
         .intersection(&writable)
         .copied()
         .filter(|&r| !reserved(m, r))
-        .filter(|&r| budget.map_or(true, |b| r.index < b))
+        .filter(|&r| budget.is_none_or(|b| r.index < b))
         .collect()
 }
 
@@ -135,7 +135,7 @@ pub fn allowed_registers(
         Some(set) => set
             .into_iter()
             .filter(|&r| !reserved(m, r))
-            .filter(|&r| budget.map_or(true, |b| r.index < b))
+            .filter(|&r| budget.is_none_or(|b| r.index < b))
             .collect(),
         None => default_pool(m, budget),
     }

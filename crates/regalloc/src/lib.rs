@@ -531,10 +531,8 @@ fn rewrite(f: &mut MirFunction, map: &BTreeMap<VReg, RegRef>) {
                 fix(s);
             }
         }
-        if let Some(t) = &mut b.term {
-            if let mcc_mir::Term::Dispatch { src, .. } = t {
-                fix(src);
-            }
+        if let Some(mcc_mir::Term::Dispatch { src, .. }) = &mut b.term {
+            fix(src);
         }
     }
     for o in &mut f.live_out {

@@ -1,0 +1,109 @@
+//! Fault models for dependability campaigns.
+//!
+//! A [`FaultPlan`] is a cycle-stamped list of single-event upsets and
+//! stuck-at defects that [`Simulator::run`](crate::Simulator::run) injects
+//! while executing. The plan is plain data: campaign *generation* (seeded
+//! sampling of fault sites) and outcome *classification* live in the
+//! `mcc-faults` crate; the simulator only applies faults and exercises its
+//! detection and recovery machinery against them.
+
+use mcc_machine::RegRef;
+
+/// One kind of injected hardware fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip one bit of the control word stored at `addr`. The parity
+    /// check byte is left untouched, as a real upset would.
+    ControlBitFlip {
+        /// Control store address.
+        addr: u32,
+        /// Bit position within the 128-bit word.
+        bit: u8,
+    },
+    /// Flip one bit of an architectural register (a register-file SEU;
+    /// registers carry no parity, so this is never detected directly).
+    RegisterUpset {
+        /// The register hit.
+        reg: RegRef,
+        /// Bit position within the register.
+        bit: u8,
+    },
+    /// Flip one bit of a main-memory word (likewise unprotected).
+    MemoryUpset {
+        /// Word address.
+        addr: u64,
+        /// Bit position within the 16-bit word.
+        bit: u8,
+    },
+    /// From the injection cycle onward, a run of control-word bits at
+    /// `addr` reads as all-zeros or all-ones: a persistent defect that
+    /// scrubbing cannot repair, so bounded retry escalates to a machine
+    /// check.
+    StuckField {
+        /// Control store address.
+        addr: u32,
+        /// Lowest stuck bit.
+        lo: u8,
+        /// Number of stuck bits.
+        width: u8,
+        /// Stuck at one (`true`) or zero (`false`).
+        stuck_one: bool,
+    },
+    /// Unmap a memory page so the next touch takes the §2.1.5 microtrap
+    /// (restart from address 0 with registers preserved).
+    UnmapPage {
+        /// Page number (address / [`crate::PAGE_WORDS`]).
+        page: u64,
+    },
+}
+
+/// A fault scheduled for a particular cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Injected before the first instruction whose start cycle is ≥ this.
+    pub at_cycle: u64,
+    /// What breaks.
+    pub kind: FaultKind,
+}
+
+/// A cycle-ordered list of faults to inject during one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The scheduled faults (any order; the simulator sorts on load).
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no injection).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A plan with one fault.
+    pub fn single(at_cycle: u64, kind: FaultKind) -> Self {
+        FaultPlan {
+            faults: vec![Fault { at_cycle, kind }],
+        }
+    }
+
+    /// Adds a fault.
+    pub fn push(&mut self, at_cycle: u64, kind: FaultKind) {
+        self.faults.push(Fault { at_cycle, kind });
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Whether any fault targets the control store (requiring the
+    /// simulator to build its encoded, parity-tagged store image).
+    pub fn touches_control_store(&self) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(
+                f.kind,
+                FaultKind::ControlBitFlip { .. } | FaultKind::StuckField { .. }
+            )
+        })
+    }
+}

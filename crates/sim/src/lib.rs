@@ -20,7 +20,10 @@
 //! macroarchitecture used by experiment E5: its interpreter is itself a
 //! microprogram, so "macrocode vs microcode" speedups can be measured.
 
+pub mod fault;
 pub mod macroisa;
+
+pub use fault::{Fault, FaultKind, FaultPlan};
 
 use mcc_machine::{
     AluOp, BoundOp, CondKind, MachineDesc, MicroProgram, RegRef, Semantic, ShiftOp,
@@ -66,6 +69,13 @@ pub struct SimStats {
     pub traps: u64,
     /// Microprogram restarts caused by traps.
     pub restarts: u64,
+    /// Faults injected from the plan so far.
+    pub faults_injected: u64,
+    /// Control-store corruptions caught (parity mismatch or undecodable
+    /// word) before execution.
+    pub faults_detected: u64,
+    /// Successful detect → scrub → restart-from-checkpoint recoveries.
+    pub fault_recoveries: u64,
 }
 
 /// Simulation errors.
@@ -79,6 +89,11 @@ pub enum SimError {
     StackUnderflow,
     /// A malformed instruction (should have been caught by validation).
     BadInstr(String),
+    /// The watchdog tripped: too many cycles without a `poll`.
+    WatchdogExpired(u64),
+    /// A control-store fault persisted through the bounded retry budget;
+    /// the machine halts rather than run corrupted microcode.
+    MachineCheck(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -88,6 +103,10 @@ impl std::fmt::Display for SimError {
             SimError::OffEnd(a) => write!(f, "fell off control store at {a}"),
             SimError::StackUnderflow => write!(f, "micro return stack underflow"),
             SimError::BadInstr(s) => write!(f, "bad microinstruction: {s}"),
+            SimError::WatchdogExpired(n) => {
+                write!(f, "watchdog expired: {n} cycles without a poll")
+            }
+            SimError::MachineCheck(s) => write!(f, "machine check: {s}"),
         }
     }
 }
@@ -104,6 +123,20 @@ pub struct SimOptions {
     /// Pages (page number = address / [`PAGE_WORDS`]) initially unmapped;
     /// first touch takes a microtrap, maps the page and restarts.
     pub unmapped_pages: Vec<u64>,
+    /// Faults to inject while running (empty = no injection).
+    pub faults: FaultPlan,
+    /// Watchdog budget: abort with [`SimError::WatchdogExpired`] after
+    /// this many consecutive cycles without a `poll` (or trap service).
+    /// `None` disables the watchdog.
+    pub watchdog: Option<u64>,
+    /// With parity protection on, how many detect → scrub → restart
+    /// attempts are made before escalating to a machine check.
+    pub max_fault_retries: u32,
+    /// Run control words through the parity-tagged store: detected
+    /// corruption triggers scrub-and-restart instead of executing. Off,
+    /// corrupted words execute raw (the unprotected baseline a fault
+    /// campaign compares against).
+    pub protect_store: bool,
 }
 
 impl Default for SimOptions {
@@ -112,8 +145,28 @@ impl Default for SimOptions {
             max_cycles: 1_000_000,
             interrupts: Vec::new(),
             unmapped_pages: Vec::new(),
+            faults: FaultPlan::default(),
+            watchdog: None,
+            max_fault_retries: 3,
+            protect_store: true,
         }
     }
+}
+
+/// The encoded control store: a golden (load-time) image and a live image
+/// the fault plan corrupts, each word carrying its parity check byte.
+#[derive(Debug, Clone)]
+struct EccStore {
+    golden: Vec<(u128, u8)>,
+    live: Vec<(u128, u8)>,
+}
+
+/// Architectural state saved at run start; restored by fault recovery.
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    regs: Vec<Vec<u64>>,
+    mem: Vec<u64>,
+    flags: Flags,
 }
 
 /// The simulator: machine state plus a loaded control store.
@@ -130,6 +183,16 @@ pub struct Simulator {
     halted: bool,
     stats: SimStats,
     pending: Vec<u64>, // unserviced interrupt arrival times
+    // Fault machinery (inert unless the run's options engage it).
+    ecc: Option<EccStore>,
+    protect_store: bool,
+    pending_faults: Vec<Fault>, // sorted descending by cycle; popped from the back
+    stuck: Vec<(u32, u8, u8, bool)>, // active stuck-at defects: (addr, lo, width, one)
+    checkpoint: Option<Box<Checkpoint>>,
+    retries: u32,
+    max_retries: u32,
+    watchdog: Option<u64>,
+    cycles_since_poll: u64,
 }
 
 /// One register write buffered during the write phase.
@@ -169,6 +232,15 @@ impl Simulator {
             halted: false,
             stats: SimStats::default(),
             pending: Vec::new(),
+            ecc: None,
+            protect_store: true,
+            pending_faults: Vec::new(),
+            stuck: Vec::new(),
+            checkpoint: None,
+            retries: 0,
+            max_retries: 3,
+            watchdog: None,
+            cycles_since_poll: 0,
         }
     }
 
@@ -208,8 +280,11 @@ impl Simulator {
         self.halted
     }
 
-    fn src(&self, op: &BoundOp, i: usize) -> u64 {
-        self.reg(op.srcs[i])
+    fn src(&self, op: &BoundOp, i: usize) -> Result<u64, SimError> {
+        op.srcs
+            .get(i)
+            .map(|&r| self.reg(r))
+            .ok_or_else(|| SimError::BadInstr(format!("missing source operand {i}")))
     }
 
     /// Runs to halt (or error) under `opts`. Returns final statistics.
@@ -223,6 +298,36 @@ impl Simulator {
         for &p in &opts.unmapped_pages {
             if let Some(m) = self.mapped.get_mut(p as usize) {
                 *m = false;
+            }
+        }
+        self.watchdog = opts.watchdog;
+        self.cycles_since_poll = 0;
+        self.protect_store = opts.protect_store;
+        self.max_retries = opts.max_fault_retries;
+        self.retries = 0;
+        if !opts.faults.is_empty() || opts.watchdog.is_some() {
+            // Engage the fault machinery: a checkpoint of the seeded
+            // architectural state, and (when the control store is a fault
+            // target) the encoded, parity-tagged store image.
+            self.checkpoint = Some(Box::new(Checkpoint {
+                regs: self.regs.clone(),
+                mem: self.mem.clone(),
+                flags: self.flags,
+            }));
+            self.pending_faults = opts.faults.faults.clone();
+            self.pending_faults.sort_by_key(|f| std::cmp::Reverse(f.at_cycle));
+            if opts.faults.touches_control_store() && self.ecc.is_none() {
+                let mut image = Vec::with_capacity(self.store.len());
+                for (i, mi) in self.store.iter().enumerate() {
+                    let w = mcc_machine::encode_instr(&self.m, mi).map_err(|e| {
+                        SimError::BadInstr(format!("control word {i} not encodable: {e}"))
+                    })?;
+                    image.push((w, mcc_machine::ecc_of(w)));
+                }
+                self.ecc = Some(EccStore {
+                    golden: image.clone(),
+                    live: image,
+                });
             }
         }
         while !self.halted {
@@ -249,14 +354,151 @@ impl Simulator {
         self.stats.cycles += self.m.interrupt_service_cycles;
     }
 
+    /// Applies every planned fault due at or before `now` to the live
+    /// machine state.
+    fn apply_due_faults(&mut self, now: u64) {
+        while self
+            .pending_faults
+            .last()
+            .is_some_and(|f| f.at_cycle <= now)
+        {
+            let f = self.pending_faults.pop().expect("checked nonempty");
+            self.stats.faults_injected += 1;
+            match f.kind {
+                FaultKind::ControlBitFlip { addr, bit } => {
+                    if let Some(ecc) = &mut self.ecc {
+                        if let Some(slot) = ecc.live.get_mut(addr as usize) {
+                            slot.0 ^= 1u128 << (bit as u32 % 128);
+                        }
+                    }
+                }
+                FaultKind::RegisterUpset { reg, bit } => {
+                    if let Some(file) = self.regs.get_mut(reg.file.index()) {
+                        if let Some(v) = file.get_mut(reg.index as usize) {
+                            let w = self.m.reg_width(reg);
+                            *v = (*v ^ (1u64 << (bit as u32 % w as u32)))
+                                & mcc_machine::semantic::width_mask(w);
+                        }
+                    }
+                }
+                FaultKind::MemoryUpset { addr, bit } => {
+                    let slot = &mut self.mem[(addr % MEM_WORDS) as usize];
+                    *slot = (*slot ^ (1u64 << (bit as u32 % 16))) & 0xFFFF;
+                }
+                FaultKind::StuckField {
+                    addr,
+                    lo,
+                    width,
+                    stuck_one,
+                } => self.stuck.push((addr, lo, width, stuck_one)),
+                FaultKind::UnmapPage { page } => {
+                    if let Some(m) = self.mapped.get_mut(page as usize) {
+                        *m = false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Detected control-store corruption: scrub the live store from the
+    /// golden image, restore the checkpoint, and restart from address 0 —
+    /// or escalate to a machine check once the retry budget is spent
+    /// (a persistent defect scrubbing cannot repair).
+    fn recover(&mut self, why: &str) -> Result<(), SimError> {
+        self.stats.faults_detected += 1;
+        if self.retries >= self.max_retries {
+            return Err(SimError::MachineCheck(format!(
+                "control store fault persists after {} restarts: {why}",
+                self.retries
+            )));
+        }
+        self.retries += 1;
+        self.stats.fault_recoveries += 1;
+        self.stats.cycles += self.m.trap_service_cycles;
+        if let Some(ecc) = &mut self.ecc {
+            ecc.live.clone_from(&ecc.golden);
+        }
+        if let Some(cp) = &self.checkpoint {
+            self.regs.clone_from(&cp.regs);
+            self.mem.clone_from(&cp.mem);
+            self.flags = cp.flags;
+        }
+        self.stack.clear();
+        self.upc = 0;
+        self.cycles_since_poll = 0;
+        Ok(())
+    }
+
+    /// Fetches the instruction at the current µPC. Returns `None` when a
+    /// detected control-store fault consumed the cycle with a recovery
+    /// restart instead of an instruction.
+    fn fetch(&mut self) -> Result<Option<mcc_machine::MicroInstr>, SimError> {
+        let idx = self.upc as usize;
+        let Some(ecc) = &self.ecc else {
+            return match self.store.get(idx) {
+                Some(mi) => Ok(Some(mi.clone())),
+                None => Err(SimError::OffEnd(self.upc)),
+            };
+        };
+        let Some(&(mut word, check)) = ecc.live.get(idx) else {
+            return Err(SimError::OffEnd(self.upc));
+        };
+        for &(addr, lo, width, one) in &self.stuck {
+            if addr as usize == idx {
+                let lo = lo as u32 % 128;
+                let w = (width as u32).clamp(1, 128 - lo);
+                let mask = if w == 128 {
+                    u128::MAX
+                } else {
+                    ((1u128 << w) - 1) << lo
+                };
+                if one {
+                    word |= mask;
+                } else {
+                    word &= !mask;
+                }
+            }
+        }
+        let clean = (word, check) == ecc.golden[idx];
+        if self.protect_store {
+            if mcc_machine::ecc_syndrome(word, check) != 0 {
+                return self.recover("parity mismatch").map(|()| None);
+            }
+            if clean {
+                return Ok(Some(self.store[idx].clone()));
+            }
+            // Parity passed on a corrupted word (a multi-bit upset): the
+            // decoder's strict-inverse check is the last line of defence.
+            match mcc_machine::decode_instr(&self.m, word) {
+                Ok(mi) => Ok(Some(mi)),
+                Err(e) => self.recover(&e.to_string()).map(|()| None),
+            }
+        } else if clean {
+            Ok(Some(self.store[idx].clone()))
+        } else {
+            // Unprotected store: corrupted words execute raw; only words
+            // the decoder cannot make sense of at all halt the machine.
+            mcc_machine::decode_instr(&self.m, word)
+                .map(Some)
+                .map_err(|e| {
+                    SimError::BadInstr(format!("undecodable control word at {idx}: {e}"))
+                })
+        }
+    }
+
     /// Executes one microinstruction.
     pub fn step(&mut self) -> Result<(), SimError> {
-        let mi = self
-            .store
-            .get(self.upc as usize)
-            .cloned()
-            .ok_or(SimError::OffEnd(self.upc))?;
         let now = self.stats.cycles;
+        self.apply_due_faults(now);
+        if let Some(limit) = self.watchdog {
+            self.cycles_since_poll += 1;
+            if self.cycles_since_poll > limit {
+                return Err(SimError::WatchdogExpired(limit));
+            }
+        }
+        let Some(mi) = self.fetch()? else {
+            return Ok(()); // the cycle went to a recovery restart
+        };
         self.stats.cycles += 1;
         self.stats.instrs += 1;
 
@@ -274,17 +516,19 @@ impl Simulator {
                 .unwrap_or(self.m.word_bits);
             match t.semantic {
                 Semantic::Alu(a) => {
-                    let l = self.src(op, 0);
+                    let l = self.src(op, 0)?;
                     let r = if a.is_unary() {
                         0
                     } else if op.srcs.len() > 1 {
-                        self.src(op, 1)
+                        self.src(op, 1)?
                     } else {
                         op.imm.unwrap_or(0)
                     };
                     let (res, c, v) = a.apply(l, r, self.flags.c, width);
                     writes.push(Write {
-                        reg: op.dst.expect("alu dst"),
+                        reg: op
+                            .dst
+                            .ok_or_else(|| SimError::BadInstr("alu without dst".into()))?,
                         value: res,
                     });
                     if t.writes_flags {
@@ -298,11 +542,13 @@ impl Simulator {
                     }
                 }
                 Semantic::Shift(s) => {
-                    let val = self.src(op, 0);
+                    let val = self.src(op, 0)?;
                     let amount = op.imm.unwrap_or(0) as u32;
                     let (res, uf) = s.apply(val, amount, width);
                     writes.push(Write {
-                        reg: op.dst.expect("shift dst"),
+                        reg: op
+                            .dst
+                            .ok_or_else(|| SimError::BadInstr("shift without dst".into()))?,
                         value: res,
                     });
                     if t.writes_flags {
@@ -320,13 +566,17 @@ impl Simulator {
                 }
                 Semantic::Move => {
                     writes.push(Write {
-                        reg: op.dst.expect("mov dst"),
-                        value: self.src(op, 0),
+                        reg: op
+                            .dst
+                            .ok_or_else(|| SimError::BadInstr("mov without dst".into()))?,
+                        value: self.src(op, 0)?,
                     });
                 }
                 Semantic::LoadImm => {
                     writes.push(Write {
-                        reg: op.dst.expect("ldi dst"),
+                        reg: op
+                            .dst
+                            .ok_or_else(|| SimError::BadInstr("ldi without dst".into()))?,
                         value: op.imm.unwrap_or(0),
                     });
                 }
@@ -365,27 +615,41 @@ impl Simulator {
                     }
                     mem_write = Some((addr, self.reg(mbr)));
                 }
-                Semantic::Jump => seq = Seq::Goto(op.target.expect("jmp target")),
+                Semantic::Jump => {
+                    seq = Seq::Goto(
+                        op.target
+                            .ok_or_else(|| SimError::BadInstr("jmp without target".into()))?,
+                    )
+                }
                 Semantic::Branch => {
-                    let c = op.cond.expect("branch cond");
+                    let c = op
+                        .cond
+                        .ok_or_else(|| SimError::BadInstr("branch without cond".into()))?;
                     if self.eval_cond(c) {
-                        seq = Seq::Goto(op.target.expect("branch target"));
+                        seq = Seq::Goto(op.target.ok_or_else(|| {
+                            SimError::BadInstr("branch without target".into())
+                        })?);
                     }
                 }
                 Semantic::Dispatch => {
-                    let idx = self.src(op, 0) & op.imm.unwrap_or(u64::MAX);
-                    seq = Seq::Goto(op.target.expect("dispatch base") + idx as u32);
+                    let idx = self.src(op, 0)? & op.imm.unwrap_or(u64::MAX);
+                    let base = op
+                        .target
+                        .ok_or_else(|| SimError::BadInstr("dispatch without base".into()))?;
+                    seq = Seq::Goto(base.saturating_add(idx as u32));
                 }
-                Semantic::Call => seq = Seq::CallTo(op.target.expect("call target")),
+                Semantic::Call => {
+                    seq = Seq::CallTo(
+                        op.target
+                            .ok_or_else(|| SimError::BadInstr("call without target".into()))?,
+                    )
+                }
                 Semantic::Return => seq = Seq::Return,
                 Semantic::Poll => {
-                    let due: Vec<u64> = {
-                        let now = now;
-                        let (due, rest): (Vec<u64>, Vec<u64>) =
-                            self.pending.iter().partition(|&&a| a <= now);
-                        self.pending = rest;
-                        due
-                    };
+                    self.cycles_since_poll = 0;
+                    let (due, rest): (Vec<u64>, Vec<u64>) =
+                        self.pending.iter().partition(|&&a| a <= now);
+                    self.pending = rest;
                     for a in due {
                         self.service_interrupt(now, a);
                     }
@@ -433,6 +697,9 @@ impl Simulator {
         self.mapped[(addr / PAGE_WORDS) as usize] = true;
         self.stack.clear();
         self.upc = 0;
+        // Trap service pets the watchdog: the machine is making progress
+        // through the fault handler, not hanging.
+        self.cycles_since_poll = 0;
     }
 
     fn eval_cond(&self, c: CondKind) -> bool {
@@ -831,6 +1098,185 @@ mod tests {
         assert!(s.flags().uf);
         assert!(s.flags().c, "shifted-out bit also lands in carry");
         assert_eq!(s.reg(r(&m, 0)), 0b10);
+    }
+
+    #[test]
+    fn default_cycle_budget_is_finite() {
+        // Regression: a runaway microprogram must never spin forever under
+        // default options — the budget is a real, finite number.
+        let opts = SimOptions::default();
+        assert_eq!(opts.max_cycles, 1_000_000);
+        let m = machine();
+        let mut p = MicroProgram::new();
+        p.blocks.push(MicroBlock {
+            instrs: vec![MicroInstr::single(
+                BoundOp::new(m.find_template("jmp").unwrap()).with_target(0),
+            )],
+        });
+        let mut s = Simulator::new(m, &p);
+        assert_eq!(s.run(&opts), Err(SimError::CycleLimit(1_000_000)));
+    }
+
+    #[test]
+    fn control_bit_flip_is_detected_and_recovered() {
+        let m = machine();
+        let p = program(
+            &m,
+            vec![BoundOp::new(m.find_template("ldi").unwrap())
+                .with_dst(r(&m, 0))
+                .with_imm(7)],
+        );
+        let mut s = Simulator::new(m.clone(), &p);
+        let opts = SimOptions {
+            faults: FaultPlan::single(0, FaultKind::ControlBitFlip { addr: 0, bit: 3 }),
+            ..Default::default()
+        };
+        let st = s.run(&opts).unwrap();
+        assert_eq!(st.faults_injected, 1);
+        assert_eq!(st.faults_detected, 1, "parity caught the flip");
+        assert_eq!(st.fault_recoveries, 1, "scrub + restart recovered");
+        assert_eq!(s.reg(r(&m, 0)), 7, "the rerun computed the right answer");
+    }
+
+    #[test]
+    fn persistent_stuck_field_escalates_to_machine_check() {
+        let m = machine();
+        let p = program(
+            &m,
+            vec![BoundOp::new(m.find_template("ldi").unwrap())
+                .with_dst(r(&m, 0))
+                .with_imm(7)],
+        );
+        let mut s = Simulator::new(m.clone(), &p);
+        let opts = SimOptions {
+            faults: FaultPlan::single(
+                0,
+                FaultKind::StuckField {
+                    addr: 0,
+                    lo: 120,
+                    width: 8,
+                    stuck_one: true,
+                },
+            ),
+            ..Default::default()
+        };
+        match s.run(&opts) {
+            Err(SimError::MachineCheck(_)) => {}
+            other => panic!("expected machine check, got {other:?}"),
+        }
+        assert_eq!(
+            s.stats().fault_recoveries,
+            opts.max_fault_retries as u64,
+            "every retry was spent before the machine check"
+        );
+    }
+
+    #[test]
+    fn watchdog_catches_a_hang() {
+        let m = machine();
+        let mut p = MicroProgram::new();
+        p.blocks.push(MicroBlock {
+            instrs: vec![MicroInstr::single(
+                BoundOp::new(m.find_template("jmp").unwrap()).with_target(0),
+            )],
+        });
+        let mut s = Simulator::new(m, &p);
+        let opts = SimOptions {
+            watchdog: Some(50),
+            ..Default::default()
+        };
+        assert_eq!(s.run(&opts), Err(SimError::WatchdogExpired(50)));
+    }
+
+    #[test]
+    fn watchdog_is_pet_by_polls() {
+        let m = machine();
+        // 30 polls in sequence: each resets the counter, so a watchdog of
+        // 5 never trips even though the run is 30+ cycles long.
+        let ops = (0..30)
+            .map(|_| BoundOp::new(m.find_template("poll").unwrap()))
+            .collect();
+        let p = program(&m, ops);
+        let mut s = Simulator::new(m, &p);
+        let opts = SimOptions {
+            watchdog: Some(5),
+            ..Default::default()
+        };
+        s.run(&opts).unwrap();
+    }
+
+    #[test]
+    fn register_upset_is_silent_data_corruption() {
+        let m = machine();
+        let p = program(
+            &m,
+            vec![
+                BoundOp::new(m.find_template("ldi").unwrap())
+                    .with_dst(r(&m, 0))
+                    .with_imm(7),
+                BoundOp::new(m.find_template("mov").unwrap())
+                    .with_dst(r(&m, 1))
+                    .with_src(r(&m, 0)),
+            ],
+        );
+        let mut s = Simulator::new(m.clone(), &p);
+        let opts = SimOptions {
+            faults: FaultPlan::single(
+                1,
+                FaultKind::RegisterUpset {
+                    reg: r(&m, 0),
+                    bit: 0,
+                },
+            ),
+            ..Default::default()
+        };
+        let st = s.run(&opts).unwrap();
+        assert_eq!(s.reg(r(&m, 1)), 6, "the upset value propagated");
+        assert_eq!(st.faults_detected, 0, "registers carry no parity");
+    }
+
+    #[test]
+    fn unmap_page_fault_takes_a_trap_mid_run() {
+        let m = machine();
+        let mar = m.special.mar.unwrap();
+        let p = program(
+            &m,
+            vec![
+                BoundOp::new(m.find_template("ldi").unwrap())
+                    .with_dst(mar)
+                    .with_imm(0x3000),
+                BoundOp::new(m.find_template("read").unwrap()),
+            ],
+        );
+        let mut s = Simulator::new(m.clone(), &p);
+        let opts = SimOptions {
+            faults: FaultPlan::single(1, FaultKind::UnmapPage { page: 0x30 }),
+            ..Default::default()
+        };
+        let st = s.run(&opts).unwrap();
+        assert_eq!(st.traps, 1);
+        assert_eq!(st.restarts, 1);
+    }
+
+    #[test]
+    fn unprotected_store_executes_or_halts_but_never_panics() {
+        let m = machine();
+        let p = program(
+            &m,
+            vec![BoundOp::new(m.find_template("ldi").unwrap())
+                .with_dst(r(&m, 0))
+                .with_imm(7)],
+        );
+        for bit in 0..m.control_word_bits() as u8 {
+            let mut s = Simulator::new(m.clone(), &p);
+            let opts = SimOptions {
+                faults: FaultPlan::single(0, FaultKind::ControlBitFlip { addr: 0, bit }),
+                protect_store: false,
+                max_cycles: 10_000,
+                ..Default::default()
+            };
+            let _ = s.run(&opts); // any Ok/Err is fine; panics are not
+        }
     }
 
     #[test]

@@ -58,6 +58,9 @@ pub enum Expr {
     Not(Box<Expr>),
 }
 
+// Constructor shorthands share names with `std::ops` trait methods on
+// purpose: `Expr::add(a, b)` builds syntax, it does not compute.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// A constant.
     pub fn konst(v: u64) -> Expr {

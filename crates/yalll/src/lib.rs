@@ -320,7 +320,7 @@ pub fn parse(src: &str, m: &MachineDesc) -> Result<YalllProgram, Diagnostic> {
     }
     // Every bound register is observable.
     let bindings = lower.names.clone();
-    for (_, op) in &lower.names {
+    for op in lower.names.values() {
         lower.b.mark_live_out(*op);
     }
     let func = lower.b.finish();

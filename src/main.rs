@@ -39,7 +39,13 @@ options:
   -a, --algo <name>            linear | critpath | levelpack | tokoro | optimal
       --coarse                 use the coarse conflict model
       --budget <n>             restrict each register file to n registers
-      --poll <n>               insert interrupt polls every n operations"
+      --poll <n>               insert interrupt polls every n operations
+
+fault-injection options (run only):
+      --faults <n>             after the clean run, inject n seeded single
+                               faults and print the dependability tally
+      --seed <n>               campaign seed (default 49374)
+      --raw-store              disable control-store parity protection"
     );
     ExitCode::from(2)
 }
@@ -53,7 +59,23 @@ struct Args {
     coarse: bool,
     budget: Option<u16>,
     poll: Option<usize>,
+    faults: Option<usize>,
+    seed: Option<u64>,
+    raw_store: bool,
     positional: Vec<String>,
+}
+
+/// Parses a numeric flag value; a missing or malformed value is a hard
+/// error (silently dropping `--faults 10O0` would skip the campaign).
+fn numeric<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Option<T> {
+    let v = v?;
+    match v.parse() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("mcc: {flag} expects a number, got `{v}`");
+            None
+        }
+    }
 }
 
 fn parse_args() -> Option<Args> {
@@ -68,6 +90,9 @@ fn parse_args() -> Option<Args> {
         coarse: false,
         budget: None,
         poll: None,
+        faults: None,
+        seed: None,
+        raw_store: false,
         positional: Vec::new(),
     };
     while let Some(arg) = it.next() {
@@ -77,8 +102,11 @@ fn parse_args() -> Option<Args> {
             "-l" | "--lang" => a.lang = Some(it.next()?),
             "-a" | "--algo" => a.algo = Some(it.next()?),
             "--coarse" => a.coarse = true,
-            "--budget" => a.budget = it.next()?.parse().ok(),
-            "--poll" => a.poll = it.next()?.parse().ok(),
+            "--budget" => a.budget = Some(numeric("--budget", it.next())?),
+            "--poll" => a.poll = Some(numeric("--poll", it.next())?),
+            "--faults" => a.faults = Some(numeric("--faults", it.next())?),
+            "--seed" => a.seed = Some(numeric("--seed", it.next())?),
+            "--raw-store" => a.raw_store = true,
             _ => a.positional.push(arg),
         }
     }
@@ -155,6 +183,68 @@ fn compile(args: &Args) -> Result<mcc::core::Artifact, String> {
     Ok(art)
 }
 
+/// `mcc run --faults N`: a seeded single-fault campaign against the
+/// compiled program, each trial classified against the clean run's
+/// symbol values.
+fn fault_campaign(
+    args: &Args,
+    art: &mcc::core::Artifact,
+    clean_sim: &mcc::sim::Simulator,
+    clean_cycles: u64,
+    trials: usize,
+) {
+    use mcc::faults::{run_campaign, CampaignSpec, FaultMix, FaultSpace};
+    let golden: Vec<(String, u64)> = art
+        .symbols
+        .keys()
+        .filter_map(|n| art.read_symbol(clean_sim, n).map(|v| (n.clone(), v)))
+        .collect();
+    let space = FaultSpace::new(&art.machine, art.program.instr_count() as u32, clean_cycles);
+    let seed = args.seed.unwrap_or(49374);
+    let protect = !args.raw_store;
+    // Without poll points the watchdog cannot tell work from a hang, so it
+    // must outlast the whole clean run (compile with --poll to tighten it).
+    let watchdog = if art.stats.polls > 0 {
+        512
+    } else {
+        clean_cycles * 2 + 512
+    };
+    let spec = CampaignSpec {
+        seed,
+        trials,
+        mix: FaultMix::default(),
+    };
+    let report = run_campaign(&spec, &space, |plan| {
+        let mut sim = art.simulator();
+        let res = sim.run(&mcc::sim::SimOptions {
+            max_cycles: clean_cycles * 20 + 20_000,
+            faults: plan,
+            watchdog: Some(watchdog),
+            protect_store: protect,
+            ..Default::default()
+        });
+        let correct = res.is_ok()
+            && golden
+                .iter()
+                .all(|(n, v)| art.read_symbol(&sim, n) == Some(*v));
+        (res, correct)
+    });
+    let t = report.tally;
+    println!(
+        "\nfault campaign: {} trials, seed {}, {} control store, watchdog {} cycles",
+        t.total(),
+        seed,
+        if protect { "parity-protected" } else { "raw" },
+        watchdog
+    );
+    println!("  masked          {:>6}", t.masked);
+    println!("  recovered       {:>6}", t.recovered);
+    println!("  detected-halt   {:>6}", t.detected_halt);
+    println!("  hang            {:>6}", t.hang);
+    println!("  SDC             {:>6}", t.sdc);
+    println!("  coverage        {:>5.1}%", t.coverage() * 100.0);
+}
+
 fn main() -> ExitCode {
     let Some(args) = parse_args() else {
         return usage();
@@ -193,7 +283,7 @@ fn main() -> ExitCode {
         "compile" => compile(&args).map(|art| {
             println!(
                 "{}: {} microinstructions, {} micro-ops ({:.2} ops/instr), \
-                 {} spills, {} polls, {} dead flag writes",
+                 {} spills, {} polls, {} dead flag writes, compacted by {}",
                 art.machine.name,
                 art.stats.micro_instrs,
                 art.stats.micro_ops,
@@ -201,7 +291,11 @@ fn main() -> ExitCode {
                 art.stats.spills,
                 art.stats.polls,
                 art.stats.dead_flags,
+                art.stats.algorithm_used,
             );
+            for d in &art.stats.degradations {
+                println!("  degraded: {d}");
+            }
         }),
         "disasm" => compile(&args).map(|art| {
             print!("{}", format_program(&art.machine, &art.program));
@@ -226,6 +320,9 @@ fn main() -> ExitCode {
                 if let Some(v) = art.read_symbol(&sim, n) {
                     println!("  {n} = {v} ({v:#x})");
                 }
+            }
+            if let Some(trials) = args.faults {
+                fault_campaign(&args, &art, &sim, stats.cycles, trials);
             }
             Ok(())
         }),

@@ -38,8 +38,10 @@ fn interrupts_wait_without_polls() {
 
 #[test]
 fn loop_header_polls_bound_latency() {
-    let mut opts = CompilerOptions::default();
-    opts.poll_interval = Some(1000); // interval never triggers; headers do
+    let opts = CompilerOptions {
+        poll_interval: Some(1000), // interval never triggers; headers do
+        ..Default::default()
+    };
     let art = Compiler::with_options(hm1(), opts)
         .compile_yalll(long_loop_src())
         .unwrap();
@@ -73,8 +75,10 @@ loop: jump done if n = 0
     jump loop
 done: exit acc
 ";
-    let mut opts = CompilerOptions::default();
-    opts.poll_interval = Some(2);
+    let opts = CompilerOptions {
+        poll_interval: Some(2),
+        ..Default::default()
+    };
     let art = Compiler::with_options(bx2(), opts).compile_yalll(src).unwrap();
     let (sim, stats) = art
         .run_with(&SimOptions {
@@ -192,6 +196,52 @@ exit b
         .unwrap();
     assert_eq!(stats.traps, 2);
     assert_eq!(art.read_symbol(&sim, "b"), Some(42));
+}
+
+#[test]
+fn injected_page_fault_restarts_incread_and_compiler_warned() {
+    // The §2.1.5 hazard driven by the fault-injection layer instead of a
+    // pre-unmapped page: an `UnmapPage` fault lands mid-run, the next
+    // touch traps, the microprogram restarts from address 0 with
+    // registers preserved, and the macro-visible pointer is incremented
+    // twice. The compiler must have flagged exactly this shape, so the
+    // wrong architectural result is a *warned* wrong result.
+    use mcc::sim::{FaultKind, FaultPlan};
+    let src = "\
+reg p = R0
+reg d = R5
+inc p
+load d, p
+exit d
+";
+    let art = Compiler::new(hm1()).compile_yalll(src).unwrap();
+    assert!(
+        art.warnings.iter().any(|w| w.message.contains("restart")),
+        "trap-safety analysis must flag incread: {:?}",
+        art.warnings
+    );
+    let p = art.machine.resolve_reg_name("R0").unwrap();
+    let mut sim = art.simulator();
+    sim.set_reg(p, 0x4FF);
+    sim.set_mem(0x501, 77);
+    let stats = sim
+        .run(&SimOptions {
+            faults: FaultPlan::single(
+                1,
+                FaultKind::UnmapPage {
+                    page: 0x500 / PAGE_WORDS,
+                },
+            ),
+            ..Default::default()
+        })
+        .unwrap();
+    assert_eq!(stats.faults_injected, 1);
+    assert_eq!(stats.traps, 1, "the injected unmap must fault the load");
+    assert_eq!(stats.restarts, 1);
+    assert_eq!(sim.reg(p), 0x501, "double increment after injected fault");
+    // The restarted load reads from the doubly-incremented address.
+    let d = art.machine.resolve_reg_name("R5").unwrap();
+    assert_eq!(sim.reg(d), 77);
 }
 
 #[test]

@@ -35,7 +35,7 @@ end";
     fn reference(r1: u16, r2: u16) -> u16 {
         const M3: u16 = 0x7C00;
         const M4: u16 = 0x03FF;
-        let mut r3 = ((r1 & M3).wrapping_add(r2 & M3)) & 0xFFFF;
+        let mut r3 = (r1 & M3).wrapping_add(r2 & M3);
         let m1 = r1 & M4;
         let mut m2 = r2 & M4;
         let mut acc: u16 = 0;

@@ -206,6 +206,32 @@ proptest! {
         }
     }
 
+    /// Decoding a bit-flipped control word either fails cleanly or yields
+    /// an instruction that re-encodes to exactly the flipped word — it
+    /// never panics and never silently drops the upset. With the parity
+    /// check byte attached, every single-bit flip is detected outright.
+    #[test]
+    fn corrupted_decode_never_panics(
+        ops in proptest::collection::vec(gen_op(), 1..8),
+        bit in 0u32..128,
+    ) {
+        let m = hm1();
+        let art = Compiler::new(m.clone()).compile_mir(build(&m, &ops)).unwrap();
+        let bits = m.control_word_bits() as u32;
+        for mi in art.program.flatten() {
+            let w = mcc::machine::encode_instr(&m, &mi).unwrap();
+            let flipped = w ^ (1u128 << (bit % bits));
+            if let Ok(back) = mcc::machine::decode_instr(&m, flipped) {
+                let again = mcc::machine::encode_instr(&m, &back).unwrap();
+                prop_assert_eq!(again, flipped, "decode must be a strict inverse");
+            }
+            prop_assert!(matches!(
+                mcc::machine::decode_checked(&m, flipped, mcc::machine::ecc_of(w)),
+                Err(mcc::machine::DecodeError::EccMismatch { .. })
+            ));
+        }
+    }
+
     /// Register allocation under a starvation budget computes the same
     /// values as with all registers available.
     #[test]

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace decorates types with `#[derive(Serialize, Deserialize)]`
+//! but never serializes anything at runtime, so this stub provides marker
+//! traits and re-exports the no-op derive macros from the vendored
+//! `serde_derive`. Swap the `[workspace.dependencies]` path entries back
+//! to the registry versions to restore real serialization support.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
