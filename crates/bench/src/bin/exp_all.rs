@@ -11,4 +11,5 @@ fn main() {
     ex::e7().print("E7: interrupt poll-point frequency (section 2.1.5)");
     ex::e8().print("E8: the survey's own observations, regenerated");
     ex::e9().print("E9: fault-injection dependability - raw vs parity-protected control store");
+    ex::e10().print("E10: differential fuzzing robustness - findings per class, all machines");
 }

@@ -1,0 +1,5 @@
+//! Regenerates experiment E10's table (see EXPERIMENTS.md).
+fn main() {
+    mcc_bench::experiments::e10()
+        .print("E10: differential fuzzing robustness - findings per class, all machines");
+}

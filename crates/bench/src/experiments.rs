@@ -844,6 +844,57 @@ pub fn e9() -> Table {
     e9_with(1000)
 }
 
+// ----------------------------------------------------------------- E10 ---
+
+/// E10 with an explicit trial count (tests use a small one).
+///
+/// One differential-fuzzing campaign per frontend against every reference
+/// machine, fixed seed: each row is findings-per-class, and a healthy
+/// tree is all-zero. Unlike E1–E9, which measure *performance*, E10
+/// measures *trustworthiness* — §2.1.1's premise that the programmer must
+/// be able to rely on the translator, made into a regenerable number.
+pub fn e10_with(trials: u64) -> Table {
+    use mcc_fuzz::{fuzz, FindingClass, FuzzConfig};
+    let mut rows = Vec::new();
+    let mut total = 0u64;
+    for m in [hm1(), vm1(), bx2(), wm64()] {
+        let report = fuzz(&FuzzConfig {
+            seed: 1,
+            trials,
+            machine: m.clone(),
+            ..FuzzConfig::default()
+        });
+        total += report.total_findings();
+        for r in &report.reports {
+            let mut row = vec![format!("{}/{}", m.name, r.lang.name())];
+            row.extend(r.counts.iter().map(|n| n.to_string()));
+            rows.push(row);
+        }
+    }
+    let mut header = vec!["machine/frontend"];
+    header.extend(FindingClass::ALL.iter().map(|c| c.name()));
+    Table {
+        header,
+        rows,
+        notes: vec![
+            format!("{trials} trials per cell, seed 1; reference oracle: sequential emission."),
+            "Every generated program is compiled under all five compaction algorithms and".into(),
+            "simulated; divergence in final state, a panic, a hang, a rejected well-formed".into(),
+            "program, or a budget blowout counts in its class. Mutated (malformed) variants".into(),
+            "additionally check diagnostic quality: non-empty message, in-range span.".into(),
+            format!(
+                "Total findings: {total}. An all-zero table is the robustness baseline \
+                 this tree ships with."
+            ),
+        ],
+    }
+}
+
+/// E10: differential-fuzzing robustness table (all-zero when healthy).
+pub fn e10() -> Table {
+    e10_with(250)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -961,5 +1012,27 @@ mod tests {
         assert_eq!(t.rows[0][1], "8/10");
         assert_eq!(t.rows[1][1], "2/10");
         assert_eq!(t.rows[3][1], "0/10");
+    }
+
+    /// The acceptance claim for E10: a healthy tree fuzzes clean on every
+    /// machine × frontend cell. Small trial count so the suite stays
+    /// fast; the `exp_e10` binary runs the full campaign.
+    #[test]
+    fn e10_healthy_tree_is_all_zero() {
+        let t = e10_with(15);
+        assert_eq!(t.rows.len(), 16, "4 machines x 4 frontends");
+        for row in &t.rows {
+            for cell in &row[1..] {
+                assert_eq!(cell, "0", "finding in {row:?}");
+            }
+        }
+    }
+
+    /// Same seed, same campaign: E10 is a pure function of its config.
+    #[test]
+    fn e10_is_deterministic() {
+        let a = e10_with(10);
+        let b = e10_with(10);
+        assert_eq!(a.rows, b.rows);
     }
 }

@@ -43,10 +43,18 @@ pub enum Algorithm {
     /// Exact branch-and-bound (falls back to critical-path above
     /// [`BB_MAX_OPS`] operations).
     BranchBound,
+    /// One operation per microinstruction in program order — no packing at
+    /// all. This is the reference semantics the differential fuzzer
+    /// compares every other algorithm against (and the floor of the
+    /// degradation chain); it is structurally incapable of packing
+    /// conflicts or reordering hazards.
+    Sequential,
 }
 
 impl Algorithm {
-    /// All algorithms, for sweeps.
+    /// All *compacting* algorithms, for sweeps. [`Algorithm::Sequential`]
+    /// is deliberately excluded: it is the uncompacted baseline, not a
+    /// competitor, and including it would skew the E2 comparisons.
     pub const ALL: [Algorithm; 5] = [
         Algorithm::Linear,
         Algorithm::CriticalPath,
@@ -63,6 +71,7 @@ impl Algorithm {
             Algorithm::LevelPack => "levelpack",
             Algorithm::Tokoro => "tokoro",
             Algorithm::BranchBound => "optimal",
+            Algorithm::Sequential => "sequential",
         }
     }
 }
@@ -283,6 +292,7 @@ pub fn compact(
                 list_schedule(m, ops, &g, model)
             }
         }
+        Algorithm::Sequential => sequential(ops),
     }
 }
 
@@ -398,6 +408,7 @@ pub fn compact_degrading(
         Algorithm::CriticalPath => Some(list_schedule(m, ops, &g, model)),
         Algorithm::LevelPack => Some(level_pack(m, ops, &g, model)),
         Algorithm::Tokoro => Some(list_schedule(m, ops, &g, ConflictModel::Fine)),
+        Algorithm::Sequential => Some(sequential(ops)),
     };
     if let Some(c) = attempt {
         match check(m, &g, &c, used_model) {
@@ -557,6 +568,26 @@ mod tests {
         let g = DepGraph::build(&ops);
         assert!(check(&m, &g, &c, ConflictModel::Fine).is_ok());
         assert_eq!(c.len(), ops.len());
+    }
+
+    /// `Algorithm::Sequential` through the public API: exactly one
+    /// microinstruction per op, valid under the fine model, and the
+    /// degradation entry point reports it as the requested algorithm.
+    #[test]
+    fn sequential_algorithm_is_first_class() {
+        let m = hm1();
+        let mir: Vec<MirOp> = (0..5u16)
+            .map(|i| MirOp::alu(AluOp::Add, r(&m, i), r(&m, i + 1), r(&m, i + 2)))
+            .collect();
+        let ops = sel(&m, &mir);
+        let c = compact(&m, &ops, Algorithm::Sequential, ConflictModel::Fine);
+        assert_eq!(c.len(), ops.len());
+        let g = DepGraph::build(&ops);
+        assert!(check(&m, &g, &c, ConflictModel::Fine).is_ok());
+        let d = compact_degrading(&m, &ops, Algorithm::Sequential, ConflictModel::Fine, 1_000);
+        assert_eq!(d.algorithm_used, "sequential");
+        assert!(d.events.is_empty());
+        assert_eq!(d.compaction.mi_of, c.mi_of);
     }
 
     /// Four independent movs on HM-1: only one move bus, so four cycles —

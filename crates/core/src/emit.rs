@@ -45,6 +45,14 @@ fn negatable(m: &MachineDesc, cond: CondKind) -> bool {
     n != cond && m.supports_cond(n)
 }
 
+/// Whether control falls from block `i` to block `t` with no intervening
+/// instructions: `t` is ahead of `i` and every block between them emits
+/// nothing.
+fn falls_through(i: usize, t: u32, empty: &[bool]) -> bool {
+    let t = t as usize;
+    t > i && (i + 1..t).all(|j| empty[j])
+}
+
 /// Assembles the selected function into a block-structured microprogram.
 ///
 /// Compaction never fails: each block runs through the degradation chain
@@ -74,6 +82,25 @@ pub fn emit(
         }
     }
 
+    // Which blocks emit zero instructions: op-less, jump-terminated, and
+    // the jump itself elidable. Jump threading retargets jumps *past*
+    // empty trampolines, so elision must look through them rather than
+    // test `target == i + 1` — otherwise a threaded jump costs a word on
+    // vertical machines (and breaks S*'s cobegin one-instruction check).
+    // `empty[j]` only depends on blocks after `j`, so a backward sweep
+    // computes the fixpoint in one pass.
+    let n = f.blocks.len();
+    let mut empty = vec![false; n];
+    for j in (0..n).rev() {
+        if table_blocks.contains(&(j as u32)) {
+            continue;
+        }
+        if let SelectedTerm::Jump(t) = f.blocks[j].term {
+            empty[j] =
+                f.blocks[j].ops.is_empty() && falls_through(j, t, &empty);
+        }
+    }
+
     let mut report = EmitReport {
         algorithm_used: algo.name().to_string(),
         degradations: Vec::new(),
@@ -81,6 +108,7 @@ pub fn emit(
     let mut worst = 0u32;
     let mut out = MicroProgram::new();
     for (i, b) in f.blocks.iter().enumerate() {
+        let fall = |t: u32| falls_through(i, t, &empty);
         let i = i as u32;
         let d = compact_degrading(m, &b.ops, algo, model, bb_budget);
         for ev in &d.events {
@@ -98,7 +126,7 @@ pub fn emit(
         let mut instrs = d.compaction.instrs;
         match &b.term {
             SelectedTerm::Jump(t) => {
-                if *t != i + 1 || table_blocks.contains(&i) {
+                if !fall(*t) || table_blocks.contains(&i) {
                     let op = BoundOp::new(control_op(m, Semantic::Jump)).with_target(*t);
                     pack_control(m, &mut instrs, op, model);
                 }
@@ -109,10 +137,10 @@ pub fn emit(
                 else_block,
             } => {
                 let br = control_op(m, Semantic::Branch);
-                if *else_block == i + 1 {
+                if fall(*else_block) {
                     let op = BoundOp::new(br).with_cond(*cond).with_target(*then_block);
                     pack_control(m, &mut instrs, op, model);
-                } else if *then_block == i + 1 && negatable(m, *cond) {
+                } else if fall(*then_block) && negatable(m, *cond) {
                     let op = BoundOp::new(br)
                         .with_cond(cond.negate())
                         .with_target(*else_block);
@@ -223,6 +251,32 @@ mod tests {
         let br = &p.blocks[0].instrs[1].ops[0];
         assert_eq!(br.cond, Some(mcc_machine::CondKind::NotZero), "negated");
         assert_eq!(br.target, Some(t2));
+    }
+
+    #[test]
+    fn jump_threaded_past_empty_blocks_is_elided() {
+        // b0: op, jump b2 (as if jump-threaded past empty b1); b1: empty,
+        // jump b2; b2: halt. Both jumps are pure fallthrough once b1
+        // vanishes, so b0 must emit exactly one instruction with no jump.
+        let m = hm1();
+        let r0 = Operand::Reg(RegRef::new(m.find_file("R").unwrap(), 0));
+        let mut b = FuncBuilder::new("t");
+        b.alu_imm(AluOp::Add, r0, r0, 1);
+        let mid = b.new_block();
+        let end = b.new_block();
+        b.terminate(Term::Jump(end));
+        b.switch_to(mid);
+        b.terminate(Term::Jump(end));
+        b.switch_to(end);
+        b.terminate(Term::Halt);
+        let mut f = b.finish();
+        mcc_mir::legalize(&m, &mut f).unwrap();
+        let sf = select_function(&m, &f).unwrap();
+        let p = emit(&m, &sf, Algorithm::CriticalPath, ConflictModel::Fine, 0).0;
+        assert_eq!(p.blocks[0].instrs.len(), 1);
+        assert_eq!(p.blocks[0].instrs[0].len(), 1, "jump over empty block elided");
+        assert_eq!(p.blocks[mid as usize].instrs.len(), 0);
+        assert_eq!(p.instr_count(), 2);
     }
 
     #[test]

@@ -16,9 +16,12 @@ pub mod autoverify;
 pub mod emit;
 pub mod passes;
 
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use mcc_compact::Algorithm;
+use mcc_lang::FrontendLimits;
 use mcc_machine::{ConflictModel, MachineDesc, MicroProgram};
 use mcc_mir::operand::VReg;
 use mcc_mir::MirFunction;
@@ -27,6 +30,81 @@ use mcc_sim::{SimOptions, SimStats, Simulator};
 
 pub use autoverify::{block_assigns, check_block};
 pub use passes::{insert_polls, mark_dead_flags, thread_jumps, trap_safety, Warning};
+
+/// One of the four surveyed source languages, for dispatch by name
+/// (CLI `--lang`, fuzzing campaigns, experiment tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceLang {
+    /// SIMPL (§2.2.1) — registers as variables.
+    Simpl,
+    /// EMPL (§2.2.2) — symbolic variables, extensible operators.
+    Empl,
+    /// S* (§2.2.3) — machine-parameterized schema.
+    Sstar,
+    /// YALLL (§2.2.4) — line-based micro-assembly.
+    Yalll,
+}
+
+impl SourceLang {
+    /// All four frontends, in survey order.
+    pub const ALL: [SourceLang; 4] = [
+        SourceLang::Simpl,
+        SourceLang::Empl,
+        SourceLang::Sstar,
+        SourceLang::Yalll,
+    ];
+
+    /// The canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SourceLang::Simpl => "simpl",
+            SourceLang::Empl => "empl",
+            SourceLang::Sstar => "sstar",
+            SourceLang::Yalll => "yalll",
+        }
+    }
+
+    /// Parses a language name (canonical names and common file extensions).
+    pub fn from_name(s: &str) -> Option<SourceLang> {
+        match s.to_ascii_lowercase().as_str() {
+            "simpl" | "sim" => Some(SourceLang::Simpl),
+            "empl" | "emp" => Some(SourceLang::Empl),
+            "sstar" | "ss" | "s*" => Some(SourceLang::Sstar),
+            "yalll" | "yll" => Some(SourceLang::Yalll),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SourceLang {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Deterministic resource budgets for the whole pipeline. Every limit is
+/// a count, not a timeout, so exhaustion is reproducible byte-for-byte
+/// across machines — a requirement for the differential fuzzer.
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceLimits {
+    /// Frontend limits (source size, token budget, nesting depth).
+    pub frontend: FrontendLimits,
+    /// Maximum MIR operations after any pipeline stage; bounds the work
+    /// done by legalisation, allocation, selection and compaction.
+    pub max_mir_ops: usize,
+    /// Maximum basic blocks after any pipeline stage.
+    pub max_blocks: usize,
+}
+
+impl Default for ResourceLimits {
+    fn default() -> Self {
+        ResourceLimits {
+            frontend: FrontendLimits::default(),
+            max_mir_ops: 1_000_000,
+            max_blocks: 250_000,
+        }
+    }
+}
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -43,6 +121,8 @@ pub struct CompilerOptions {
     /// Deterministic node budget for the exact branch-and-bound search;
     /// exhaustion degrades gracefully instead of hanging the compiler.
     pub bb_budget: u64,
+    /// Resource budgets for the frontends and the pipeline proper.
+    pub limits: ResourceLimits,
 }
 
 impl Default for CompilerOptions {
@@ -53,6 +133,7 @@ impl Default for CompilerOptions {
             alloc: AllocOptions::default(),
             poll_interval: None,
             bb_budget: mcc_compact::BB_DEFAULT_BUDGET,
+            limits: ResourceLimits::default(),
         }
     }
 }
@@ -72,6 +153,22 @@ pub enum CompileError {
     Select(mcc_mir::SelectError),
     /// Binary encoding failed.
     Encode(mcc_machine::EncodeError),
+    /// A deterministic resource budget was exhausted ([`ResourceLimits`]).
+    Limit {
+        /// What ran out (e.g. `"mir operations"`).
+        what: &'static str,
+        /// The configured ceiling.
+        limit: usize,
+    },
+    /// A pipeline pass panicked; the panic was contained at the pipeline
+    /// boundary ([`Compiler::compile_contained`]) and converted into this
+    /// structured error naming the offending pass.
+    Internal {
+        /// The pass that was running when the panic fired.
+        pass: &'static str,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for CompileError {
@@ -83,6 +180,12 @@ impl std::fmt::Display for CompileError {
             CompileError::Alloc(e) => write!(f, "allocation error: {e}"),
             CompileError::Select(e) => write!(f, "selection error: {e}"),
             CompileError::Encode(e) => write!(f, "encode error: {e}"),
+            CompileError::Limit { what, limit } => {
+                write!(f, "resource limit exceeded: {what} over the {limit} ceiling")
+            }
+            CompileError::Internal { pass, message } => {
+                write!(f, "internal error in pass `{pass}`: {message}")
+            }
         }
     }
 }
@@ -112,6 +215,42 @@ impl From<mcc_mir::SelectError> for CompileError {
 impl From<mcc_machine::EncodeError> for CompileError {
     fn from(e: mcc_machine::EncodeError) -> Self {
         CompileError::Encode(e)
+    }
+}
+
+thread_local! {
+    /// The pipeline stage currently executing, so a contained panic can be
+    /// attributed to the pass that raised it.
+    static CURRENT_PASS: Cell<&'static str> = const { Cell::new("frontend") };
+}
+
+fn set_pass(pass: &'static str) {
+    CURRENT_PASS.with(|c| c.set(pass));
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f` with panics converted into [`CompileError::Internal`] naming
+/// the pass recorded by the pipeline's `set_pass` breadcrumbs.
+///
+/// `AssertUnwindSafe` is sound here because the closure's state is
+/// discarded wholesale on unwind — nothing half-mutated outlives the call.
+fn contain<T>(f: impl FnOnce() -> Result<T, CompileError>) -> Result<T, CompileError> {
+    set_pass("frontend");
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => Err(CompileError::Internal {
+            pass: CURRENT_PASS.with(|c| c.get()),
+            message: panic_message(payload),
+        }),
     }
 }
 
@@ -269,36 +408,51 @@ impl Compiler {
     ///
     /// See [`CompileError`].
     pub fn compile_mir(&self, mut f: MirFunction) -> Result<Artifact, CompileError> {
+        set_pass("validate");
         f.validate()?;
+        self.check_size(&f)?;
+        set_pass("legalize");
         mcc_mir::legalize(&self.machine, &mut f)?;
         f.validate()?;
+        self.check_size(&f)?;
+        set_pass("thread_jumps");
         passes::thread_jumps(&mut f);
 
         let mut stats = CompileStats::default();
         if let Some(n) = self.options.poll_interval {
+            set_pass("insert_polls");
             stats.polls = passes::insert_polls(&mut f, n);
+            self.check_size(&f)?;
         }
 
+        set_pass("regalloc");
         let report: AllocReport = mcc_regalloc::allocate(&self.machine, &mut f, &self.options.alloc)?;
         stats.spills = report.spilled;
         stats.spill_moves = report.spill_moves;
         // Spill code may introduce operations that still need legalising
         // on narrow machines (wide spill addresses); one more round is
         // always enough because spill addresses fit the immediate path.
+        set_pass("legalize");
         mcc_mir::legalize(&self.machine, &mut f)?;
+        self.check_size(&f)?;
         if f.has_virtual_regs() {
             // Legalisation after spilling created scratch vregs; allocate
             // them too (no further spilling expected).
+            set_pass("regalloc");
             let r2 = mcc_regalloc::allocate(&self.machine, &mut f, &self.options.alloc)?;
             stats.spills += r2.spilled;
             stats.spill_moves += r2.spill_moves;
         }
 
+        set_pass("trap_safety");
         let warnings = passes::trap_safety(&self.machine, &f);
         stats.mir_ops = f.op_count();
+        set_pass("mark_dead_flags");
         stats.dead_flags = passes::mark_dead_flags(&mut f);
 
+        set_pass("select");
         let selected = mcc_mir::select_function(&self.machine, &f)?;
+        set_pass("compact");
         let (program, emitted) = emit::emit(
             &self.machine,
             &selected,
@@ -322,6 +476,24 @@ impl Compiler {
         })
     }
 
+    /// Checks the MIR against the pipeline's deterministic size budgets.
+    fn check_size(&self, f: &MirFunction) -> Result<(), CompileError> {
+        let lim = &self.options.limits;
+        if f.op_count() > lim.max_mir_ops {
+            return Err(CompileError::Limit {
+                what: "mir operations",
+                limit: lim.max_mir_ops,
+            });
+        }
+        if f.blocks.len() > lim.max_blocks {
+            return Err(CompileError::Limit {
+                what: "basic blocks",
+                limit: lim.max_blocks,
+            });
+        }
+        Ok(())
+    }
+
     fn attach_symbols(
         art: &mut Artifact,
         names: impl IntoIterator<Item = (String, mcc_mir::Operand)>,
@@ -342,8 +514,9 @@ impl Compiler {
     /// See [`CompileError`]; frontend diagnostics arrive as
     /// [`CompileError::Language`] with line/column prefixes.
     pub fn compile_simpl(&self, src: &str) -> Result<Artifact, CompileError> {
-        let p = mcc_simpl::parse(src, &self.machine)
-            .map_err(|e| CompileError::Language(e.render(src)))?;
+        set_pass("frontend");
+        let p = mcc_simpl::parse_with_limits(src, &self.machine, &self.options.limits.frontend)
+            .map_err(|e| CompileError::Language(e.render_excerpt(src)))?;
         self.compile_mir(p.func)
     }
 
@@ -354,8 +527,9 @@ impl Compiler {
     ///
     /// See [`CompileError`].
     pub fn compile_yalll(&self, src: &str) -> Result<Artifact, CompileError> {
-        let p = mcc_yalll::parse(src, &self.machine)
-            .map_err(|e| CompileError::Language(e.render(src)))?;
+        set_pass("frontend");
+        let p = mcc_yalll::parse_with_limits(src, &self.machine, &self.options.limits.frontend)
+            .map_err(|e| CompileError::Language(e.render_excerpt(src)))?;
         let bindings = p.bindings.clone();
         let mut art = self.compile_mir(p.func)?;
         Self::attach_symbols(&mut art, bindings);
@@ -370,7 +544,9 @@ impl Compiler {
     ///
     /// See [`CompileError`].
     pub fn compile_empl(&self, src: &str) -> Result<Artifact, CompileError> {
-        let p = mcc_empl::compile(src).map_err(|e| CompileError::Language(e.render(src)))?;
+        set_pass("frontend");
+        let p = mcc_empl::compile_with_limits(src, &self.options.limits.frontend)
+            .map_err(|e| CompileError::Language(e.render_excerpt(src)))?;
         let globals = p.globals.clone();
         let arrays = p.arrays.clone();
         let eflag = p.error_flag;
@@ -393,8 +569,9 @@ impl Compiler {
     /// See [`CompileError`]; an unschedulable `cobegin` is reported as
     /// [`CompileError::Language`].
     pub fn compile_sstar(&self, src: &str) -> Result<Artifact, CompileError> {
-        let p = mcc_sstar::parse(src, &self.machine)
-            .map_err(|e| CompileError::Language(e.render(src)))?;
+        set_pass("frontend");
+        let p = mcc_sstar::parse_with_limits(src, &self.machine, &self.options.limits.frontend)
+            .map_err(|e| CompileError::Language(e.render_excerpt(src)))?;
         let vars = p.vars.clone();
         let cogroups = p.cogroups.clone();
         let aflag = p.assert_flag;
@@ -417,6 +594,35 @@ impl Compiler {
             Self::attach_symbols(&mut art, [("ASSERT".to_string(), f)]);
         }
         Ok(art)
+    }
+
+    /// Compiles source text in the named language.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile_source(&self, lang: SourceLang, src: &str) -> Result<Artifact, CompileError> {
+        match lang {
+            SourceLang::Simpl => self.compile_simpl(src),
+            SourceLang::Empl => self.compile_empl(src),
+            SourceLang::Sstar => self.compile_sstar(src),
+            SourceLang::Yalll => self.compile_yalll(src),
+        }
+    }
+
+    /// [`compile_source`](Self::compile_source) behind a panic boundary:
+    /// any residual panic in a pipeline pass is caught and converted into
+    /// [`CompileError::Internal`] naming the pass, so feeding the compiler
+    /// arbitrary bytes always terminates with a structured error. The
+    /// frontends' resource budgets ([`ResourceLimits`]) are what make this
+    /// guarantee real — `catch_unwind` cannot contain a stack overflow, so
+    /// the depth limits must prevent one from ever happening.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile_contained(&self, lang: SourceLang, src: &str) -> Result<Artifact, CompileError> {
+        contain(|| self.compile_source(lang, src))
     }
 }
 
@@ -592,6 +798,78 @@ mod tests {
         };
         let (_, stats) = art.run_with(&opts).unwrap();
         assert_eq!(stats.interrupts, 3);
+    }
+
+    #[test]
+    fn mir_op_budget_is_enforced() {
+        let m = hm1();
+        let mut c = Compiler::new(m);
+        c.options_mut().limits.max_mir_ops = 5;
+        let mut b = FuncBuilder::new("big");
+        let x = b.vreg();
+        b.ldi(x, 0);
+        for _ in 0..20 {
+            b.alu_imm(AluOp::Add, x, x, 1);
+        }
+        b.mark_live_out(x);
+        b.terminate(Term::Halt);
+        match c.compile_mir(b.finish()) {
+            Err(CompileError::Limit { what, limit }) => {
+                assert_eq!(what, "mir operations");
+                assert_eq!(limit, 5);
+            }
+            other => panic!("expected Limit error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contained_panic_becomes_internal_error() {
+        let r: Result<(), CompileError> = contain(|| {
+            set_pass("select");
+            panic!("boom in selection")
+        });
+        match r {
+            Err(CompileError::Internal { pass, message }) => {
+                assert_eq!(pass, "select");
+                assert!(message.contains("boom"), "got: {message}");
+            }
+            other => panic!("expected Internal error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compile_contained_round_trips_good_and_bad_source() {
+        let c = Compiler::new(hm1());
+        // Garbage in every language terminates with a structured error.
+        for lang in SourceLang::ALL {
+            let e = c.compile_contained(lang, "\u{0}\u{1}garbage ((((").unwrap_err();
+            assert!(!e.to_string().is_empty(), "{lang}");
+        }
+        // And a healthy program still compiles through the boundary.
+        let art = c
+            .compile_contained(SourceLang::Yalll, "reg a = R0\nconst a, 7\nexit a\n")
+            .unwrap();
+        let (sim, _) = art.run().unwrap();
+        assert_eq!(art.read_symbol(&sim, "a"), Some(7));
+    }
+
+    #[test]
+    fn source_lang_names_round_trip() {
+        for lang in SourceLang::ALL {
+            assert_eq!(SourceLang::from_name(lang.name()), Some(lang));
+        }
+        assert_eq!(SourceLang::from_name("yll"), Some(SourceLang::Yalll));
+        assert_eq!(SourceLang::from_name("cobol"), None);
+    }
+
+    #[test]
+    fn frontend_diagnostics_carry_source_excerpts() {
+        let c = Compiler::new(hm1());
+        let e = c.compile_yalll("reg a = R0\nbogus a, 7\nexit a\n").unwrap_err();
+        let msg = e.to_string();
+        // line:col prefix and the caret line from render_excerpt.
+        assert!(msg.contains("2:"), "got: {msg}");
+        assert!(msg.contains('^'), "got: {msg}");
     }
 
     #[test]

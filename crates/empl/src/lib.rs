@@ -34,7 +34,7 @@ mod syntax;
 
 use std::collections::HashMap;
 
-use mcc_lang::{Diagnostic, Span};
+use mcc_lang::{Diagnostic, FrontendLimits, Span};
 use mcc_machine::{AluOp, CondKind, ShiftOp};
 use mcc_mir::{BlockId, FuncBuilder, MirFunction, Operand, Term};
 
@@ -316,17 +316,24 @@ impl<'a> Lower<'a> {
         let mut scope: HashMap<String, Binding> = HashMap::new();
         // Instance fields come into scope first.
         if let Some(inst) = instance {
-            let tname = self.instances.get(inst).cloned().expect("checked");
-            let t = self.types[&tname];
+            let tname = match self.instances.get(inst) {
+                Some(t) => t.clone(),
+                None => return Err(err(format!("`{inst}` is not a type instance"))),
+            };
+            let t = match self.types.get(tname.as_str()) {
+                Some(t) => *t,
+                None => return Err(err(format!("unknown type `{tname}`"))),
+            };
             for f in &t.fields {
                 let key = match f {
                     Field::Scalar(n) => n.clone(),
                     Field::Array(n, _) => n.clone(),
                 };
                 let mangled = format!("{inst}.{key}");
-                let b = self
-                    .resolve(&mangled)
-                    .unwrap_or_else(|| panic!("instance field {mangled} missing"));
+                let b = match self.resolve(&mangled) {
+                    Some(b) => b,
+                    None => return Err(err(format!("instance field `{mangled}` missing"))),
+                };
                 scope.insert(key, b);
             }
         }
@@ -592,7 +599,18 @@ impl<'a> Lower<'a> {
 ///
 /// Returns a [`Diagnostic`] with the position of the first syntax error.
 pub fn parse(src: &str) -> Result<Module, Diagnostic> {
-    syntax::Parser::new(src)?.module()
+    parse_with_limits(src, &FrontendLimits::default())
+}
+
+/// [`parse`] with explicit resource limits (source size, token budget,
+/// nesting depth). Fuzzing entry point; `parse` uses the defaults.
+///
+/// # Errors
+///
+/// As [`parse`], plus a [`Diagnostic`] when a limit is exceeded.
+pub fn parse_with_limits(src: &str, limits: &FrontendLimits) -> Result<Module, Diagnostic> {
+    limits.check_source(src)?;
+    syntax::Parser::new(src, limits)?.module()
 }
 
 /// Lowers a parsed module to MIR (machine-independent; the pipeline's
@@ -701,7 +719,10 @@ pub fn lower(module: &Module) -> Result<EmplProgram, Diagnostic> {
                 Field::Scalar(n) => n.clone(),
                 Field::Array(n, _) => n.clone(),
             };
-            let b = lw.resolve(&format!("{inst}.{key}")).expect("declared");
+            let b = match lw.resolve(&format!("{inst}.{key}")) {
+                Some(b) => b,
+                None => return Err(err(format!("instance field `{inst}.{key}` missing"))),
+            };
             scope.insert(key, b);
         }
         lw.scopes.push(scope);
@@ -767,12 +788,66 @@ pub fn compile(src: &str) -> Result<EmplProgram, Diagnostic> {
     lower(&parse(src)?)
 }
 
+/// [`compile`] with explicit resource limits.
+///
+/// # Errors
+///
+/// See [`parse_with_limits`] and [`lower`].
+pub fn compile_with_limits(
+    src: &str,
+    limits: &FrontendLimits,
+) -> Result<EmplProgram, Diagnostic> {
+    lower(&parse_with_limits(src, limits)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn c(src: &str) -> EmplProgram {
         compile(src).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    #[test]
+    fn nesting_depth_is_limited() {
+        let mut src = String::from("DECLARE X FIXED; ");
+        for _ in 0..200 {
+            src.push_str("IF X = 0 THEN ");
+        }
+        src.push_str("X = 1;");
+        let e = compile(&src).unwrap_err();
+        assert!(e.message.contains("nesting"), "got: {}", e.message);
+    }
+
+    #[test]
+    fn nested_do_groups_are_limited() {
+        let mut src = String::new();
+        for _ in 0..200 {
+            src.push_str("DO; ");
+        }
+        let e = compile(&src).unwrap_err();
+        assert!(e.message.contains("nesting"), "got: {}", e.message);
+    }
+
+    #[test]
+    fn token_budget_is_enforced() {
+        let limits = FrontendLimits {
+            max_tokens: 10,
+            ..FrontendLimits::default()
+        };
+        let e = compile_with_limits("DECLARE X FIXED; X = 1; X = 2; X = 3;", &limits)
+            .unwrap_err();
+        assert!(e.message.contains("token budget"), "got: {}", e.message);
+    }
+
+    #[test]
+    fn oversize_source_is_rejected() {
+        let limits = FrontendLimits {
+            max_source_bytes: 16,
+            ..FrontendLimits::default()
+        };
+        let e = compile_with_limits("DECLARE X FIXED; X = 1;", &limits).unwrap_err();
+        assert!(e.message.contains("byte limit"), "got: {}", e.message);
     }
 
     #[test]

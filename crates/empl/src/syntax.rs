@@ -3,7 +3,7 @@
 //! EMPL is PL/I-flavoured: uppercase-insensitive keywords, `/* … */`
 //! comments, statements terminated by `;`, `DO; … END;` groups.
 
-use mcc_lang::{parse_int, Cursor, Diagnostic, Span};
+use mcc_lang::{parse_int, Cursor, DepthGuard, Diagnostic, FrontendLimits, Span, TokenBudget};
 
 // ----------------------------------------------------------------- tokens --
 
@@ -19,14 +19,19 @@ pub struct Lexer<'a> {
     c: Cursor<'a>,
     pub tok: Tok,
     pub span: Span,
+    /// Deliberately *not* part of [`Lexer::clone_state`]: the budget only
+    /// ever decrements, so lookahead restores double-count a few tokens but
+    /// termination stays guaranteed globally.
+    budget: TokenBudget,
 }
 
 impl<'a> Lexer<'a> {
-    pub fn new(src: &'a str) -> Result<Self, Diagnostic> {
+    pub fn new(src: &'a str, limits: &FrontendLimits) -> Result<Self, Diagnostic> {
         let mut l = Lexer {
             c: Cursor::new(src),
             tok: Tok::Eof,
             span: Span::default(),
+            budget: TokenBudget::new(limits),
         };
         l.advance()?;
         Ok(l)
@@ -58,6 +63,9 @@ impl<'a> Lexer<'a> {
     pub fn advance(&mut self) -> Result<(), Diagnostic> {
         self.skip_trivia()?;
         let start = self.c.pos();
+        // Ticking on Eof too makes the budget a backstop against any parser
+        // loop that fails to notice end-of-input.
+        self.budget.tick(Span::new(start, start))?;
         let tok = match self.c.peek() {
             None => Tok::Eof,
             Some(ch) if ch.is_alphabetic() || ch == '_' => {
@@ -259,13 +267,18 @@ pub struct Parser<'a> {
     /// `NAME :` declaration header discovered by lookahead in `module()`,
     /// consumed by the next `stmt_item`.
     pending_decl: Option<String>,
+    /// One guard shared by `stmt` (IF-THEN chains) and
+    /// `stmt_list_until_end` (DO/WHILE groups, nested procedure bodies):
+    /// what matters is the cumulative native stack, not either path alone.
+    depth: DepthGuard,
 }
 
 impl<'a> Parser<'a> {
-    pub fn new(src: &'a str) -> Result<Self, Diagnostic> {
+    pub fn new(src: &'a str, limits: &FrontendLimits) -> Result<Self, Diagnostic> {
         Ok(Parser {
-            lx: Lexer::new(src)?,
+            lx: Lexer::new(src, limits)?,
             pending_decl: None,
+            depth: DepthGuard::new(limits),
         })
     }
 
@@ -504,6 +517,13 @@ impl<'a> Parser<'a> {
 
     /// Parses statements up to a closing `END`.
     fn stmt_list_until_end(&mut self) -> Result<Vec<Item>, Diagnostic> {
+        self.depth.enter(self.lx.span)?;
+        let r = self.stmt_list_until_end_inner();
+        self.depth.leave();
+        r
+    }
+
+    fn stmt_list_until_end_inner(&mut self) -> Result<Vec<Item>, Diagnostic> {
         let mut items = Vec::new();
         let mut dummy = Module::default();
         loop {
@@ -585,6 +605,13 @@ impl<'a> Parser<'a> {
     }
 
     fn stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        self.depth.enter(self.lx.span)?;
+        let r = self.stmt_inner();
+        self.depth.leave();
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, Diagnostic> {
         if self.sym(";")? {
             return Ok(Stmt::Empty);
         }

@@ -1,0 +1,432 @@
+//! Seeded grammar-directed program generators.
+//!
+//! Each generator emits a *well-formed, terminating* program for its
+//! language, parameterized by the target machine (register names come
+//! from the machine description, so the same generator retargets). Two
+//! invariants matter more than coverage:
+//!
+//! * **acceptance** — generated programs must compile on a healthy tree;
+//!   a rejection is reported as a finding, so the generators only emit
+//!   constructs every frontend version accepts;
+//! * **termination** — every loop counts a register down from a small
+//!   constant and nothing in the loop body writes the counter, so the
+//!   simulator's cycle budget is never an expected outcome.
+//!
+//! `cobegin` groups are restricted to a single statement: whether a
+//! multi-statement group fits one microinstruction depends on the
+//! compaction algorithm, and the differential oracle needs acceptance to
+//! be algorithm-independent.
+
+use mcc_core::SourceLang;
+use mcc_machine::MachineDesc;
+use rand::{rngs::StdRng, Rng};
+
+/// Register names the generators may use: the first eight registers of
+/// the first macro-visible file that the machine resolves by name.
+pub fn register_pool(m: &MachineDesc) -> Vec<String> {
+    for f in &m.files {
+        if !f.macro_visible {
+            continue;
+        }
+        // Leave at least three registers unclaimed: generated programs
+        // pin pool registers as variables, and the allocator still needs
+        // scratch room for temporaries (BX2's G file is only 8 wide).
+        let take = f.count.saturating_sub(3).clamp(2, 8);
+        let pool: Vec<String> = (0..f.count.min(take))
+            .map(|i| format!("{}{i}", f.name))
+            .filter(|n| m.resolve_reg_name(n).is_some())
+            .collect();
+        if pool.len() >= 2 {
+            return pool;
+        }
+    }
+    // No macro file resolved — fall back to the conventional names.
+    (0..4).map(|i| format!("R{i}")).collect()
+}
+
+/// Canonical example programs, used both as mutation seed corpus and as
+/// acceptance smoke inputs. One entry per language.
+pub fn examples(lang: SourceLang) -> &'static [&'static str] {
+    match lang {
+        SourceLang::Simpl => &[
+            "program t; begin R1 + R2 -> R3; end",
+            "program t; const M = 0x1F; begin R1 & M -> R0; 5 -> R2; end",
+            "program t; begin for R1 := 1 to 5 do begin R2 + R1 -> R2; end; end",
+        ],
+        SourceLang::Empl => &[
+            "DECLARE X FIXED; X = 5;",
+            "DECLARE X FIXED; DECLARE Y FIXED; X = 1; Y = X + 2;",
+            "DECLARE A(8) FIXED; DECLARE I FIXED; I = 3; A(2) = 7; I = A(2);",
+        ],
+        SourceLang::Sstar => &[
+            "program t; var x: seq [15..0] bit with R1; begin x := 5; end",
+            "program t; var x: seq [15..0] bit; begin x := 3; assert(x = 3); end",
+        ],
+        SourceLang::Yalll => &[
+            "reg a = R0\nconst a, 7\nexit a\n",
+            "reg a = R0\nreg t\nconst a, 5\nconst t, 0\nloop:\nadd t, t, a\nsub a, a, 1\njump loop if a <> 0\nexit t\n",
+        ],
+    }
+}
+
+/// Generates one well-formed program.
+pub fn generate(lang: SourceLang, m: &MachineDesc, rng: &mut StdRng) -> String {
+    let pool = register_pool(m);
+    match lang {
+        SourceLang::Simpl => gen_simpl(&pool, rng),
+        SourceLang::Empl => gen_empl(rng),
+        SourceLang::Sstar => gen_sstar(m, &pool, rng),
+        SourceLang::Yalll => gen_yalll(&pool, rng),
+    }
+}
+
+fn pick<'a>(rng: &mut StdRng, xs: &'a [String]) -> &'a str {
+    &xs[rng.gen_range(0..xs.len())]
+}
+
+// ----------------------------------------------------------------- SIMPL --
+
+fn simpl_atom(rng: &mut StdRng, regs: &[String], consts: &[String]) -> String {
+    match rng.gen_range(0..4u32) {
+        0 if !consts.is_empty() => consts[rng.gen_range(0..consts.len())].clone(),
+        1 => rng.gen_range(0..64u64).to_string(),
+        _ => pick(rng, regs).to_string(),
+    }
+}
+
+fn simpl_assign(rng: &mut StdRng, regs: &[String], consts: &[String]) -> String {
+    let dst = pick(rng, regs);
+    match rng.gen_range(0..4u32) {
+        // Single-operator binary expression.
+        0 | 1 => {
+            let op = ["+", "-", "&", "|", "^"][rng.gen_range(0..5usize)];
+            let a = pick(rng, regs);
+            let b = simpl_atom(rng, regs, consts);
+            format!("{a} {op} {b} -> {dst};")
+        }
+        // Shift by a small constant.
+        2 => {
+            let sh = ["shl", "shr"][rng.gen_range(0..2usize)];
+            let a = pick(rng, regs);
+            format!("{a} {sh} {} -> {dst};", rng.gen_range(1..4u32))
+        }
+        // Bare atom (move / load-immediate).
+        _ => format!("{} -> {dst};", simpl_atom(rng, regs, consts)),
+    }
+}
+
+fn gen_simpl(pool: &[String], rng: &mut StdRng) -> String {
+    let consts: Vec<String> = (0..rng.gen_range(0..3usize)).map(|i| format!("K{i}")).collect();
+    let mut s = String::from("program fz;\n");
+    for (i, c) in consts.iter().enumerate() {
+        let v = rng.gen_range(1..256u64) << i;
+        s.push_str(&format!("const {c} = {v};\n"));
+    }
+    s.push_str("begin\n");
+    // The for-loop counter is reserved so no body statement writes it.
+    let (counter, regs) = pool.split_last().unwrap();
+    let regs = regs.to_vec();
+    let counter = std::slice::from_ref(counter);
+    for _ in 0..rng.gen_range(2..6usize) {
+        match rng.gen_range(0..8u32) {
+            0 => {
+                // Bounded for-loop; the counter register is untouchable.
+                s.push_str(&format!(
+                    "for {} := 1 to {} do begin\n",
+                    counter[0],
+                    rng.gen_range(2..6u32)
+                ));
+                for _ in 0..rng.gen_range(1..3usize) {
+                    s.push_str(&format!("{}\n", simpl_assign(rng, &regs, &consts)));
+                }
+                s.push_str("end;\n");
+            }
+            1 => {
+                let rel = ["=", "<>"][rng.gen_range(0..2usize)];
+                s.push_str(&format!(
+                    "if {} {rel} 0 then {}",
+                    pick(rng, &regs),
+                    simpl_assign(rng, &regs, &consts)
+                ));
+                if rng.gen_bool(0.5) {
+                    s.push_str(&format!(" else {}", simpl_assign(rng, &regs, &consts)));
+                }
+                s.push('\n');
+            }
+            2 => {
+                // Multiway dispatch.
+                s.push_str(&format!("case {} of\n", pick(rng, &regs)));
+                for v in 0..rng.gen_range(2..4u64) {
+                    s.push_str(&format!("{v}: {}\n", simpl_assign(rng, &regs, &consts)));
+                }
+                s.push_str("end;\n");
+            }
+            _ => s.push_str(&format!("{}\n", simpl_assign(rng, &regs, &consts))),
+        }
+    }
+    s.push_str("end\n");
+    s
+}
+
+// ------------------------------------------------------------------ EMPL --
+
+fn empl_atom(rng: &mut StdRng, vars: &[String]) -> String {
+    if rng.gen_bool(0.3) {
+        rng.gen_range(0..64u64).to_string()
+    } else {
+        pick(rng, vars).to_string()
+    }
+}
+
+fn empl_assign(rng: &mut StdRng, vars: &[String]) -> String {
+    let dst = pick(rng, vars);
+    match rng.gen_range(0..5u32) {
+        0 => format!("{dst} = {};", empl_atom(rng, vars)),
+        1 => {
+            let sh = ["SHL", "SHR"][rng.gen_range(0..2usize)];
+            format!("{dst} = {} {sh} {};", empl_atom(rng, vars), rng.gen_range(1..4u32))
+        }
+        2 => format!("{dst} = NOT {};", empl_atom(rng, vars)),
+        _ => {
+            // Multiply and divide expand into microcode loops; keep them
+            // rarer so programs stay quick to simulate.
+            let ops: &[&str] = if rng.gen_bool(0.2) {
+                &["*", "/"]
+            } else {
+                &["+", "-", "&", "|", "XOR"]
+            };
+            let op = ops[rng.gen_range(0..ops.len())];
+            format!("{dst} = {} {op} {};", empl_atom(rng, vars), empl_atom(rng, vars))
+        }
+    }
+}
+
+fn gen_empl(rng: &mut StdRng) -> String {
+    let nv = rng.gen_range(3..6usize);
+    let vars: Vec<String> = (0..nv).map(|i| format!("V{i}")).collect();
+    let mut s = String::new();
+    for v in &vars {
+        s.push_str(&format!("DECLARE {v} FIXED;\n"));
+    }
+    let arr = rng.gen_bool(0.5);
+    if arr {
+        s.push_str("DECLARE A(8) FIXED;\n");
+    }
+    // The while-loop counter is reserved so no body statement writes it.
+    let (counter, body_vars) = vars.split_last().unwrap();
+    let body_vars = body_vars.to_vec();
+    for v in &vars {
+        s.push_str(&format!("{v} = {};\n", rng.gen_range(0..16u64)));
+    }
+    for _ in 0..rng.gen_range(2..6usize) {
+        match rng.gen_range(0..8u32) {
+            0 => {
+                s.push_str(&format!("{counter} = {};\n", rng.gen_range(1..6u64)));
+                s.push_str(&format!("WHILE {counter} > 0 DO;\n"));
+                for _ in 0..rng.gen_range(1..3usize) {
+                    s.push_str(&format!("{}\n", empl_assign(rng, &body_vars)));
+                }
+                s.push_str(&format!("{counter} = {counter} - 1;\nEND;\n"));
+            }
+            1 => {
+                let rel = ["=", "<>", "<", ">="][rng.gen_range(0..4usize)];
+                s.push_str(&format!(
+                    "IF {} {rel} {} THEN {}",
+                    pick(rng, &body_vars),
+                    rng.gen_range(0..8u64),
+                    empl_assign(rng, &body_vars)
+                ));
+                if rng.gen_bool(0.5) {
+                    s.push_str(&format!(" ELSE {}", empl_assign(rng, &body_vars)));
+                }
+                s.push('\n');
+            }
+            2 if arr => {
+                let i = rng.gen_range(0..8u64);
+                s.push_str(&format!("A({i}) = {};\n", empl_atom(rng, &body_vars)));
+                s.push_str(&format!("{} = A({i});\n", pick(rng, &body_vars)));
+            }
+            3 => {
+                s.push_str("DO;\n");
+                for _ in 0..rng.gen_range(1..3usize) {
+                    s.push_str(&format!("{}\n", empl_assign(rng, &body_vars)));
+                }
+                s.push_str("END;\n");
+            }
+            _ => s.push_str(&format!("{}\n", empl_assign(rng, &body_vars))),
+        }
+    }
+    s
+}
+
+// -------------------------------------------------------------------- S* --
+
+fn sstar_expr(rng: &mut StdRng, vars: &[String], depth: usize) -> String {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return if rng.gen_bool(0.3) {
+            rng.gen_range(0..64u64).to_string()
+        } else {
+            pick(rng, vars).to_string()
+        };
+    }
+    let op = ["+", "-", "&", "|"][rng.gen_range(0..4usize)];
+    format!(
+        "({} {op} {})",
+        sstar_expr(rng, vars, depth - 1),
+        sstar_expr(rng, vars, depth - 1)
+    )
+}
+
+fn gen_sstar(m: &MachineDesc, pool: &[String], rng: &mut StdRng) -> String {
+    let w = m.word_bits;
+    let nv = rng.gen_range(2..5usize);
+    let vars: Vec<String> = (0..nv).map(|i| format!("v{i}")).collect();
+    let mut s = String::from("program fz;\n");
+    let mut bound = Vec::new();
+    for (i, v) in vars.iter().enumerate() {
+        // Bind roughly half the variables to machine registers; the rest
+        // stay virtual and exercise the allocator.
+        if i < pool.len() && rng.gen_bool(0.5) {
+            s.push_str(&format!("var {v}: seq [{}..0] bit with {};\n", w - 1, pool[i]));
+            bound.push(v.clone());
+        } else {
+            s.push_str(&format!("var {v}: seq [{}..0] bit;\n", w - 1));
+        }
+    }
+    s.push_str("begin\n");
+    let (counter, body_vars) = vars.split_last().unwrap();
+    let body_vars = body_vars.to_vec();
+    // Register-bound, non-counter variables: the only safe cobegin
+    // targets, since a constant load into a register is one micro-op on
+    // every machine, while a store to an unbound (memory) variable can
+    // need two microinstructions on vertical machines like VM-1.
+    let cobegin_vars: Vec<String> = bound.iter().filter(|v| *v != counter).cloned().collect();
+    for v in &vars {
+        s.push_str(&format!("{v} := {};\n", rng.gen_range(0..16u64)));
+    }
+    for _ in 0..rng.gen_range(2..6usize) {
+        match rng.gen_range(0..8u32) {
+            0 => {
+                // Countdown repeat; nothing else writes the counter.
+                s.push_str(&format!("{counter} := {};\n", rng.gen_range(1..6u64)));
+                s.push_str(&format!(
+                    "repeat {counter} := {counter} - 1 until {counter} = 0;\n"
+                ));
+            }
+            1 => {
+                let rel = ["=", "<>"][rng.gen_range(0..2usize)];
+                s.push_str(&format!(
+                    "if {} {rel} {} then {} := {}; else {} := {}; fi;\n",
+                    pick(rng, &body_vars),
+                    rng.gen_range(0..8u64),
+                    pick(rng, &body_vars),
+                    sstar_expr(rng, &body_vars, 1),
+                    pick(rng, &body_vars),
+                    sstar_expr(rng, &body_vars, 1),
+                ));
+            }
+            2 => {
+                // Single-statement cobegin: acceptance must not depend on
+                // the compaction algorithm (or the machine's word shape).
+                let k = rng.gen_range(0..16u64);
+                if cobegin_vars.is_empty() {
+                    s.push_str(&format!("{} := {k};\n", pick(rng, &body_vars)));
+                } else {
+                    s.push_str(&format!(
+                        "cobegin {} := {k} coend;\n",
+                        pick(rng, &cobegin_vars)
+                    ));
+                }
+            }
+            3 => {
+                // A value we know, asserted immediately.
+                let v = pick(rng, &body_vars).to_string();
+                let k = rng.gen_range(0..32u64);
+                s.push_str(&format!("{v} := {k};\nassert({v} = {k});\n"));
+            }
+            _ => {
+                s.push_str(&format!(
+                    "{} := {};\n",
+                    pick(rng, &body_vars),
+                    sstar_expr(rng, &body_vars, 2)
+                ));
+            }
+        }
+    }
+    s.push_str("end\n");
+    s
+}
+
+// ------------------------------------------------------------------ YALLL --
+
+fn gen_yalll(pool: &[String], rng: &mut StdRng) -> String {
+    // Symbolic names bound to machine registers plus one unbound.
+    let nb = rng.gen_range(2..4usize).min(pool.len());
+    let mut names: Vec<String> = (0..nb).map(|i| format!("x{i}")).collect();
+    let mut s = String::new();
+    for (i, n) in names.iter().enumerate() {
+        s.push_str(&format!("reg {n} = {}\n", pool[i]));
+    }
+    s.push_str("reg t\n");
+    names.push("t".into());
+    for n in &names {
+        s.push_str(&format!("const {n}, {}\n", rng.gen_range(0..16u64)));
+    }
+    let (counter, body) = names.split_last().unwrap();
+    let body = body.to_vec();
+    let alu = ["add", "sub", "and", "or", "xor"];
+    let linear = |s: &mut String, rng: &mut StdRng| match rng.gen_range(0..6u32) {
+        0 => s.push_str(&format!("inc {}\n", pick(rng, &body))),
+        1 => s.push_str(&format!("not {}, {}\n", pick(rng, &body), pick(rng, &body))),
+        2 => s.push_str(&format!(
+            "shl {}, {}, {}\n",
+            pick(rng, &body),
+            pick(rng, &body),
+            rng.gen_range(1..4u32)
+        )),
+        3 => s.push_str(&format!(
+            "move {}, {}\n",
+            pick(rng, &body),
+            pick(rng, &body)
+        )),
+        _ => {
+            let op = alu[rng.gen_range(0..alu.len())];
+            let b = if rng.gen_bool(0.4) {
+                rng.gen_range(0..16u64).to_string()
+            } else {
+                pick(rng, &body).to_string()
+            };
+            s.push_str(&format!(
+                "{op} {}, {}, {b}\n",
+                pick(rng, &body),
+                pick(rng, &body)
+            ));
+        }
+    };
+    for _ in 0..rng.gen_range(1..4usize) {
+        linear(&mut s, rng);
+    }
+    if rng.gen_bool(0.7) {
+        // Countdown loop; the counter is written only by its own `sub`.
+        s.push_str(&format!("const {counter}, {}\n", rng.gen_range(1..6u64)));
+        s.push_str("loop:\n");
+        for _ in 0..rng.gen_range(1..3usize) {
+            linear(&mut s, rng);
+        }
+        s.push_str(&format!("sub {counter}, {counter}, 1\n"));
+        s.push_str(&format!("jump loop if {counter} <> 0\n"));
+    }
+    if rng.gen_bool(0.5) {
+        // Forward conditional skip.
+        let rel = ["=", "<>", "<", ">="][rng.gen_range(0..4usize)];
+        s.push_str(&format!(
+            "jump done if {} {rel} {}\n",
+            pick(rng, &body),
+            rng.gen_range(0..8u64)
+        ));
+        linear(&mut s, rng);
+        s.push_str("done:\n");
+    }
+    s.push_str(&format!("exit {}\n", pick(rng, &body)));
+    s
+}

@@ -1,0 +1,79 @@
+//! Byte- and token-level mutation of well-formed programs.
+//!
+//! The mutator deliberately produces *malformed* variants: the containment
+//! oracle then checks that every frontend rejects them with a structured,
+//! span-carrying diagnostic instead of panicking, hanging, or truncating.
+//! Mutations operate on bytes and repair UTF-8 lossily afterwards, so
+//! invalid byte sequences reach the lexers as replacement characters —
+//! exactly what `mcc compile` sees when fed arbitrary files.
+
+use rand::{rngs::StdRng, Rng};
+
+/// Applies 1–4 random mutations to `base`.
+pub fn mutate(base: &str, rng: &mut StdRng) -> String {
+    let mut bytes = base.as_bytes().to_vec();
+    for _ in 0..rng.gen_range(1..=4u32) {
+        if bytes.is_empty() {
+            bytes.push(rng.gen_range(0..=255u64) as u8);
+            continue;
+        }
+        let len = bytes.len();
+        match rng.gen_range(0..7u32) {
+            // Delete a random range.
+            0 => {
+                let a = rng.gen_range(0..len);
+                let b = (a + rng.gen_range(1..=8usize)).min(len);
+                bytes.drain(a..b);
+            }
+            // Duplicate a random range in place.
+            1 => {
+                let a = rng.gen_range(0..len);
+                let b = (a + rng.gen_range(1..=12usize)).min(len);
+                let chunk: Vec<u8> = bytes[a..b].to_vec();
+                let at = rng.gen_range(0..=len);
+                bytes.splice(at..at, chunk);
+            }
+            // Flip bits in one byte.
+            2 => {
+                let i = rng.gen_range(0..len);
+                bytes[i] ^= rng.gen_range(1..=255u64) as u8;
+            }
+            // Insert a random byte (punctuation-biased: parsers care).
+            3 => {
+                let at = rng.gen_range(0..=len);
+                let b = if rng.gen_bool(0.5) {
+                    b"();=<>,:+-*/&|"[rng.gen_range(0..14usize)]
+                } else {
+                    rng.gen_range(0..=255u64) as u8
+                };
+                bytes.insert(at, b);
+            }
+            // Truncate.
+            4 => {
+                bytes.truncate(rng.gen_range(0..len));
+            }
+            // Swap two ranges.
+            5 => {
+                let a = rng.gen_range(0..len);
+                let b = rng.gen_range(0..len);
+                let w = rng.gen_range(1..=4usize);
+                for k in 0..w {
+                    if a + k < bytes.len() && b + k < bytes.len() {
+                        bytes.swap(a + k, b + k);
+                    }
+                }
+            }
+            // Splice a keyword-ish token from elsewhere in the input.
+            _ => {
+                let a = rng.gen_range(0..len);
+                let b = (a + rng.gen_range(1..=6usize)).min(len);
+                let chunk: Vec<u8> = bytes[a..b].to_vec();
+                let at = rng.gen_range(0..=bytes.len());
+                bytes.splice(at..at, chunk);
+            }
+        }
+        // Keep mutants bounded: containment, not throughput, is under test.
+        bytes.truncate(4096);
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}

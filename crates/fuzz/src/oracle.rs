@@ -1,0 +1,227 @@
+//! The differential oracle.
+//!
+//! Every program is compiled once per compaction algorithm, with
+//! [`Algorithm::Sequential`] (one micro-operation per microinstruction,
+//! no reordering) as the reference semantics. Each compiled artifact runs
+//! in `mcc-sim` to a halt; the final architectural state visible through
+//! the artifact's symbol maps must agree with the reference. Compaction
+//! is an *optimisation* — any observable divergence is a compiler bug.
+//!
+//! Error-versus-error counts as agreement: what must never diverge is
+//! *whether* and *with what observable state* a program runs, not the
+//! exact diagnostic text.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use mcc_compact::Algorithm;
+use mcc_core::{Artifact, CompileError, Compiler, CompilerOptions, SourceLang};
+use mcc_lang::Diagnostic;
+use mcc_machine::MachineDesc;
+use mcc_sim::SimError;
+
+use crate::FindingClass;
+
+/// Cap on the words compared per memory symbol, so a huge declared array
+/// cannot turn state comparison into the campaign's bottleneck.
+const MEM_COMPARE_WORDS: u64 = 64;
+
+/// How one compiled artifact's execution ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ExecOutcome {
+    /// Ran to halt; the observable state (register symbols, then memory
+    /// symbols word-by-word) in deterministic order.
+    Halted(BTreeMap<String, Vec<u64>>),
+    /// Stopped with a simulator error of this class.
+    Stopped(&'static str),
+}
+
+fn sim_error_class(e: &SimError) -> &'static str {
+    match e {
+        SimError::CycleLimit(_) => "cycle-limit",
+        SimError::OffEnd(_) => "off-end",
+        SimError::StackUnderflow => "stack-underflow",
+        SimError::BadInstr(_) => "bad-instr",
+        SimError::WatchdogExpired(_) => "watchdog",
+        _ => "fault",
+    }
+}
+
+fn execute(art: &Artifact) -> Result<ExecOutcome, String> {
+    let run = catch_unwind(AssertUnwindSafe(|| art.run()));
+    let run = match run {
+        Ok(r) => r,
+        Err(_) => return Err("panic during simulation".to_string()),
+    };
+    match run {
+        Ok((sim, _stats)) => {
+            let mut state = BTreeMap::new();
+            for name in art.symbols.keys() {
+                if let Some(v) = art.read_symbol(&sim, name) {
+                    state.insert(name.clone(), vec![v]);
+                }
+            }
+            for (name, (base, len)) in &art.memory_symbols {
+                let words: Vec<u64> = (0..(*len).min(MEM_COMPARE_WORDS))
+                    .map(|i| sim.mem(base + i))
+                    .collect();
+                state.insert(format!("mem:{name}"), words);
+            }
+            Ok(ExecOutcome::Halted(state))
+        }
+        Err(e) => Ok(ExecOutcome::Stopped(sim_error_class(&e))),
+    }
+}
+
+fn compile_with(
+    m: &MachineDesc,
+    algo: Algorithm,
+    lang: SourceLang,
+    src: &str,
+) -> Result<Artifact, CompileError> {
+    let opts = CompilerOptions {
+        algorithm: algo,
+        ..Default::default()
+    };
+    Compiler::with_options(m.clone(), opts).compile_contained(lang, src)
+}
+
+/// Classifies a compile error on input that was expected to be accepted.
+fn classify_compile_error(e: &CompileError) -> (FindingClass, String) {
+    match e {
+        CompileError::Internal { .. } => (FindingClass::Panic, e.to_string()),
+        CompileError::Limit { .. } => (FindingClass::Budget, e.to_string()),
+        _ => (FindingClass::Diagnostic, format!("generated program rejected: {e}")),
+    }
+}
+
+/// Runs one differential trial. Returns `None` when every algorithm
+/// agrees (and, for well-formed inputs, the reference accepted and
+/// halted); otherwise the finding class and a human-readable detail.
+///
+/// `expect_wellformed` is true for generator output: rejection, budget
+/// exhaustion, and cycle-limit stops are findings in their own right.
+/// For mutated inputs only *divergence* between algorithms (or a panic)
+/// is a finding — a mutant may legitimately fail to compile or halt.
+pub fn run_trial(
+    m: &MachineDesc,
+    lang: SourceLang,
+    src: &str,
+    expect_wellformed: bool,
+) -> Option<(FindingClass, String)> {
+    let reference = compile_with(m, Algorithm::Sequential, lang, src);
+    let ref_outcome = match &reference {
+        Ok(art) => match execute(art) {
+            Ok(o) => {
+                if expect_wellformed && o == ExecOutcome::Stopped("cycle-limit") {
+                    return Some((
+                        FindingClass::Hang,
+                        "sequential reference hit the cycle budget on a terminating program"
+                            .to_string(),
+                    ));
+                }
+                Some(o)
+            }
+            Err(p) => return Some((FindingClass::Panic, format!("sequential: {p}"))),
+        },
+        Err(e) => {
+            if let CompileError::Internal { .. } = e {
+                return Some((FindingClass::Panic, format!("sequential: {e}")));
+            }
+            if expect_wellformed {
+                return Some(classify_compile_error(e));
+            }
+            None
+        }
+    };
+
+    for algo in Algorithm::ALL {
+        let cand = compile_with(m, algo, lang, src);
+        match (&ref_outcome, &cand) {
+            (_, Err(CompileError::Internal { .. })) => {
+                return Some((
+                    FindingClass::Panic,
+                    format!("{}: {}", algo.name(), cand.unwrap_err()),
+                ));
+            }
+            (Some(_), Err(e)) => {
+                let class = if expect_wellformed {
+                    classify_compile_error(e).0
+                } else {
+                    FindingClass::Mismatch
+                };
+                return Some((
+                    class,
+                    format!("{} rejects what sequential accepts: {e}", algo.name()),
+                ));
+            }
+            (None, Ok(_)) => {
+                return Some((
+                    FindingClass::Mismatch,
+                    format!("{} accepts what sequential rejects", algo.name()),
+                ));
+            }
+            (None, Err(_)) => {} // error-vs-error: agreement
+            (Some(want), Ok(art)) => match execute(art) {
+                Err(p) => {
+                    return Some((FindingClass::Panic, format!("{}: {p}", algo.name())))
+                }
+                Ok(got) => {
+                    if got != *want {
+                        return Some((
+                            FindingClass::Mismatch,
+                            format!(
+                                "{} diverges from sequential: {}",
+                                algo.name(),
+                                diff_outcomes(want, &got)
+                            ),
+                        ));
+                    }
+                }
+            },
+        }
+    }
+    None
+}
+
+fn diff_outcomes(want: &ExecOutcome, got: &ExecOutcome) -> String {
+    match (want, got) {
+        (ExecOutcome::Halted(a), ExecOutcome::Halted(b)) => {
+            for (k, v) in a {
+                match b.get(k) {
+                    Some(w) if w == v => {}
+                    Some(w) => return format!("`{k}` = {v:?} vs {w:?}"),
+                    None => return format!("`{k}` missing from candidate state"),
+                }
+            }
+            for k in b.keys() {
+                if !a.contains_key(k) {
+                    return format!("extra symbol `{k}` in candidate state");
+                }
+            }
+            "states differ".to_string()
+        }
+        (ExecOutcome::Stopped(a), ExecOutcome::Stopped(b)) => {
+            format!("stop class {a} vs {b}")
+        }
+        (ExecOutcome::Halted(_), ExecOutcome::Stopped(c)) => {
+            format!("sequential halts, candidate stops with {c}")
+        }
+        (ExecOutcome::Stopped(c), ExecOutcome::Halted(_)) => {
+            format!("sequential stops with {c}, candidate halts")
+        }
+    }
+}
+
+/// Runs the bare frontend on (possibly malformed) input, returning its
+/// raw [`Diagnostic`] so span invariants can be checked. Panics inside
+/// the frontend escape to the caller's `catch_unwind`.
+pub fn frontend_diag(lang: SourceLang, m: &MachineDesc, src: &str) -> Result<(), Diagnostic> {
+    let limits = mcc_lang::FrontendLimits::default();
+    match lang {
+        SourceLang::Simpl => mcc_simpl::parse_with_limits(src, m, &limits).map(|_| ()),
+        SourceLang::Empl => mcc_empl::compile_with_limits(src, &limits).map(|_| ()),
+        SourceLang::Sstar => mcc_sstar::parse_with_limits(src, m, &limits).map(|_| ()),
+        SourceLang::Yalll => mcc_yalll::parse_with_limits(src, m, &limits).map(|_| ()),
+    }
+}

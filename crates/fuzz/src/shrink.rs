@@ -1,0 +1,108 @@
+//! Automatic test-case reduction.
+//!
+//! Classic delta-debugging at three granularities — whole lines, then
+//! `;`-separated statements, then whitespace-separated tokens — each run
+//! to a fixpoint. After every candidate removal the oracle predicate is
+//! re-run; a removal is kept only if the reduced program still exhibits
+//! the original finding. A check budget bounds total oracle invocations
+//! so shrinking a pathological case cannot stall the campaign.
+
+/// Reduces `src` while `still_fails` holds, spending at most `max_checks`
+/// predicate evaluations. Returns the smallest failing variant found.
+pub fn shrink(src: &str, still_fails: impl Fn(&str) -> bool, max_checks: usize) -> String {
+    let mut best = src.to_string();
+    let mut checks = 0usize;
+
+    // One granularity pass: split, try dropping each piece, re-join.
+    let pass = |best: &mut String,
+                    checks: &mut usize,
+                    split: fn(&str) -> Vec<String>,
+                    join: fn(&[String]) -> String| {
+        loop {
+            let pieces = split(best);
+            if pieces.len() <= 1 {
+                return;
+            }
+            let mut removed_any = false;
+            let mut i = 0;
+            while i < split(best).len() {
+                if *checks >= max_checks {
+                    return;
+                }
+                let pieces = split(best);
+                let mut candidate: Vec<String> = pieces.clone();
+                candidate.remove(i);
+                let text = join(&candidate);
+                *checks += 1;
+                if still_fails(&text) {
+                    *best = text;
+                    removed_any = true;
+                    // Same index now names the next piece.
+                } else {
+                    i += 1;
+                }
+            }
+            if !removed_any {
+                return;
+            }
+        }
+    };
+
+    pass(
+        &mut best,
+        &mut checks,
+        |s| s.lines().map(str::to_string).collect(),
+        |p| {
+            let mut out = p.join("\n");
+            out.push('\n');
+            out
+        },
+    );
+    pass(
+        &mut best,
+        &mut checks,
+        |s| s.split_inclusive(';').map(str::to_string).collect(),
+        |p| p.concat(),
+    );
+    pass(
+        &mut best,
+        &mut checks,
+        |s| s.split_whitespace().map(str::to_string).collect(),
+        |p| {
+            let mut out = p.join(" ");
+            out.push('\n');
+            out
+        },
+    );
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_failing_line() {
+        let src = "good one\nBAD marker here\ngood two\ngood three\n";
+        let out = shrink(src, |s| s.contains("BAD"), 1000);
+        assert!(out.contains("BAD"));
+        assert!(!out.contains("good"));
+    }
+
+    #[test]
+    fn result_always_satisfies_predicate() {
+        let src = "a; b; NEEDLE; c; d;\nmore lines\n";
+        let out = shrink(src, |s| s.contains("NEEDLE"), 1000);
+        assert!(out.contains("NEEDLE"));
+        assert!(out.len() < src.len());
+    }
+
+    #[test]
+    fn respects_check_budget() {
+        let src = (0..100).map(|i| format!("line {i}\n")).collect::<String>();
+        let out = shrink(&src, |s| s.contains("line 99"), 5);
+        // With only five checks it cannot fully reduce, but must still fail.
+        assert!(out.contains("line 99"));
+    }
+}

@@ -49,6 +49,44 @@ impl Diagnostic {
         let (line, col) = line_col(source, self.span.start);
         format!("{line}:{col}: {}", self.message)
     }
+
+    /// Renders the diagnostic with a caret-underlined source excerpt:
+    ///
+    /// ```text
+    /// 3:9: expected `->`
+    ///    3 | R1 + + R2 -> R3;
+    ///      |         ^
+    /// ```
+    ///
+    /// Out-of-range spans (possible when a diagnostic survives a source
+    /// edit, or points at end-of-input) degrade to the plain
+    /// [`render`](Self::render) form rather than panicking.
+    pub fn render_excerpt(&self, source: &str) -> String {
+        let head = self.render(source);
+        let start = self.span.start.min(source.len());
+        let (line, col) = line_col(source, start);
+        let Some(text) = source.lines().nth(line - 1) else {
+            return head;
+        };
+        // Width of the underline: the span's extent within this line,
+        // measured in characters, at least one caret.
+        let line_start = source[..start].rfind('\n').map_or(0, |i| i + 1);
+        let in_line = start - line_start;
+        let line_rest = text.len().saturating_sub(in_line);
+        let span_len = self.span.end.saturating_sub(start).clamp(1, line_rest.max(1));
+        let carets: usize = text
+            .get(in_line..)
+            .unwrap_or("")
+            .char_indices()
+            .take_while(|(i, _)| *i < span_len)
+            .count()
+            .max(1);
+        format!(
+            "{head}\n{line:>5} | {text}\n      | {spaces}{carets}",
+            spaces = " ".repeat(col - 1),
+            carets = "^".repeat(carets),
+        )
+    }
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -201,9 +239,195 @@ pub fn parse_int(text: &str) -> Option<u64> {
     t.parse().ok()
 }
 
+/// Resource limits every frontend enforces while lexing and parsing, so
+/// that arbitrary (including adversarial) input always terminates with a
+/// structured [`Diagnostic`] — never a hang, stack overflow, or OOM.
+///
+/// The limits are deterministic counts, not timeouts: the same input
+/// exhausts the same budget on every machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontendLimits {
+    /// Largest accepted source text, in bytes.
+    pub max_source_bytes: usize,
+    /// Token budget: lexing stops with a diagnostic after this many tokens.
+    pub max_tokens: usize,
+    /// Maximum statement/expression nesting depth in recursive-descent
+    /// parsers (bounds native stack use; overflow would abort, not unwind).
+    pub max_depth: usize,
+}
+
+impl Default for FrontendLimits {
+    fn default() -> Self {
+        FrontendLimits {
+            max_source_bytes: 1 << 20,
+            max_tokens: 500_000,
+            max_depth: 64,
+        }
+    }
+}
+
+impl FrontendLimits {
+    /// Checks the source size budget.
+    ///
+    /// # Errors
+    ///
+    /// A [`Diagnostic`] naming the limit when the text is too large.
+    pub fn check_source(&self, src: &str) -> Result<(), Diagnostic> {
+        if src.len() > self.max_source_bytes {
+            return Err(Diagnostic::new(
+                format!(
+                    "source of {} bytes exceeds the {}-byte limit",
+                    src.len(),
+                    self.max_source_bytes
+                ),
+                Span::new(0, 0),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A decrementing token budget for lexers; see [`FrontendLimits::max_tokens`].
+#[derive(Debug, Clone)]
+pub struct TokenBudget {
+    left: usize,
+}
+
+impl TokenBudget {
+    /// A budget of `limits.max_tokens` ticks.
+    pub fn new(limits: &FrontendLimits) -> Self {
+        TokenBudget {
+            left: limits.max_tokens,
+        }
+    }
+
+    /// Spends one token.
+    ///
+    /// # Errors
+    ///
+    /// A [`Diagnostic`] at `span` once the budget is exhausted.
+    pub fn tick(&mut self, span: Span) -> Result<(), Diagnostic> {
+        if self.left == 0 {
+            return Err(Diagnostic::new("token budget exceeded", span));
+        }
+        self.left -= 1;
+        Ok(())
+    }
+}
+
+/// A recursion-depth guard for recursive-descent parsers; see
+/// [`FrontendLimits::max_depth`]. Call [`enter`](Self::enter) at the top
+/// of each recursive production and [`leave`](Self::leave) on its success
+/// path (error paths abort the whole parse, so leaks there are harmless).
+#[derive(Debug, Clone)]
+pub struct DepthGuard {
+    depth: usize,
+    max: usize,
+}
+
+impl DepthGuard {
+    /// A guard allowing `limits.max_depth` nested levels.
+    pub fn new(limits: &FrontendLimits) -> Self {
+        DepthGuard {
+            depth: 0,
+            max: limits.max_depth,
+        }
+    }
+
+    /// Descends one level.
+    ///
+    /// # Errors
+    ///
+    /// A [`Diagnostic`] at `span` when nesting exceeds the limit.
+    pub fn enter(&mut self, span: Span) -> Result<(), Diagnostic> {
+        self.depth += 1;
+        if self.depth > self.max {
+            return Err(Diagnostic::new(
+                format!("nesting deeper than {} levels", self.max),
+                span,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Ascends one level.
+    pub fn leave(&mut self) {
+        self.depth = self.depth.saturating_sub(1);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn excerpt_renders_caret_under_span() {
+        let src = "line one\nR1 ++ R2\nline three\n";
+        let d = Diagnostic::new("bad op", Span::new(12, 14));
+        let r = d.render_excerpt(src);
+        assert_eq!(r, "2:4: bad op\n    2 | R1 ++ R2\n      |    ^^");
+    }
+
+    #[test]
+    fn excerpt_survives_out_of_range_spans() {
+        let src = "x";
+        let d = Diagnostic::new("eof", Span::new(900, 901));
+        // Clamped to end-of-input; must not panic.
+        let r = d.render_excerpt(src);
+        assert!(r.starts_with("1:2: eof"), "{r}");
+        let r = d.render_excerpt("");
+        assert_eq!(r, "1:1: eof");
+    }
+
+    #[test]
+    fn excerpt_handles_multibyte_lines() {
+        let src = "é é é\nfoo";
+        let d = Diagnostic::new("m", Span::new(3, 5));
+        // Span covers the middle `é` (2 bytes → 1 caret).
+        let r = d.render_excerpt(src);
+        assert!(r.contains("| é é é"), "{r}");
+        assert!(r.ends_with("^"), "{r}");
+    }
+
+    #[test]
+    fn token_budget_exhausts_exactly() {
+        let limits = FrontendLimits {
+            max_tokens: 2,
+            ..FrontendLimits::default()
+        };
+        let mut b = TokenBudget::new(&limits);
+        assert!(b.tick(Span::default()).is_ok());
+        assert!(b.tick(Span::default()).is_ok());
+        let e = b.tick(Span::new(5, 6)).unwrap_err();
+        assert!(e.message.contains("token budget"));
+        assert_eq!(e.span.start, 5);
+    }
+
+    #[test]
+    fn depth_guard_limits_nesting() {
+        let limits = FrontendLimits {
+            max_depth: 3,
+            ..FrontendLimits::default()
+        };
+        let mut g = DepthGuard::new(&limits);
+        for _ in 0..3 {
+            g.enter(Span::default()).unwrap();
+        }
+        assert!(g.enter(Span::default()).is_err());
+        g.leave();
+        g.leave();
+        assert!(g.enter(Span::default()).is_ok());
+    }
+
+    #[test]
+    fn source_size_check() {
+        let limits = FrontendLimits {
+            max_source_bytes: 4,
+            ..FrontendLimits::default()
+        };
+        assert!(limits.check_source("abcd").is_ok());
+        assert!(limits.check_source("abcde").is_err());
+    }
 
     #[test]
     fn spans_merge() {

@@ -304,7 +304,17 @@ pub fn decode_instr(m: &MachineDesc, word: u128) -> Result<MicroInstr, DecodeErr
                     }
                 }
                 FieldValueSrc::Imm => op.imm = Some(extract(word, m, fs.field)),
-                FieldValueSrc::Target => op.target = Some(extract(word, m, fs.field) as u32),
+                FieldValueSrc::Target => {
+                    // Reject, never truncate: a >32-bit target field could
+                    // otherwise decode to a silently wrapped address.
+                    match u32::try_from(extract(word, m, fs.field)) {
+                        Ok(t) => op.target = Some(t),
+                        Err(_) => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
                 FieldValueSrc::Cond => {
                     let code = extract(word, m, fs.field) as usize;
                     match m.conditions.get(code) {
@@ -511,6 +521,128 @@ mod tests {
                 assert_eq!(back, flipped, "a decode that succeeds must be exact");
             }
         }
+    }
+
+    /// A deliberately skewed machine: every operand field is wider than
+    /// the value space behind it (3 registers in 3-bit fields, 2
+    /// conditions in a 3-bit field, a 40-bit branch target), so each field
+    /// kind has encodings that must be *rejected* on decode, not masked.
+    const SKEWED: &str = "\
+machine SKEWED width 8 phases 2
+file R count 3 width 8
+class gp = R[0..3]
+resource alu kind alu
+resource seq kind sequencer
+field alu_op width 4
+field alu_a width 3
+field alu_d width 3
+field imm width 8
+field seq_op width 3
+field cond width 3
+field addr width 40
+cond true
+cond zero
+template pass semantic alu.pass
+  dst gp
+  src gp
+  flags
+  set alu_op = const 1
+  set alu_a = src 0
+  set alu_d = dst
+  occupy alu 0..2
+end
+template ldi semantic loadimm
+  dst gp
+  imm 8
+  set alu_op = const 2
+  set alu_d = dst
+  set imm = imm
+  occupy alu 0..2
+end
+template br semantic branch
+  cond
+  target
+  set seq_op = const 2
+  set cond = cond
+  set addr = target
+  occupy seq 1..2
+end
+";
+
+    fn skewed() -> MachineDesc {
+        crate::mdl::parse(SKEWED).unwrap()
+    }
+
+    /// Overwrites one control field of an encoded word.
+    fn poke(m: &MachineDesc, word: u128, field: &str, v: u64) -> u128 {
+        let f = m.control.find(field).unwrap();
+        let fld = m.control.get(f).unwrap();
+        let mask = (fld.max_value() as u128) << fld.offset;
+        (word & !mask) | (((v & fld.max_value()) as u128) << fld.offset)
+    }
+
+    #[test]
+    fn out_of_range_dst_field_rejected() {
+        let m = skewed();
+        let pass = m.find_template("pass").unwrap();
+        let gp = m.find_file("R").unwrap();
+        let op = BoundOp::new(pass)
+            .with_dst(RegRef::new(gp, 1))
+            .with_src(RegRef::new(gp, 2));
+        let w = encode_instr(&m, &MicroInstr::single(op)).unwrap();
+        // Encodings 3..=7 name no register in the 3-member class.
+        let bad = poke(&m, w, "alu_d", 5);
+        assert!(matches!(decode_instr(&m, bad), Err(DecodeError::BadOperand(_))));
+    }
+
+    #[test]
+    fn out_of_range_src_field_rejected() {
+        let m = skewed();
+        let pass = m.find_template("pass").unwrap();
+        let gp = m.find_file("R").unwrap();
+        let op = BoundOp::new(pass)
+            .with_dst(RegRef::new(gp, 1))
+            .with_src(RegRef::new(gp, 2));
+        let w = encode_instr(&m, &MicroInstr::single(op)).unwrap();
+        let bad = poke(&m, w, "alu_a", 7);
+        assert!(matches!(decode_instr(&m, bad), Err(DecodeError::BadOperand(_))));
+    }
+
+    #[test]
+    fn out_of_range_cond_field_rejected() {
+        let m = skewed();
+        let br = m.find_template("br").unwrap();
+        let op = BoundOp::new(br).with_cond(CondKind::Zero).with_target(3);
+        let w = encode_instr(&m, &MicroInstr::single(op)).unwrap();
+        // Only two conditions are declared; code 6 names none.
+        let bad = poke(&m, w, "cond", 6);
+        assert!(matches!(decode_instr(&m, bad), Err(DecodeError::BadOperand(_))));
+    }
+
+    #[test]
+    fn overwide_target_field_rejected_not_truncated() {
+        let m = skewed();
+        let br = m.find_template("br").unwrap();
+        let op = BoundOp::new(br).with_cond(CondKind::Zero).with_target(3);
+        let w = encode_instr(&m, &MicroInstr::single(op)).unwrap();
+        // 2^33 fits the 40-bit addr field but overflows the u32 target; a
+        // truncating decode would report target 0 and mask the corruption.
+        let bad = poke(&m, w, "addr", 1 << 33);
+        assert!(matches!(decode_instr(&m, bad), Err(DecodeError::BadOperand(_))));
+    }
+
+    #[test]
+    fn full_width_imm_field_round_trips_exactly() {
+        let m = skewed();
+        let ldi = m.find_template("ldi").unwrap();
+        let gp = m.find_file("R").unwrap();
+        // Every bit pattern of an immediate field is a legal value; the
+        // full-width one must survive decode unmasked.
+        let op = BoundOp::new(ldi).with_dst(RegRef::new(gp, 0)).with_imm(0xFF);
+        let mi = MicroInstr::single(op);
+        let w = encode_instr(&m, &mi).unwrap();
+        let back = decode_instr(&m, w).unwrap();
+        assert_eq!(back.ops[0].imm, Some(0xFF));
     }
 
     #[test]

@@ -37,7 +37,7 @@
 
 use std::collections::HashMap;
 
-use mcc_lang::{parse_int, Cursor, Diagnostic, Span};
+use mcc_lang::{parse_int, Cursor, DepthGuard, Diagnostic, FrontendLimits, Span, TokenBudget};
 use mcc_machine::{AluOp, CondKind, MachineDesc, ShiftOp};
 use mcc_mir::{FuncBuilder, MirFunction, Operand, Term};
 
@@ -72,14 +72,16 @@ struct Lexer<'a> {
     c: Cursor<'a>,
     tok: Tok,
     span: Span,
+    budget: TokenBudget,
 }
 
 impl<'a> Lexer<'a> {
-    fn new(src: &'a str) -> Result<Self, Diagnostic> {
+    fn new(src: &'a str, limits: &FrontendLimits) -> Result<Self, Diagnostic> {
         let mut l = Lexer {
             c: Cursor::new(src),
             tok: Tok::Eof,
             span: Span::default(),
+            budget: TokenBudget::new(limits),
         };
         l.advance()?;
         Ok(l)
@@ -88,6 +90,9 @@ impl<'a> Lexer<'a> {
     fn advance(&mut self) -> Result<(), Diagnostic> {
         self.c.skip_ws();
         let start = self.c.pos();
+        // Ticking on Eof too makes the budget a backstop against any
+        // parser loop that fails to notice end-of-input.
+        self.budget.tick(Span::new(start, start))?;
         let tok = match self.c.peek() {
             None => Tok::Eof,
             Some(ch) if ch.is_alphabetic() || ch == '_' => {
@@ -187,6 +192,7 @@ struct Parser<'a, 'm> {
     procs: HashMap<String, u32>,
     /// Call sites awaiting proc resolution: (name, (block, op index), span).
     pending_calls: Vec<(String, (u32, usize), Span)>,
+    depth: DepthGuard,
 }
 
 /// A parsed single-operator expression.
@@ -428,6 +434,13 @@ impl<'a, 'm> Parser<'a, 'm> {
     /// stmt — returns whether the statement terminated the current block
     /// (it never does; all SIMPL statements fall through).
     fn stmt(&mut self) -> Result<(), Diagnostic> {
+        self.depth.enter(self.lx.span)?;
+        let r = self.stmt_inner();
+        self.depth.leave();
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<(), Diagnostic> {
         // Empty statement: stray `;` (Pascal-style separators).
         if self.lx.tok == Tok::Semi {
             self.lx.advance()?;
@@ -612,6 +625,9 @@ impl<'a, 'm> Parser<'a, 'm> {
         // Optional (n) parameter list in the paper's style: skip it.
         if self.lx.tok == Tok::LParen {
             while self.lx.tok != Tok::RParen {
+                if self.lx.tok == Tok::Eof {
+                    return Err(self.diag("unterminated parameter list"));
+                }
                 self.lx.advance()?;
             }
             self.lx.advance()?;
@@ -675,7 +691,23 @@ impl<'a, 'm> Parser<'a, 'm> {
 ///
 /// Returns a [`Diagnostic`] with the span of the offending token.
 pub fn parse(src: &str, m: &MachineDesc) -> Result<SimplProgram, Diagnostic> {
-    let lx = Lexer::new(src)?;
+    parse_with_limits(src, m, &FrontendLimits::default())
+}
+
+/// [`parse`] under explicit resource limits: any input — however large,
+/// deep, or malformed — terminates with a [`Diagnostic`] instead of
+/// exhausting the stack or spinning.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] for syntax errors and limit violations alike.
+pub fn parse_with_limits(
+    src: &str,
+    m: &MachineDesc,
+    limits: &FrontendLimits,
+) -> Result<SimplProgram, Diagnostic> {
+    limits.check_source(src)?;
+    let lx = Lexer::new(src, limits)?;
     let mut p = Parser {
         lx,
         m,
@@ -684,6 +716,7 @@ pub fn parse(src: &str, m: &MachineDesc) -> Result<SimplProgram, Diagnostic> {
         equivs: HashMap::new(),
         procs: HashMap::new(),
         pending_calls: Vec::new(),
+        depth: DepthGuard::new(limits),
     };
     let name = p.program()?;
 
@@ -864,6 +897,49 @@ end";
         let prog = p(src);
         prog.func.validate().unwrap();
         assert!(prog.func.op_count() >= 10);
+    }
+
+    /// An unclosed parameter list used to spin forever at end-of-input.
+    #[test]
+    fn unterminated_param_list_is_an_error_not_a_hang() {
+        let e = parse("program t (;", &hm1()).unwrap_err();
+        assert!(e.message.contains("unterminated"), "{}", e.message);
+    }
+
+    #[test]
+    fn nesting_depth_is_limited() {
+        let mut src = String::from("program t; begin ");
+        for _ in 0..200 {
+            src.push_str("if R1 = 0 then ");
+        }
+        src.push_str("R1 -> R2; end");
+        let e = parse(&src, &hm1()).unwrap_err();
+        assert!(e.message.contains("nesting"), "{}", e.message);
+    }
+
+    #[test]
+    fn token_budget_is_enforced() {
+        let limits = FrontendLimits {
+            max_tokens: 10,
+            ..FrontendLimits::default()
+        };
+        let e = parse_with_limits(
+            "program t; begin R1 -> R2; R2 -> R3; R3 -> R4; end",
+            &hm1(),
+            &limits,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("token budget"), "{}", e.message);
+    }
+
+    #[test]
+    fn oversize_source_is_rejected() {
+        let limits = FrontendLimits {
+            max_source_bytes: 16,
+            ..FrontendLimits::default()
+        };
+        let e = parse_with_limits("program t; begin R1 -> R2; end", &hm1(), &limits).unwrap_err();
+        assert!(e.message.contains("exceeds"), "{}", e.message);
     }
 
     #[test]

@@ -29,7 +29,7 @@
 
 use std::collections::HashMap;
 
-use mcc_lang::{parse_int, Cursor, Diagnostic, Span};
+use mcc_lang::{parse_int, Cursor, DepthGuard, Diagnostic, FrontendLimits, Span, TokenBudget};
 use mcc_machine::{AluOp, CondKind, MachineDesc, RegRef, ShiftOp};
 use mcc_mir::{BlockId, FuncBuilder, MirFunction, Operand, Term};
 use mcc_verify::{check_triple, Assign, Pred, Verdict};
@@ -117,14 +117,16 @@ struct Lexer<'a> {
     c: Cursor<'a>,
     tok: Tok,
     span: Span,
+    budget: TokenBudget,
 }
 
 impl<'a> Lexer<'a> {
-    fn new(src: &'a str) -> Result<Self, Diagnostic> {
+    fn new(src: &'a str, limits: &FrontendLimits) -> Result<Self, Diagnostic> {
         let mut l = Lexer {
             c: Cursor::new(src),
             tok: Tok::Eof,
             span: Span::default(),
+            budget: TokenBudget::new(limits),
         };
         l.advance()?;
         Ok(l)
@@ -135,6 +137,9 @@ impl<'a> Lexer<'a> {
         // line comments are close enough and unambiguous).
         self.c.skip_ws_and_line_comments("#");
         let start = self.c.pos();
+        // Ticking on Eof too makes the budget a backstop against any
+        // parser loop that fails to notice end-of-input.
+        self.budget.tick(Span::new(start, start))?;
         let tok = match self.c.peek() {
             None => Tok::Eof,
             Some(ch) if ch.is_alphabetic() || ch == '_' => {
@@ -214,6 +219,9 @@ struct Parser<'a, 'm> {
     region_depth: u32,
     /// Declared procedures: name → entry block.
     procs: HashMap<String, BlockId>,
+    /// One guard for statement *and* expression nesting: what matters is
+    /// the cumulative native stack, not either grammar alone.
+    depth: DepthGuard,
 }
 
 impl<'a, 'm> Parser<'a, 'm> {
@@ -293,6 +301,9 @@ impl<'a, 'm> Parser<'a, 'm> {
         self.expect_kw("bit")?;
         if h < l {
             return Err(self.diag("seq bounds must be high..low"));
+        }
+        if h - l >= 64 {
+            return Err(self.diag("seq wider than 64 bits"));
         }
         Ok((h - l + 1) as u16)
     }
@@ -377,10 +388,15 @@ impl<'a, 'm> Parser<'a, 'm> {
             if lo != 0 {
                 return Err(self.diag("array lower bound must be 0"));
             }
-            let len = hi + 1;
+            let len = hi
+                .checked_add(1)
+                .ok_or_else(|| self.diag("array too large"))?;
             self.expect_kw("with")?;
             if self.kw("mem")? {
                 let base = self.number()?;
+                if base.checked_add(len).is_none() {
+                    return Err(self.diag("array extends past the address space"));
+                }
                 self.places
                     .insert(name.to_string(), Place::MemArray { base, len });
             } else {
@@ -389,7 +405,7 @@ impl<'a, 'm> Parser<'a, 'm> {
                     .m
                     .find_file(&fname.to_ascii_uppercase())
                     .ok_or_else(|| self.diag(format!("no register file `{fname}`")))?;
-                if (len as u16) > self.m.file(fid).count {
+                if len > self.m.file(fid).count as u64 {
                     return Err(self.diag(format!(
                         "array `{name}` does not fit file `{fname}`"
                     )));
@@ -413,13 +429,18 @@ impl<'a, 'm> Parser<'a, 'm> {
                 self.expect_sym(":")?;
                 self.expect_kw("seq")?;
                 self.expect_sym("[")?;
-                let h = self.number()? as u16;
+                let h = self.number()?;
                 self.expect_sym("..")?;
-                let l = self.number()? as u16;
+                let l = self.number()?;
                 self.expect_sym("]")?;
                 self.expect_kw("bit")?;
                 self.expect_sym(";")?;
-                fields.push((fname, h, l));
+                // Tuples overlay one register, so fields must fit a word;
+                // the mask arithmetic downstream relies on these bounds.
+                if h < l || h >= 64 {
+                    return Err(self.diag(format!("bad field bounds [{h}..{l}]")));
+                }
+                fields.push((fname, h as u16, l as u16));
             }
             self.expect_kw("with")?;
             let target = self.ident()?;
@@ -439,6 +460,9 @@ impl<'a, 'm> Parser<'a, 'm> {
         if self.kw("stack")? {
             self.expect_sym("[")?;
             let cap = self.number()?;
+            if cap == 0 || cap > 1 << 16 {
+                return Err(self.diag("stack capacity must be 1..=65536"));
+            }
             self.expect_sym("]")?;
             self.expect_kw("of")?;
             let _w = self.seq_type()?;
@@ -566,6 +590,13 @@ impl<'a, 'm> Parser<'a, 'm> {
     }
 
     fn atom_ast(&mut self) -> Result<Ast, Diagnostic> {
+        self.depth.enter(self.lx.span)?;
+        let r = self.atom_ast_inner();
+        self.depth.leave();
+        r
+    }
+
+    fn atom_ast_inner(&mut self) -> Result<Ast, Diagnostic> {
         if self.sym("(")? {
             let e = self.expr_ast()?;
             self.expect_sym(")")?;
@@ -736,6 +767,13 @@ impl<'a, 'm> Parser<'a, 'm> {
     }
 
     fn statement_inner(&mut self) -> Result<(), Diagnostic> {
+        self.depth.enter(self.lx.span)?;
+        let r = self.statement_body();
+        self.depth.leave();
+        r
+    }
+
+    fn statement_body(&mut self) -> Result<(), Diagnostic> {
         if self.sym(";")? {
             return Ok(());
         }
@@ -1262,7 +1300,23 @@ fn ast_to_verify(a: &Ast) -> Option<mcc_verify::Expr> {
 ///
 /// Returns a [`Diagnostic`] with the span of the offending token.
 pub fn parse(src: &str, m: &MachineDesc) -> Result<SstarProgram, Diagnostic> {
-    let lx = Lexer::new(src)?;
+    parse_with_limits(src, m, &FrontendLimits::default())
+}
+
+/// [`parse`] under explicit resource limits: any input — however large,
+/// deep, or malformed — terminates with a [`Diagnostic`] instead of
+/// exhausting the stack or spinning.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] for syntax errors and limit violations alike.
+pub fn parse_with_limits(
+    src: &str,
+    m: &MachineDesc,
+    limits: &FrontendLimits,
+) -> Result<SstarProgram, Diagnostic> {
+    limits.check_source(src)?;
+    let lx = Lexer::new(src, limits)?;
     let mut p = Parser {
         lx,
         m,
@@ -1277,6 +1331,7 @@ pub fn parse(src: &str, m: &MachineDesc) -> Result<SstarProgram, Diagnostic> {
         next_mem: 0x6000,
         region_depth: 0,
         procs: HashMap::new(),
+        depth: DepthGuard::new(limits),
     };
 
     p.expect_kw("program")?;
@@ -1555,6 +1610,53 @@ end";
         )
         .unwrap_err();
         assert!(e.message.contains("undeclared variable"));
+    }
+
+    #[test]
+    fn deep_expression_nesting_is_limited() {
+        let mut src = String::from("program t; var x: seq [15..0] bit with R1; begin x := ");
+        src.push_str(&"(".repeat(500));
+        src.push('1');
+        src.push_str(&")".repeat(500));
+        src.push_str("; end");
+        let e = parse(&src, &hm1()).unwrap_err();
+        assert!(e.message.contains("nesting"), "{}", e.message);
+    }
+
+    #[test]
+    fn inverted_tuple_field_bounds_rejected() {
+        let e = parse(
+            "program t; var ir: tuple f: seq [0..12] bit; end with R4; begin end",
+            &hm1(),
+        )
+        .unwrap_err();
+        assert!(e.message.contains("bad field bounds"), "{}", e.message);
+    }
+
+    #[test]
+    fn huge_array_bound_rejected() {
+        let e = parse(
+            "program t; var a: array [0..18446744073709551615] of seq [15..0] bit with mem 0; \
+             begin end",
+            &hm1(),
+        )
+        .unwrap_err();
+        assert!(e.message.contains("too large"), "{}", e.message);
+    }
+
+    #[test]
+    fn token_budget_is_enforced() {
+        let limits = FrontendLimits {
+            max_tokens: 8,
+            ..FrontendLimits::default()
+        };
+        let e = parse_with_limits(
+            "program t; var x: seq [15..0] bit with R1; begin x := 5; end",
+            &hm1(),
+            &limits,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("token budget"), "{}", e.message);
     }
 
     #[test]

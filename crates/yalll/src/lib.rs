@@ -36,7 +36,7 @@
 
 use std::collections::HashMap;
 
-use mcc_lang::{parse_int, Diagnostic, Span};
+use mcc_lang::{parse_int, Diagnostic, FrontendLimits, Span, TokenBudget};
 use mcc_machine::{AluOp, CondKind, MachineDesc, RegRef, ShiftOp};
 use mcc_mir::{FuncBuilder, MirFunction, Operand, Term};
 
@@ -150,6 +150,22 @@ enum RegOrConst {
 ///
 /// Returns a [`Diagnostic`] with the byte position of the offending line.
 pub fn parse(src: &str, m: &MachineDesc) -> Result<YalllProgram, Diagnostic> {
+    parse_with_limits(src, m, &FrontendLimits::default())
+}
+
+/// [`parse`] under explicit resource limits (source size and a per-line
+/// token budget): arbitrary input terminates with a [`Diagnostic`].
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] for syntax errors and limit violations alike.
+pub fn parse_with_limits(
+    src: &str,
+    m: &MachineDesc,
+    limits: &FrontendLimits,
+) -> Result<YalllProgram, Diagnostic> {
+    limits.check_source(src)?;
+    let mut budget = TokenBudget::new(limits);
     let mut lower = Lower {
         m,
         b: FuncBuilder::new("yalll"),
@@ -163,6 +179,7 @@ pub fn parse(src: &str, m: &MachineDesc) -> Result<YalllProgram, Diagnostic> {
     for raw in src.lines() {
         let at = offset;
         offset += raw.len() + 1;
+        budget.tick(Span::new(at, at))?;
         let line = raw.split(';').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
@@ -261,6 +278,11 @@ pub fn parse(src: &str, m: &MachineDesc) -> Result<YalllProgram, Diagnostic> {
                     .ok_or_else(|| err("expected `mask -> label`", at))?;
                 let a = lower.operand(areg.trim(), at)?;
                 let mask = mask.trim();
+                if mask.len() > 64 {
+                    // More mask bits than any word: the shifts below would
+                    // overflow.
+                    return Err(err(format!("mask of {} bits is too wide", mask.len()), at));
+                }
                 let mut care = 0u64;
                 let mut value = 0u64;
                 for ch in mask.chars() {
@@ -527,6 +549,26 @@ low: exit x
         let bx = parse(&format!("reg n = G0\nconst n, 5\n{body}"), &bx2()).unwrap();
         hm.func.validate().unwrap();
         bx.func.validate().unwrap();
+    }
+
+    #[test]
+    fn overwide_mbranch_mask_rejected() {
+        let m = hm1();
+        let mask = "1".repeat(65);
+        let e = parse(&format!("reg x = R0\nmbranch x, {mask} -> l\nl: exit\n"), &m).unwrap_err();
+        assert!(e.message.contains("too wide"), "{}", e.message);
+    }
+
+    #[test]
+    fn line_budget_is_enforced() {
+        let m = hm1();
+        let limits = FrontendLimits {
+            max_tokens: 3,
+            ..FrontendLimits::default()
+        };
+        let e = parse_with_limits("reg a = R0\nconst a, 1\ninc a\ninc a\nexit a\n", &m, &limits)
+            .unwrap_err();
+        assert!(e.message.contains("token budget"), "{}", e.message);
     }
 
     #[test]

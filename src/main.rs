@@ -8,6 +8,7 @@
 //! mcc encode  -m hm1 -l yalll f.yll     compile and hex-dump the control store
 //! mcc mdl dump hm1                      print a machine as MDL text
 //! mcc compile --mdl my.mdl -l yalll f   compile for a machine described in MDL
+//! mcc fuzz --seed 1 --trials 1000       differential fuzz all four frontends
 //! ```
 //!
 //! The language defaults from the file extension: `.yll`/`.yalll` → YALLL,
@@ -16,7 +17,7 @@
 use std::process::ExitCode;
 
 use mcc::compact::Algorithm;
-use mcc::core::{Compiler, CompilerOptions};
+use mcc::core::{Compiler, CompilerOptions, SourceLang};
 use mcc::machine::{format_program, ConflictModel, MachineDesc};
 
 fn usage() -> ExitCode {
@@ -29,6 +30,7 @@ commands:
   disasm   [opts] <file>       compile and print the microcode listing
   encode   [opts] <file>       compile and hex-dump the control store
   run      [opts] <file>       compile, simulate, print symbol values
+  fuzz     [opts]              differential fuzzing campaign (see below)
   mdl dump <machine>           print a reference machine as MDL text
 
 options:
@@ -37,6 +39,7 @@ options:
   -l, --lang <name>            yalll | simpl | empl | sstar
                                (default: from the file extension)
   -a, --algo <name>            linear | critpath | levelpack | tokoro | optimal
+                               | sequential
       --coarse                 use the coarse conflict model
       --budget <n>             restrict each register file to n registers
       --poll <n>               insert interrupt polls every n operations
@@ -45,7 +48,13 @@ fault-injection options (run only):
       --faults <n>             after the clean run, inject n seeded single
                                faults and print the dependability tally
       --seed <n>               campaign seed (default 49374)
-      --raw-store              disable control-store parity protection"
+      --raw-store              disable control-store parity protection
+
+fuzz options:
+      --seed <n>               campaign seed (default 1)
+      --trials <n>             trials per frontend (default 256)
+  -l, --lang <name>            fuzz one frontend (default: all four)
+      --no-shrink              keep findings unreduced"
     );
     ExitCode::from(2)
 }
@@ -61,6 +70,8 @@ struct Args {
     poll: Option<usize>,
     faults: Option<usize>,
     seed: Option<u64>,
+    trials: Option<u64>,
+    no_shrink: bool,
     raw_store: bool,
     positional: Vec<String>,
 }
@@ -92,6 +103,8 @@ fn parse_args() -> Option<Args> {
         poll: None,
         faults: None,
         seed: None,
+        trials: None,
+        no_shrink: false,
         raw_store: false,
         positional: Vec::new(),
     };
@@ -106,6 +119,8 @@ fn parse_args() -> Option<Args> {
             "--poll" => a.poll = Some(numeric("--poll", it.next())?),
             "--faults" => a.faults = Some(numeric("--faults", it.next())?),
             "--seed" => a.seed = Some(numeric("--seed", it.next())?),
+            "--trials" => a.trials = Some(numeric("--trials", it.next())?),
+            "--no-shrink" => a.no_shrink = true,
             "--raw-store" => a.raw_store = true,
             _ => a.positional.push(arg),
         }
@@ -113,20 +128,18 @@ fn parse_args() -> Option<Args> {
     Some(a)
 }
 
-fn lang_of(args: &Args, path: &str) -> Result<String, String> {
-    if let Some(l) = &args.lang {
-        return Ok(l.to_lowercase());
-    }
-    let ext = path.rsplit('.').next().unwrap_or("");
-    match ext {
-        "yll" | "yalll" => Ok("yalll".into()),
-        "sim" | "simpl" => Ok("simpl".into()),
-        "emp" | "empl" => Ok("empl".into()),
-        "ss" | "sstar" => Ok("sstar".into()),
-        _ => Err(format!(
-            "cannot infer language from `{path}`; pass --lang"
-        )),
-    }
+fn lang_of(args: &Args, path: &str) -> Result<SourceLang, String> {
+    let name = match &args.lang {
+        Some(l) => l.clone(),
+        None => path.rsplit('.').next().unwrap_or("").to_string(),
+    };
+    SourceLang::from_name(&name).ok_or_else(|| {
+        if args.lang.is_some() {
+            format!("unknown language `{name}`")
+        } else {
+            format!("cannot infer language from `{path}`; pass --lang")
+        }
+    })
 }
 
 fn machine_of(args: &Args) -> Result<MachineDesc, String> {
@@ -150,6 +163,7 @@ fn compiler_of(args: &Args) -> Result<Compiler, String> {
             "levelpack" => Algorithm::LevelPack,
             "tokoro" => Algorithm::Tokoro,
             "optimal" => Algorithm::BranchBound,
+            "sequential" => Algorithm::Sequential,
             other => return Err(format!("unknown algorithm `{other}`")),
         };
     }
@@ -169,18 +183,65 @@ fn compile(args: &Args) -> Result<mcc::core::Artifact, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let lang = lang_of(args, path)?;
     let c = compiler_of(args)?;
-    let art = match lang.as_str() {
-        "yalll" => c.compile_yalll(&src),
-        "simpl" => c.compile_simpl(&src),
-        "empl" => c.compile_empl(&src),
-        "sstar" => c.compile_sstar(&src),
-        other => return Err(format!("unknown language `{other}`")),
-    }
-    .map_err(|e| e.to_string())?;
+    // The contained entry point: any residual panic in a frontend or pass
+    // comes back as a structured `internal error in pass ...`, so feeding
+    // mcc arbitrary bytes always terminates with a diagnostic.
+    let art = c.compile_contained(lang, &src).map_err(|e| e.to_string())?;
     for w in &art.warnings {
         eprintln!("warning: {}", w.message);
     }
     Ok(art)
+}
+
+/// `mcc fuzz`: a deterministic differential campaign over the frontends.
+/// Exit status is nonzero when any finding is reported, so CI can gate
+/// on a clean run.
+fn fuzz_command(args: &Args) -> Result<bool, String> {
+    use mcc::fuzz::{fuzz, FuzzConfig};
+    let machine = machine_of(args)?;
+    let langs = match &args.lang {
+        Some(l) => vec![
+            SourceLang::from_name(l).ok_or_else(|| format!("unknown language `{l}`"))?,
+        ],
+        None => SourceLang::ALL.to_vec(),
+    };
+    let cfg = FuzzConfig {
+        seed: args.seed.unwrap_or(1),
+        trials: args.trials.unwrap_or(256),
+        langs,
+        machine,
+        shrink: !args.no_shrink,
+    };
+    println!(
+        "fuzzing {} on {}: {} trials/frontend, seed {}",
+        cfg.langs
+            .iter()
+            .map(|l| l.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+        cfg.machine.name,
+        cfg.trials,
+        cfg.seed
+    );
+    let report = fuzz(&cfg);
+    print!("{}", report.table());
+    for f in &report.findings {
+        println!(
+            "\nfinding: {} in {} (trial {}): {}",
+            f.class, f.lang, f.trial, f.detail
+        );
+        println!("--- shrunk reproducer ---");
+        for line in f.shrunk.lines() {
+            println!("  {line}");
+        }
+    }
+    let total = report.total_findings();
+    if total == 0 {
+        println!("no findings");
+    } else {
+        println!("\n{total} finding(s)");
+    }
+    Ok(total == 0)
 }
 
 /// `mcc run --faults N`: a seeded single-fault campaign against the
@@ -326,6 +387,16 @@ fn main() -> ExitCode {
             }
             Ok(())
         }),
+        "fuzz" => {
+            return match fuzz_command(&args) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("mcc: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         "help" | "--help" | "-h" => {
             usage();
             Ok(())

@@ -375,3 +375,69 @@ proptest! {
         prop_assert_eq!(ror, a.rotate_right(n) as u64);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Compilation is deterministic: the same generated source, compiled
+    /// twice, encodes to bit-identical control-store words — for every
+    /// frontend. Build caching, artifact diffing, and the differential
+    /// oracle all lean on this.
+    #[test]
+    fn compilation_is_deterministic(seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let m = hm1();
+        let c = Compiler::new(m.clone());
+        for lang in mcc::core::SourceLang::ALL {
+            let src = mcc::fuzz::gen::generate(lang, &m, &mut StdRng::seed_from_u64(seed));
+            let a = c.compile_contained(lang, &src);
+            let b = c.compile_contained(lang, &src);
+            match (a, b) {
+                (Ok(a), Ok(b)) => {
+                    let wa = a.encode().unwrap();
+                    let wb = b.encode().unwrap();
+                    prop_assert_eq!(wa, wb, "{} artifact bytes differ across runs", lang);
+                }
+                (Err(ea), Err(eb)) => prop_assert_eq!(ea.to_string(), eb.to_string()),
+                (a, b) => prop_assert!(false, "{}: accept/reject flipped: {:?} vs {:?}",
+                    lang, a.is_ok(), b.is_ok()),
+            }
+        }
+    }
+
+    /// The shrinker's output always still satisfies the predicate it was
+    /// shrinking against, and never grows the input.
+    #[test]
+    fn shrinker_preserves_the_failure(
+        prefix in proptest::collection::vec(0u16..1000, 0..6),
+        suffix in proptest::collection::vec(0u16..1000, 0..6),
+        budget in 10usize..200,
+    ) {
+        let line = |ns: &[u16]| ns.iter()
+            .map(|n| format!("word{n};"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let src = format!("{}\nNEEDLE\n{}\n", line(&prefix), line(&suffix));
+        let out = mcc::fuzz::shrink::shrink(&src, |s| s.contains("NEEDLE"), budget);
+        prop_assert!(out.contains("NEEDLE"));
+        prop_assert!(out.len() <= src.len());
+    }
+
+    /// Mutated (possibly wildly malformed) inputs never panic a frontend
+    /// and always produce a span that fits the source.
+    #[test]
+    fn mutants_get_clean_diagnostics(seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let m = hm1();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for lang in mcc::core::SourceLang::ALL {
+            let base = mcc::fuzz::gen::generate(lang, &m, &mut rng);
+            let src = mcc::fuzz::mutate::mutate(&base, &mut rng);
+            if let Err(d) = mcc::fuzz::oracle::frontend_diag(lang, &m, &src) {
+                prop_assert!(!d.message.trim().is_empty(), "{}: empty diagnostic", lang);
+                prop_assert!(d.span.start <= d.span.end && d.span.end <= src.len(),
+                    "{}: span {}..{} outside {} bytes", lang, d.span.start, d.span.end, src.len());
+            }
+        }
+    }
+}
