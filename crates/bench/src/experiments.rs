@@ -788,53 +788,73 @@ pub fn e9_campaign(
     report.tally
 }
 
-/// E9 with an explicit trial count (tests use a small one).
-pub fn e9_with(trials: usize) -> Table {
-    // Poll points let the watchdog distinguish a hung machine from a
-    // working loop (§2.1.5's polling, reused as a liveness heartbeat).
+/// The compiler every E9 row uses: poll points let the watchdog
+/// distinguish a hung machine from a working loop (§2.1.5's polling,
+/// reused as a liveness heartbeat).
+pub(crate) fn e9_compiler() -> Compiler {
     let opts = CompilerOptions {
         poll_interval: Some(8),
         ..Default::default()
     };
-    let c = Compiler::with_options(hm1(), opts);
+    Compiler::with_options(hm1(), opts)
+}
+
+/// E9's column names (shared by the direct and campaign paths).
+pub(crate) fn e9_header() -> Vec<&'static str> {
+    vec![
+        "kernel/store",
+        "masked",
+        "recovered",
+        "detected",
+        "hang",
+        "SDC",
+        "coverage",
+    ]
+}
+
+/// Renders one E9 row from a campaign tally.
+pub(crate) fn e9_row(label: String, t: &mcc_faults::Tally) -> Vec<String> {
+    vec![
+        label,
+        t.masked.to_string(),
+        t.recovered.to_string(),
+        t.detected_halt.to_string(),
+        t.hang.to_string(),
+        t.sdc.to_string(),
+        format!("{:.1}%", t.coverage() * 100.0),
+    ]
+}
+
+/// E9's interpretation notes (shared by the direct and campaign paths).
+pub(crate) fn e9_notes(trials: usize) -> Vec<String> {
+    vec![
+        format!(
+            "{trials} seeded single-fault trials per row; mix = control flips 50%, \
+             register 20%, memory 15%, stuck-at 10%, page unmap 5%."
+        ),
+        "raw = corrupted control words execute; ecc = parity-checked fetch with".into(),
+        format!(
+            "scrub + restart-from-checkpoint recovery. Watchdog {E9_WATCHDOG} cycles; \
+             the same seed feeds both store modes."
+        ),
+        "coverage = fraction of trials not ending in silent data corruption.".into(),
+    ]
+}
+
+/// E9 with an explicit trial count (tests use a small one).
+pub fn e9_with(trials: usize) -> Table {
+    let c = e9_compiler();
     let mut rows = Vec::new();
     for (i, k) in suite().iter().enumerate() {
         for (label, protect) in [("raw", false), ("ecc", true)] {
             let t = e9_campaign(k, &c, protect, 1980 + i as u64, trials);
-            rows.push(vec![
-                format!("{}/{label}", k.name),
-                t.masked.to_string(),
-                t.recovered.to_string(),
-                t.detected_halt.to_string(),
-                t.hang.to_string(),
-                t.sdc.to_string(),
-                format!("{:.1}%", t.coverage() * 100.0),
-            ]);
+            rows.push(e9_row(format!("{}/{label}", k.name), &t));
         }
     }
     Table {
-        header: vec![
-            "kernel/store",
-            "masked",
-            "recovered",
-            "detected",
-            "hang",
-            "SDC",
-            "coverage",
-        ],
+        header: e9_header(),
         rows,
-        notes: vec![
-            format!(
-                "{trials} seeded single-fault trials per row; mix = control flips 50%, \
-                 register 20%, memory 15%, stuck-at 10%, page unmap 5%."
-            ),
-            "raw = corrupted control words execute; ecc = parity-checked fetch with".into(),
-            format!(
-                "scrub + restart-from-checkpoint recovery. Watchdog {E9_WATCHDOG} cycles; \
-                 the same seed feeds both store modes."
-            ),
-            "coverage = fraction of trials not ending in silent data corruption.".into(),
-        ],
+        notes: e9_notes(trials),
     }
 }
 
@@ -854,7 +874,7 @@ pub fn e9() -> Table {
 /// measures *trustworthiness* — §2.1.1's premise that the programmer must
 /// be able to rely on the translator, made into a regenerable number.
 pub fn e10_with(trials: u64) -> Table {
-    use mcc_fuzz::{fuzz, FindingClass, FuzzConfig};
+    use mcc_fuzz::{fuzz, FuzzConfig};
     let mut rows = Vec::new();
     let mut total = 0u64;
     for m in [hm1(), vm1(), bx2(), wm64()] {
@@ -866,28 +886,43 @@ pub fn e10_with(trials: u64) -> Table {
         });
         total += report.total_findings();
         for r in &report.reports {
-            let mut row = vec![format!("{}/{}", m.name, r.lang.name())];
-            row.extend(r.counts.iter().map(|n| n.to_string()));
-            rows.push(row);
+            rows.push(e10_row(format!("{}/{}", m.name, r.lang.name()), &r.counts));
         }
     }
-    let mut header = vec!["machine/frontend"];
-    header.extend(FindingClass::ALL.iter().map(|c| c.name()));
     Table {
-        header,
+        header: e10_header(),
         rows,
-        notes: vec![
-            format!("{trials} trials per cell, seed 1; reference oracle: sequential emission."),
-            "Every generated program is compiled under all five compaction algorithms and".into(),
-            "simulated; divergence in final state, a panic, a hang, a rejected well-formed".into(),
-            "program, or a budget blowout counts in its class. Mutated (malformed) variants".into(),
-            "additionally check diagnostic quality: non-empty message, in-range span.".into(),
-            format!(
-                "Total findings: {total}. An all-zero table is the robustness baseline \
-                 this tree ships with."
-            ),
-        ],
+        notes: e10_notes(trials, total),
     }
+}
+
+/// E10's column names (shared by the direct and campaign paths).
+pub(crate) fn e10_header() -> Vec<&'static str> {
+    let mut header = vec!["machine/frontend"];
+    header.extend(mcc_fuzz::FindingClass::ALL.iter().map(|c| c.name()));
+    header
+}
+
+/// Renders one E10 row from per-class finding counts.
+pub(crate) fn e10_row(label: String, counts: &[u64; 5]) -> Vec<String> {
+    let mut row = vec![label];
+    row.extend(counts.iter().map(|n| n.to_string()));
+    row
+}
+
+/// E10's interpretation notes (shared by the direct and campaign paths).
+pub(crate) fn e10_notes(trials: u64, total: u64) -> Vec<String> {
+    vec![
+        format!("{trials} trials per cell, seed 1; reference oracle: sequential emission."),
+        "Every generated program is compiled under all five compaction algorithms and".into(),
+        "simulated; divergence in final state, a panic, a hang, a rejected well-formed".into(),
+        "program, or a budget blowout counts in its class. Mutated (malformed) variants".into(),
+        "additionally check diagnostic quality: non-empty message, in-range span.".into(),
+        format!(
+            "Total findings: {total}. An all-zero table is the robustness baseline \
+             this tree ships with."
+        ),
+    ]
 }
 
 /// E10: differential-fuzzing robustness table (all-zero when healthy).

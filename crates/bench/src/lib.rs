@@ -4,6 +4,7 @@
 //! suite, genuinely hand-written microcode baselines, and the MAC-1
 //! interpreter microprogram. Each `exp_*` binary regenerates one table.
 
+pub mod campaign;
 pub mod experiments;
 pub mod handwritten;
 pub mod kernels;

@@ -258,11 +258,23 @@ fn check(
 
 /// Runs a campaign. Deterministic in `cfg`.
 pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    fuzz_range(cfg, 0, cfg.trials)
+}
+
+/// Runs only the trial window `lo..hi` of the campaign `cfg` describes.
+///
+/// Because each trial's RNG is a pure function of `(seed, lang, trial)`,
+/// the window executes exactly the trials the full campaign would, with
+/// identical programs and findings — so a campaign can be chunked into
+/// independent harness jobs and the per-class counts summed back together
+/// without changing a single number. `cfg.trials` is ignored; the window
+/// bounds it instead.
+pub fn fuzz_range(cfg: &FuzzConfig, lo: u64, hi: u64) -> FuzzReport {
     let mut reports = Vec::new();
     let mut findings = Vec::new();
     for &lang in &cfg.langs {
         let mut counts = [0u64; 5];
-        for trial in 0..cfg.trials {
+        for trial in lo..hi {
             let mut rng = trial_rng(cfg.seed, lang, trial);
             // Even trials: strict differential check of a generated
             // program. Odd trials: containment check of a mutant derived
@@ -306,7 +318,7 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
         }
         reports.push(LangReport {
             lang,
-            trials: cfg.trials,
+            trials: hi.saturating_sub(lo),
             counts,
         });
     }
@@ -362,6 +374,25 @@ mod tests {
             gen::generate(SourceLang::Simpl, &m, &mut r1),
             gen::generate(SourceLang::Simpl, &m, &mut r2)
         );
+    }
+
+    #[test]
+    fn chunked_windows_sum_to_the_full_campaign() {
+        let cfg = FuzzConfig {
+            seed: 42,
+            trials: 20,
+            ..FuzzConfig::default()
+        };
+        let full = fuzz(&cfg);
+        let a = fuzz_range(&cfg, 0, 8);
+        let b = fuzz_range(&cfg, 8, 20);
+        for (i, r) in full.reports.iter().enumerate() {
+            let summed: Vec<u64> = (0..5)
+                .map(|c| a.reports[i].counts[c] + b.reports[i].counts[c])
+                .collect();
+            assert_eq!(r.counts.to_vec(), summed, "{} counts", r.lang.name());
+        }
+        assert_eq!(full.findings.len(), a.findings.len() + b.findings.len());
     }
 
     #[test]

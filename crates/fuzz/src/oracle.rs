@@ -18,7 +18,7 @@ use mcc_compact::Algorithm;
 use mcc_core::{Artifact, CompileError, Compiler, CompilerOptions, SourceLang};
 use mcc_lang::Diagnostic;
 use mcc_machine::MachineDesc;
-use mcc_sim::SimError;
+use mcc_sim::{SimError, SimOptions};
 
 use crate::FindingClass;
 
@@ -48,7 +48,14 @@ fn sim_error_class(e: &SimError) -> &'static str {
 }
 
 fn execute(art: &Artifact) -> Result<ExecOutcome, String> {
-    let run = catch_unwind(AssertUnwindSafe(|| art.run()));
+    // Hang detection uses the toolkit-wide cycle budget from `mcc-lang`,
+    // the same `Budget` the simulator's own default and the campaign
+    // harness count against — one definition of "too long", everywhere.
+    let opts = SimOptions {
+        max_cycles: mcc_lang::Budget::sim_cycles().limit(),
+        ..SimOptions::default()
+    };
+    let run = catch_unwind(AssertUnwindSafe(|| art.run_with(&opts)));
     let run = match run {
         Ok(r) => r,
         Err(_) => return Err("panic during simulation".to_string()),

@@ -1,0 +1,101 @@
+//! Retry backoff with deterministic jitter.
+//!
+//! Delays grow exponentially per attempt, clamped to a cap, and are then
+//! jittered into `[delay/2, delay]` so retries of many failed jobs do not
+//! stampede in lock-step. The jitter is a pure function of
+//! `(campaign seed, job id, attempt)` — no wall clock, no global RNG —
+//! so a resumed or re-run campaign retries on exactly the same schedule.
+
+use std::time::Duration;
+
+/// Backoff tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Upper clamp on the un-jittered delay.
+    pub cap: Duration,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The delay before retry number `attempt` (1-based: `attempt == 1`
+/// follows the first failure) of `job_id`, jittered deterministically
+/// from the campaign seed.
+pub fn delay(cfg: &BackoffConfig, seed: u64, job_id: &str, attempt: u32) -> Duration {
+    let base_ms = cfg.base.as_millis() as u64;
+    let cap_ms = cfg.cap.as_millis() as u64;
+    let exp_ms = base_ms
+        .saturating_mul(1u64.checked_shl(attempt.saturating_sub(1)).unwrap_or(u64::MAX))
+        .min(cap_ms);
+    // Jitter into [exp/2, exp]: late enough to still back off, spread
+    // enough to decorrelate concurrent retries.
+    let lo = exp_ms / 2;
+    let span = exp_ms - lo;
+    let h = crate::backoff_hash(seed, job_id, attempt);
+    let jittered = if span == 0 { lo } else { lo + h % (span + 1) };
+    Duration::from_millis(jittered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BackoffConfig {
+        BackoffConfig {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(1000),
+        }
+    }
+
+    #[test]
+    fn sequence_from_fixed_seed_is_deterministic() {
+        let c = cfg();
+        let a: Vec<Duration> = (1..=6).map(|n| delay(&c, 42, "e9/qsort/ecc", n)).collect();
+        let b: Vec<Duration> = (1..=6).map(|n| delay(&c, 42, "e9/qsort/ecc", n)).collect();
+        assert_eq!(a, b, "same (seed, job, attempt) must give the same delay");
+    }
+
+    #[test]
+    fn delays_stay_within_the_jitter_window() {
+        let c = cfg();
+        for attempt in 1..=10u32 {
+            let exp = (10u64 << (attempt - 1)).min(1000);
+            for job in ["a", "b", "long/job/id"] {
+                let d = delay(&c, 7, job, attempt).as_millis() as u64;
+                assert!(
+                    d >= exp / 2 && d <= exp,
+                    "attempt {attempt} job {job}: {d}ms outside [{}..{exp}]ms",
+                    exp / 2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_jobs_decorrelate() {
+        let c = cfg();
+        // With 16 jobs at attempt 4 (window [40..80]ms) at least two
+        // distinct delays must appear, else there is no jitter at all.
+        let ds: std::collections::BTreeSet<u64> = (0..16)
+            .map(|i| delay(&c, 7, &format!("job-{i}"), 4).as_millis() as u64)
+            .collect();
+        assert!(ds.len() > 1, "jitter produced identical delays for all jobs");
+    }
+
+    #[test]
+    fn huge_attempt_clamps_to_cap_without_overflow() {
+        let c = cfg();
+        let d = delay(&c, 7, "x", 63).as_millis() as u64;
+        assert!((500..=1000).contains(&d));
+        let d = delay(&c, 7, "x", 200).as_millis() as u64;
+        assert!((500..=1000).contains(&d));
+    }
+}

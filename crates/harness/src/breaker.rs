@@ -1,0 +1,230 @@
+//! Per-key circuit breakers.
+//!
+//! A campaign fans many jobs over a small set of (frontend, algorithm)
+//! style keys. When one key is pathological — every job on it panics or
+//! times out — retrying each of its jobs to exhaustion starves the rest
+//! of the campaign. The breaker watches consecutive failures per key and
+//! trips after a threshold: subsequent jobs on that key are *skipped*
+//! (recorded as degraded results, not silently dropped). After a
+//! cool-down the breaker admits a single probe; a probe success closes
+//! the breaker, a probe failure re-opens it.
+//!
+//! Time is logical, not wall-clock: the supervisor advances one tick per
+//! job resolution, so breaker behaviour is deterministic and testable.
+
+use std::collections::HashMap;
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures on one key that trip its breaker.
+    pub threshold: u32,
+    /// Logical ticks an open breaker waits before admitting a probe.
+    pub cooldown: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 5,
+            cooldown: 8,
+        }
+    }
+}
+
+/// One key's breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Normal operation; counts consecutive failures.
+    Closed { consecutive: u32 },
+    /// Tripped at `since`; rejects until the cool-down elapses.
+    Open { since: u64 },
+    /// Cool-down elapsed; exactly one probe job is in flight.
+    HalfOpen,
+}
+
+/// What the breaker says about dispatching a job on some key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Closed: run the job normally.
+    Execute,
+    /// Half-open: run the job as the single probe.
+    Probe,
+    /// Open (or a probe already in flight): skip the job as degraded.
+    Reject,
+}
+
+/// The campaign's breaker bank, one state machine per key.
+#[derive(Debug, Default)]
+pub struct BreakerBank {
+    cfg: BreakerConfig,
+    states: HashMap<String, State>,
+    /// Total trips, for the supervision summary.
+    trips: u64,
+}
+
+impl BreakerBank {
+    /// A bank with the given tuning and all breakers closed.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        BreakerBank {
+            cfg,
+            states: HashMap::new(),
+            trips: 0,
+        }
+    }
+
+    /// Total times any breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Keys whose breaker is currently open or half-open, sorted.
+    pub fn degraded_keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .states
+            .iter()
+            .filter(|(_, s)| !matches!(s, State::Closed { .. }))
+            .map(|(k, _)| k.clone())
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Asks whether a job on `key` may run at logical time `now`.
+    /// Transitions Open → HalfOpen when the cool-down has elapsed; the
+    /// caller must report the probe's outcome via
+    /// [`on_success`](Self::on_success) / [`on_failure`](Self::on_failure).
+    pub fn admit(&mut self, key: &str, now: u64) -> Admit {
+        let state = self
+            .states
+            .entry(key.to_string())
+            .or_insert(State::Closed { consecutive: 0 });
+        match *state {
+            State::Closed { .. } => Admit::Execute,
+            State::Open { since } => {
+                if now.saturating_sub(since) >= self.cfg.cooldown {
+                    *state = State::HalfOpen;
+                    Admit::Probe
+                } else {
+                    Admit::Reject
+                }
+            }
+            // One probe at a time: while it is in flight, everything
+            // else on the key stays rejected.
+            State::HalfOpen => Admit::Reject,
+        }
+    }
+
+    /// Records a successful job on `key`. Closes a half-open breaker and
+    /// resets the failure streak.
+    pub fn on_success(&mut self, key: &str) {
+        self.states
+            .insert(key.to_string(), State::Closed { consecutive: 0 });
+    }
+
+    /// Records one failed attempt on `key` at logical time `now` (every
+    /// attempt counts, so a retry storm on one key trips its breaker
+    /// even when each job still has budget left). Returns `true` when
+    /// this failure trips the breaker open.
+    pub fn on_failure(&mut self, key: &str, now: u64) -> bool {
+        let state = self
+            .states
+            .entry(key.to_string())
+            .or_insert(State::Closed { consecutive: 0 });
+        match *state {
+            State::Closed { consecutive } => {
+                let consecutive = consecutive + 1;
+                if consecutive >= self.cfg.threshold {
+                    *state = State::Open { since: now };
+                    self.trips += 1;
+                    true
+                } else {
+                    *state = State::Closed { consecutive };
+                    false
+                }
+            }
+            // Failed probe: back to open, cool-down restarts.
+            State::HalfOpen => {
+                *state = State::Open { since: now };
+                self.trips += 1;
+                true
+            }
+            State::Open { .. } => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> BreakerBank {
+        BreakerBank::new(BreakerConfig {
+            threshold: 3,
+            cooldown: 10,
+        })
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = bank();
+        assert!(!b.on_failure("k", 0));
+        assert!(!b.on_failure("k", 1));
+        assert_eq!(b.admit("k", 2), Admit::Execute, "still closed below threshold");
+        assert!(b.on_failure("k", 2), "third consecutive failure trips");
+        assert_eq!(b.admit("k", 3), Admit::Reject);
+        assert_eq!(b.trips(), 1);
+        assert_eq!(b.degraded_keys(), vec!["k".to_string()]);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut b = bank();
+        b.on_failure("k", 0);
+        b.on_failure("k", 1);
+        b.on_success("k");
+        assert!(!b.on_failure("k", 2));
+        assert!(!b.on_failure("k", 3));
+        assert_eq!(b.admit("k", 4), Admit::Execute, "streak restarted after success");
+    }
+
+    #[test]
+    fn half_open_probe_after_cooldown_then_success_closes() {
+        let mut b = bank();
+        for t in 0..3 {
+            b.on_failure("k", t);
+        }
+        assert_eq!(b.admit("k", 5), Admit::Reject, "cool-down not elapsed");
+        assert_eq!(b.admit("k", 12), Admit::Probe, "cool-down elapsed: one probe");
+        assert_eq!(b.admit("k", 12), Admit::Reject, "only one probe in flight");
+        b.on_success("k");
+        assert_eq!(b.admit("k", 13), Admit::Execute, "probe success closes");
+        assert!(b.degraded_keys().is_empty());
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_fresh_cooldown() {
+        let mut b = bank();
+        for t in 0..3 {
+            b.on_failure("k", t);
+        }
+        assert_eq!(b.admit("k", 12), Admit::Probe);
+        assert!(b.on_failure("k", 12), "failed probe counts as a trip");
+        assert_eq!(b.admit("k", 13), Admit::Reject);
+        assert_eq!(b.admit("k", 21), Admit::Reject, "cool-down restarted at 12");
+        assert_eq!(b.admit("k", 22), Admit::Probe);
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut b = bank();
+        for t in 0..3 {
+            b.on_failure("bad", t);
+        }
+        assert_eq!(b.admit("bad", 4), Admit::Reject);
+        assert_eq!(b.admit("good", 4), Admit::Execute);
+        b.on_success("good");
+        assert_eq!(b.degraded_keys(), vec!["bad".to_string()]);
+    }
+}

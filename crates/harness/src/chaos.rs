@@ -1,0 +1,125 @@
+//! Harness-level fault injection.
+//!
+//! Chaos mode turns the supervisor's own failure machinery on itself:
+//! seeded, deterministic faults that exercise the paths a healthy
+//! campaign never takes. Three fault families:
+//!
+//! * **panic** — the job's closure panics inside the worker, proving the
+//!   containment boundary and the retry path;
+//! * **stall** — the job sleeps past its deadline, proving condemnation
+//!   and worker replacement;
+//! * **fail** — every attempt of every job on one *victim key* returns an
+//!   error, marching that key's breaker to a trip so the degraded-result
+//!   path is exercised end to end.
+//!
+//! All decisions are pure functions of `(seed, job id, attempt)`, so a
+//! chaos campaign is as reproducible as a clean one.
+
+/// A fault the chaos plan injects into one attempt of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic inside the worker before the real job runs.
+    Panic,
+    /// Sleep past the deadline so the supervisor condemns the attempt.
+    Stall,
+    /// Return an error without running the real job (victim-key fault).
+    Fail,
+}
+
+/// The campaign's seeded chaos schedule.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    seed: u64,
+    /// The breaker key whose jobs persistently fail (tripping it).
+    victim: Option<String>,
+}
+
+impl ChaosPlan {
+    /// Builds a plan: the victim key is picked by seed from the distinct
+    /// breaker keys present in the campaign (sorted for determinism).
+    pub fn new(seed: u64, keys: &[String]) -> ChaosPlan {
+        let mut distinct: Vec<&String> = keys.iter().collect();
+        distinct.sort();
+        distinct.dedup();
+        let victim = if distinct.is_empty() {
+            None
+        } else {
+            Some(distinct[(seed % distinct.len() as u64) as usize].clone())
+        };
+        ChaosPlan { seed, victim }
+    }
+
+    /// The key whose breaker this plan drives open, if any.
+    pub fn victim(&self) -> Option<&str> {
+        self.victim.as_deref()
+    }
+
+    /// The fault (if any) to inject into `attempt` of `job_id` on
+    /// breaker key `key`. Victim-key jobs always fail; elsewhere, one in
+    /// eight attempts panics and one in eight stalls.
+    pub fn fault_for(&self, job_id: &str, key: &str, attempt: u32) -> Option<Fault> {
+        if self.victim.as_deref() == Some(key) {
+            return Some(Fault::Fail);
+        }
+        let h = crate::backoff_hash(self.seed, job_id, attempt);
+        match h % 8 {
+            0 => Some(Fault::Panic),
+            1 => Some(Fault::Stall),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn victim_selection_is_seeded_and_stable() {
+        let ks = keys(&["simpl", "empl", "sstar", "yalll", "simpl"]);
+        let a = ChaosPlan::new(3, &ks);
+        let b = ChaosPlan::new(3, &ks);
+        assert_eq!(a.victim(), b.victim());
+        assert!(a.victim().is_some());
+        // 4 distinct keys: all four seeds mod 4 hit different victims.
+        let victims: std::collections::BTreeSet<_> =
+            (0..4).map(|s| ChaosPlan::new(s, &ks).victim().unwrap().to_string()).collect();
+        assert_eq!(victims.len(), 4);
+    }
+
+    #[test]
+    fn victim_jobs_always_fail_every_attempt() {
+        let plan = ChaosPlan::new(0, &keys(&["a", "b"]));
+        let victim = plan.victim().unwrap().to_string();
+        for attempt in 1..=5 {
+            assert_eq!(
+                plan.fault_for("some-job", &victim, attempt),
+                Some(Fault::Fail)
+            );
+        }
+    }
+
+    #[test]
+    fn non_victim_faults_are_deterministic_per_attempt() {
+        let plan = ChaosPlan::new(9, &keys(&["a", "b"]));
+        let other = if plan.victim() == Some("a") { "b" } else { "a" };
+        for attempt in 1..=4 {
+            for job in ["j0", "j1", "j2", "j3"] {
+                assert_eq!(
+                    plan.fault_for(job, other, attempt),
+                    plan.fault_for(job, other, attempt)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_key_set_has_no_victim() {
+        let plan = ChaosPlan::new(1, &[]);
+        assert_eq!(plan.victim(), None);
+    }
+}

@@ -1,0 +1,604 @@
+//! The crash-only campaign journal: a JSONL append log with an fsync'd
+//! header and per-record checksums.
+//!
+//! Every completed job appends exactly one line, flushed and fsync'd
+//! before the supervisor considers the job finished. A kill — SIGKILL,
+//! panic, power loss — can therefore lose at most the record being
+//! written, and that torn tail is detectable: a record whose line is
+//! incomplete, whose checksum fails, or whose sequence number breaks the
+//! chain is dropped along with everything after it, and the file is
+//! truncated back to the last durable record before new appends. Resume
+//! is a pure replay: recovered `ok`/`failed`/`skipped` records are final,
+//! and only jobs absent from the journal execute.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Journal format version; bumped on any incompatible record change.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// FNV-1a over bytes: the journal's checksum and fingerprint hash. Not
+/// cryptographic — it detects torn writes, not adversaries.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// How a journaled job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Completed with a payload row.
+    Ok,
+    /// Exhausted its attempt budget.
+    Failed,
+    /// Never executed: its circuit breaker was open.
+    Skipped,
+}
+
+impl JobStatus {
+    fn name(self) -> &'static str {
+        match self {
+            JobStatus::Ok => "ok",
+            JobStatus::Failed => "failed",
+            JobStatus::Skipped => "skipped",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "ok" => Some(JobStatus::Ok),
+            "failed" => Some(JobStatus::Failed),
+            "skipped" => Some(JobStatus::Skipped),
+            _ => None,
+        }
+    }
+}
+
+/// The journal's first line: campaign identity, so a resume cannot
+/// silently replay the wrong campaign's records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Campaign name (`"e9"`, `"e10"`, `"fuzz"`, ...).
+    pub campaign: String,
+    /// Campaign seed; a resume must present the same one.
+    pub seed: u64,
+    /// Total jobs in the campaign.
+    pub jobs: u64,
+    /// FNV of the ordered job-id list: the job set must match exactly.
+    pub fingerprint: u64,
+}
+
+/// One completed job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRecord {
+    /// Sequence number: dense, ascending from 0 after the header.
+    pub seq: u64,
+    /// The job's stable identifier.
+    pub id: String,
+    /// Final status.
+    pub status: JobStatus,
+    /// Attempts consumed (0 for skipped jobs).
+    pub attempts: u32,
+    /// Failure/skip reason (empty on success).
+    pub error: String,
+    /// Result payload: the job's table-row cells.
+    pub cells: Vec<String>,
+}
+
+/// Journal I/O and integrity errors.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem trouble.
+    Io(std::io::Error),
+    /// The file exists but its header is torn or unreadable.
+    BadHeader(String),
+    /// The header describes a different campaign/seed/job set.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o: {e}"),
+            JournalError::BadHeader(s) => write!(f, "journal header unreadable: {s}"),
+            JournalError::Mismatch(s) => write!(f, "journal mismatch: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+// ------------------------------------------------------------ encoding ----
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Seals a record body (a JSON object *without* the `sum` field) by
+/// splicing in `"sum"` over the body's FNV, producing the journal line.
+fn seal(body: String) -> String {
+    let sum = fnv1a(body.as_bytes());
+    debug_assert!(body.ends_with('}'));
+    format!("{},\"sum\":\"{sum:016x}\"}}\n", &body[..body.len() - 1])
+}
+
+/// Splits a sealed line back into its body and verifies the checksum.
+fn unseal(line: &str) -> Option<String> {
+    let idx = line.rfind(",\"sum\":\"")?;
+    let tail = &line[idx + 8..];
+    let hex = tail.strip_suffix("\"}")?;
+    let sum = u64::from_str_radix(hex, 16).ok()?;
+    let body = format!("{}}}", &line[..idx]);
+    (fnv1a(body.as_bytes()) == sum).then_some(body)
+}
+
+fn header_body(h: &Header) -> String {
+    format!(
+        "{{\"v\":{JOURNAL_VERSION},\"kind\":\"header\",\"campaign\":\"{}\",\"seed\":{},\"jobs\":{},\"fingerprint\":\"{:016x}\"}}",
+        esc(&h.campaign),
+        h.seed,
+        h.jobs,
+        h.fingerprint,
+    )
+}
+
+fn record_body(r: &JobRecord) -> String {
+    let cells: Vec<String> = r.cells.iter().map(|c| format!("\"{}\"", esc(c))).collect();
+    format!(
+        "{{\"kind\":\"job\",\"seq\":{},\"id\":\"{}\",\"status\":\"{}\",\"attempts\":{},\"error\":\"{}\",\"cells\":[{}]}}",
+        r.seq,
+        esc(&r.id),
+        r.status.name(),
+        r.attempts,
+        esc(&r.error),
+        cells.join(","),
+    )
+}
+
+// ------------------------------------------------------------- parsing ----
+
+/// A value in the journal's JSON subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Val {
+    Str(String),
+    Num(u64),
+    Arr(Vec<String>),
+}
+
+struct P<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> P<'a> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && (self.b[self.i] as char).is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Option<()> {
+        self.ws();
+        (self.i < self.b.len() && self.b[self.i] == c).then(|| self.i += 1)
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self.b.get(self.i)?;
+            self.i += 1;
+            match c {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let e = *self.b.get(self.i)?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.b.get(self.i..self.i + 4)?;
+                            self.i += 4;
+                            let n =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(n)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                c if c < 0x80 => out.push(c as char),
+                _ => {
+                    // Multi-byte UTF-8: copy the full sequence.
+                    let len = match c {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return None,
+                    };
+                    let start = self.i - 1;
+                    let bytes = self.b.get(start..start + len)?;
+                    out.push_str(std::str::from_utf8(bytes).ok()?);
+                    self.i = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<u64> {
+        self.ws();
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i].is_ascii_digit() {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i]).ok()?.parse().ok()
+    }
+
+    fn value(&mut self) -> Option<Val> {
+        match self.peek()? {
+            b'"' => self.string().map(Val::Str),
+            b'[' => {
+                self.eat(b'[')?;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.eat(b']')?;
+                    return Some(Val::Arr(items));
+                }
+                loop {
+                    items.push(self.string()?);
+                    match self.peek()? {
+                        b',' => self.eat(b',')?,
+                        b']' => {
+                            self.eat(b']')?;
+                            return Some(Val::Arr(items));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => self.number().map(Val::Num),
+            _ => None,
+        }
+    }
+
+    /// Parses one flat object into a key → value map.
+    fn object(&mut self) -> Option<HashMap<String, Val>> {
+        self.eat(b'{')?;
+        let mut map = HashMap::new();
+        if self.peek()? == b'}' {
+            self.eat(b'}')?;
+            return Some(map);
+        }
+        loop {
+            let k = self.string()?;
+            self.eat(b':')?;
+            map.insert(k, self.value()?);
+            match self.peek()? {
+                b',' => self.eat(b',')?,
+                b'}' => {
+                    self.eat(b'}')?;
+                    self.ws();
+                    return (self.i == self.b.len()).then_some(map);
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+fn parse_object(s: &str) -> Option<HashMap<String, Val>> {
+    P { b: s.as_bytes(), i: 0 }.object()
+}
+
+fn get_str(m: &HashMap<String, Val>, k: &str) -> Option<String> {
+    match m.get(k)? {
+        Val::Str(s) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn get_num(m: &HashMap<String, Val>, k: &str) -> Option<u64> {
+    match m.get(k)? {
+        Val::Num(n) => Some(*n),
+        _ => None,
+    }
+}
+
+fn parse_header(line: &str) -> Option<Header> {
+    let m = parse_object(&unseal(line)?)?;
+    if get_num(&m, "v")? != JOURNAL_VERSION || get_str(&m, "kind")?.as_str() != "header" {
+        return None;
+    }
+    Some(Header {
+        campaign: get_str(&m, "campaign")?,
+        seed: get_num(&m, "seed")?,
+        jobs: get_num(&m, "jobs")?,
+        fingerprint: u64::from_str_radix(&get_str(&m, "fingerprint")?, 16).ok()?,
+    })
+}
+
+fn parse_record(line: &str) -> Option<JobRecord> {
+    let m = parse_object(&unseal(line)?)?;
+    if get_str(&m, "kind")?.as_str() != "job" {
+        return None;
+    }
+    let cells = match m.get("cells")? {
+        Val::Arr(v) => v.clone(),
+        _ => return None,
+    };
+    Some(JobRecord {
+        seq: get_num(&m, "seq")?,
+        id: get_str(&m, "id")?,
+        status: JobStatus::from_name(&get_str(&m, "status")?)?,
+        attempts: get_num(&m, "attempts")? as u32,
+        error: get_str(&m, "error")?,
+        cells,
+    })
+}
+
+// ------------------------------------------------------------- journal ----
+
+/// An open, append-only journal. All writes go through
+/// [`append`](Journal::append), which fsyncs before returning: once it
+/// returns, the record survives any kill.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    next_seq: u64,
+}
+
+impl Journal {
+    /// Creates a fresh journal at `path` (truncating any existing file)
+    /// and durably writes the header.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on filesystem trouble.
+    pub fn create(path: &Path, header: &Header) -> Result<Journal, JournalError> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(seal(header_body(header)).as_bytes())?;
+        file.sync_data()?;
+        Ok(Journal { file, next_seq: 0 })
+    }
+
+    /// Recovers a journal for resume: validates the header against
+    /// `expect`, replays every intact record, drops the torn tail (if
+    /// any), truncates the file back to the durable prefix, and returns
+    /// the recovered records plus the journal reopened for append.
+    ///
+    /// Recovery is prefix-only by construction: the first line that is
+    /// incomplete, fails its checksum, or breaks the dense sequence
+    /// terminates the replay — everything before it was fsync'd in order,
+    /// so nothing durable is ever dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::BadHeader`] when the file's first line is
+    /// unreadable, [`JournalError::Mismatch`] when it describes a
+    /// different campaign, seed, or job set, [`JournalError::Io`] on
+    /// filesystem trouble.
+    pub fn recover(path: &Path, expect: &Header) -> Result<(Journal, Vec<JobRecord>), JournalError> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut text = String::new();
+        file.read_to_string(&mut text)?;
+
+        let mut good_bytes = 0usize;
+        let mut lines = text.split_inclusive('\n');
+        let head_line = lines.next().unwrap_or("");
+        let header = head_line
+            .strip_suffix('\n')
+            .and_then(parse_header)
+            .ok_or_else(|| JournalError::BadHeader("torn or malformed first line".into()))?;
+        if header != *expect {
+            return Err(JournalError::Mismatch(format!(
+                "journal is for campaign `{}` (seed {}, {} jobs, fingerprint {:016x}); \
+                 expected `{}` (seed {}, {} jobs, fingerprint {:016x})",
+                header.campaign,
+                header.seed,
+                header.jobs,
+                header.fingerprint,
+                expect.campaign,
+                expect.seed,
+                expect.jobs,
+                expect.fingerprint,
+            )));
+        }
+        good_bytes += head_line.len();
+
+        let mut records = Vec::new();
+        for line in lines {
+            let Some(stripped) = line.strip_suffix('\n') else {
+                break; // torn tail: no newline made it to disk
+            };
+            let Some(rec) = parse_record(stripped) else {
+                break; // torn or corrupt: drop it and everything after
+            };
+            if rec.seq != records.len() as u64 {
+                break; // sequence chain broken
+            }
+            good_bytes += line.len();
+            records.push(rec);
+        }
+
+        // Truncate away the torn tail so future appends extend a clean
+        // prefix (a torn record must only ever be the last thing in the
+        // file).
+        file.set_len(good_bytes as u64)?;
+        file.seek(SeekFrom::End(0))?;
+        let next_seq = records.len() as u64;
+        Ok((Journal { file, next_seq }, records))
+    }
+
+    /// Appends one record, assigning the next sequence number, and fsyncs.
+    /// When this returns, the record is durable.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on filesystem trouble.
+    pub fn append(&mut self, mut rec: JobRecord) -> Result<u64, JournalError> {
+        rec.seq = self.next_seq;
+        self.file.write_all(seal(record_body(&rec)).as_bytes())?;
+        self.file.sync_data()?;
+        self.next_seq += 1;
+        Ok(rec.seq)
+    }
+
+    /// Deliberately appends the first half of a record *without* a
+    /// trailing newline or fsync — the torn tail a crash mid-append
+    /// leaves behind. Chaos mode uses this to prove recovery drops it.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on filesystem trouble.
+    pub fn append_torn(&mut self, rec: &JobRecord) -> Result<(), JournalError> {
+        let line = seal(record_body(rec));
+        self.file.write_all(&line.as_bytes()[..line.len() / 2])?;
+        self.file.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join("mcc-harness-journal-tests");
+        std::fs::create_dir_all(&d).unwrap();
+        d.join(format!("{name}-{}.jsonl", std::process::id()))
+    }
+
+    fn hdr() -> Header {
+        Header {
+            campaign: "test".into(),
+            seed: 7,
+            jobs: 3,
+            fingerprint: 0xabcd,
+        }
+    }
+
+    fn rec(id: &str, cells: &[&str]) -> JobRecord {
+        JobRecord {
+            seq: 0,
+            id: id.into(),
+            status: JobStatus::Ok,
+            attempts: 1,
+            error: String::new(),
+            cells: cells.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn round_trips_records_with_nasty_strings() {
+        let path = tmp("roundtrip");
+        let mut j = Journal::create(&path, &hdr()).unwrap();
+        j.append(rec("a/b", &["x", "quote\"back\\slash", "tab\tnl\nend"])).unwrap();
+        j.append(JobRecord {
+            seq: 0,
+            id: "unicode-é-⊕".into(),
+            status: JobStatus::Failed,
+            attempts: 3,
+            error: "boom: {\"json\"}".into(),
+            cells: vec![],
+        })
+        .unwrap();
+        drop(j);
+        let (_, recs) = Journal::recover(&path, &hdr()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].cells[2], "tab\tnl\nend");
+        assert_eq!(recs[1].id, "unicode-é-⊕");
+        assert_eq!(recs[1].status, JobStatus::Failed);
+        assert_eq!(recs[1].error, "boom: {\"json\"}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recover_rejects_wrong_campaign() {
+        let path = tmp("mismatch");
+        Journal::create(&path, &hdr()).unwrap();
+        let mut other = hdr();
+        other.seed = 8;
+        match Journal::recover(&path, &other) {
+            Err(JournalError::Mismatch(_)) => {}
+            o => panic!("expected mismatch, got {o:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_truncated() {
+        let path = tmp("torn");
+        let mut j = Journal::create(&path, &hdr()).unwrap();
+        j.append(rec("one", &["1"])).unwrap();
+        j.append_torn(&rec("two", &["2"])).unwrap();
+        drop(j);
+        let len_with_tear = std::fs::metadata(&path).unwrap().len();
+        let (mut j, recs) = Journal::recover(&path, &hdr()).unwrap();
+        assert_eq!(recs.len(), 1, "torn record must be dropped");
+        assert!(std::fs::metadata(&path).unwrap().len() < len_with_tear);
+        // Appending after recovery continues the clean sequence.
+        let seq = j.append(rec("two", &["2"])).unwrap();
+        assert_eq!(seq, 1);
+        drop(j);
+        let (_, recs) = Journal::recover(&path, &hdr()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].id, "two");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bitflip_in_any_record_is_caught() {
+        let path = tmp("bitflip");
+        let mut j = Journal::create(&path, &hdr()).unwrap();
+        j.append(rec("one", &["11"])).unwrap();
+        j.append(rec("two", &["22"])).unwrap();
+        drop(j);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a bit inside the first record's cells.
+        let off = String::from_utf8(bytes.clone())
+            .unwrap()
+            .find("11")
+            .unwrap();
+        bytes[off] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, recs) = Journal::recover(&path, &hdr()).unwrap();
+        // Prefix recovery: the corrupt record and everything after go.
+        assert_eq!(recs.len(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -287,6 +287,71 @@ impl FrontendLimits {
     }
 }
 
+/// A deterministic decrementing budget over a discrete resource: simulator
+/// cycles, watchdog cycles-without-a-poll, harness retry attempts. One type
+/// shared by `mcc-sim`, `mcc-fuzz`, and `mcc-harness` so the toolkit's hang
+/// and exhaustion thresholds are counted the same way everywhere and cannot
+/// drift apart. Budgets are counts, never wall-clock: the same input
+/// exhausts the same budget on every machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    limit: u64,
+    spent: u64,
+}
+
+impl Budget {
+    /// The toolkit-wide default simulator cycle ceiling. The fuzz oracle's
+    /// hang detection and `SimOptions::default()` both use this value, so
+    /// "hang" means the same thing to the simulator and the fuzzer.
+    pub const DEFAULT_SIM_CYCLES: u64 = 1_000_000;
+
+    /// A fresh budget of `limit` ticks.
+    pub const fn new(limit: u64) -> Self {
+        Budget { limit, spent: 0 }
+    }
+
+    /// The toolkit-default simulation cycle budget.
+    pub const fn sim_cycles() -> Self {
+        Budget::new(Self::DEFAULT_SIM_CYCLES)
+    }
+
+    /// The configured ceiling.
+    pub const fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Ticks spent so far.
+    pub const fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// Ticks remaining before exhaustion.
+    pub const fn remaining(&self) -> u64 {
+        self.limit.saturating_sub(self.spent)
+    }
+
+    /// Whether the budget is exhausted.
+    pub const fn exhausted(&self) -> bool {
+        self.spent >= self.limit
+    }
+
+    /// Spends one tick. Returns `false` once the budget is exhausted (the
+    /// tick that would cross the ceiling is refused, so a caller can treat
+    /// `false` as "stop now" without overshooting).
+    pub fn tick(&mut self) -> bool {
+        if self.spent >= self.limit {
+            return false;
+        }
+        self.spent += 1;
+        true
+    }
+
+    /// Resets the spent count to zero (a watchdog "pet").
+    pub fn reset(&mut self) {
+        self.spent = 0;
+    }
+}
+
 /// A decrementing token budget for lexers; see [`FrontendLimits::max_tokens`].
 #[derive(Debug, Clone)]
 pub struct TokenBudget {
@@ -387,6 +452,32 @@ mod tests {
         let r = d.render_excerpt(src);
         assert!(r.contains("| é é é"), "{r}");
         assert!(r.ends_with("^"), "{r}");
+    }
+
+    #[test]
+    fn budget_ticks_and_resets() {
+        let mut b = Budget::new(3);
+        assert_eq!(b.limit(), 3);
+        assert!(b.tick() && b.tick());
+        assert_eq!(b.remaining(), 1);
+        assert!(!b.exhausted());
+        assert!(b.tick());
+        assert!(b.exhausted());
+        // The crossing tick is refused, not overshot.
+        assert!(!b.tick());
+        assert_eq!(b.spent(), 3);
+        b.reset();
+        assert_eq!(b.spent(), 0);
+        assert!(b.tick());
+        assert_eq!(Budget::sim_cycles().limit(), Budget::DEFAULT_SIM_CYCLES);
+    }
+
+    #[test]
+    fn zero_budget_is_born_exhausted() {
+        let mut b = Budget::new(0);
+        assert!(b.exhausted());
+        assert!(!b.tick());
+        assert_eq!(b.remaining(), 0);
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod macroisa;
 
 pub use fault::{Fault, FaultKind, FaultPlan};
 
+use mcc_lang::Budget;
 use mcc_machine::{
     AluOp, BoundOp, CondKind, MachineDesc, MicroProgram, RegRef, Semantic, ShiftOp,
 };
@@ -116,7 +117,8 @@ impl std::error::Error for SimError {}
 /// Options for one run.
 #[derive(Debug, Clone)]
 pub struct SimOptions {
-    /// Abort after this many cycles.
+    /// Abort after this many cycles ([`Budget::DEFAULT_SIM_CYCLES`] by
+    /// default — the same ceiling the fuzz oracle calls a hang).
     pub max_cycles: u64,
     /// Interrupt arrival times (cycle numbers, ascending).
     pub interrupts: Vec<u64>,
@@ -142,7 +144,7 @@ pub struct SimOptions {
 impl Default for SimOptions {
     fn default() -> Self {
         SimOptions {
-            max_cycles: 1_000_000,
+            max_cycles: Budget::DEFAULT_SIM_CYCLES,
             interrupts: Vec::new(),
             unmapped_pages: Vec::new(),
             faults: FaultPlan::default(),
@@ -191,8 +193,11 @@ pub struct Simulator {
     checkpoint: Option<Box<Checkpoint>>,
     retries: u32,
     max_retries: u32,
-    watchdog: Option<u64>,
-    cycles_since_poll: u64,
+    // Cycles-without-a-poll budget (`None` disables the watchdog); a
+    // `poll` or trap service resets it. The shared `Budget` type keeps
+    // this count aligned with the fuzz oracle's and harness's notions of
+    // a hang.
+    watchdog: Option<Budget>,
 }
 
 /// One register write buffered during the write phase.
@@ -240,7 +245,6 @@ impl Simulator {
             retries: 0,
             max_retries: 3,
             watchdog: None,
-            cycles_since_poll: 0,
         }
     }
 
@@ -280,6 +284,14 @@ impl Simulator {
         self.halted
     }
 
+    /// Resets the watchdog budget: a poll, trap service, or recovery
+    /// restart proves the machine is making observable progress.
+    fn pet_watchdog(&mut self) {
+        if let Some(b) = &mut self.watchdog {
+            b.reset();
+        }
+    }
+
     fn src(&self, op: &BoundOp, i: usize) -> Result<u64, SimError> {
         op.srcs
             .get(i)
@@ -300,8 +312,7 @@ impl Simulator {
                 *m = false;
             }
         }
-        self.watchdog = opts.watchdog;
-        self.cycles_since_poll = 0;
+        self.watchdog = opts.watchdog.map(Budget::new);
         self.protect_store = opts.protect_store;
         self.max_retries = opts.max_fault_retries;
         self.retries = 0;
@@ -425,7 +436,7 @@ impl Simulator {
         }
         self.stack.clear();
         self.upc = 0;
-        self.cycles_since_poll = 0;
+        self.pet_watchdog();
         Ok(())
     }
 
@@ -490,10 +501,9 @@ impl Simulator {
     pub fn step(&mut self) -> Result<(), SimError> {
         let now = self.stats.cycles;
         self.apply_due_faults(now);
-        if let Some(limit) = self.watchdog {
-            self.cycles_since_poll += 1;
-            if self.cycles_since_poll > limit {
-                return Err(SimError::WatchdogExpired(limit));
+        if let Some(b) = &mut self.watchdog {
+            if !b.tick() {
+                return Err(SimError::WatchdogExpired(b.limit()));
             }
         }
         let Some(mi) = self.fetch()? else {
@@ -646,7 +656,7 @@ impl Simulator {
                 }
                 Semantic::Return => seq = Seq::Return,
                 Semantic::Poll => {
-                    self.cycles_since_poll = 0;
+                    self.pet_watchdog();
                     let (due, rest): (Vec<u64>, Vec<u64>) =
                         self.pending.iter().partition(|&&a| a <= now);
                     self.pending = rest;
@@ -699,7 +709,7 @@ impl Simulator {
         self.upc = 0;
         // Trap service pets the watchdog: the machine is making progress
         // through the fault handler, not hanging.
-        self.cycles_since_poll = 0;
+        self.pet_watchdog();
     }
 
     fn eval_cond(&self, c: CondKind) -> bool {

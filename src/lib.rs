@@ -23,11 +23,13 @@
 //! # }
 //! ```
 
+pub use mcc_bench as bench;
 pub use mcc_compact as compact;
 pub use mcc_core as core;
 pub use mcc_empl as empl;
 pub use mcc_faults as faults;
 pub use mcc_fuzz as fuzz;
+pub use mcc_harness as harness;
 pub use mcc_lang as lang;
 pub use mcc_machine as machine;
 pub use mcc_mir as mir;

@@ -9,6 +9,7 @@
 //! mcc mdl dump hm1                      print a machine as MDL text
 //! mcc compile --mdl my.mdl -l yalll f   compile for a machine described in MDL
 //! mcc fuzz --seed 1 --trials 1000       differential fuzz all four frontends
+//! mcc campaign e10 --jobs 4 --resume    supervised, journaled experiment run
 //! ```
 //!
 //! The language defaults from the file extension: `.yll`/`.yalll` → YALLL,
@@ -31,6 +32,7 @@ commands:
   encode   [opts] <file>       compile and hex-dump the control store
   run      [opts] <file>       compile, simulate, print symbol values
   fuzz     [opts]              differential fuzzing campaign (see below)
+  campaign <e9|e10|fuzz>       run an experiment as a supervised campaign
   mdl dump <machine>           print a reference machine as MDL text
 
 options:
@@ -54,7 +56,25 @@ fuzz options:
       --seed <n>               campaign seed (default 1)
       --trials <n>             trials per frontend (default 256)
   -l, --lang <name>            fuzz one frontend (default: all four)
-      --no-shrink              keep findings unreduced"
+      --no-shrink              keep findings unreduced
+
+campaign options:
+      --jobs <n>               worker threads (default 4)
+      --deadline-ms <n>        per-attempt wall-clock deadline (default 60000)
+      --retries <n>            retries per job after the first attempt (default 2)
+      --trials <n>             trials per row/frontend (defaults: e9 1000,
+                               e10 250, fuzz 256)
+      --seed <n>               supervision seed: backoff jitter + chaos (default 1)
+      --journal <file>         journal path (default campaign-<name>.jsonl)
+      --resume                 replay the journal, run only unfinished jobs
+      --chaos                  inject harness faults: worker panics, deadline
+                               stalls, a persistently failing victim key, and
+                               a torn journal tail
+  -m, --machine <name>         target machine (campaign fuzz only)
+
+  The table goes to stdout; the supervision summary goes to stderr. Tables
+  are byte-identical for any --jobs value, and a killed campaign resumed
+  with --resume completes to the same table as an uninterrupted run."
     );
     ExitCode::from(2)
 }
@@ -73,6 +93,12 @@ struct Args {
     trials: Option<u64>,
     no_shrink: bool,
     raw_store: bool,
+    jobs: Option<usize>,
+    deadline_ms: Option<u64>,
+    retries: Option<u32>,
+    journal: Option<String>,
+    resume: bool,
+    chaos: bool,
     positional: Vec<String>,
 }
 
@@ -106,6 +132,12 @@ fn parse_args() -> Option<Args> {
         trials: None,
         no_shrink: false,
         raw_store: false,
+        jobs: None,
+        deadline_ms: None,
+        retries: None,
+        journal: None,
+        resume: false,
+        chaos: false,
         positional: Vec::new(),
     };
     while let Some(arg) = it.next() {
@@ -122,6 +154,12 @@ fn parse_args() -> Option<Args> {
             "--trials" => a.trials = Some(numeric("--trials", it.next())?),
             "--no-shrink" => a.no_shrink = true,
             "--raw-store" => a.raw_store = true,
+            "--jobs" => a.jobs = Some(numeric("--jobs", it.next())?),
+            "--deadline-ms" => a.deadline_ms = Some(numeric("--deadline-ms", it.next())?),
+            "--retries" => a.retries = Some(numeric("--retries", it.next())?),
+            "--journal" => a.journal = Some(it.next()?),
+            "--resume" => a.resume = true,
+            "--chaos" => a.chaos = true,
             _ => a.positional.push(arg),
         }
     }
@@ -242,6 +280,87 @@ fn fuzz_command(args: &Args) -> Result<bool, String> {
         println!("\n{total} finding(s)");
     }
     Ok(total == 0)
+}
+
+/// `mcc campaign <e9|e10|fuzz>`: run an experiment as a supervised,
+/// journaled harness campaign. The experiment table goes to stdout (so CI
+/// can diff runs byte-for-byte); the supervision summary goes to stderr.
+fn campaign_command(args: &Args) -> Result<(), String> {
+    use mcc::bench::campaign as bc;
+    use mcc::harness::{run_campaign, BackoffConfig, BreakerConfig, HarnessConfig};
+    use std::time::Duration;
+
+    let which = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| "campaign: expected `e9`, `e10`, or `fuzz`".to_string())?;
+    let seed = args.seed.unwrap_or(1);
+    let cfg = HarnessConfig {
+        campaign: which.to_string(),
+        workers: args.jobs.unwrap_or(4),
+        deadline: Some(Duration::from_millis(args.deadline_ms.unwrap_or(60_000))),
+        attempts: args.retries.unwrap_or(2) + 1,
+        backoff: BackoffConfig::default(),
+        breaker: BreakerConfig::default(),
+        seed,
+        chaos: args.chaos,
+    };
+    let journal = args
+        .journal
+        .clone()
+        .unwrap_or_else(|| format!("campaign-{which}.jsonl"));
+    let journal = std::path::Path::new(&journal);
+
+    let (jobs, title): (Vec<mcc::harness::Job>, String) = match which {
+        "e9" => {
+            let trials = args.trials.unwrap_or(1000) as usize;
+            (
+                bc::e9_jobs(trials),
+                format!("E9: dependability under fault injection ({trials} trials/row)"),
+            )
+        }
+        "e10" => {
+            let trials = args.trials.unwrap_or(250);
+            (
+                bc::e10_jobs(trials),
+                format!("E10: differential-fuzzing robustness ({trials} trials/cell)"),
+            )
+        }
+        "fuzz" => {
+            let trials = args.trials.unwrap_or(256);
+            let machine = args.machine.as_deref().unwrap_or("hm1");
+            (
+                bc::fuzz_jobs(seed, trials, machine),
+                format!("fuzz campaign on {machine} ({trials} trials/frontend)"),
+            )
+        }
+        other => return Err(format!("campaign: unknown experiment `{other}`")),
+    };
+
+    eprintln!(
+        "campaign {which}: {} jobs on {} workers, journal {}{}",
+        jobs.len(),
+        cfg.workers,
+        journal.display(),
+        if args.resume { " (resume)" } else { "" }
+    );
+    // Job panics are contained by the harness and surface in the summary
+    // and the degraded notes; the default hook's backtraces would only
+    // shred stderr, so silence it for the duration of the run.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = run_campaign(jobs, &cfg, journal, args.resume);
+    std::panic::set_hook(prev_hook);
+    let report = report.map_err(|e| e.to_string())?;
+    let table = match which {
+        "e9" => bc::e9_table(&report.outcomes, args.trials.unwrap_or(1000) as usize),
+        "e10" => bc::e10_table(&report.outcomes, args.trials.unwrap_or(250)),
+        _ => bc::fuzz_table(&report.outcomes, seed, args.trials.unwrap_or(256)),
+    };
+    table.print(&title);
+    eprintln!("{}", report.summary());
+    Ok(())
 }
 
 /// `mcc run --faults N`: a seeded single-fault campaign against the
@@ -387,6 +506,7 @@ fn main() -> ExitCode {
             }
             Ok(())
         }),
+        "campaign" => campaign_command(&args),
         "fuzz" => {
             return match fuzz_command(&args) {
                 Ok(true) => ExitCode::SUCCESS,
