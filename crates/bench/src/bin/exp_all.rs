@@ -1,15 +1,108 @@
-//! Regenerates every experiment table in one run.
+//! Regenerates every experiment table in one run, fanning the jobs
+//! across the `mcc-harness` worker pool with the content-addressed
+//! compilation cache attached.
+//!
+//! Stdout carries *only* the tables, in catalog order, regardless of
+//! worker count or cache temperature — `run_campaign` orders outcomes
+//! by input job, and every byte a table can print is excluded from the
+//! cache's volatile fields — so `exp_all | diff` against a warm rerun
+//! must be empty (CI enforces this). Supervision and cache telemetry go
+//! to stderr.
+//!
+//! ```text
+//! exp_all [--jobs N] [--no-cache]
+//!   EXP_ALL_JOBS        worker count        (default 4)
+//!   EXP_ALL_E9_TRIALS   E9 trials per cell  (default 1000)
+//!   EXP_ALL_E10_TRIALS  E10 trials per cell (default 250)
+//!   MCC_CACHE_DIR       disk tier location  (default .mcc-cache)
+//!   MCC_NO_CACHE        disable caching
+//! ```
+
+use mcc_bench::experiments as ex;
+use mcc_harness::{run_campaign, HarnessConfig, Job, JobStatus};
+
+const E9_TITLE: &str =
+    "E9: fault-injection dependability - raw vs parity-protected control store";
+const E10_TITLE: &str =
+    "E10: differential fuzzing robustness - findings per class, all machines";
+
+fn env_num<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 fn main() {
-    use mcc_bench::experiments as ex;
-    ex::e1().print("E1: compiled vs hand-written microcode (HM-1)");
-    ex::e2().print("E2: microinstruction composition algorithms (HM-1)");
-    ex::e3().print("E3: YALLL portability - HM-1 (HP300 role) vs BX-2 (VAX role)");
-    ex::e4().print("E4: horizontal (HM-1) vs vertical (VM-1) microarchitecture");
-    ex::e5().print("E5: macrocode vs compiled microcode vs expert microcode");
-    ex::e6().print("E6: register budget sweep");
-    ex::e6b().print("E6b: allocation policy ablation (spread vs reuse)");
-    ex::e7().print("E7: interrupt poll-point frequency (section 2.1.5)");
-    ex::e8().print("E8: the survey's own observations, regenerated");
-    ex::e9().print("E9: fault-injection dependability - raw vs parity-protected control store");
-    ex::e10().print("E10: differential fuzzing robustness - findings per class, all machines");
+    let mut workers: usize = env_num("EXP_ALL_JOBS", 4);
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--jobs" => {
+                workers = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("exp_all: --jobs needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--no-cache" => mcc_cache::set_enabled(false),
+            other => {
+                eprintln!(
+                    "exp_all: unknown argument `{other}` (usage: exp_all [--jobs N] [--no-cache])"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if mcc_cache::enabled() {
+        if let Err(e) = mcc_cache::attach_default_disk() {
+            eprintln!("exp_all: disk cache unavailable ({e}); continuing in-memory");
+        }
+    }
+
+    let e9_trials: usize = env_num("EXP_ALL_E9_TRIALS", 1000);
+    let e10_trials: u64 = env_num("EXP_ALL_E10_TRIALS", 250);
+
+    let mut jobs: Vec<Job> = ex::GOLDEN_TABLES
+        .iter()
+        .map(|&(id, title, f)| Job::new(id, id, move || Ok(vec![f().render(title)])))
+        .collect();
+    jobs.push(Job::new("E9", "E9", move || {
+        Ok(vec![ex::e9_with(e9_trials).render(E9_TITLE)])
+    }));
+    jobs.push(Job::new("E10", "E10", move || {
+        Ok(vec![ex::e10_with(e10_trials).render(E10_TITLE)])
+    }));
+
+    let cfg = HarnessConfig::batch("exp_all", workers);
+    let journal = std::env::temp_dir().join(format!("mcc-exp-all-{}.jsonl", std::process::id()));
+    let report = run_campaign(jobs, &cfg, &journal, false).unwrap_or_else(|e| {
+        eprintln!("exp_all: {e}");
+        std::process::exit(1);
+    });
+    let _ = std::fs::remove_file(&journal);
+
+    let mut failed = false;
+    for o in &report.outcomes {
+        if o.status == JobStatus::Ok {
+            print!("{}", o.cells[0]);
+        } else {
+            failed = true;
+            eprintln!("exp_all: {} failed: {}", o.id, o.error);
+        }
+    }
+
+    mcc_cache::flush_global_stats();
+    let n = mcc_cache::global().counters();
+    eprintln!(
+        "exp_all: {} workers; cache {} hits ({} memory + {} disk), {} misses",
+        cfg.workers,
+        n.hits(),
+        n.hits_memory,
+        n.hits_disk,
+        n.misses
+    );
+    if failed {
+        std::process::exit(1);
+    }
 }

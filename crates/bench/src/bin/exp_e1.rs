@@ -1,4 +1,6 @@
 //! Regenerates experiment E1's table (see EXPERIMENTS.md).
 fn main() {
+    mcc_bench::attach_cache("exp_e1");
     mcc_bench::experiments::e1().print("E1: compiled vs hand-written microcode (HM-1)");
+    mcc_cache::flush_global_stats();
 }

@@ -8,6 +8,7 @@
 use mcc_harness::{run_campaign, HarnessConfig};
 
 fn main() {
+    mcc_bench::attach_cache("exp_e10");
     let trials = 250;
     let workers = std::env::var("MCC_JOBS")
         .ok()
@@ -24,4 +25,5 @@ fn main() {
     mcc_bench::campaign::e10_table(&report.outcomes, trials)
         .print("E10: differential fuzzing robustness - findings per class, all machines");
     eprintln!("{}", report.summary());
+    mcc_cache::flush_global_stats();
 }

@@ -1,4 +1,6 @@
 //! Regenerates experiment E2's table (see EXPERIMENTS.md).
 fn main() {
+    mcc_bench::attach_cache("exp_e2");
     mcc_bench::experiments::e2().print("E2: microinstruction composition algorithms (HM-1)");
+    mcc_cache::flush_global_stats();
 }

@@ -1,4 +1,6 @@
 //! Regenerates experiment E3's table (see EXPERIMENTS.md).
 fn main() {
+    mcc_bench::attach_cache("exp_e3");
     mcc_bench::experiments::e3().print("E3: YALLL portability - HM-1 (HP300 role) vs BX-2 (VAX role)");
+    mcc_cache::flush_global_stats();
 }

@@ -1,4 +1,6 @@
 //! Regenerates experiment E4's table (see EXPERIMENTS.md).
 fn main() {
+    mcc_bench::attach_cache("exp_e4");
     mcc_bench::experiments::e4().print("E4: horizontal (HM-1) vs vertical (VM-1) microarchitecture");
+    mcc_cache::flush_global_stats();
 }

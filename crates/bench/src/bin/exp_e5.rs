@@ -1,4 +1,6 @@
 //! Regenerates experiment E5's table (see EXPERIMENTS.md).
 fn main() {
+    mcc_bench::attach_cache("exp_e5");
     mcc_bench::experiments::e5().print("E5: macrocode vs compiled microcode vs expert microcode");
+    mcc_cache::flush_global_stats();
 }

@@ -1,5 +1,7 @@
 //! Regenerates experiment E6's table (see EXPERIMENTS.md).
 fn main() {
+    mcc_bench::attach_cache("exp_e6");
     mcc_bench::experiments::e6().print("E6: register budget sweep");
     mcc_bench::experiments::e6b().print("E6b: allocation policy ablation (spread vs reuse)");
+    mcc_cache::flush_global_stats();
 }

@@ -1,4 +1,6 @@
 //! Regenerates experiment E7's table (see EXPERIMENTS.md).
 fn main() {
+    mcc_bench::attach_cache("exp_e7");
     mcc_bench::experiments::e7().print("E7: interrupt poll-point frequency (section 2.1.5)");
+    mcc_cache::flush_global_stats();
 }

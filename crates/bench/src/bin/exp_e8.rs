@@ -1,4 +1,6 @@
 //! Regenerates experiment E8's table (see EXPERIMENTS.md).
 fn main() {
+    mcc_bench::attach_cache("exp_e8");
     mcc_bench::experiments::e8().print("E8: the survey's own observations, regenerated");
+    mcc_cache::flush_global_stats();
 }

@@ -8,6 +8,7 @@
 use mcc_harness::{run_campaign, HarnessConfig};
 
 fn main() {
+    mcc_bench::attach_cache("exp_e9");
     let trials = 1000;
     let workers = std::env::var("MCC_JOBS")
         .ok()
@@ -24,4 +25,5 @@ fn main() {
     mcc_bench::campaign::e9_table(&report.outcomes, trials)
         .print("E9: fault-injection dependability - raw vs parity-protected control store");
     eprintln!("{}", report.summary());
+    mcc_cache::flush_global_stats();
 }

@@ -5,7 +5,7 @@
 //! Each kernel carries a *reference function* computing the expected
 //! result in plain Rust, so every experiment validates what it measures.
 
-use mcc_core::{Artifact, Compiler};
+use mcc_core::{Artifact, Compiler, SourceLang};
 use mcc_machine::MachineDesc;
 use mcc_sim::{SimOptions, Simulator};
 
@@ -44,11 +44,15 @@ impl Kernel {
     /// Propagates pipeline errors.
     pub fn compile(&self, c: &Compiler) -> Result<Artifact, mcc_core::CompileError> {
         let src = (self.source)(c.machine());
-        match self.lang {
-            Lang::Yalll => c.compile_yalll(&src),
-            Lang::Simpl => c.compile_simpl(&src),
-            Lang::Empl => c.compile_empl(&src),
-        }
+        let lang = match self.lang {
+            Lang::Yalll => SourceLang::Yalll,
+            Lang::Simpl => SourceLang::Simpl,
+            Lang::Empl => SourceLang::Empl,
+        };
+        // Kernels are recompiled under many option sets by every
+        // experiment: the content-addressed cache is what makes a warm
+        // `exp_all` fast, and its tests prove it changes nothing.
+        mcc_cache::compile_cached(c, lang, &src, mcc_cache::Persist::Disk)
     }
 
     /// Compiles, runs and checks; returns `(artifact, cycles)`.

@@ -10,24 +10,50 @@ pub mod handwritten;
 pub mod kernels;
 pub mod macrointerp;
 
-/// Prints a row-aligned table: header plus rows of equal arity.
-pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+/// Attaches the shared on-disk compilation cache for an `exp_*` binary.
+/// Failure to open the store is a warning, never an error — the
+/// in-memory tier still memoizes repeated kernels within the run.
+pub fn attach_cache(tool: &str) {
+    if mcc_cache::enabled() {
+        if let Err(e) = mcc_cache::attach_default_disk() {
+            eprintln!("{tool}: disk cache unavailable ({e}); continuing in-memory");
+        }
+    }
+}
+
+/// Renders a row-aligned table (header plus rows of equal arity) to a
+/// string — the single formatter behind [`print_table`], the golden
+/// conformance suite, and the batch `exp_all` driver.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    use std::fmt::Write;
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for r in rows {
         for (i, c) in r.iter().enumerate() {
             widths[i] = widths[i].max(c.len());
         }
     }
-    let line = |cells: Vec<String>| {
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
         let mut s = String::new();
         for (i, c) in cells.iter().enumerate() {
-            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+            let _ = write!(s, "{:<w$}  ", c, w = widths[i]);
         }
-        println!("{}", s.trim_end());
+        let _ = writeln!(out, "{}", s.trim_end());
     };
-    line(header.iter().map(|s| s.to_string()).collect());
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    let header: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    line(&mut out, &header);
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for r in rows {
-        line(r.clone());
+        line(&mut out, r);
     }
+    out
+}
+
+/// Prints a row-aligned table: header plus rows of equal arity.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    print!("{}", render_table(header, rows));
 }

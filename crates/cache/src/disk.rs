@@ -1,0 +1,360 @@
+//! The on-disk cache tier — an append-only, checksummed record log with
+//! the harness journal's crash-only discipline.
+//!
+//! `.mcc-cache/cache.log` holds one header line plus one line per
+//! artifact:
+//!
+//! ```text
+//! H <salt>
+//! A <key:032x> <sum:016x> <payload>
+//! ```
+//!
+//! where `sum` is the 64-bit FNV-1a of `"<key:032x> <payload>"`. Records
+//! are append-only and fsynced; recovery on open walks the log from the
+//! top and **truncates at the first line that is torn** (no trailing
+//! newline), fails its checksum, or fails to parse — exactly the
+//! journal's prefix-only recovery rule. A header whose salt does not
+//! match the running toolkit invalidates the whole store (the file is
+//! reset), so format or version bumps self-evict.
+//!
+//! `.mcc-cache/stats.log` accumulates per-process counter deltas
+//! (`S <hits_mem> <hits_disk> <misses> <stores> <sum:016x>`) so
+//! `mcc cache stats` can report lifetime hit rates across processes;
+//! torn or corrupt stats lines are simply skipped.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::{toolkit_salt, CacheKey, Counters};
+
+/// 64-bit FNV-1a — the same function, with the same parameters, as the
+/// harness journal's record checksums.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const CACHE_LOG: &str = "cache.log";
+const STATS_LOG: &str = "stats.log";
+
+/// The artifact store under one cache directory.
+pub struct DiskTier {
+    dir: PathBuf,
+    log: File,
+    index: HashMap<u128, String>,
+}
+
+impl DiskTier {
+    /// Opens (creating if necessary) the store under `dir`, recovering
+    /// from a torn tail by truncating to the last valid record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; corruption is never an error, only
+    /// truncation.
+    pub fn open(dir: &Path) -> io::Result<DiskTier> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(CACHE_LOG);
+        let mut log = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut text = String::new();
+        // Invalid UTF-8 means a corrupt store: recover by resetting.
+        let mut raw = Vec::new();
+        log.read_to_end(&mut raw)?;
+        match String::from_utf8(raw) {
+            Ok(s) => text = s,
+            Err(_) => text.clear(),
+        }
+
+        let header = format!("H {}\n", toolkit_salt());
+        let mut index = HashMap::new();
+        let mut valid = 0usize;
+
+        if let Some(rest) = text.strip_prefix(&header) {
+            valid = header.len();
+            let mut offset = valid;
+            for line in rest.split_inclusive('\n') {
+                if !line.ends_with('\n') {
+                    break; // torn tail
+                }
+                let Some((key, payload)) = parse_record(&line[..line.len() - 1]) else {
+                    break; // corrupt record: truncate from here
+                };
+                index.insert(key, payload);
+                offset += line.len();
+                valid = offset;
+            }
+        }
+
+        if valid != text.len() || valid == 0 {
+            // Reset to the valid prefix (or to a fresh header).
+            log.set_len(valid as u64)?;
+            if valid == 0 {
+                log.seek(SeekFrom::Start(0))?;
+                log.write_all(header.as_bytes())?;
+                index.clear();
+            }
+            log.sync_data()?;
+        }
+        log.seek(SeekFrom::End(0))?;
+
+        Ok(DiskTier {
+            dir: dir.to_path_buf(),
+            log,
+            index,
+        })
+    }
+
+    /// Number of artifacts in the store.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the store holds no artifacts.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The cache directory this tier lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Looks up a serialised artifact by content address.
+    pub fn lookup(&self, key: CacheKey) -> Option<&String> {
+        self.index.get(&key.0)
+    }
+
+    /// Appends one record (idempotent per key) and fsyncs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the append.
+    pub fn store(&mut self, key: CacheKey, payload: &str) -> io::Result<()> {
+        debug_assert!(!payload.contains('\n'));
+        if self.index.contains_key(&key.0) {
+            return Ok(());
+        }
+        let body = format!("{:032x} {payload}", key.0);
+        let line = format!("A {body} {:016x}\n", fnv1a(body.as_bytes()));
+        self.log.write_all(line.as_bytes())?;
+        self.log.sync_data()?;
+        self.index.insert(key.0, payload.to_string());
+        Ok(())
+    }
+
+    /// Appends one counter-delta record to the stats log and fsyncs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the append.
+    pub fn append_stats(&self, delta: Counters) -> io::Result<()> {
+        let body = format!(
+            "{} {} {} {}",
+            delta.hits_memory, delta.hits_disk, delta.misses, delta.stores
+        );
+        let line = format!("S {body} {:016x}\n", fnv1a(body.as_bytes()));
+        let mut f = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(self.dir.join(STATS_LOG))?;
+        f.write_all(line.as_bytes())?;
+        f.sync_data()
+    }
+}
+
+/// Parses `<key:032x> <sum:016x>`-framed record *after* the `A ` tag;
+/// input is the line without its trailing newline.
+fn parse_record(line: &str) -> Option<(u128, String)> {
+    let body_and_sum = line.strip_prefix("A ")?;
+    // The checksum is the fixed-width final field.
+    let (body, sum_hex) = body_and_sum.rsplit_once(' ')?;
+    let sum = u64::from_str_radix(sum_hex, 16).ok()?;
+    if sum_hex.len() != 16 || fnv1a(body.as_bytes()) != sum {
+        return None;
+    }
+    let (key_hex, payload) = body.split_once(' ')?;
+    let key = u128::from_str_radix(key_hex, 16).ok()?;
+    if key_hex.len() != 32 {
+        return None;
+    }
+    Some((key, payload.to_string()))
+}
+
+/// Sums every valid record in a cache directory's stats log. Missing
+/// files read as zero; torn or corrupt lines are skipped.
+pub fn read_stats(dir: &Path) -> Counters {
+    let mut total = Counters::default();
+    let Ok(text) = std::fs::read_to_string(dir.join(STATS_LOG)) else {
+        return total;
+    };
+    for line in text.lines() {
+        let Some(body_and_sum) = line.strip_prefix("S ") else {
+            continue;
+        };
+        let Some((body, sum_hex)) = body_and_sum.rsplit_once(' ') else {
+            continue;
+        };
+        if sum_hex.len() != 16
+            || u64::from_str_radix(sum_hex, 16).ok() != Some(fnv1a(body.as_bytes()))
+        {
+            continue;
+        }
+        let mut nums = body.split(' ').map(|n| n.parse::<u64>());
+        let (Some(Ok(hm)), Some(Ok(hd)), Some(Ok(mi)), Some(Ok(st)), None) = (
+            nums.next(),
+            nums.next(),
+            nums.next(),
+            nums.next(),
+            nums.next(),
+        ) else {
+            continue;
+        };
+        total.hits_memory += hm;
+        total.hits_disk += hd;
+        total.misses += mi;
+        total.stores += st;
+    }
+    total
+}
+
+/// Size of the artifact log in bytes (0 when absent) — reporting only.
+pub fn log_bytes(dir: &Path) -> u64 {
+    std::fs::metadata(dir.join(CACHE_LOG)).map(|m| m.len()).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mcc-cache-test-{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn store_and_reopen() {
+        let dir = tmp("reopen");
+        let k1 = CacheKey(42);
+        let k2 = CacheKey(7);
+        {
+            let mut t = DiskTier::open(&dir).unwrap();
+            t.store(k1, "payload one with spaces").unwrap();
+            t.store(k2, "two").unwrap();
+            t.store(k1, "ignored duplicate").unwrap();
+            assert_eq!(t.len(), 2);
+        }
+        let t = DiskTier::open(&dir).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup(k1).unwrap(), "payload one with spaces");
+        assert_eq!(t.lookup(k2).unwrap(), "two");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_store_recovers() {
+        let dir = tmp("torn");
+        {
+            let mut t = DiskTier::open(&dir).unwrap();
+            t.store(CacheKey(1), "alpha").unwrap();
+            t.store(CacheKey(2), "beta").unwrap();
+        }
+        // Tear the tail: append a partial record with no newline.
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(dir.join(CACHE_LOG))
+            .unwrap();
+        f.write_all(b"A 00000000000000000000000000000003 half-writ").unwrap();
+        drop(f);
+
+        let mut t = DiskTier::open(&dir).unwrap();
+        assert_eq!(t.len(), 2, "torn record dropped, valid prefix kept");
+        t.store(CacheKey(3), "gamma").unwrap();
+        drop(t);
+        let t = DiskTier::open(&dir).unwrap();
+        assert_eq!(t.len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checksum_truncates_from_there() {
+        let dir = tmp("corrupt");
+        {
+            let mut t = DiskTier::open(&dir).unwrap();
+            t.store(CacheKey(1), "alpha").unwrap();
+            t.store(CacheKey(2), "beta").unwrap();
+            t.store(CacheKey(3), "gamma").unwrap();
+        }
+        // Flip a byte in the middle record's payload.
+        let path = dir.join(CACHE_LOG);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mangled = text.replacen("beta", "bXta", 1);
+        std::fs::write(&path, mangled).unwrap();
+
+        let t = DiskTier::open(&dir).unwrap();
+        // Prefix-only recovery: the corrupt record *and everything after
+        // it* are dropped, exactly like the journal.
+        assert_eq!(t.len(), 1);
+        assert!(t.lookup(CacheKey(1)).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn salt_mismatch_resets_the_store() {
+        let dir = tmp("salt");
+        {
+            let mut t = DiskTier::open(&dir).unwrap();
+            t.store(CacheKey(1), "alpha").unwrap();
+        }
+        let path = dir.join(CACHE_LOG);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replacen("cachev", "cachev9", 1)).unwrap();
+        let t = DiskTier::open(&dir).unwrap();
+        assert_eq!(t.len(), 0, "stale salt evicts the whole store");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_accumulate_across_appends() {
+        let dir = tmp("stats");
+        let t = DiskTier::open(&dir).unwrap();
+        t.append_stats(Counters {
+            hits_memory: 1,
+            hits_disk: 2,
+            misses: 3,
+            stores: 4,
+        })
+        .unwrap();
+        t.append_stats(Counters {
+            hits_memory: 10,
+            hits_disk: 0,
+            misses: 0,
+            stores: 0,
+        })
+        .unwrap();
+        // A torn stats line is skipped, not fatal.
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(dir.join(STATS_LOG))
+            .unwrap();
+        f.write_all(b"S 9 9 9").unwrap();
+        drop(f);
+        let s = read_stats(&dir);
+        assert_eq!(
+            (s.hits_memory, s.hits_disk, s.misses, s.stores),
+            (11, 2, 3, 4)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

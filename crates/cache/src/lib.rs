@@ -1,0 +1,456 @@
+//! # `mcc-cache` — the content-addressed compilation cache
+//!
+//! Compiled microcode artifacts are pure, deterministic functions of
+//! `(source bytes, frontend, machine, pass configuration, toolkit
+//! version)`. This crate memoizes them behind a stable 128-bit FNV-1a
+//! content address with two tiers:
+//!
+//! * an **in-memory tier** — a process-wide map, always on, shared by
+//!   every harness worker thread;
+//! * an **on-disk tier** — `.mcc-cache/` holding one checksummed record
+//!   per artifact with the same torn-tail-recovery discipline as the
+//!   harness journal (see [`disk`]), attached explicitly by the
+//!   experiment binaries and the CLI.
+//!
+//! The cache is required to be *invisible*: a warm hit returns an
+//! artifact whose canonical serialisation ([`serial`]) is byte-identical
+//! to a cold compile's. The only observable differences live in
+//! diagnostic fields excluded from that serialisation —
+//! `CompileStats::cached` names the serving tier and
+//! `CompileStats::pass_nanos` carries per-pass wall-clock time — so
+//! hits and misses can be measured without perturbing any table.
+//!
+//! Compile *errors* are never cached: a failing compile is re-run on
+//! every request, which keeps diagnostics (and their source excerpts)
+//! exactly as fresh as an uncached pipeline.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use mcc_core::{Artifact, CompileError, Compiler, CompilerOptions, SourceLang};
+use mcc_machine::{ConflictModel, MachineDesc};
+use mcc_regalloc::Strategy;
+
+pub mod disk;
+pub mod serial;
+
+pub use disk::{read_stats, DiskTier};
+pub use serial::{deserialize_artifact, serialize_artifact};
+
+/// Bump to invalidate every existing cache: the salt participates in
+/// every key and the on-disk header, so stale formats self-evict.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// The toolkit version salt mixed into every cache key. Contains no
+/// whitespace (it is written verbatim into the on-disk header line).
+pub fn toolkit_salt() -> String {
+    format!("mcc-{}-cachev{}", env!("CARGO_PKG_VERSION"), FORMAT_VERSION)
+}
+
+// ------------------------------------------------------------ hashing ----
+
+/// 128-bit FNV-1a (offset basis / prime from the reference parameters).
+struct Fnv128(u128);
+
+impl Fnv128 {
+    const BASIS: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+    fn new() -> Self {
+        Fnv128(Self::BASIS)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u128;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Feeds one labelled, length-prefixed section, so concatenation
+    /// ambiguity between adjacent sections cannot alias two keys.
+    fn section(&mut self, tag: &str, bytes: &[u8]) {
+        self.write(tag.as_bytes());
+        self.write(&(bytes.len() as u64).to_le_bytes());
+        self.write(bytes);
+    }
+}
+
+/// A stable 128-bit content address over everything that can change the
+/// compiled artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey(pub u128);
+
+impl std::fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Renders every [`CompilerOptions`] field that can alter the artifact
+/// into one canonical line. Exhaustive by construction: destructuring
+/// here means a new options field fails to compile until it is keyed.
+pub fn canonical_options(o: &CompilerOptions) -> String {
+    fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
+        v.map_or_else(|| "-".to_string(), |v| v.to_string())
+    }
+    let CompilerOptions {
+        algorithm,
+        model,
+        alloc,
+        poll_interval,
+        bb_budget,
+        limits,
+    } = o;
+    let model = match model {
+        ConflictModel::Coarse => "coarse",
+        ConflictModel::Fine => "fine",
+    };
+    let strategy = match alloc.strategy {
+        Strategy::Coloring => "coloring",
+        Strategy::LinearScan => "linearscan",
+    };
+    format!(
+        "algo={};model={};alloc={};budget={};spread={};poll={};bb={};fe_src={};fe_tok={};fe_depth={};mir={};blocks={}",
+        algorithm.name(),
+        model,
+        strategy,
+        opt(alloc.budget),
+        alloc.spread,
+        opt(*poll_interval),
+        bb_budget,
+        limits.frontend.max_source_bytes,
+        limits.frontend.max_tokens,
+        limits.frontend.max_depth,
+        limits.max_mir_ops,
+        limits.max_blocks,
+    )
+}
+
+/// Derives the content address of one compilation request. The machine
+/// is identified by its canonical MDL rendering — total over every
+/// semantic field of a [`MachineDesc`] — so structurally different
+/// machines can never alias.
+pub fn key_of(m: &MachineDesc, lang: SourceLang, opts: &CompilerOptions, src: &str) -> CacheKey {
+    let mut h = Fnv128::new();
+    h.section("salt", toolkit_salt().as_bytes());
+    h.section("lang", lang.name().as_bytes());
+    h.section("machine", mcc_machine::mdl::to_mdl(m).as_bytes());
+    h.section("options", canonical_options(opts).as_bytes());
+    h.section("source", src.as_bytes());
+    CacheKey(h.0)
+}
+
+// -------------------------------------------------------------- cache ----
+
+/// Whether a freshly compiled artifact is persisted to the disk tier
+/// (when one is attached) or kept in memory only. `Disk` is a no-op for
+/// processes that never attach the tier — which is how `mcc fuzz` keeps
+/// arbitrary user corpora off disk while `exp_all`'s fixed-seed E10
+/// corpus persists and is served from disk on warm runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Persist {
+    /// In-memory tier only.
+    Memory,
+    /// Both tiers (disk write is skipped when no tier is attached).
+    Disk,
+}
+
+/// A snapshot of the cache's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Hits served by the in-memory tier.
+    pub hits_memory: u64,
+    /// Hits served by the on-disk tier.
+    pub hits_disk: u64,
+    /// Lookups that fell through to a real compile.
+    pub misses: u64,
+    /// Artifacts stored after a miss (failed compiles are not stored).
+    pub stores: u64,
+}
+
+impl Counters {
+    /// Total hits across both tiers.
+    pub fn hits(&self) -> u64 {
+        self.hits_memory + self.hits_disk
+    }
+}
+
+/// A two-tier content-addressed artifact cache.
+#[derive(Default)]
+pub struct Cache {
+    mem: Mutex<HashMap<u128, Artifact>>,
+    disk: Mutex<Option<DiskTier>>,
+    hits_memory: AtomicU64,
+    hits_disk: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    /// Counters already persisted by `flush_stats`, so repeated flushes
+    /// append deltas instead of double counting.
+    flushed: Mutex<Counters>,
+}
+
+impl Cache {
+    /// An empty memory-only cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches (creating if necessary) the on-disk tier under `dir`,
+    /// recovering from any torn tail. Returns the number of artifacts
+    /// loaded from disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or reading the store.
+    pub fn attach_disk(&self, dir: &Path) -> io::Result<usize> {
+        let tier = DiskTier::open(dir)?;
+        let loaded = tier.len();
+        *self.disk.lock().unwrap() = Some(tier);
+        Ok(loaded)
+    }
+
+    /// Whether a disk tier is attached.
+    pub fn disk_attached(&self) -> bool {
+        self.disk.lock().unwrap().is_some()
+    }
+
+    /// Compiles `src` through `compiler`, serving from the cache when the
+    /// content address matches. Hits are marked in
+    /// `artifact.stats.cached` (`"memory"` or `"disk"`); everything that
+    /// participates in the artifact's canonical serialisation is
+    /// byte-identical to a cold compile.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`]; errors are never cached.
+    pub fn compile(
+        &self,
+        compiler: &Compiler,
+        lang: SourceLang,
+        src: &str,
+        persist: Persist,
+    ) -> Result<Artifact, CompileError> {
+        let key = key_of(compiler.machine(), lang, compiler.options(), src);
+
+        if let Some(mut hit) = self.mem.lock().unwrap().get(&key.0).cloned() {
+            hit.stats.cached = Some("memory");
+            self.hits_memory.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+
+        let payload = self
+            .disk
+            .lock()
+            .unwrap()
+            .as_ref()
+            .and_then(|t| t.lookup(key).cloned());
+        if let Some(payload) = payload {
+            // A record that fails to deserialize is treated as a miss:
+            // the checksum made corruption overwhelmingly unlikely, but
+            // recompiling is always a safe answer.
+            if let Ok(mut art) = serial::deserialize_artifact(&payload, compiler.machine().clone())
+            {
+                self.mem.lock().unwrap().insert(key.0, art.clone());
+                art.stats.cached = Some("disk");
+                self.hits_disk.fetch_add(1, Ordering::Relaxed);
+                return Ok(art);
+            }
+        }
+
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let art = compiler.compile_contained(lang, src)?;
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        if persist == Persist::Disk {
+            if let Some(tier) = self.disk.lock().unwrap().as_mut() {
+                // Best effort: a full disk must not fail the compile.
+                let _ = tier.store(key, &serial::serialize_artifact(&art));
+            }
+        }
+        self.mem.lock().unwrap().insert(key.0, art.clone());
+        Ok(art)
+    }
+
+    /// Current counter values.
+    pub fn counters(&self) -> Counters {
+        Counters {
+            hits_memory: self.hits_memory.load(Ordering::Relaxed),
+            hits_disk: self.hits_disk.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of artifacts in the in-memory tier.
+    pub fn len_memory(&self) -> usize {
+        self.mem.lock().unwrap().len()
+    }
+
+    /// Appends this process's not-yet-flushed counter deltas to the disk
+    /// tier's stats log, so `mcc cache stats` reports lifetime totals
+    /// across processes. No-op without a disk tier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the stats log append.
+    pub fn flush_stats(&self) -> io::Result<()> {
+        let mut disk = self.disk.lock().unwrap();
+        let Some(tier) = disk.as_mut() else {
+            return Ok(());
+        };
+        let now = self.counters();
+        let mut flushed = self.flushed.lock().unwrap();
+        let delta = Counters {
+            hits_memory: now.hits_memory - flushed.hits_memory,
+            hits_disk: now.hits_disk - flushed.hits_disk,
+            misses: now.misses - flushed.misses,
+            stores: now.stores - flushed.stores,
+        };
+        if delta == Counters::default() {
+            return Ok(());
+        }
+        tier.append_stats(delta)?;
+        *flushed = now;
+        Ok(())
+    }
+}
+
+// ------------------------------------------------------------- global ----
+
+static GLOBAL: OnceLock<Cache> = OnceLock::new();
+
+/// The process-wide cache used by [`compile_cached`].
+pub fn global() -> &'static Cache {
+    GLOBAL.get_or_init(Cache::new)
+}
+
+/// 0 = take the `MCC_NO_CACHE` environment default, 1 = on, 2 = off.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// Whether the global cache is enabled. Defaults to on; disabled by
+/// `MCC_NO_CACHE` (any non-empty value other than `0`) or
+/// [`set_enabled(false)`](set_enabled), which takes precedence.
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => !matches!(
+            std::env::var("MCC_NO_CACHE").ok().as_deref(),
+            Some(v) if !v.is_empty() && v != "0"
+        ),
+    }
+}
+
+/// Force the global cache on or off (the CLI's `--no-cache`).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// The default on-disk tier location: `MCC_CACHE_DIR` or `.mcc-cache`.
+pub fn default_dir() -> PathBuf {
+    match std::env::var("MCC_CACHE_DIR") {
+        Ok(d) if !d.is_empty() => PathBuf::from(d),
+        _ => PathBuf::from(".mcc-cache"),
+    }
+}
+
+/// Attaches the default disk tier to the global cache. Returns `false`
+/// (and leaves the cache memory-only) when caching is disabled.
+///
+/// # Errors
+///
+/// Propagates I/O errors from opening the store.
+pub fn attach_default_disk() -> io::Result<bool> {
+    if !enabled() {
+        return Ok(false);
+    }
+    global().attach_disk(&default_dir())?;
+    Ok(true)
+}
+
+/// The cached counterpart of [`Compiler::compile_contained`]: serves
+/// from the global cache, or passes straight through when caching is
+/// disabled.
+///
+/// # Errors
+///
+/// See [`CompileError`].
+pub fn compile_cached(
+    compiler: &Compiler,
+    lang: SourceLang,
+    src: &str,
+    persist: Persist,
+) -> Result<Artifact, CompileError> {
+    if !enabled() {
+        return compiler.compile_contained(lang, src);
+    }
+    global().compile(compiler, lang, src, persist)
+}
+
+/// Flushes the global cache's stats to its disk tier, ignoring errors —
+/// call at process exit from binaries that attached a disk tier.
+pub fn flush_global_stats() {
+    let _ = global().flush_stats();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_compact::Algorithm;
+    use mcc_machine::machines::{hm1, vm1};
+
+    const SRC: &str = "reg a = R0\nconst a, 7\nadd a, a, 1\nexit a\n";
+
+    #[test]
+    fn memory_tier_hits_and_is_invisible() {
+        let cache = Cache::new();
+        let c = Compiler::new(hm1());
+        let cold = cache.compile(&c, SourceLang::Yalll, SRC, Persist::Memory).unwrap();
+        assert_eq!(cold.stats.cached, None);
+        let warm = cache.compile(&c, SourceLang::Yalll, SRC, Persist::Memory).unwrap();
+        assert_eq!(warm.stats.cached, Some("memory"));
+        assert_eq!(serialize_artifact(&cold), serialize_artifact(&warm));
+        let n = cache.counters();
+        assert_eq!((n.hits_memory, n.misses, n.stores), (1, 1, 1));
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = Cache::new();
+        let c = Compiler::new(hm1());
+        for _ in 0..2 {
+            assert!(cache
+                .compile(&c, SourceLang::Yalll, "reg a = NOPE\n", Persist::Memory)
+                .is_err());
+        }
+        let n = cache.counters();
+        assert_eq!((n.misses, n.stores, n.hits()), (2, 0, 0));
+    }
+
+    #[test]
+    fn keys_separate_every_input() {
+        let m = hm1();
+        let opts = CompilerOptions::default();
+        let base = key_of(&m, SourceLang::Yalll, &opts, SRC);
+        // Source byte.
+        assert_ne!(base, key_of(&m, SourceLang::Yalll, &opts, "reg a = R0\nconst a, 8\nadd a, a, 1\nexit a\n"));
+        // Frontend.
+        assert_ne!(base, key_of(&m, SourceLang::Simpl, &opts, SRC));
+        // Machine.
+        assert_ne!(base, key_of(&vm1(), SourceLang::Yalll, &opts, SRC));
+        // Pass config.
+        let mut o2 = opts.clone();
+        o2.algorithm = Algorithm::Linear;
+        assert_ne!(base, key_of(&m, SourceLang::Yalll, &o2, SRC));
+    }
+
+    #[test]
+    fn canonical_options_is_stable() {
+        let o = CompilerOptions::default();
+        assert_eq!(canonical_options(&o), canonical_options(&o.clone()));
+        assert!(canonical_options(&o).starts_with("algo=critpath;model=fine;alloc=coloring;"));
+    }
+}

@@ -1,0 +1,477 @@
+//! Canonical artifact serialisation — hand-rolled, single-line, and
+//! deterministic.
+//!
+//! The vendored `serde` is a deliberate no-op stub, so the disk format
+//! is written by hand, the same choice the harness journal made. Three
+//! properties matter:
+//!
+//! * **determinism** — map-backed fields (`locations`, `symbols`,
+//!   `memory_symbols`) are emitted in sorted order, never in `HashMap`
+//!   iteration order, so the same artifact always serialises to the
+//!   same bytes;
+//! * **single line** — quoted strings escape control characters
+//!   (journal `esc` rules), so one record occupies exactly one
+//!   newline-terminated line of the on-disk log and torn-tail recovery
+//!   stays a line-level concern;
+//! * **volatile fields excluded** — `CompileStats::pass_nanos` and
+//!   `CompileStats::cached` never enter the serialisation. That makes
+//!   `serialize_artifact` the *equality witness* the differential tests
+//!   use: warm and cold artifacts must serialise byte-identically.
+//!
+//! The machine description is **not** stored. The cache key already
+//! commits to the machine's full MDL rendering, so the caller's
+//! [`MachineDesc`] — required at lookup — is necessarily the one that
+//! produced the record, and is re-attached on deserialisation.
+
+use std::collections::HashMap;
+
+use mcc_core::passes::Warning;
+use mcc_core::{Artifact, CompileStats};
+use mcc_machine::op::MicroBlock;
+use mcc_machine::{BoundOp, CondKind, FileId, MachineDesc, MicroInstr, MicroProgram, RegRef, TemplateId};
+use mcc_mir::operand::VReg;
+use mcc_regalloc::Location;
+
+/// Format tag; bump together with [`crate::FORMAT_VERSION`].
+const MAGIC: &str = "mccart1";
+
+// ------------------------------------------------------------- writing ----
+
+fn push_qstr(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_loc(out: &mut String, loc: &Location) {
+    match loc {
+        Location::Reg(r) => out.push_str(&format!("r {} {}", r.file.0, r.index)),
+        Location::Scratch(r) => out.push_str(&format!("s {} {}", r.file.0, r.index)),
+        Location::Mem(a) => out.push_str(&format!("m {a}")),
+    }
+}
+
+/// Condition codes get fixed indices; the exhaustive match means a new
+/// variant cannot ship without a format decision.
+fn cond_code(c: CondKind) -> u32 {
+    match c {
+        CondKind::True => 0,
+        CondKind::Zero => 1,
+        CondKind::NotZero => 2,
+        CondKind::Neg => 3,
+        CondKind::NotNeg => 4,
+        CondKind::Carry => 5,
+        CondKind::NotCarry => 6,
+        CondKind::Overflow => 7,
+        CondKind::Uf => 8,
+        CondKind::NotUf => 9,
+    }
+}
+
+fn cond_of(code: u32) -> Result<CondKind, String> {
+    Ok(match code {
+        0 => CondKind::True,
+        1 => CondKind::Zero,
+        2 => CondKind::NotZero,
+        3 => CondKind::Neg,
+        4 => CondKind::NotNeg,
+        5 => CondKind::Carry,
+        6 => CondKind::NotCarry,
+        7 => CondKind::Overflow,
+        8 => CondKind::Uf,
+        9 => CondKind::NotUf,
+        _ => return Err(format!("bad condition code {code}")),
+    })
+}
+
+fn push_op(out: &mut String, op: &BoundOp) {
+    out.push_str(&format!("{}", op.template.0));
+    match op.dst {
+        Some(r) => out.push_str(&format!(" {} {}", r.file.0, r.index)),
+        None => out.push_str(" -"),
+    }
+    out.push_str(&format!(" {}", op.srcs.len()));
+    for r in &op.srcs {
+        out.push_str(&format!(" {} {}", r.file.0, r.index));
+    }
+    match op.imm {
+        Some(v) => out.push_str(&format!(" {v}")),
+        None => out.push_str(" -"),
+    }
+    match op.target {
+        Some(v) => out.push_str(&format!(" {v}")),
+        None => out.push_str(" -"),
+    }
+    match op.cond {
+        Some(c) => out.push_str(&format!(" {}", cond_code(c))),
+        None => out.push_str(" -"),
+    }
+}
+
+/// Serialises an artifact (without its machine) to one line of text —
+/// the canonical byte representation used by the disk tier and by the
+/// cache-invisibility tests.
+pub fn serialize_artifact(a: &Artifact) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str(MAGIC);
+
+    // Stats (volatile fields excluded).
+    let s = &a.stats;
+    out.push_str(&format!(
+        " stats {} {} {} {} {} {} {} ",
+        s.mir_ops, s.micro_instrs, s.micro_ops, s.spills, s.spill_moves, s.polls, s.dead_flags
+    ));
+    push_qstr(&mut out, &s.algorithm_used);
+    out.push_str(&format!(" {}", s.degradations.len()));
+    for d in &s.degradations {
+        out.push(' ');
+        push_qstr(&mut out, d);
+    }
+
+    // Warnings, in pipeline order.
+    out.push_str(&format!(" warn {}", a.warnings.len()));
+    for w in &a.warnings {
+        out.push(' ');
+        push_qstr(&mut out, &w.message);
+    }
+
+    // Map-backed fields in sorted order for determinism.
+    let mut locs: Vec<(&VReg, &Location)> = a.locations.iter().collect();
+    locs.sort_by_key(|(v, _)| v.0);
+    out.push_str(&format!(" locs {}", locs.len()));
+    for (v, loc) in locs {
+        out.push_str(&format!(" {} ", v.0));
+        push_loc(&mut out, loc);
+    }
+
+    let mut syms: Vec<(&String, &Location)> = a.symbols.iter().collect();
+    syms.sort_by_key(|(n, _)| n.as_str());
+    out.push_str(&format!(" syms {}", syms.len()));
+    for (n, loc) in syms {
+        out.push(' ');
+        push_qstr(&mut out, n);
+        out.push(' ');
+        push_loc(&mut out, loc);
+    }
+
+    let mut mems: Vec<(&String, &(u64, u64))> = a.memory_symbols.iter().collect();
+    mems.sort_by_key(|(n, _)| n.as_str());
+    out.push_str(&format!(" mems {}", mems.len()));
+    for (n, (base, len)) in mems {
+        out.push(' ');
+        push_qstr(&mut out, n);
+        out.push_str(&format!(" {base} {len}"));
+    }
+
+    // The program: blocks of instructions of bound operations.
+    out.push_str(&format!(" prog {}", a.program.blocks.len()));
+    for b in &a.program.blocks {
+        out.push_str(&format!(" {}", b.instrs.len()));
+        for i in &b.instrs {
+            out.push_str(&format!(" {}", i.ops.len()));
+            for op in &i.ops {
+                out.push(' ');
+                push_op(&mut out, op);
+            }
+        }
+    }
+    out
+}
+
+// ------------------------------------------------------------- reading ----
+
+/// A whitespace token stream over one serialised artifact.
+struct Toks<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Toks<'a> {
+    fn new(s: &'a str) -> Self {
+        Toks { rest: s }
+    }
+
+    /// Next raw token (quoted strings are returned *decoded*).
+    fn next(&mut self) -> Result<std::borrow::Cow<'a, str>, String> {
+        self.rest = self.rest.trim_start_matches(' ');
+        if self.rest.is_empty() {
+            return Err("unexpected end of record".into());
+        }
+        if let Some(body) = self.rest.strip_prefix('"') {
+            let mut out = String::new();
+            let mut chars = body.char_indices();
+            while let Some((i, c)) = chars.next() {
+                match c {
+                    '"' => {
+                        self.rest = &body[i + 1..];
+                        return Ok(std::borrow::Cow::Owned(out));
+                    }
+                    '\\' => match chars.next() {
+                        Some((_, '"')) => out.push('"'),
+                        Some((_, '\\')) => out.push('\\'),
+                        Some((_, 'n')) => out.push('\n'),
+                        Some((_, 'r')) => out.push('\r'),
+                        Some((_, 't')) => out.push('\t'),
+                        Some((j, 'u')) => {
+                            let hex = body.get(j + 1..j + 5).ok_or("truncated \\u escape")?;
+                            let v = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(v).ok_or("bad \\u escape")?);
+                            // Consume the 4 hex digits.
+                            for _ in 0..4 {
+                                chars.next();
+                            }
+                        }
+                        _ => return Err("bad escape in quoted string".into()),
+                    },
+                    c => out.push(c),
+                }
+            }
+            Err("unterminated quoted string".into())
+        } else {
+            let end = self.rest.find(' ').unwrap_or(self.rest.len());
+            let (tok, rest) = self.rest.split_at(end);
+            self.rest = rest;
+            Ok(std::borrow::Cow::Borrowed(tok))
+        }
+    }
+
+    fn num<T: std::str::FromStr>(&mut self) -> Result<T, String> {
+        let t = self.next()?;
+        t.parse().map_err(|_| format!("bad number `{t}`"))
+    }
+
+    /// `-` → `None`, otherwise a number.
+    fn opt_num<T: std::str::FromStr>(&mut self) -> Result<Option<T>, String> {
+        let t = self.next()?;
+        if t == "-" {
+            return Ok(None);
+        }
+        t.parse().map(Some).map_err(|_| format!("bad number `{t}`"))
+    }
+
+    fn expect(&mut self, word: &str) -> Result<(), String> {
+        let t = self.next()?;
+        if t == word {
+            Ok(())
+        } else {
+            Err(format!("expected `{word}`, found `{t}`"))
+        }
+    }
+
+    fn qstr(&mut self) -> Result<String, String> {
+        Ok(self.next()?.into_owned())
+    }
+
+    fn regref(&mut self) -> Result<RegRef, String> {
+        let file: u16 = self.num()?;
+        let index: u16 = self.num()?;
+        Ok(RegRef::new(FileId(file), index))
+    }
+
+    fn loc(&mut self) -> Result<Location, String> {
+        let tag = self.next()?;
+        Ok(match &*tag {
+            "r" => Location::Reg(self.regref()?),
+            "s" => Location::Scratch(self.regref()?),
+            "m" => Location::Mem(self.num()?),
+            t => return Err(format!("bad location tag `{t}`")),
+        })
+    }
+
+    fn op(&mut self) -> Result<BoundOp, String> {
+        let template = TemplateId(self.num()?);
+        let dst = match &*self.next()? {
+            "-" => None,
+            t => {
+                let file: u16 = t.parse().map_err(|_| format!("bad file id `{t}`"))?;
+                let index: u16 = self.num()?;
+                Some(RegRef::new(FileId(file), index))
+            }
+        };
+        let nsrcs: usize = self.num()?;
+        let mut srcs = Vec::with_capacity(nsrcs);
+        for _ in 0..nsrcs {
+            srcs.push(self.regref()?);
+        }
+        let imm: Option<u64> = self.opt_num()?;
+        let target: Option<u32> = self.opt_num()?;
+        let cond = match self.opt_num::<u32>()? {
+            None => None,
+            Some(code) => Some(cond_of(code)?),
+        };
+        Ok(BoundOp {
+            template,
+            dst,
+            srcs,
+            imm,
+            target,
+            cond,
+        })
+    }
+}
+
+/// Reconstructs an artifact from its canonical serialisation, attaching
+/// the caller's `machine` (which the cache key guarantees is the one
+/// the artifact was compiled for).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed token.
+pub fn deserialize_artifact(s: &str, machine: MachineDesc) -> Result<Artifact, String> {
+    let mut t = Toks::new(s);
+    t.expect(MAGIC)?;
+
+    t.expect("stats")?;
+    let mut stats = CompileStats {
+        mir_ops: t.num()?,
+        micro_instrs: t.num()?,
+        micro_ops: t.num()?,
+        spills: t.num()?,
+        spill_moves: t.num()?,
+        polls: t.num()?,
+        dead_flags: t.num()?,
+        algorithm_used: t.qstr()?,
+        ..Default::default()
+    };
+    let ndeg: usize = t.num()?;
+    for _ in 0..ndeg {
+        stats.degradations.push(t.qstr()?);
+    }
+
+    t.expect("warn")?;
+    let nwarn: usize = t.num()?;
+    let mut warnings = Vec::with_capacity(nwarn);
+    for _ in 0..nwarn {
+        warnings.push(Warning {
+            message: t.qstr()?,
+        });
+    }
+
+    t.expect("locs")?;
+    let nlocs: usize = t.num()?;
+    let mut locations = HashMap::with_capacity(nlocs);
+    for _ in 0..nlocs {
+        let v: u32 = t.num()?;
+        locations.insert(VReg(v), t.loc()?);
+    }
+
+    t.expect("syms")?;
+    let nsyms: usize = t.num()?;
+    let mut symbols = HashMap::with_capacity(nsyms);
+    for _ in 0..nsyms {
+        let name = t.qstr()?;
+        symbols.insert(name, t.loc()?);
+    }
+
+    t.expect("mems")?;
+    let nmems: usize = t.num()?;
+    let mut memory_symbols = HashMap::with_capacity(nmems);
+    for _ in 0..nmems {
+        let name = t.qstr()?;
+        let base: u64 = t.num()?;
+        let len: u64 = t.num()?;
+        memory_symbols.insert(name, (base, len));
+    }
+
+    t.expect("prog")?;
+    let nblocks: usize = t.num()?;
+    let mut blocks = Vec::with_capacity(nblocks);
+    for _ in 0..nblocks {
+        let ninstrs: usize = t.num()?;
+        let mut instrs = Vec::with_capacity(ninstrs);
+        for _ in 0..ninstrs {
+            let nops: usize = t.num()?;
+            let mut ops = Vec::with_capacity(nops);
+            for _ in 0..nops {
+                ops.push(t.op()?);
+            }
+            instrs.push(MicroInstr { ops });
+        }
+        blocks.push(MicroBlock { instrs });
+    }
+
+    Ok(Artifact {
+        machine,
+        program: MicroProgram { blocks },
+        locations,
+        symbols,
+        memory_symbols,
+        warnings,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_core::{Compiler, SourceLang};
+    use mcc_machine::machines::hm1;
+
+    fn sample() -> Artifact {
+        let c = Compiler::new(hm1());
+        let mut art = c
+            .compile_contained(
+                SourceLang::Yalll,
+                "reg a = R0\nreg t\nconst a, 5\nconst t, 0\nloop:\nadd t, t, a\nsub a, a, 1\njump loop if a <> 0\nexit t\n",
+            )
+            .unwrap();
+        // Exercise the remaining fields.
+        art.memory_symbols.insert("TBL".into(), (0x200, 64));
+        art.warnings.push(Warning {
+            message: "synthetic \"quoted\"\nwarning\t\u{1}".into(),
+        });
+        art
+    }
+
+    #[test]
+    fn roundtrips_byte_identically() {
+        let art = sample();
+        let bytes = serialize_artifact(&art);
+        assert!(!bytes.contains('\n'), "serialisation must be single-line");
+        let back = deserialize_artifact(&bytes, art.machine.clone()).unwrap();
+        assert_eq!(bytes, serialize_artifact(&back));
+        assert_eq!(art.program, back.program);
+        assert_eq!(art.symbols.len(), back.symbols.len());
+        assert_eq!(art.warnings, back.warnings);
+    }
+
+    #[test]
+    fn volatile_stats_fields_do_not_change_bytes() {
+        let art = sample();
+        let mut marked = art.clone();
+        marked.stats.cached = Some("memory");
+        marked.stats.pass_nanos.clear();
+        assert_eq!(serialize_artifact(&art), serialize_artifact(&marked));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let art = sample();
+        let bytes = serialize_artifact(&art);
+        let cut = &bytes[..bytes.len() - 3];
+        assert!(deserialize_artifact(cut, art.machine.clone()).is_err());
+    }
+
+    #[test]
+    fn simulating_a_deserialized_artifact_matches() {
+        let art = sample();
+        let back =
+            deserialize_artifact(&serialize_artifact(&art), art.machine.clone()).unwrap();
+        let (sim_a, stats_a) = art.run().unwrap();
+        let (sim_b, stats_b) = back.run().unwrap();
+        assert_eq!(stats_a.cycles, stats_b.cycles);
+        assert_eq!(art.read_symbol(&sim_a, "t"), back.read_symbol(&sim_b, "t"));
+        assert_eq!(art.read_symbol(&sim_a, "t"), Some(15));
+    }
+}

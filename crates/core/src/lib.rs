@@ -279,9 +279,34 @@ pub struct CompileStats {
     /// Degradation events recorded during emission, one per fallback step
     /// (empty when every block compacted with the requested algorithm).
     pub degradations: Vec<String>,
+    /// Wall-clock nanoseconds spent per pipeline pass, in execution order
+    /// (passes that run twice, like `legalize`, are merged). Diagnostic
+    /// only: never printed in experiment tables and never part of a cached
+    /// artifact's identity, so warm and cold runs stay byte-identical.
+    pub pass_nanos: Vec<(&'static str, u64)>,
+    /// `Some(tier)` when this artifact was served by `mcc-cache`
+    /// (`"memory"` or `"disk"`) rather than compiled; `None` on a cold
+    /// compile. Diagnostic only, like [`pass_nanos`](Self::pass_nanos).
+    pub cached: Option<&'static str>,
 }
 
 impl CompileStats {
+    /// Records wall-clock time spent in `pass` since `started`, merging
+    /// into an existing entry when the pass already ran once.
+    pub fn note_pass(&mut self, pass: &'static str, started: std::time::Instant) {
+        let ns = started.elapsed().as_nanos() as u64;
+        if let Some(e) = self.pass_nanos.iter_mut().find(|(p, _)| *p == pass) {
+            e.1 += ns;
+        } else {
+            self.pass_nanos.push((pass, ns));
+        }
+    }
+
+    /// Total wall-clock nanoseconds across all recorded passes.
+    pub fn compile_nanos(&self) -> u64 {
+        self.pass_nanos.iter().map(|&(_, ns)| ns).sum()
+    }
+
     /// Mean micro-operations per microinstruction.
     pub fn packing_ratio(&self) -> f64 {
         if self.micro_instrs == 0 {
@@ -408,51 +433,74 @@ impl Compiler {
     ///
     /// See [`CompileError`].
     pub fn compile_mir(&self, mut f: MirFunction) -> Result<Artifact, CompileError> {
+        use std::time::Instant;
+        let mut stats = CompileStats::default();
+
         set_pass("validate");
+        let t = Instant::now();
         f.validate()?;
         self.check_size(&f)?;
+        stats.note_pass("validate", t);
         set_pass("legalize");
+        let t = Instant::now();
         mcc_mir::legalize(&self.machine, &mut f)?;
         f.validate()?;
         self.check_size(&f)?;
+        stats.note_pass("legalize", t);
         set_pass("thread_jumps");
+        let t = Instant::now();
         passes::thread_jumps(&mut f);
+        stats.note_pass("thread_jumps", t);
 
-        let mut stats = CompileStats::default();
         if let Some(n) = self.options.poll_interval {
             set_pass("insert_polls");
+            let t = Instant::now();
             stats.polls = passes::insert_polls(&mut f, n);
             self.check_size(&f)?;
+            stats.note_pass("insert_polls", t);
         }
 
         set_pass("regalloc");
+        let t = Instant::now();
         let report: AllocReport = mcc_regalloc::allocate(&self.machine, &mut f, &self.options.alloc)?;
         stats.spills = report.spilled;
         stats.spill_moves = report.spill_moves;
+        stats.note_pass("regalloc", t);
         // Spill code may introduce operations that still need legalising
         // on narrow machines (wide spill addresses); one more round is
         // always enough because spill addresses fit the immediate path.
         set_pass("legalize");
+        let t = Instant::now();
         mcc_mir::legalize(&self.machine, &mut f)?;
         self.check_size(&f)?;
+        stats.note_pass("legalize", t);
         if f.has_virtual_regs() {
             // Legalisation after spilling created scratch vregs; allocate
             // them too (no further spilling expected).
             set_pass("regalloc");
+            let t = Instant::now();
             let r2 = mcc_regalloc::allocate(&self.machine, &mut f, &self.options.alloc)?;
             stats.spills += r2.spilled;
             stats.spill_moves += r2.spill_moves;
+            stats.note_pass("regalloc", t);
         }
 
         set_pass("trap_safety");
+        let t = Instant::now();
         let warnings = passes::trap_safety(&self.machine, &f);
         stats.mir_ops = f.op_count();
+        stats.note_pass("trap_safety", t);
         set_pass("mark_dead_flags");
+        let t = Instant::now();
         stats.dead_flags = passes::mark_dead_flags(&mut f);
+        stats.note_pass("mark_dead_flags", t);
 
         set_pass("select");
+        let t = Instant::now();
         let selected = mcc_mir::select_function(&self.machine, &f)?;
+        stats.note_pass("select", t);
         set_pass("compact");
+        let t = Instant::now();
         let (program, emitted) = emit::emit(
             &self.machine,
             &selected,
@@ -460,6 +508,7 @@ impl Compiler {
             self.options.model,
             self.options.bb_budget,
         );
+        stats.note_pass("compact", t);
         stats.micro_instrs = program.instr_count();
         stats.micro_ops = program.op_count();
         stats.algorithm_used = emitted.algorithm_used;
@@ -515,9 +564,13 @@ impl Compiler {
     /// [`CompileError::Language`] with line/column prefixes.
     pub fn compile_simpl(&self, src: &str) -> Result<Artifact, CompileError> {
         set_pass("frontend");
+        let t = std::time::Instant::now();
         let p = mcc_simpl::parse_with_limits(src, &self.machine, &self.options.limits.frontend)
             .map_err(|e| CompileError::Language(e.render_excerpt(src)))?;
-        self.compile_mir(p.func)
+        let fe = t.elapsed().as_nanos() as u64;
+        let mut art = self.compile_mir(p.func)?;
+        art.stats.pass_nanos.insert(0, ("frontend", fe));
+        Ok(art)
     }
 
     /// Compiles a YALLL program (§2.2.4). Declared register names become
@@ -528,10 +581,13 @@ impl Compiler {
     /// See [`CompileError`].
     pub fn compile_yalll(&self, src: &str) -> Result<Artifact, CompileError> {
         set_pass("frontend");
+        let t = std::time::Instant::now();
         let p = mcc_yalll::parse_with_limits(src, &self.machine, &self.options.limits.frontend)
             .map_err(|e| CompileError::Language(e.render_excerpt(src)))?;
+        let fe = t.elapsed().as_nanos() as u64;
         let bindings = p.bindings.clone();
         let mut art = self.compile_mir(p.func)?;
+        art.stats.pass_nanos.insert(0, ("frontend", fe));
         Self::attach_symbols(&mut art, bindings);
         Ok(art)
     }
@@ -545,12 +601,15 @@ impl Compiler {
     /// See [`CompileError`].
     pub fn compile_empl(&self, src: &str) -> Result<Artifact, CompileError> {
         set_pass("frontend");
+        let t = std::time::Instant::now();
         let p = mcc_empl::compile_with_limits(src, &self.options.limits.frontend)
             .map_err(|e| CompileError::Language(e.render_excerpt(src)))?;
+        let fe = t.elapsed().as_nanos() as u64;
         let globals = p.globals.clone();
         let arrays = p.arrays.clone();
         let eflag = p.error_flag;
         let mut art = self.compile_mir(p.func)?;
+        art.stats.pass_nanos.insert(0, ("frontend", fe));
         Self::attach_symbols(&mut art, globals);
         Self::attach_symbols(&mut art, [("ERROR".to_string(), eflag)]);
         art.memory_symbols = arrays;
@@ -570,12 +629,15 @@ impl Compiler {
     /// [`CompileError::Language`].
     pub fn compile_sstar(&self, src: &str) -> Result<Artifact, CompileError> {
         set_pass("frontend");
+        let t = std::time::Instant::now();
         let p = mcc_sstar::parse_with_limits(src, &self.machine, &self.options.limits.frontend)
             .map_err(|e| CompileError::Language(e.render_excerpt(src)))?;
+        let fe = t.elapsed().as_nanos() as u64;
         let vars = p.vars.clone();
         let cogroups = p.cogroups.clone();
         let aflag = p.assert_flag;
         let mut art = self.compile_mir(p.func)?;
+        art.stats.pass_nanos.insert(0, ("frontend", fe));
         for g in cogroups {
             let n = art.program.blocks[g as usize].instrs.len();
             // The group block holds its ops plus an elidable jump; more

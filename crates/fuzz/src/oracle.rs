@@ -90,7 +90,19 @@ fn compile_with(
         algorithm: algo,
         ..Default::default()
     };
-    Compiler::with_options(m.clone(), opts).compile_contained(lang, src)
+    // The shrinker and the mutation stages re-ask for identical
+    // (machine, algorithm, source) triples constantly, and seeded
+    // campaigns regenerate the exact same corpus every run — so persist
+    // to the disk tier *when one is attached*. `mcc fuzz` itself never
+    // attaches one (arbitrary user seeds would grow the store without
+    // bound); `exp_all` and `mcc campaign` do, so their fixed-seed E10
+    // rows are served from disk on warm runs.
+    mcc_cache::compile_cached(
+        &Compiler::with_options(m.clone(), opts),
+        lang,
+        src,
+        mcc_cache::Persist::Disk,
+    )
 }
 
 /// Classifies a compile error on input that was expected to be accepted.

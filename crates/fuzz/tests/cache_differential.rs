@@ -1,0 +1,248 @@
+//! Differential proof that the compilation cache is invisible.
+//!
+//! Over ~256 seeded generator programs per frontend (the same grammar
+//! generators the fuzz campaign uses), a cache hit must return an
+//! artifact whose canonical serialisation is byte-identical to a cold
+//! `compile_contained`, through both the memory tier and a disk-tier
+//! round trip in a fresh cache (the cross-process case). And the content
+//! address must be *sensitive*: flipping any single keyed input — one
+//! source byte, the frontend, the machine, or any pass-configuration
+//! field — changes the key, so no stale artifact can ever be served.
+
+use mcc_cache::{key_of, serialize_artifact, Cache, Persist};
+use mcc_compact::Algorithm;
+use mcc_core::{Compiler, CompilerOptions, SourceLang};
+use mcc_fuzz::gen;
+use mcc_machine::machines::{hm1, vm1};
+use mcc_machine::ConflictModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TRIALS_PER_LANG: u64 = 256;
+
+/// Unique scratch directory per test (the suite runs tests in parallel).
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mcc-cache-diff-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn hits_are_byte_identical_to_cold_compiles() {
+    let m = hm1();
+    let compiler = Compiler::new(m.clone());
+
+    for lang in SourceLang::ALL {
+        let mut rng = StdRng::seed_from_u64(0xCAC4E + lang as u64);
+        let cache = Cache::new();
+        let mut compiled = 0u64;
+
+        for trial in 0..TRIALS_PER_LANG {
+            let src = gen::generate(lang, &m, &mut rng);
+
+            let cold = compiler.compile_contained(lang, &src);
+            let missed = cache.compile(&compiler, lang, &src, Persist::Memory);
+            let hit = cache.compile(&compiler, lang, &src, Persist::Memory);
+
+            match (cold, missed, hit) {
+                (Ok(cold), Ok(missed), Ok(hit)) => {
+                    let want = serialize_artifact(&cold);
+                    assert_eq!(
+                        want,
+                        serialize_artifact(&missed),
+                        "{} trial {trial}: first cache compile diverges from cold",
+                        lang.name()
+                    );
+                    assert_eq!(
+                        want,
+                        serialize_artifact(&hit),
+                        "{} trial {trial}: memory hit diverges from cold",
+                        lang.name()
+                    );
+                    assert_eq!(hit.stats.cached, Some("memory"));
+                    compiled += 1;
+                }
+                (Err(_), Err(_), Err(_)) => {} // errors are never cached
+                (c, m_, h) => panic!(
+                    "{} trial {trial}: cold/miss/hit disagree on success: \
+                     {:?} {:?} {:?}",
+                    lang.name(),
+                    c.is_ok(),
+                    m_.is_ok(),
+                    h.is_ok()
+                ),
+            }
+        }
+
+        // The generators emit well-formed programs: if nearly everything
+        // failed to compile the equality above proved nothing.
+        assert!(
+            compiled > TRIALS_PER_LANG / 2,
+            "{}: only {compiled}/{TRIALS_PER_LANG} programs compiled",
+            lang.name()
+        );
+        let n = cache.counters();
+        assert_eq!(n.hits_memory, compiled, "{}: hit count", lang.name());
+        assert_eq!(n.hits_disk, 0, "{}: no disk tier attached", lang.name());
+    }
+}
+
+#[test]
+fn disk_round_trip_is_byte_identical_in_a_fresh_cache() {
+    let m = hm1();
+    let compiler = Compiler::new(m.clone());
+    let dir = scratch("roundtrip");
+
+    // First process stand-in: compile a sample through a disk-backed
+    // cache, keeping the canonical bytes of each success.
+    let writer = Cache::new();
+    writer.attach_disk(&dir).unwrap();
+    let mut corpus: Vec<(SourceLang, String, String)> = Vec::new();
+    for lang in SourceLang::ALL {
+        let mut rng = StdRng::seed_from_u64(0xD15C + lang as u64);
+        for _ in 0..32 {
+            let src = gen::generate(lang, &m, &mut rng);
+            if let Ok(art) = writer.compile(&compiler, lang, &src, Persist::Disk) {
+                corpus.push((lang, src, serialize_artifact(&art)));
+            }
+        }
+    }
+    assert!(corpus.len() > 64, "corpus too small: {}", corpus.len());
+
+    // Second process stand-in: a fresh cache over the same directory must
+    // serve every program from disk, byte-identically.
+    let reader = Cache::new();
+    let loaded = reader.attach_disk(&dir).unwrap();
+    assert!(loaded > 0, "nothing persisted to the disk tier");
+    for (lang, src, want) in &corpus {
+        let art = reader
+            .compile(&compiler, *lang, src, Persist::Disk)
+            .expect("a cached program cannot fail to load");
+        assert_eq!(art.stats.cached, Some("disk"), "{}: expected a disk hit", lang.name());
+        assert_eq!(
+            &serialize_artifact(&art),
+            want,
+            "{}: disk round trip diverges",
+            lang.name()
+        );
+    }
+    let n = reader.counters();
+    assert_eq!(n.hits_disk as usize, corpus.len());
+    assert_eq!(n.misses, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_keyed_input_perturbs_the_key() {
+    let hm = hm1();
+    let opts = CompilerOptions::default();
+    let src = "reg a = R0\nconst a, 7\nexit a\n";
+    let base = key_of(&hm, SourceLang::Yalll, &opts, src);
+
+    // Source: flipping any single byte (or truncating) misses.
+    for i in 0..src.len() {
+        let mut bytes = src.as_bytes().to_vec();
+        bytes[i] ^= 1;
+        if let Ok(flipped) = String::from_utf8(bytes) {
+            assert_ne!(
+                base,
+                key_of(&hm, SourceLang::Yalll, &opts, &flipped),
+                "flipping source byte {i} did not change the key"
+            );
+        }
+    }
+    assert_ne!(base, key_of(&hm, SourceLang::Yalll, &opts, &src[..src.len() - 1]));
+
+    // Frontend and machine.
+    assert_ne!(base, key_of(&hm, SourceLang::Simpl, &opts, src));
+    assert_ne!(base, key_of(&vm1(), SourceLang::Yalll, &opts, src));
+
+    // Every pass-configuration field canonical_options() commits to.
+    let perturbations: Vec<(&str, CompilerOptions)> = vec![
+        ("algorithm", CompilerOptions { algorithm: Algorithm::Linear, ..opts.clone() }),
+        ("model", CompilerOptions { model: ConflictModel::Coarse, ..opts.clone() }),
+        ("poll_interval", CompilerOptions { poll_interval: Some(8), ..opts.clone() }),
+        ("bb_budget", CompilerOptions { bb_budget: opts.bb_budget + 1, ..opts.clone() }),
+        ("alloc.budget", {
+            let mut o = opts.clone();
+            o.alloc.budget = Some(4);
+            o
+        }),
+        ("alloc.spread", {
+            let mut o = opts.clone();
+            o.alloc.spread = !o.alloc.spread;
+            o
+        }),
+        ("limits.frontend.max_source_bytes", {
+            let mut o = opts.clone();
+            o.limits.frontend.max_source_bytes += 1;
+            o
+        }),
+        ("limits.frontend.max_tokens", {
+            let mut o = opts.clone();
+            o.limits.frontend.max_tokens += 1;
+            o
+        }),
+        ("limits.frontend.max_depth", {
+            let mut o = opts.clone();
+            o.limits.frontend.max_depth += 1;
+            o
+        }),
+        ("limits.max_mir_ops", {
+            let mut o = opts.clone();
+            o.limits.max_mir_ops += 1;
+            o
+        }),
+        ("limits.max_blocks", {
+            let mut o = opts.clone();
+            o.limits.max_blocks += 1;
+            o
+        }),
+    ];
+    for (what, o) in &perturbations {
+        assert_ne!(
+            base,
+            key_of(&hm, SourceLang::Yalll, o, src),
+            "perturbing {what} did not change the key"
+        );
+    }
+}
+
+/// A perturbed key is not just different — the cache actually recompiles
+/// rather than serving the stale artifact.
+#[test]
+fn perturbed_requests_miss() {
+    let m = hm1();
+    let src = "reg a = R0\nconst a, 7\nexit a\n";
+    let cache = Cache::new();
+
+    let c1 = Compiler::new(m.clone());
+    cache.compile(&c1, SourceLang::Yalll, src, Persist::Memory).unwrap();
+    assert_eq!(cache.counters().misses, 1);
+
+    // Same request: hit.
+    cache.compile(&c1, SourceLang::Yalll, src, Persist::Memory).unwrap();
+    assert_eq!(cache.counters().hits_memory, 1);
+
+    // One flipped source byte: miss.
+    cache
+        .compile(&c1, SourceLang::Yalll, "reg a = R0\nconst a, 6\nexit a\n", Persist::Memory)
+        .unwrap();
+    assert_eq!(cache.counters().misses, 2);
+
+    // Different pass config over identical source: miss.
+    let c2 = Compiler::with_options(
+        m.clone(),
+        CompilerOptions { algorithm: Algorithm::Sequential, ..Default::default() },
+    );
+    cache.compile(&c2, SourceLang::Yalll, src, Persist::Memory).unwrap();
+    assert_eq!(cache.counters().misses, 3);
+
+    // Different machine over identical source and config: miss.
+    let c3 = Compiler::new(vm1());
+    cache.compile(&c3, SourceLang::Yalll, src, Persist::Memory).unwrap();
+    assert_eq!(cache.counters().misses, 4);
+}

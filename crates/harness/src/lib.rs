@@ -139,6 +139,21 @@ pub struct HarnessConfig {
     pub chaos: bool,
 }
 
+impl HarnessConfig {
+    /// A configuration for plain in-process batch fan-out (the `exp_all`
+    /// driver): trusted local jobs, so no deadline condemnation and a
+    /// single attempt — a failure is a bug to report, not to retry.
+    pub fn batch(campaign: &str, workers: usize) -> Self {
+        HarnessConfig {
+            campaign: campaign.to_string(),
+            workers,
+            deadline: None,
+            attempts: 1,
+            ..Default::default()
+        }
+    }
+}
+
 impl Default for HarnessConfig {
     fn default() -> Self {
         HarnessConfig {

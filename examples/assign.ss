@@ -1,0 +1,7 @@
+program assign;
+# smallest S* program with a WP-verified assertion #
+var x: seq [15..0] bit;
+begin
+    x := 3;
+    assert(x = 3);
+end

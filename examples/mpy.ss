@@ -1,0 +1,30 @@
+program mpy;
+# the survey's section 2.2.3 example: multiply by repeated addition #
+var localstore: array [0..31] of seq [15..0] bit with LS;
+const minus1 = 0xFFFF;
+var left_alu_in: seq [15..0] bit with R1;
+var right_alu_in: seq [15..0] bit with R2;
+var aluout: seq [15..0] bit with R3;
+syn mpr = localstore[0],
+    mpnd = localstore[1],
+    product = localstore[2];
+begin
+    mpr := 6;
+    mpnd := 7;
+    product := 0;
+    assert(product = 0);
+    repeat
+        cocycle
+            left_alu_in := product;
+            right_alu_in := mpnd;
+            aluout := left_alu_in + right_alu_in;
+            product := aluout
+        end;
+        cocycle
+            left_alu_in := mpr;
+            right_alu_in := minus1;
+            aluout := left_alu_in + right_alu_in;
+            mpr := aluout
+        end
+    until aluout = 0;
+end

@@ -33,9 +33,11 @@ commands:
   run      [opts] <file>       compile, simulate, print symbol values
   fuzz     [opts]              differential fuzzing campaign (see below)
   campaign <e9|e10|fuzz>       run an experiment as a supervised campaign
+  cache    <stats|clear>       inspect or wipe the compilation cache
   mdl dump <machine>           print a reference machine as MDL text
 
 options:
+      --no-cache               bypass the compilation cache for this run
   -m, --machine <name>         hm1 | vm1 | bx2 | wm64   (default hm1)
       --mdl <file>             use a machine described in MDL instead
   -l, --lang <name>            yalll | simpl | empl | sstar
@@ -74,7 +76,14 @@ campaign options:
 
   The table goes to stdout; the supervision summary goes to stderr. Tables
   are byte-identical for any --jobs value, and a killed campaign resumed
-  with --resume completes to the same table as an uninterrupted run."
+  with --resume completes to the same table as an uninterrupted run.
+
+cache:
+  compile/disasm/encode/run reuse artifacts from a content-addressed
+  cache (in-memory plus an on-disk tier under .mcc-cache, or
+  MCC_CACHE_DIR). A hit is byte-identical to a cold compile. `mcc cache
+  stats` prints lifetime hit/miss counters; `mcc cache clear` wipes the
+  store. MCC_NO_CACHE=1 is equivalent to passing --no-cache everywhere."
     );
     ExitCode::from(2)
 }
@@ -99,6 +108,7 @@ struct Args {
     journal: Option<String>,
     resume: bool,
     chaos: bool,
+    no_cache: bool,
     positional: Vec<String>,
 }
 
@@ -138,6 +148,7 @@ fn parse_args() -> Option<Args> {
         journal: None,
         resume: false,
         chaos: false,
+        no_cache: false,
         positional: Vec::new(),
     };
     while let Some(arg) = it.next() {
@@ -160,6 +171,7 @@ fn parse_args() -> Option<Args> {
             "--journal" => a.journal = Some(it.next()?),
             "--resume" => a.resume = true,
             "--chaos" => a.chaos = true,
+            "--no-cache" => a.no_cache = true,
             _ => a.positional.push(arg),
         }
     }
@@ -221,10 +233,15 @@ fn compile(args: &Args) -> Result<mcc::core::Artifact, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let lang = lang_of(args, path)?;
     let c = compiler_of(args)?;
-    // The contained entry point: any residual panic in a frontend or pass
-    // comes back as a structured `internal error in pass ...`, so feeding
-    // mcc arbitrary bytes always terminates with a diagnostic.
-    let art = c.compile_contained(lang, &src).map_err(|e| e.to_string())?;
+    // Cached around the contained entry point: any residual panic in a
+    // frontend or pass comes back as a structured `internal error in
+    // pass ...` (errors are never cached), so feeding mcc arbitrary
+    // bytes always terminates with a diagnostic.
+    let art = mcc::cache::compile_cached(&c, lang, &src, mcc::cache::Persist::Disk)
+        .map_err(|e| e.to_string())?;
+    if let Some(tier) = art.stats.cached {
+        eprintln!("(cache hit: {tier})");
+    }
     for w in &art.warnings {
         eprintln!("warning: {}", w.message);
     }
@@ -425,10 +442,74 @@ fn fault_campaign(
     println!("  coverage        {:>5.1}%", t.coverage() * 100.0);
 }
 
+/// `mcc cache stats|clear`: inspect or wipe the on-disk artifact store.
+/// The "lifetime:" line is stable and greppable — CI parses it to assert
+/// a warmed cache actually served hits.
+fn cache_command(args: &Args) -> Result<(), String> {
+    let dir = mcc::cache::default_dir();
+    match args.positional.first().map(String::as_str) {
+        Some("stats") => {
+            let entries = if dir.is_dir() {
+                mcc::cache::DiskTier::open(&dir)
+                    .map(|t| t.len())
+                    .map_err(|e| format!("{}: {e}", dir.display()))?
+            } else {
+                0
+            };
+            let n = mcc::cache::read_stats(&dir);
+            let lookups = n.hits() + n.misses;
+            println!("cache directory: {}", dir.display());
+            println!(
+                "entries: {entries} ({} bytes on disk)",
+                mcc::cache::disk::log_bytes(&dir)
+            );
+            println!(
+                "lifetime: {} hits ({} memory + {} disk), {} misses, {} stores",
+                n.hits(),
+                n.hits_memory,
+                n.hits_disk,
+                n.misses,
+                n.stores
+            );
+            if lookups > 0 {
+                println!(
+                    "hit rate: {:.1}%",
+                    n.hits() as f64 / lookups as f64 * 100.0
+                );
+            }
+            Ok(())
+        }
+        Some("clear") => {
+            if dir.is_dir() {
+                std::fs::remove_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+                println!("cleared {}", dir.display());
+            } else {
+                println!("{} does not exist; nothing to clear", dir.display());
+            }
+            Ok(())
+        }
+        _ => Err("cache: expected `stats` or `clear`".to_string()),
+    }
+}
+
 fn main() -> ExitCode {
     let Some(args) = parse_args() else {
         return usage();
     };
+    if args.no_cache {
+        mcc::cache::set_enabled(false);
+    }
+    // Attach the disk tier for the commands that compile. Failure to open
+    // the store is never fatal — the in-memory tier still works.
+    if matches!(
+        args.command.as_str(),
+        "compile" | "disasm" | "encode" | "run" | "campaign"
+    ) && mcc::cache::enabled()
+    {
+        if let Err(e) = mcc::cache::attach_default_disk() {
+            eprintln!("mcc: disk cache unavailable ({e}); continuing in-memory");
+        }
+    }
     let result = match args.command.as_str() {
         "machines" => {
             for m in mcc::machine::machines::all() {
@@ -507,6 +588,7 @@ fn main() -> ExitCode {
             Ok(())
         }),
         "campaign" => campaign_command(&args),
+        "cache" => cache_command(&args),
         "fuzz" => {
             return match fuzz_command(&args) {
                 Ok(true) => ExitCode::SUCCESS,
@@ -523,6 +605,7 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command `{other}`")),
     };
+    mcc::cache::flush_global_stats();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

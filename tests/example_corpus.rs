@@ -1,0 +1,146 @@
+//! The paper-example corpus: every program source under `examples/`
+//! (SIMPL `.sim`, EMPL `.emp`, S* `.ss`, YALLL `.yll`) compiles — through
+//! the compilation cache, like every other entry point — simulates to a
+//! halt, and lands in exactly the expected final machine state.
+//!
+//! The manifest below is authoritative in both directions: a corpus file
+//! without an entry fails the test (new example programs must be pinned
+//! when added), and an entry without a file fails too (the corpus cannot
+//! silently shrink).
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use mcc::core::{Compiler, SourceLang};
+use mcc::machine::machines::hm1;
+use mcc::sim::SimOptions;
+
+/// What to assert after the program halts: named language-level symbols
+/// (registers or memory cells the artifact's symbol maps expose) and raw
+/// machine registers (SIMPL operates on machine registers directly and
+/// exports no symbols).
+struct Expect {
+    file: &'static str,
+    symbols: &'static [(&'static str, u64)],
+    registers: &'static [(&'static str, u64)],
+}
+
+const MANIFEST: &[Expect] = &[
+    Expect {
+        // Euclid's gcd(252, 105) from the README quickstart.
+        file: "gcd.yll",
+        symbols: &[("a", 21), ("b", 0), ("t", 0)],
+        registers: &[],
+    },
+    Expect {
+        // 5+4+3+2+1 with a counted-down loop.
+        file: "countdown.yll",
+        symbols: &[("a", 0), ("t", 15)],
+        registers: &[],
+    },
+    Expect {
+        // Accumulate 1..5 with a SIMPL for loop.
+        file: "sum_loop.sim",
+        symbols: &[],
+        registers: &[("R2", 15)],
+    },
+    Expect {
+        // §2.2.1 floating-point multiply, operands 0x4248 × 0x3E00;
+        // the expected packed result follows the Rust reference model
+        // in tests/paper_examples.rs.
+        file: "fp_multiply.sim",
+        symbols: &[],
+        registers: &[("R3", 0x7E48)],
+    },
+    Expect {
+        // §2.2.2 EMPL stack extension type: push/pop round-trips 6*7.
+        file: "stack.emp",
+        symbols: &[
+            ("X", 6),
+            ("Y", 7),
+            ("Z", 42),
+            ("ERROR", 0),
+            ("ADDRESS_STK.STKPTR", 0),
+        ],
+        registers: &[],
+    },
+    Expect {
+        // EMPL fixed-point array indexing read back through a scalar.
+        file: "array.emp",
+        symbols: &[("I", 7), ("ERROR", 0)],
+        registers: &[],
+    },
+    Expect {
+        // §2.2.3 S* multiply by repeated addition: 6 × 7 = 42, with the
+        // multiplier counted down to zero and no assertion failures.
+        file: "mpy.ss",
+        symbols: &[("product", 42), ("mpr", 0), ("mpnd", 7), ("ASSERT", 0)],
+        registers: &[],
+    },
+    Expect {
+        // Smallest S* program with a WP-verified assertion.
+        file: "assign.ss",
+        symbols: &[("x", 3), ("ASSERT", 0)],
+        registers: &[],
+    },
+];
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples")
+}
+
+#[test]
+fn every_example_program_reaches_its_expected_state() {
+    let m = hm1();
+    let compiler = Compiler::new(m.clone());
+
+    for e in MANIFEST {
+        let path = corpus_dir().join(e.file);
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|err| panic!("{}: {err}", path.display()));
+        let ext = e.file.rsplit('.').next().unwrap();
+        let lang = SourceLang::from_name(ext)
+            .unwrap_or_else(|| panic!("{}: unknown extension", e.file));
+
+        let art = mcc::cache::compile_cached(&compiler, lang, &src, mcc::cache::Persist::Memory)
+            .unwrap_or_else(|err| panic!("{}: {err}", e.file));
+        let mut sim = art.simulator();
+        sim.run(&SimOptions::default())
+            .unwrap_or_else(|err| panic!("{}: simulation failed: {err}", e.file));
+
+        for &(name, want) in e.symbols {
+            let got = art
+                .read_symbol(&sim, name)
+                .unwrap_or_else(|| panic!("{}: no symbol `{name}`", e.file));
+            assert_eq!(got, want, "{}: symbol `{name}`", e.file);
+        }
+        for &(name, want) in e.registers {
+            let r = m
+                .resolve_reg_name(name)
+                .unwrap_or_else(|| panic!("{}: no register `{name}` on {}", e.file, m.name));
+            assert_eq!(sim.reg(r), want, "{}: register {name}", e.file);
+        }
+    }
+}
+
+/// The manifest and the directory must agree exactly.
+#[test]
+fn corpus_and_manifest_cover_each_other() {
+    let on_disk: BTreeSet<String> = std::fs::read_dir(corpus_dir())
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| {
+            matches!(
+                n.rsplit('.').next(),
+                Some("sim") | Some("emp") | Some("ss") | Some("yll")
+            )
+        })
+        .collect();
+    let in_manifest: BTreeSet<String> =
+        MANIFEST.iter().map(|e| e.file.to_string()).collect();
+    assert_eq!(
+        on_disk, in_manifest,
+        "examples/ and the corpus manifest disagree: add new programs to \
+         the manifest with their expected final state"
+    );
+}

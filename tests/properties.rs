@@ -441,3 +441,81 @@ proptest! {
         }
     }
 }
+
+/// Named replays of every `cc` seed committed in
+/// `tests/properties.proptest-regressions`.
+///
+/// The vendored proptest stub (see `vendor/proptest/src/lib.rs`) does
+/// **not** read regressions files, so each saved failure case is pinned
+/// here as an ordinary unit test on its recorded shrunk input, exercising
+/// the same cross-algorithm / cross-machine agreement the original
+/// property asserted. `regressions_file_is_fully_pinned` fails whenever a
+/// new `cc` line lands without a matching named test.
+mod regressions {
+    use super::*;
+
+    /// The agreement checks of `compaction_preserves_semantics` and
+    /// `machines_agree_on_semantics`, on one concrete op vector.
+    fn assert_semantics_agree(ops: &[GenOp]) {
+        let m = hm1();
+        let reference = run_regs(&m, build(&m, ops), Algorithm::Linear, ConflictModel::Coarse);
+        for algo in Algorithm::ALL {
+            for model in [ConflictModel::Coarse, ConflictModel::Fine] {
+                let got = run_regs(&m, build(&m, ops), algo, model);
+                assert_eq!(got, reference, "{} / {model:?}", algo.name());
+            }
+        }
+        let v = run_regs(&vm1(), build(&vm1(), ops), Algorithm::CriticalPath, ConflictModel::Fine);
+        assert_eq!(v, reference, "vm1 diverges from hm1");
+    }
+
+    /// cc e0dc8d20… — an ALU op whose dead result was overwritten by an
+    /// immediate load reordered above it.
+    #[test]
+    fn cc_e0dc8d20_alu_then_ldi_reorder() {
+        assert_semantics_agree(&[
+            GenOp::Alu { op: 0, d: 0, a: 0, b: 0 },
+            GenOp::Ldi { d: 1, v: 0 },
+        ]);
+    }
+
+    /// cc 7d911b03… — a shift whose op code folds to `Sar` (52 % 5 = 2);
+    /// sign-extension behaviour differed across machines.
+    #[test]
+    fn cc_7d911b03_sar_by_zero() {
+        assert_semantics_agree(&[GenOp::Shift { op: 52, d: 0, a: 0, n: 0 }]);
+    }
+
+    /// cc a1481d30… — a move web with one register written three times;
+    /// copy coalescing collapsed two distinct values.
+    #[test]
+    fn cc_a1481d30_move_web_coalescing() {
+        assert_semantics_agree(&[
+            GenOp::Mov { d: 5, s: 0 },
+            GenOp::Mov { d: 5, s: 2 },
+            GenOp::Mov { d: 4, s: 1 },
+            GenOp::Alu { op: 0, d: 1, a: 0, b: 0 },
+            GenOp::AluImm { op: 0, d: 0, a: 0, v: 0 },
+            GenOp::Alu { op: 0, d: 0, a: 0, b: 0 },
+            GenOp::Mov { d: 1, s: 5 },
+        ]);
+    }
+
+    /// Every `cc` line in the committed regressions file has a named
+    /// replay above. The count is the contract: saving a new failure case
+    /// without pinning it here fails this test, because the proptest stub
+    /// will never replay the file itself.
+    #[test]
+    fn regressions_file_is_fully_pinned() {
+        const NAMED_REPLAYS: usize = 3;
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/properties.proptest-regressions");
+        let text = std::fs::read_to_string(path)
+            .expect("tests/properties.proptest-regressions must stay committed");
+        let cc_lines = text.lines().filter(|l| l.starts_with("cc ")).count();
+        assert_eq!(
+            cc_lines, NAMED_REPLAYS,
+            "regressions file has {cc_lines} `cc` seeds but {NAMED_REPLAYS} named \
+             replays; add a unit test for the new shrunk case"
+        );
+    }
+}
