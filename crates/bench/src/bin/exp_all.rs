@@ -33,8 +33,25 @@ fn env_num<T: std::str::FromStr>(name: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
+/// The worker count from `EXP_ALL_JOBS`: unset falls back to the
+/// default, but a malformed or zero value is a hard error — silently
+/// running an expensive batch on the wrong worker count (or deadlocking
+/// on an empty pool) is worse than stopping.
+fn jobs_from_env(default: usize) -> usize {
+    match std::env::var("EXP_ALL_JOBS") {
+        Err(_) => default,
+        Ok(v) => match v.parse() {
+            Ok(0) | Err(_) => {
+                eprintln!("exp_all: EXP_ALL_JOBS must be a positive number, got `{v}`");
+                std::process::exit(2);
+            }
+            Ok(n) => n,
+        },
+    }
+}
+
 fn main() {
-    let mut workers: usize = env_num("EXP_ALL_JOBS", 4);
+    let mut workers: usize = jobs_from_env(4);
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -43,6 +60,10 @@ fn main() {
                     eprintln!("exp_all: --jobs needs a number");
                     std::process::exit(2);
                 });
+                if workers == 0 {
+                    eprintln!("exp_all: --jobs must be at least 1 (got 0)");
+                    std::process::exit(2);
+                }
             }
             "--no-cache" => mcc_cache::set_enabled(false),
             other => {

@@ -9,6 +9,7 @@ pub mod experiments;
 pub mod handwritten;
 pub mod kernels;
 pub mod macrointerp;
+pub mod serveload;
 
 /// Attaches the shared on-disk compilation cache for an `exp_*` binary.
 /// Failure to open the store is a warning, never an error — the

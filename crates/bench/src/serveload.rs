@@ -1,0 +1,372 @@
+//! The `mcc bench-serve` closed-loop load generator.
+//!
+//! Drives an in-process [`mcc_serve::Server`] with a seeded, paced burst
+//! and separates its output by determinism:
+//!
+//! * **stdout** carries only what is a pure function of `(seed, rps,
+//!   duration)` — the scheduled request mix per corpus entry, the
+//!   canonical tier-0 checksums, and the accounting invariants
+//!   (`responses == requests`, `dropped == 0`, checksum conformance).
+//!   It is byte-identical across `--clients` and worker counts, which is
+//!   what CI diffs.
+//! * **stderr and `BENCH_serve.json`** carry the timing-dependent
+//!   numbers: the code histogram, shed/degrade counts, latency
+//!   percentiles, and throughput.
+//!
+//! Every request appends a distinct YALLL comment line (`; nonce k`), so
+//! the content-addressed cache sees a fresh key and every request costs a
+//! real compile — that is what fills the queue and exercises the shedding
+//! tiers — while the *artifact* (and therefore the checksum) stays
+//! identical per `(kernel, machine, tier)`, because comments never reach
+//! the parser.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mcc_machine::machines;
+use mcc_serve::{proto::Response, ServeConfig, Server};
+
+use crate::kernels::{self, Lang};
+
+/// Load-generator tuning (the `bench-serve` CLI flags).
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Closed-loop client threads.
+    pub clients: usize,
+    /// Paced request rate, requests/second (global, not per client).
+    pub rps: u64,
+    /// Length of the schedule; total requests = `rps × duration / 1000`.
+    pub duration_ms: u64,
+    /// Seed for the request mix.
+    pub seed: u64,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Server admission bound.
+    pub queue_bound: usize,
+    /// Where to write the JSON report (empty = skip).
+    pub json_path: String,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            clients: 8,
+            rps: 200,
+            duration_ms: 2_000,
+            seed: 42,
+            workers: 2,
+            queue_bound: 8,
+            json_path: "BENCH_serve.json".to_string(),
+        }
+    }
+}
+
+/// One corpus entry: a YALLL kernel rendered for one reference machine.
+struct Entry {
+    kernel: &'static str,
+    machine: &'static str,
+    src: String,
+}
+
+/// The bench corpus: every YALLL kernel of the shared suite on every
+/// reference machine. (YALLL only, because its `;` comments carry the
+/// cache-defeating nonce without touching the parsed program.)
+fn corpus() -> Vec<Entry> {
+    let mut out = Vec::new();
+    for m in machines::all() {
+        for k in kernels::suite() {
+            if k.lang == Lang::Yalll {
+                out.push(Entry {
+                    kernel: k.name,
+                    machine: leak_name(&m.name),
+                    src: (k.source)(&m),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Machine names in the suite are `String`s on the descriptor; the bench
+/// table wants `&'static str`. The corpus is built once per process.
+fn leak_name(name: &str) -> &'static str {
+    Box::leak(name.to_string().into_boxed_str())
+}
+
+/// SplitMix64: the toolkit's standard seedable mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Which corpus entry request `k` compiles — a pure function of the seed.
+fn pick(seed: u64, k: usize, n: usize) -> usize {
+    (splitmix64(seed ^ (k as u64).wrapping_mul(0x2545_F491_4F6C_DD1D)) % n as u64) as usize
+}
+
+/// One client's observation of one request.
+struct Sample {
+    entry: usize,
+    code: u16,
+    tier: u64,
+    checksum: String,
+    micros: u64,
+}
+
+/// Runs the load, prints the deterministic table to stdout and the
+/// timing table to stderr, writes the JSON report. Returns `Err` with a
+/// diagnostic when an invariant breaks (a dropped response or a checksum
+/// nonconformance) — the caller turns that into a nonzero exit.
+///
+/// # Errors
+///
+/// Invariant violations and JSON-report I/O errors.
+pub fn run(cfg: &LoadConfig) -> Result<(), String> {
+    let entries = corpus();
+    let total = usize::try_from(cfg.rps * cfg.duration_ms / 1000).unwrap_or(usize::MAX).max(1);
+
+    let server = Arc::new(Server::start(ServeConfig {
+        workers: cfg.workers,
+        queue_bound: cfg.queue_bound,
+        ..ServeConfig::default()
+    }));
+
+    // Warm-up: one unloaded tier-0 compile per corpus entry pins the
+    // canonical checksum every burst response is checked against.
+    // Nonces beyond the burst range keep these cache keys distinct too.
+    let mut canonical: Vec<String> = Vec::with_capacity(entries.len());
+    for (i, e) in entries.iter().enumerate() {
+        let line = proto_line(e, total + i, "warm");
+        let r = server.handle_line(&line, "warmup");
+        if r.code != 200 {
+            return Err(format!(
+                "warm-up compile failed for {}/{}: {}",
+                e.kernel,
+                e.machine,
+                r.to_line().trim_end()
+            ));
+        }
+        let rendered = r.to_line();
+        canonical.push(Response::field_str(&rendered, "checksum").unwrap_or_default());
+    }
+
+    // The paced burst: `clients` closed-loop threads share one global
+    // request index; request k launches no earlier than k/rps seconds in.
+    let next = Arc::new(AtomicUsize::new(0));
+    let entries = Arc::new(entries);
+    let start = Instant::now();
+    let mut clients = Vec::new();
+    for c in 0..cfg.clients.max(1) {
+        let server = Arc::clone(&server);
+        let next = Arc::clone(&next);
+        let entries = Arc::clone(&entries);
+        let (seed, rps) = (cfg.seed, cfg.rps);
+        clients.push(std::thread::spawn(move || {
+            let mut samples = Vec::new();
+            loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= total {
+                    break;
+                }
+                let due = Duration::from_micros(k as u64 * 1_000_000 / rps.max(1));
+                if let Some(wait) = due.checked_sub(start.elapsed()) {
+                    std::thread::sleep(wait);
+                }
+                let entry = pick(seed, k, entries.len());
+                let line = proto_line(&entries[entry], k, &format!("client{c}"));
+                let sent = Instant::now();
+                let r = server.handle_line(&line, &format!("client{c}"));
+                let rendered = r.to_line();
+                samples.push(Sample {
+                    entry,
+                    code: r.code,
+                    tier: Response::field_num(&rendered, "tier").unwrap_or(0),
+                    checksum: Response::field_str(&rendered, "checksum").unwrap_or_default(),
+                    micros: sent.elapsed().as_micros() as u64,
+                });
+            }
+            samples
+        }));
+    }
+    let mut samples: Vec<Sample> = Vec::with_capacity(total);
+    for c in clients {
+        samples.extend(c.join().expect("client thread"));
+    }
+    let elapsed = start.elapsed();
+    server.drain();
+
+    // ---- invariants (deterministic; stdout) ----
+    let responses = samples.len();
+    let dropped = total - responses;
+    // Conformance: per (entry, tier) every 200's checksum must agree,
+    // and at tier 0 it must equal the warm-up canon — the cache and the
+    // shedding tiers must be invisible to correctness.
+    let mut conforms = true;
+    let mut tiered: std::collections::HashMap<(usize, u64), &str> =
+        std::collections::HashMap::new();
+    for s in samples.iter().filter(|s| s.code == 200) {
+        let expect = if s.tier == 0 {
+            canonical[s.entry].as_str()
+        } else {
+            tiered.entry((s.entry, s.tier)).or_insert(s.checksum.as_str())
+        };
+        if s.checksum != expect {
+            conforms = false;
+        }
+    }
+
+    let mut scheduled = vec![0u64; entries.len()];
+    for k in 0..total {
+        scheduled[pick(cfg.seed, k, entries.len())] += 1;
+    }
+    println!(
+        "bench-serve seed={} rps={} duration_ms={} requests={} corpus={}",
+        cfg.seed,
+        cfg.rps,
+        cfg.duration_ms,
+        total,
+        entries.len()
+    );
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            vec![
+                e.kernel.to_string(),
+                e.machine.to_string(),
+                scheduled[i].to_string(),
+                canonical[i].clone(),
+            ]
+        })
+        .collect();
+    crate::print_table(&["kernel", "machine", "scheduled", "checksum"], &rows);
+    println!(
+        "responses={responses} dropped={dropped} conformance={}",
+        if conforms { "ok" } else { "VIOLATED" }
+    );
+
+    // ---- timing-dependent numbers (stderr + JSON) ----
+    let count = |code: u16| samples.iter().filter(|s| s.code == code).count() as u64;
+    let (n200, n429, n500, n503, n504) =
+        (count(200), count(429), count(500), count(503), count(504));
+    let n400 = count(400);
+    let degraded = samples.iter().filter(|s| s.code == 200 && s.tier > 0).count() as u64;
+    let mut lat: Vec<u64> = samples.iter().map(|s| s.micros).collect();
+    lat.sort_unstable();
+    let pct = |p: usize| lat.get(lat.len().saturating_sub(1) * p / 100).copied().unwrap_or(0);
+    let (p50, p95, p99, pmax) = (pct(50), pct(95), pct(99), lat.last().copied().unwrap_or(0));
+    let elapsed_ms = elapsed.as_millis() as u64;
+    let throughput = (responses as u64 * 1000).checked_div(elapsed_ms).unwrap_or(0);
+    let shed_permille = n503 * 1000 / total.max(1) as u64;
+    eprintln!(
+        "bench-serve timing: clients={} workers={} bound={} elapsed_ms={elapsed_ms} \
+         ok={n200} err400={n400} rate429={n429} panic500={n500} shed503={n503} deadline504={n504} \
+         degraded={degraded} p50us={p50} p95us={p95} p99us={p99} maxus={pmax} \
+         throughput_rps={throughput} shed_permille={shed_permille}",
+        cfg.clients, cfg.workers, cfg.queue_bound
+    );
+
+    if !cfg.json_path.is_empty() {
+        let json = format!(
+            "{{\"bench\":\"serve\",\"seed\":{},\"rps\":{},\"duration_ms\":{},\"clients\":{},\
+             \"workers\":{},\"queue_bound\":{},\"requests\":{},\"responses\":{},\"dropped\":{},\
+             \"ok\":{n200},\"compile_errors\":{n400},\"rate_limited\":{n429},\"panics\":{n500},\
+             \"shed\":{n503},\"deadline_expired\":{n504},\"degraded\":{degraded},\
+             \"p50_us\":{p50},\"p95_us\":{p95},\"p99_us\":{p99},\"max_us\":{pmax},\
+             \"elapsed_ms\":{elapsed_ms},\"throughput_rps\":{throughput},\
+             \"shed_permille\":{shed_permille},\"conformance\":\"{}\"}}\n",
+            cfg.seed,
+            cfg.rps,
+            cfg.duration_ms,
+            cfg.clients,
+            cfg.workers,
+            cfg.queue_bound,
+            total,
+            responses,
+            dropped,
+            if conforms { "ok" } else { "violated" }
+        );
+        // The report must parse back under the toolkit's own reader.
+        debug_assert!(mcc_harness::json::parse_object(json.trim_end()).is_some());
+        std::fs::File::create(&cfg.json_path)
+            .and_then(|mut f| f.write_all(json.as_bytes()))
+            .map_err(|e| format!("writing {}: {e}", cfg.json_path))?;
+    }
+
+    if dropped != 0 {
+        return Err(format!("{dropped} requests got no response"));
+    }
+    if !conforms {
+        return Err("checksum conformance violated".to_string());
+    }
+    Ok(())
+}
+
+/// Renders the wire frame for request `k` of a corpus entry. The nonce
+/// comment defeats the cache key without changing the compiled program.
+fn proto_line(e: &Entry, k: usize, id_prefix: &str) -> String {
+    let src = format!("{}; nonce {k}\n", e.src);
+    mcc_serve::proto::compile_line(&format!("{id_prefix}-{k}"), e.machine, "yalll", &src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_nonempty_and_all_yalll_machines() {
+        let c = corpus();
+        assert!(c.len() >= 8, "4 yalll kernels x 4 machines expected, got {}", c.len());
+        let machines: std::collections::HashSet<_> = c.iter().map(|e| e.machine).collect();
+        assert_eq!(machines.len(), 4);
+    }
+
+    #[test]
+    fn pick_is_deterministic_and_in_range() {
+        for k in 0..1000 {
+            assert_eq!(pick(7, k, 16), pick(7, k, 16));
+            assert!(pick(7, k, 16) < 16);
+        }
+        assert_ne!(
+            (0..64).map(|k| pick(1, k, 16)).collect::<Vec<_>>(),
+            (0..64).map(|k| pick(2, k, 16)).collect::<Vec<_>>(),
+            "different seeds give different schedules"
+        );
+    }
+
+    #[test]
+    fn nonce_comment_compiles_to_the_same_artifact() {
+        let m = machines::by_name("hm1").unwrap();
+        let k = kernels::suite().into_iter().find(|k| k.lang == Lang::Yalll).unwrap();
+        let src = (k.source)(&m);
+        let c = mcc_core::Compiler::new(m);
+        let a = c.compile_contained(mcc_core::SourceLang::Yalll, &src).unwrap();
+        let b = c
+            .compile_contained(mcc_core::SourceLang::Yalll, &format!("{src}; nonce 99\n"))
+            .unwrap();
+        assert_eq!(
+            mcc_cache::serialize_artifact(&a),
+            mcc_cache::serialize_artifact(&b),
+            "a nonce comment must be invisible to the artifact"
+        );
+    }
+
+    #[test]
+    fn tiny_run_is_clean_and_deterministic_on_stdout_invariants() {
+        let cfg = LoadConfig {
+            clients: 3,
+            rps: 400,
+            duration_ms: 250,
+            seed: 7,
+            workers: 2,
+            queue_bound: 4,
+            json_path: String::new(),
+        };
+        run(&cfg).expect("tiny bench run upholds its invariants");
+    }
+}

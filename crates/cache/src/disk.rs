@@ -18,15 +18,27 @@
 //! reset), so format or version bumps self-evict.
 //!
 //! `.mcc-cache/stats.log` accumulates per-process counter deltas
-//! (`S <hits_mem> <hits_disk> <misses> <stores> <sum:016x>`) so
-//! `mcc cache stats` can report lifetime hit rates across processes;
-//! torn or corrupt stats lines are simply skipped.
+//! (`S <hits_mem> <hits_disk> <misses> <stores> <evictions> <sum:016x>`;
+//! older four-field records still parse) so `mcc cache stats` can report
+//! lifetime hit rates across processes; torn or corrupt stats lines are
+//! simply skipped.
+//!
+//! The store is **bounded**: a configurable byte cap
+//! (`MCC_CACHE_MAX_BYTES`, default 256 MiB, `0` = unbounded) triggers
+//! oldest-first eviction on insert. Eviction re-scans the log under the
+//! directory's advisory lock ([`crate::lock`]) — so records appended by
+//! concurrent processes are aged out, not silently lost — drops records
+//! from the front (append order *is* age order), and atomically replaces
+//! the log via a tmp-file rename. Cross-process writers take the same
+//! lock around every append, closing the torn-counter interleaving that
+//! unlocked concurrent `exp_all --jobs N` runs could produce.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use crate::lock::ExclusiveLock;
 use crate::{toolkit_salt, CacheKey, Counters};
 
 /// 64-bit FNV-1a — the same function, with the same parameters, as the
@@ -42,24 +54,99 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 
 const CACHE_LOG: &str = "cache.log";
 const STATS_LOG: &str = "stats.log";
+const LOCK_FILE: &str = "lock";
+
+/// Default byte cap for the artifact log when `MCC_CACHE_MAX_BYTES` is
+/// unset.
+pub const DEFAULT_MAX_BYTES: u64 = 256 * 1024 * 1024;
+
+/// The configured byte cap: `MCC_CACHE_MAX_BYTES` (`0` = unbounded,
+/// malformed values fall back to the default), else
+/// [`DEFAULT_MAX_BYTES`].
+pub fn configured_cap() -> Option<u64> {
+    match std::env::var("MCC_CACHE_MAX_BYTES") {
+        Ok(v) if !v.is_empty() => match v.parse::<u64>() {
+            Ok(0) => None,
+            Ok(n) => Some(n),
+            Err(_) => Some(DEFAULT_MAX_BYTES),
+        },
+        _ => Some(DEFAULT_MAX_BYTES),
+    }
+}
+
+/// Renders one artifact record line (checksummed, newline-terminated).
+fn record_line(key: u128, payload: &str) -> String {
+    let body = format!("{key:032x} {payload}");
+    format!("A {body} {:016x}\n", fnv1a(body.as_bytes()))
+}
+
+/// Walks log `text` from the top: returns the records of the valid
+/// prefix in append (= age) order and the prefix's byte length. Stops at
+/// the first torn, corrupt, or unparsable line, exactly like the
+/// journal.
+fn scan_records(text: &str, header: &str) -> (Vec<(u128, String)>, usize) {
+    let mut records = Vec::new();
+    let mut valid = 0usize;
+    if let Some(rest) = text.strip_prefix(header) {
+        valid = header.len();
+        for line in rest.split_inclusive('\n') {
+            if !line.ends_with('\n') {
+                break; // torn tail
+            }
+            let Some(rec) = parse_record(&line[..line.len() - 1]) else {
+                break; // corrupt record: truncate from here
+            };
+            records.push(rec);
+            valid += line.len();
+        }
+    }
+    (records, valid)
+}
 
 /// The artifact store under one cache directory.
 pub struct DiskTier {
     dir: PathBuf,
     log: File,
+    /// The advisory cross-process lock, a stable-inode file in the cache
+    /// directory (locking `cache.log` itself would break across the
+    /// eviction rename).
+    lockfile: File,
     index: HashMap<u128, String>,
+    /// Live keys in append order — the eviction queue, oldest first.
+    order: VecDeque<u128>,
+    /// Byte cap for `cache.log`; `None` = unbounded.
+    cap: Option<u64>,
+    /// Records evicted (or refused) by the cap since open.
+    evictions: u64,
 }
 
 impl DiskTier {
-    /// Opens (creating if necessary) the store under `dir`, recovering
-    /// from a torn tail by truncating to the last valid record.
+    /// Opens (creating if necessary) the store under `dir` with the
+    /// environment-configured byte cap, recovering from a torn tail by
+    /// truncating to the last valid record.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors; corruption is never an error, only
     /// truncation.
     pub fn open(dir: &Path) -> io::Result<DiskTier> {
+        Self::open_with_cap(dir, configured_cap())
+    }
+
+    /// Opens the store with an explicit byte cap (`None` = unbounded).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; corruption is never an error, only
+    /// truncation.
+    pub fn open_with_cap(dir: &Path, cap: Option<u64>) -> io::Result<DiskTier> {
         std::fs::create_dir_all(dir)?;
+        let lockfile = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(dir.join(LOCK_FILE))?;
+        let _guard = ExclusiveLock::acquire(&lockfile);
         let path = dir.join(CACHE_LOG);
         let mut log = OpenOptions::new()
             .read(true)
@@ -77,22 +164,12 @@ impl DiskTier {
         }
 
         let header = format!("H {}\n", toolkit_salt());
+        let (records, valid) = scan_records(&text, &header);
         let mut index = HashMap::new();
-        let mut valid = 0usize;
-
-        if let Some(rest) = text.strip_prefix(&header) {
-            valid = header.len();
-            let mut offset = valid;
-            for line in rest.split_inclusive('\n') {
-                if !line.ends_with('\n') {
-                    break; // torn tail
-                }
-                let Some((key, payload)) = parse_record(&line[..line.len() - 1]) else {
-                    break; // corrupt record: truncate from here
-                };
-                index.insert(key, payload);
-                offset += line.len();
-                valid = offset;
+        let mut order = VecDeque::new();
+        for (key, payload) in records {
+            if index.insert(key, payload).is_none() {
+                order.push_back(key);
             }
         }
 
@@ -103,15 +180,21 @@ impl DiskTier {
                 log.seek(SeekFrom::Start(0))?;
                 log.write_all(header.as_bytes())?;
                 index.clear();
+                order.clear();
             }
             log.sync_data()?;
         }
         log.seek(SeekFrom::End(0))?;
 
+        drop(_guard);
         Ok(DiskTier {
             dir: dir.to_path_buf(),
             log,
+            lockfile,
             index,
+            order,
+            cap,
+            evictions: 0,
         })
     }
 
@@ -130,12 +213,25 @@ impl DiskTier {
         &self.dir
     }
 
+    /// The configured byte cap (`None` = unbounded).
+    pub fn cap(&self) -> Option<u64> {
+        self.cap
+    }
+
+    /// Records evicted (or refused) by the byte cap since open.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
     /// Looks up a serialised artifact by content address.
     pub fn lookup(&self, key: CacheKey) -> Option<&String> {
         self.index.get(&key.0)
     }
 
-    /// Appends one record (idempotent per key) and fsyncs.
+    /// Appends one record (idempotent per key) and fsyncs, evicting
+    /// oldest-first when the byte cap would be exceeded. A record that
+    /// cannot fit even an empty log is refused (counted as an eviction)
+    /// rather than thrashing the store.
     ///
     /// # Errors
     ///
@@ -145,25 +241,108 @@ impl DiskTier {
         if self.index.contains_key(&key.0) {
             return Ok(());
         }
-        let body = format!("{:032x} {payload}", key.0);
-        let line = format!("A {body} {:016x}\n", fnv1a(body.as_bytes()));
+        let line = record_line(key.0, payload);
+        let header_len = format!("H {}\n", toolkit_salt()).len() as u64;
+        // Lock through a duplicated handle (same open file description,
+        // so the same flock) to leave `self` free for `evict_to_fit`.
+        let lockf = self.lockfile.try_clone()?;
+        let _guard = ExclusiveLock::acquire(&lockf);
+        if let Some(cap) = self.cap {
+            if header_len + line.len() as u64 > cap {
+                self.evictions += 1;
+                return Ok(());
+            }
+            // Seek reports the *real* size, which may exceed our view
+            // when other processes appended since open.
+            let size = self.log.seek(SeekFrom::End(0))?;
+            if size + line.len() as u64 > cap {
+                self.evict_to_fit(cap.saturating_sub(line.len() as u64))?;
+            }
+        } else {
+            // Append at the true end even if another process grew the
+            // file since our last write.
+            self.log.seek(SeekFrom::End(0))?;
+        }
         self.log.write_all(line.as_bytes())?;
         self.log.sync_data()?;
-        self.index.insert(key.0, payload.to_string());
+        if self.index.insert(key.0, payload.to_string()).is_none() {
+            self.order.push_back(key.0);
+        }
         Ok(())
     }
 
-    /// Appends one counter-delta record to the stats log and fsyncs.
+    /// Oldest-first eviction: re-scan the log under the lock (so records
+    /// appended by concurrent processes age out instead of vanishing),
+    /// drop records from the front until the rewritten log fits
+    /// `budget`, then atomically replace `cache.log` via a tmp-file
+    /// rename.
+    fn evict_to_fit(&mut self, budget: u64) -> io::Result<()> {
+        let header = format!("H {}\n", toolkit_salt());
+        self.log.seek(SeekFrom::Start(0))?;
+        let mut raw = Vec::new();
+        self.log.read_to_end(&mut raw)?;
+        let text = String::from_utf8(raw).unwrap_or_default();
+        let (records, _) = scan_records(&text, &header);
+
+        let mut keep: VecDeque<(u128, String)> = VecDeque::new();
+        let mut seen = std::collections::HashSet::new();
+        for (key, payload) in records {
+            if seen.insert(key) {
+                keep.push_back((key, payload));
+            }
+        }
+        let mut total = header.len() as u64
+            + keep
+                .iter()
+                .map(|(k, p)| record_line(*k, p).len() as u64)
+                .sum::<u64>();
+        while total > budget {
+            let Some((key, payload)) = keep.pop_front() else {
+                break;
+            };
+            total -= record_line(key, &payload).len() as u64;
+            self.index.remove(&key);
+            self.evictions += 1;
+        }
+        self.order.retain(|k| keep.iter().any(|(kk, _)| kk == k));
+
+        let tmp_path = self.dir.join(format!("{CACHE_LOG}.tmp-{}", std::process::id()));
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            tmp.write_all(header.as_bytes())?;
+            for (key, payload) in &keep {
+                tmp.write_all(record_line(*key, payload).as_bytes())?;
+            }
+            tmp.sync_data()?;
+        }
+        std::fs::rename(&tmp_path, self.dir.join(CACHE_LOG))?;
+
+        // Rebuild the in-memory view from what survived and reopen the
+        // handle onto the new inode, positioned for appends.
+        self.index = keep.iter().cloned().collect();
+        self.order = keep.iter().map(|(k, _)| *k).collect();
+        self.log = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(self.dir.join(CACHE_LOG))?;
+        self.log.seek(SeekFrom::End(0))?;
+        Ok(())
+    }
+
+    /// Appends one counter-delta record to the stats log and fsyncs,
+    /// under the directory's advisory lock so concurrent processes
+    /// cannot interleave torn deltas.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the append.
     pub fn append_stats(&self, delta: Counters) -> io::Result<()> {
         let body = format!(
-            "{} {} {} {}",
-            delta.hits_memory, delta.hits_disk, delta.misses, delta.stores
+            "{} {} {} {} {}",
+            delta.hits_memory, delta.hits_disk, delta.misses, delta.stores, delta.evictions
         );
         let line = format!("S {body} {:016x}\n", fnv1a(body.as_bytes()));
+        let _guard = ExclusiveLock::acquire(&self.lockfile);
         let mut f = OpenOptions::new()
             .append(true)
             .create(true)
@@ -210,20 +389,19 @@ pub fn read_stats(dir: &Path) -> Counters {
         {
             continue;
         }
-        let mut nums = body.split(' ').map(|n| n.parse::<u64>());
-        let (Some(Ok(hm)), Some(Ok(hd)), Some(Ok(mi)), Some(Ok(st)), None) = (
-            nums.next(),
-            nums.next(),
-            nums.next(),
-            nums.next(),
-            nums.next(),
-        ) else {
-            continue;
+        // Four numbers (pre-eviction format) or five.
+        let nums: Option<Vec<u64>> = body.split(' ').map(|n| n.parse::<u64>().ok()).collect();
+        let Some(nums) = nums else { continue };
+        let [hm, hd, mi, st, ev] = match nums[..] {
+            [hm, hd, mi, st] => [hm, hd, mi, st, 0],
+            [hm, hd, mi, st, ev] => [hm, hd, mi, st, ev],
+            _ => continue,
         };
         total.hits_memory += hm;
         total.hits_disk += hd;
         total.misses += mi;
         total.stores += st;
+        total.evictions += ev;
     }
     total
 }
@@ -334,27 +512,91 @@ mod tests {
             hits_disk: 2,
             misses: 3,
             stores: 4,
+            evictions: 5,
         })
         .unwrap();
         t.append_stats(Counters {
             hits_memory: 10,
-            hits_disk: 0,
-            misses: 0,
-            stores: 0,
+            ..Counters::default()
         })
         .unwrap();
+        // A four-field record from an older toolkit still parses.
+        let old_body = "2 0 0 1";
+        let old_line = format!("S {old_body} {:016x}\n", fnv1a(old_body.as_bytes()));
         // A torn stats line is skipped, not fatal.
         let mut f = OpenOptions::new()
             .append(true)
             .open(dir.join(STATS_LOG))
             .unwrap();
+        f.write_all(old_line.as_bytes()).unwrap();
         f.write_all(b"S 9 9 9").unwrap();
         drop(f);
         let s = read_stats(&dir);
         assert_eq!(
-            (s.hits_memory, s.hits_disk, s.misses, s.stores),
-            (11, 2, 3, 4)
+            (s.hits_memory, s.hits_disk, s.misses, s.stores, s.evictions),
+            (13, 2, 3, 5, 5)
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_cap_evicts_oldest_first() {
+        let dir = tmp("cap");
+        let payload = "x".repeat(64);
+        let line_len = record_line(0, &payload).len() as u64;
+        let header_len = format!("H {}\n", toolkit_salt()).len() as u64;
+        // Room for exactly three records.
+        let cap = header_len + 3 * line_len;
+        let mut t = DiskTier::open_with_cap(&dir, Some(cap)).unwrap();
+        for i in 1..=3u128 {
+            t.store(CacheKey(i), &payload).unwrap();
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.evictions(), 0);
+        // The fourth insert evicts the oldest record (key 1).
+        t.store(CacheKey(4), &payload).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.evictions(), 1);
+        assert!(t.lookup(CacheKey(1)).is_none(), "oldest evicted");
+        assert!(t.lookup(CacheKey(2)).is_some());
+        assert!(t.lookup(CacheKey(4)).is_some());
+        assert!(log_bytes(&dir) <= cap, "log never exceeds the cap");
+        drop(t);
+        // The rewritten log reopens cleanly with the survivors.
+        let t = DiskTier::open_with_cap(&dir, Some(cap)).unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(t.lookup(CacheKey(1)).is_none());
+        assert!(t.lookup(CacheKey(4)).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_record_is_refused_not_thrashed() {
+        let dir = tmp("oversize");
+        let header_len = format!("H {}\n", toolkit_salt()).len() as u64;
+        let cap = header_len + record_line(0, "small").len() as u64;
+        let mut t = DiskTier::open_with_cap(&dir, Some(cap)).unwrap();
+        t.store(CacheKey(1), "small").unwrap();
+        assert_eq!(t.len(), 1);
+        // A record too big for even an empty log is refused outright —
+        // it must not evict everything and still fail to fit.
+        t.store(CacheKey(2), &"y".repeat(512)).unwrap();
+        assert_eq!(t.len(), 1, "oversized record not stored");
+        assert!(t.lookup(CacheKey(1)).is_some(), "existing record survives");
+        assert!(t.lookup(CacheKey(2)).is_none());
+        assert_eq!(t.evictions(), 1, "refusal counted as an eviction");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unbounded_cap_never_evicts() {
+        let dir = tmp("unbounded");
+        let mut t = DiskTier::open_with_cap(&dir, None).unwrap();
+        for i in 0..64u128 {
+            t.store(CacheKey(i), &"z".repeat(128)).unwrap();
+        }
+        assert_eq!(t.len(), 64);
+        assert_eq!(t.evictions(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -35,9 +35,11 @@ use mcc_machine::{ConflictModel, MachineDesc};
 use mcc_regalloc::Strategy;
 
 pub mod disk;
+pub mod lock;
 pub mod serial;
 
 pub use disk::{read_stats, DiskTier};
+pub use lock::ExclusiveLock;
 pub use serial::{deserialize_artifact, serialize_artifact};
 
 /// Bump to invalidate every existing cache: the salt participates in
@@ -170,6 +172,8 @@ pub struct Counters {
     pub misses: u64,
     /// Artifacts stored after a miss (failed compiles are not stored).
     pub stores: u64,
+    /// Disk-tier records evicted (or refused) by the byte cap.
+    pub evictions: u64,
 }
 
 impl Counters {
@@ -274,13 +278,25 @@ impl Cache {
         Ok(art)
     }
 
-    /// Current counter values.
+    /// Current counter values. Disk-tier evictions are folded in when a
+    /// tier is attached.
     pub fn counters(&self) -> Counters {
+        let mut c = self.counters_unlocked();
+        if let Some(tier) = self.disk.lock().unwrap().as_ref() {
+            c.evictions = tier.evictions();
+        }
+        c
+    }
+
+    /// The atomic counters alone, without touching the disk mutex — for
+    /// callers (like [`Cache::flush_stats`]) that already hold it.
+    fn counters_unlocked(&self) -> Counters {
         Counters {
             hits_memory: self.hits_memory.load(Ordering::Relaxed),
             hits_disk: self.hits_disk.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
+            evictions: 0,
         }
     }
 
@@ -301,13 +317,19 @@ impl Cache {
         let Some(tier) = disk.as_mut() else {
             return Ok(());
         };
-        let now = self.counters();
+        // `counters()` would re-lock the disk mutex (not reentrant); read
+        // the tier's eviction count directly under the lock we hold.
+        let mut now = self.counters_unlocked();
+        now.evictions = tier.evictions();
         let mut flushed = self.flushed.lock().unwrap();
         let delta = Counters {
             hits_memory: now.hits_memory - flushed.hits_memory,
             hits_disk: now.hits_disk - flushed.hits_disk,
             misses: now.misses - flushed.misses,
             stores: now.stores - flushed.stores,
+            // Saturating: the eviction count restarts with each tier
+            // attach, unlike the process-monotonic atomics above.
+            evictions: now.evictions.saturating_sub(flushed.evictions),
         };
         if delta == Counters::default() {
             return Ok(());
@@ -349,6 +371,32 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
 }
 
+/// 0 = no override, 1 = force `Persist::Memory`, 2 = force
+/// `Persist::Disk`.
+static PERSIST_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Overrides the persist policy every [`compile_cached`] caller passes —
+/// the load-shedding hook: a saturated `mcc serve` forces
+/// [`Persist::Memory`] to take disk fsyncs off the critical path, and
+/// restores `None` when pressure clears.
+pub fn set_persist_override(p: Option<Persist>) {
+    let v = match p {
+        None => 0,
+        Some(Persist::Memory) => 1,
+        Some(Persist::Disk) => 2,
+    };
+    PERSIST_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// The active persist override, if any.
+pub fn persist_override() -> Option<Persist> {
+    match PERSIST_OVERRIDE.load(Ordering::Relaxed) {
+        1 => Some(Persist::Memory),
+        2 => Some(Persist::Disk),
+        _ => None,
+    }
+}
+
 /// The default on-disk tier location: `MCC_CACHE_DIR` or `.mcc-cache`.
 pub fn default_dir() -> PathBuf {
     match std::env::var("MCC_CACHE_DIR") {
@@ -387,6 +435,7 @@ pub fn compile_cached(
     if !enabled() {
         return compiler.compile_contained(lang, src);
     }
+    let persist = persist_override().unwrap_or(persist);
     global().compile(compiler, lang, src, persist)
 }
 

@@ -83,6 +83,23 @@ pub const BB_MAX_OPS: usize = 14;
 /// not a timeout), so the same input degrades the same way everywhere.
 pub const BB_DEFAULT_BUDGET: u64 = 2_000_000;
 
+/// Floor for pressure-scaled budgets: enough nodes to solve small blocks
+/// exactly, tiny enough to bound worst-case latency under load.
+pub const BB_MIN_BUDGET: u64 = 1_000;
+
+/// Scales an exact-search node budget for a load-shedding pressure tier:
+/// tier 0 is the base budget, and each higher tier divides it by 8 —
+/// enforcing the survey's observation that compaction effort is the
+/// right first thing to trade for latency, since every stage of the
+/// degradation chain still emits correct code. Never drops below
+/// [`BB_MIN_BUDGET`], and saturates at tier 4.
+pub fn budget_for_pressure(base: u64, tier: u8) -> u64 {
+    if tier == 0 {
+        return base;
+    }
+    (base >> (3 * u32::from(tier.min(4)))).max(BB_MIN_BUDGET)
+}
+
 /// Result of compacting one basic block.
 #[derive(Debug, Clone)]
 pub struct Compaction {
@@ -789,5 +806,20 @@ mod tests {
         );
         let c = compact(&m, &ops, Algorithm::CriticalPath, ConflictModel::Coarse);
         assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn pressure_budget_scales_monotonically_and_floors() {
+        assert_eq!(budget_for_pressure(BB_DEFAULT_BUDGET, 0), BB_DEFAULT_BUDGET);
+        let mut prev = BB_DEFAULT_BUDGET;
+        for tier in 1..=6u8 {
+            let b = budget_for_pressure(BB_DEFAULT_BUDGET, tier);
+            assert!(b <= prev, "tier {tier} must not raise the budget");
+            assert!(b >= BB_MIN_BUDGET);
+            prev = b;
+        }
+        // Deep tiers saturate at the floor rather than reaching zero.
+        assert_eq!(budget_for_pressure(BB_DEFAULT_BUDGET, 6), BB_MIN_BUDGET);
+        assert_eq!(budget_for_pressure(0, 3), BB_MIN_BUDGET);
     }
 }

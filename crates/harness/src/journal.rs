@@ -11,10 +11,11 @@
 //! is a pure replay: recovered `ok`/`failed`/`skipped` records are final,
 //! and only jobs absent from the journal execute.
 
-use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+
+use crate::json::{esc, get_num, get_str, parse_object, Val};
 
 /// Journal format version; bumped on any incompatible record change.
 pub const JOURNAL_VERSION: u64 = 1;
@@ -122,22 +123,6 @@ impl From<std::io::Error> for JournalError {
 
 // ------------------------------------------------------------ encoding ----
 
-fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 /// Seals a record body (a JSON object *without* the `sum` field) by
 /// splicing in `"sum"` over the body's FNV, producing the journal line.
 fn seal(body: String) -> String {
@@ -180,160 +165,6 @@ fn record_body(r: &JobRecord) -> String {
 }
 
 // ------------------------------------------------------------- parsing ----
-
-/// A value in the journal's JSON subset.
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Val {
-    Str(String),
-    Num(u64),
-    Arr(Vec<String>),
-}
-
-struct P<'a> {
-    b: &'a [u8],
-    i: usize,
-}
-
-impl<'a> P<'a> {
-    fn ws(&mut self) {
-        while self.i < self.b.len() && (self.b[self.i] as char).is_ascii_whitespace() {
-            self.i += 1;
-        }
-    }
-
-    fn eat(&mut self, c: u8) -> Option<()> {
-        self.ws();
-        (self.i < self.b.len() && self.b[self.i] == c).then(|| self.i += 1)
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.ws();
-        self.b.get(self.i).copied()
-    }
-
-    fn string(&mut self) -> Option<String> {
-        self.eat(b'"')?;
-        let mut out = String::new();
-        loop {
-            let c = *self.b.get(self.i)?;
-            self.i += 1;
-            match c {
-                b'"' => return Some(out),
-                b'\\' => {
-                    let e = *self.b.get(self.i)?;
-                    self.i += 1;
-                    match e {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hex = self.b.get(self.i..self.i + 4)?;
-                            self.i += 4;
-                            let n =
-                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
-                            out.push(char::from_u32(n)?);
-                        }
-                        _ => return None,
-                    }
-                }
-                c if c < 0x80 => out.push(c as char),
-                _ => {
-                    // Multi-byte UTF-8: copy the full sequence.
-                    let len = match c {
-                        0xC0..=0xDF => 2,
-                        0xE0..=0xEF => 3,
-                        0xF0..=0xF7 => 4,
-                        _ => return None,
-                    };
-                    let start = self.i - 1;
-                    let bytes = self.b.get(start..start + len)?;
-                    out.push_str(std::str::from_utf8(bytes).ok()?);
-                    self.i = start + len;
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Option<u64> {
-        self.ws();
-        let start = self.i;
-        while self.i < self.b.len() && self.b[self.i].is_ascii_digit() {
-            self.i += 1;
-        }
-        std::str::from_utf8(&self.b[start..self.i]).ok()?.parse().ok()
-    }
-
-    fn value(&mut self) -> Option<Val> {
-        match self.peek()? {
-            b'"' => self.string().map(Val::Str),
-            b'[' => {
-                self.eat(b'[')?;
-                let mut items = Vec::new();
-                if self.peek()? == b']' {
-                    self.eat(b']')?;
-                    return Some(Val::Arr(items));
-                }
-                loop {
-                    items.push(self.string()?);
-                    match self.peek()? {
-                        b',' => self.eat(b',')?,
-                        b']' => {
-                            self.eat(b']')?;
-                            return Some(Val::Arr(items));
-                        }
-                        _ => return None,
-                    }
-                }
-            }
-            c if c.is_ascii_digit() => self.number().map(Val::Num),
-            _ => None,
-        }
-    }
-
-    /// Parses one flat object into a key → value map.
-    fn object(&mut self) -> Option<HashMap<String, Val>> {
-        self.eat(b'{')?;
-        let mut map = HashMap::new();
-        if self.peek()? == b'}' {
-            self.eat(b'}')?;
-            return Some(map);
-        }
-        loop {
-            let k = self.string()?;
-            self.eat(b':')?;
-            map.insert(k, self.value()?);
-            match self.peek()? {
-                b',' => self.eat(b',')?,
-                b'}' => {
-                    self.eat(b'}')?;
-                    self.ws();
-                    return (self.i == self.b.len()).then_some(map);
-                }
-                _ => return None,
-            }
-        }
-    }
-}
-
-fn parse_object(s: &str) -> Option<HashMap<String, Val>> {
-    P { b: s.as_bytes(), i: 0 }.object()
-}
-
-fn get_str(m: &HashMap<String, Val>, k: &str) -> Option<String> {
-    match m.get(k)? {
-        Val::Str(s) => Some(s.clone()),
-        _ => None,
-    }
-}
-
-fn get_num(m: &HashMap<String, Val>, k: &str) -> Option<u64> {
-    match m.get(k)? {
-        Val::Num(n) => Some(*n),
-        _ => None,
-    }
-}
 
 fn parse_header(line: &str) -> Option<Header> {
     let m = parse_object(&unseal(line)?)?;

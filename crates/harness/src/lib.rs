@@ -36,19 +36,19 @@ pub mod backoff;
 pub mod breaker;
 pub mod chaos;
 pub mod journal;
+pub mod json;
+pub mod pool;
 
-use std::any::Any;
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 pub use backoff::BackoffConfig;
 pub use breaker::{Admit, BreakerBank, BreakerConfig};
 pub use chaos::{ChaosPlan, Fault};
 pub use journal::{Header, JobRecord, JobStatus, Journal, JournalError};
+pub use pool::{PoolHandle, Task, TaskOutcome, WorkerPool};
 
 pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -270,119 +270,6 @@ impl From<JournalError> for HarnessError {
     }
 }
 
-// ---------------------------------------------------------- the worker ----
-
-/// A failed attempt, as reported by a worker.
-struct AttemptFailure {
-    msg: String,
-    panicked: bool,
-    chaos: bool,
-}
-
-type AttemptResult = Result<Vec<String>, AttemptFailure>;
-
-/// One dispatched attempt.
-#[derive(Debug, Clone, Copy)]
-struct Dispatch {
-    job_idx: usize,
-    attempt: u32,
-    token: u64,
-}
-
-/// State shared between the supervisor and its workers.
-struct Shared {
-    /// (ready queue, shutdown flag) under one lock, signalled by `cv`.
-    queue: Mutex<(VecDeque<Dispatch>, bool)>,
-    cv: Condvar,
-    /// Tokens of condemned attempts: a worker finishing one of these
-    /// exits without reporting (its replacement is already running).
-    condemned: Mutex<HashSet<u64>>,
-}
-
-/// Everything a worker thread needs; cloned per spawn.
-struct WorkerCtx {
-    shared: Arc<Shared>,
-    jobs: Arc<Vec<Job>>,
-    tx: mpsc::Sender<(u64, AttemptResult)>,
-    chaos: Option<Arc<ChaosPlan>>,
-    /// How long a chaos stall sleeps — safely past the deadline.
-    stall: Duration,
-}
-
-impl Clone for WorkerCtx {
-    fn clone(&self) -> Self {
-        WorkerCtx {
-            shared: Arc::clone(&self.shared),
-            jobs: Arc::clone(&self.jobs),
-            tx: self.tx.clone(),
-            chaos: self.chaos.clone(),
-            stall: self.stall,
-        }
-    }
-}
-
-fn panic_text(p: &(dyn Any + Send)) -> String {
-    if let Some(s) = p.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = p.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "opaque panic payload".to_string()
-    }
-}
-
-fn spawn_worker(ctx: WorkerCtx) -> std::thread::JoinHandle<()> {
-    std::thread::spawn(move || loop {
-        let d = {
-            let mut g = ctx.shared.queue.lock().unwrap();
-            loop {
-                if let Some(d) = g.0.pop_front() {
-                    break d;
-                }
-                if g.1 {
-                    return;
-                }
-                g = ctx.shared.cv.wait(g).unwrap();
-            }
-        };
-        let job = &ctx.jobs[d.job_idx];
-        let fault = ctx
-            .chaos
-            .as_ref()
-            .and_then(|p| p.fault_for(&job.id, &job.key, d.attempt));
-        let caught = catch_unwind(AssertUnwindSafe(|| match fault {
-            Some(Fault::Panic) => panic!("chaos: injected worker panic"),
-            Some(Fault::Stall) => {
-                std::thread::sleep(ctx.stall);
-                Err("chaos: stalled past the deadline".to_string())
-            }
-            Some(Fault::Fail) => Err("chaos: injected failure on victim key".to_string()),
-            None => (job.run)(),
-        }));
-        let result: AttemptResult = match caught {
-            Ok(Ok(cells)) => Ok(cells),
-            Ok(Err(msg)) => Err(AttemptFailure {
-                msg,
-                panicked: false,
-                chaos: fault.is_some(),
-            }),
-            Err(p) => Err(AttemptFailure {
-                msg: format!("panic contained: {}", panic_text(p.as_ref())),
-                panicked: true,
-                chaos: fault.is_some(),
-            }),
-        };
-        // A condemned attempt already has a replacement worker and a
-        // recorded failure; this thread's job now is only to disappear.
-        if ctx.shared.condemned.lock().unwrap().remove(&d.token) {
-            return;
-        }
-        if ctx.tx.send((d.token, result)).is_err() {
-            return;
-        }
-    })
-}
-
 // ------------------------------------------------------ the supervisor ----
 
 /// An attempt in flight.
@@ -525,28 +412,14 @@ fn supervise(
         None => Duration::from_millis(50),
     };
 
-    let shared = Arc::new(Shared {
-        queue: Mutex::new((VecDeque::new(), false)),
-        cv: Condvar::new(),
-        condemned: Mutex::new(HashSet::new()),
-    });
-    let (tx, rx) = mpsc::channel::<(u64, AttemptResult)>();
-    let ctx = WorkerCtx {
-        shared: Arc::clone(&shared),
-        jobs: Arc::clone(&jobs),
-        tx,
-        chaos: chaos_plan,
-        stall,
-    };
-    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    for _ in 0..workers {
-        handles.push(spawn_worker(ctx.clone()));
-    }
+    let mut pool: WorkerPool<Result<Vec<String>, String>> = WorkerPool::new(workers);
 
     let mut breakers = BreakerBank::new(cfg.breaker);
     let mut tick: u64 = 0; // logical time: one tick per attempt resolution
     let mut next_token: u64 = 0;
     let mut in_flight: HashMap<u64, Flight> = HashMap::new();
+    // Tokens whose dispatched attempt carries a chaos-injected fault.
+    let mut chaos_tokens: HashSet<u64> = HashSet::new();
     // Retries waiting out their backoff: (due, job index, next attempt).
     let mut retry_at: Vec<(Instant, usize, u32)> = Vec::new();
     let mut remaining = waiting.len();
@@ -630,15 +503,33 @@ fn supervise(
                         },
                     );
                     stats.executed += 1;
-                    {
-                        let mut g = shared.queue.lock().unwrap();
-                        g.0.push_back(Dispatch {
-                            job_idx: idx,
-                            attempt,
-                            token,
-                        });
+                    // Chaos faults are a pure function of (seed, id, key,
+                    // attempt), so deciding them here at dispatch — and
+                    // baking them into the task — keeps the pool itself
+                    // policy-free.
+                    let fault = chaos_plan
+                        .as_ref()
+                        .and_then(|p| p.fault_for(&jobs[idx].id, &jobs[idx].key, attempt));
+                    if fault.is_some() {
+                        chaos_tokens.insert(token);
                     }
-                    shared.cv.notify_one();
+                    let task: Task<Result<Vec<String>, String>> = match fault {
+                        Some(Fault::Panic) => {
+                            Box::new(|| panic!("chaos: injected worker panic"))
+                        }
+                        Some(Fault::Stall) => Box::new(move || {
+                            std::thread::sleep(stall);
+                            Err("chaos: stalled past the deadline".to_string())
+                        }),
+                        Some(Fault::Fail) => {
+                            Box::new(|| Err("chaos: injected failure on victim key".to_string()))
+                        }
+                        None => {
+                            let jobs = Arc::clone(&jobs);
+                            Box::new(move || (jobs[idx].run)())
+                        }
+                    };
+                    pool.submit(token, task);
                 }
                 Admit::Reject => {
                     tick += 1;
@@ -656,13 +547,14 @@ fn supervise(
 
         // Collect one result (or time out and fall through to the
         // deadline scan / retry promotion).
-        match rx.recv_timeout(SUPERVISOR_TICK) {
-            Ok((token, result)) => {
+        match pool.recv_timeout(SUPERVISOR_TICK) {
+            Ok((token, outcome)) => {
                 // A result for a condemned token raced past the check in
                 // its worker; the condemnation already resolved it.
                 if let Some(f) = in_flight.remove(&token) {
-                    match result {
-                        Ok(cells) => {
+                    let was_chaos = chaos_tokens.remove(&token);
+                    match outcome {
+                        TaskOutcome::Done(Ok(cells)) => {
                             tick += 1;
                             breakers.on_success(&jobs[f.job_idx].key);
                             stats.ok += 1;
@@ -674,14 +566,22 @@ fn supervise(
                                 cells
                             );
                         }
-                        Err(fail) => {
-                            if fail.panicked {
-                                stats.worker_panics += 1;
-                            }
-                            if fail.chaos {
+                        TaskOutcome::Done(Err(msg)) => {
+                            if was_chaos {
                                 stats.chaos_faults += 1;
                             }
-                            attempt_failed!(f.job_idx, f.attempt, fail.msg);
+                            attempt_failed!(f.job_idx, f.attempt, msg);
+                        }
+                        TaskOutcome::Panicked(text) => {
+                            stats.worker_panics += 1;
+                            if was_chaos {
+                                stats.chaos_faults += 1;
+                            }
+                            attempt_failed!(
+                                f.job_idx,
+                                f.attempt,
+                                format!("panic contained: {text}")
+                            );
                         }
                     }
                 }
@@ -710,14 +610,14 @@ fn supervise(
                 .collect();
             for token in overdue {
                 let f = in_flight.remove(&token).unwrap();
-                shared.condemned.lock().unwrap().insert(token);
+                chaos_tokens.remove(&token);
                 stats.deadline_kills += 1;
-                if ctx.chaos.is_some() {
+                if chaos_plan.is_some() {
                     // Chaos stalls are injected faults; count them here
                     // because the condemned worker never reports.
                     stats.chaos_faults += 1;
                 }
-                handles.push(spawn_worker(ctx.clone()));
+                pool.condemn(token);
                 attempt_failed!(
                     f.job_idx,
                     f.attempt,
@@ -728,19 +628,9 @@ fn supervise(
     }
 
     // Shutdown: wake everyone; idle workers exit on the flag. Condemned
-    // workers may still be inside a stalled job — drop their handles
-    // rather than join, so shutdown never inherits the stall.
-    {
-        let mut g = shared.queue.lock().unwrap();
-        g.1 = true;
-    }
-    shared.cv.notify_all();
-    let condemned_empty = shared.condemned.lock().unwrap().is_empty();
-    if condemned_empty {
-        for h in handles {
-            let _ = h.join();
-        }
-    }
+    // workers may still be inside a stalled job — the pool drops their
+    // handles rather than join, so shutdown never inherits the stall.
+    pool.shutdown();
     Ok(())
 }
 

@@ -1,0 +1,181 @@
+//! Admission control: the bounded queue, the load-shedding tier ladder,
+//! and per-client token-bucket rate limiting.
+//!
+//! The server's memory is bounded by construction: at most `queue_bound`
+//! compile requests may be admitted-but-unresolved at once, and
+//! everything past the bound is *shed* with a `503` — the daemon prefers
+//! a fast structured no to an unbounded queue. Below the bound, pressure
+//! degrades quality before it degrades availability, in the order the
+//! survey's compaction chapter suggests (compaction effort is the
+//! cheapest thing to trade):
+//!
+//! | queue depth        | tier | action                                   |
+//! |--------------------|------|------------------------------------------|
+//! | `< bound/4`        | 0    | full service                             |
+//! | `≥ bound/4`        | 1    | shrink the exact-search node budget      |
+//! | `≥ bound/2`        | 2    | tier 1 + skip disk persistence           |
+//! | `≥ 3·bound/4`      | 3    | tier 2 + sequential-only compaction      |
+//! | `≥ bound`          | —    | shed (`503`)                             |
+//!
+//! Every tier still emits *correct* microcode — the degradation chain in
+//! `mcc-compact` guarantees that — so shedding tiers trade packing
+//! quality and cache warmth for latency, never correctness.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The pressure tier for a given queue depth under a given bound, or
+/// `None` when the request must be shed.
+pub fn tier_for_depth(depth: usize, bound: usize) -> Option<u8> {
+    if depth >= bound {
+        return None;
+    }
+    if depth * 4 >= bound * 3 {
+        Some(3)
+    } else if depth * 2 >= bound {
+        Some(2)
+    } else if depth * 4 >= bound {
+        Some(1)
+    } else {
+        Some(0)
+    }
+}
+
+/// Monotonic service counters, all relaxed atomics (they feed the
+/// `stats` endpoint and the drain summary, not any control decision that
+/// needs ordering).
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    /// Compile requests admitted into the queue.
+    pub accepted: AtomicU64,
+    /// Admitted requests answered `200`.
+    pub completed: AtomicU64,
+    /// Admitted requests answered `400` (compile error).
+    pub compile_errors: AtomicU64,
+    /// Frames rejected `400` before admission (malformed, bad names).
+    pub bad_requests: AtomicU64,
+    /// Requests rejected `429` by a client's token bucket.
+    pub rate_limited: AtomicU64,
+    /// Requests shed `503` at the queue bound.
+    pub shed: AtomicU64,
+    /// Requests rejected `503` by an open breaker.
+    pub breaker_rejects: AtomicU64,
+    /// Requests rejected `503` while draining.
+    pub drain_rejects: AtomicU64,
+    /// Admitted requests answered `504` (condemned at the deadline).
+    pub deadline_expired: AtomicU64,
+    /// Admitted requests answered `500` (contained pipeline panic).
+    pub panics: AtomicU64,
+    /// Requests served at pressure tier 1 / 2 / 3.
+    pub degraded: [AtomicU64; 3],
+}
+
+impl ServeCounters {
+    /// Bumps one counter.
+    pub fn bump(&self, c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests served at any degraded tier.
+    pub fn degraded_total(&self) -> u64 {
+        self.degraded.iter().map(|d| d.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// One client's token bucket.
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// Per-client token-bucket rate limiting: `rate` tokens per second,
+/// burst capacity of `2 × rate`. `None` disables limiting entirely.
+pub struct RateLimiter {
+    rate: Option<u32>,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl RateLimiter {
+    /// A limiter admitting `rate` requests/second per client id.
+    pub fn new(rate: Option<u32>) -> RateLimiter {
+        RateLimiter {
+            rate,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Takes one token for `client`; `false` means reject with `429`.
+    pub fn admit(&self, client: &str) -> bool {
+        let Some(rate) = self.rate else {
+            return true;
+        };
+        if rate == 0 {
+            return false;
+        }
+        let burst = f64::from(rate) * 2.0;
+        let now = Instant::now();
+        let mut buckets = self.buckets.lock().unwrap();
+        let b = buckets.entry(client.to_string()).or_insert(Bucket {
+            tokens: burst,
+            last: now,
+        });
+        let elapsed = now.duration_since(b.last).as_secs_f64();
+        b.tokens = (b.tokens + elapsed * f64::from(rate)).min(burst);
+        b.last = now;
+        if b.tokens >= 1.0 {
+            b.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_ladder_matches_the_documented_thresholds() {
+        let bound = 8;
+        assert_eq!(tier_for_depth(0, bound), Some(0));
+        assert_eq!(tier_for_depth(1, bound), Some(0));
+        assert_eq!(tier_for_depth(2, bound), Some(1));
+        assert_eq!(tier_for_depth(3, bound), Some(1));
+        assert_eq!(tier_for_depth(4, bound), Some(2));
+        assert_eq!(tier_for_depth(5, bound), Some(2));
+        assert_eq!(tier_for_depth(6, bound), Some(3));
+        assert_eq!(tier_for_depth(7, bound), Some(3));
+        assert_eq!(tier_for_depth(8, bound), None, "at the bound: shed");
+        assert_eq!(tier_for_depth(99, bound), None);
+    }
+
+    #[test]
+    fn tiny_bounds_still_shed_at_the_bound() {
+        assert_eq!(tier_for_depth(0, 1), Some(0));
+        assert_eq!(tier_for_depth(1, 1), None);
+    }
+
+    #[test]
+    fn unlimited_rate_always_admits() {
+        let rl = RateLimiter::new(None);
+        for _ in 0..10_000 {
+            assert!(rl.admit("c"));
+        }
+    }
+
+    #[test]
+    fn bucket_exhausts_at_burst_and_zero_rate_rejects() {
+        let rl = RateLimiter::new(Some(5));
+        // Burst capacity 10: a tight loop of 40 requests can only be
+        // admitted ~10 times (refilling one token takes 200ms).
+        let admitted = (0..40).filter(|_| rl.admit("c")).count();
+        assert!((10..20).contains(&admitted), "burst ≈ 2×rate, got {admitted}");
+        // Independent clients have independent buckets.
+        assert!(rl.admit("other"));
+        let rl0 = RateLimiter::new(Some(0));
+        assert!(!rl0.admit("c"));
+    }
+}

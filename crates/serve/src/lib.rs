@@ -1,0 +1,771 @@
+//! # `mcc-serve` — the compile-as-a-service daemon
+//!
+//! A long-running server accepting compile requests over newline-
+//! delimited JSON ([`proto`]) on TCP ([`tcp`]) or through the in-process
+//! client API ([`Server::handle_line`]), dispatching onto the shared
+//! worker pool ([`mcc_harness::pool`]) through the content-addressed
+//! cache. The robustness machinery is the point:
+//!
+//! * **bounded admission** — at most `queue_bound` compile requests are
+//!   in flight; the rest are shed with a structured `503`, so memory is
+//!   bounded by construction ([`admission`]);
+//! * **load-shedding tiers** — rising queue depth shrinks compaction
+//!   budgets, then skips disk persistence, then forces sequential-only
+//!   compaction, before anything is shed;
+//! * **per-request deadlines** — the supervisor condemns an overdue
+//!   attempt ([`mcc_harness::WorkerPool::condemn`]), answers `504`, and
+//!   a replacement worker keeps the pool at capacity;
+//! * **per-client rate limiting** — a token bucket per client id
+//!   (`429` when dry);
+//! * **per-machine circuit breakers** — a machine whose compiles keep
+//!   panicking or timing out is rejected-fast (`503`) for a cool-down,
+//!   reusing the campaign breaker bank verbatim;
+//! * **panic containment** — every compile runs behind the pool's
+//!   `catch_unwind`; a panicking request answers `500` and the daemon
+//!   (and the connection) live on;
+//! * **graceful drain** — [`Server::drain`] stops admission, lets the
+//!   in-flight finish (or deadline out), flushes the cache stats
+//!   journal, and joins the supervisor; every admitted request still
+//!   gets exactly one response.
+//!
+//! The invariant the tests enforce end to end: **every admitted request
+//! resolves to exactly one structured response** — success, compile
+//! error, panic, deadline, or drain — and nothing is ever silently
+//! dropped.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mcc_cache::Persist;
+use mcc_core::{Compiler, CompilerOptions, SourceLang};
+use mcc_harness::{BreakerBank, BreakerConfig, PoolHandle, TaskOutcome, WorkerPool};
+
+pub mod admission;
+pub mod proto;
+pub mod tcp;
+
+pub use admission::{tier_for_depth, RateLimiter, ServeCounters};
+pub use proto::{parse_request, CompileReq, Request, Response};
+
+/// Server tuning.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads compiling requests.
+    pub workers: usize,
+    /// Maximum admitted-but-unresolved compile requests; everything past
+    /// this is shed with a `503`.
+    pub queue_bound: usize,
+    /// Default per-request deadline (a request's `deadline_ms` may only
+    /// tighten it).
+    pub deadline: Duration,
+    /// Per-client token-bucket rate (requests/second); `None` = off.
+    pub rate_per_client: Option<u32>,
+    /// Per-machine circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_bound: 64,
+            deadline: Duration::from_millis(10_000),
+            rate_per_client: None,
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// How often the supervisor wakes to scan deadlines and the drain flag.
+const SUPERVISOR_TICK: Duration = Duration::from_millis(2);
+
+/// What a worker returns for one compile request.
+type CompileResult = Result<CompileOk, String>;
+
+/// The success payload of one compile.
+struct CompileOk {
+    instrs: usize,
+    ops: usize,
+    spills: usize,
+    algorithm: String,
+    cached: Option<&'static str>,
+    checksum: u64,
+}
+
+/// One admitted request awaiting resolution.
+struct Pending {
+    id: String,
+    machine: String,
+    /// The pressure tier the request was admitted at (echoed in the
+    /// `200` so clients can group conformance checks by tier).
+    tier: u8,
+    deadline: Instant,
+    responder: mpsc::Sender<Response>,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    counters: ServeCounters,
+    limiter: RateLimiter,
+    /// Admitted-but-unresolved compile requests (the bounded queue).
+    inflight: AtomicUsize,
+    /// Token generator for pool submissions.
+    next_token: AtomicU64,
+    draining: AtomicBool,
+    pending: Mutex<HashMap<u64, Pending>>,
+    /// (bank, logical now): one tick per resolution, like the campaign
+    /// supervisor, so breaker behaviour is deterministic under test.
+    breakers: Mutex<(BreakerBank, u64)>,
+    handle: PoolHandle<CompileResult>,
+    started: Instant,
+}
+
+/// The daemon: construct with [`Server::start`], feed it frames with
+/// [`Server::handle_line`] (or serve TCP via [`tcp::serve`]), and stop it
+/// with [`Server::drain`] + [`Server::shutdown`].
+pub struct Server {
+    inner: Arc<Inner>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Applies a pressure tier to a request's compiler options: tier 1+
+/// shrinks the exact-search budget, tier 3 forces sequential-only
+/// compaction. (Tier 2's persistence skip is applied at the cache call,
+/// not here.) Pure, so the ladder is unit-testable.
+pub fn options_for_tier(mut opts: CompilerOptions, tier: u8) -> CompilerOptions {
+    opts.bb_budget = mcc_compact::budget_for_pressure(opts.bb_budget, tier);
+    if tier >= 3 {
+        opts.algorithm = mcc_compact::Algorithm::Sequential;
+    }
+    opts
+}
+
+/// The persist policy for a pressure tier: tier 2+ keeps artifacts out
+/// of the disk tier so fsyncs leave the critical path.
+pub fn persist_for_tier(tier: u8) -> Persist {
+    if tier >= 2 {
+        Persist::Memory
+    } else {
+        Persist::Disk
+    }
+}
+
+/// Resolves an algorithm name from the wire (the CLI's names).
+fn algo_from_name(name: &str) -> Option<mcc_compact::Algorithm> {
+    use mcc_compact::Algorithm as A;
+    Some(match name {
+        "linear" => A::Linear,
+        "critpath" => A::CriticalPath,
+        "levelpack" => A::LevelPack,
+        "tokoro" => A::Tokoro,
+        "optimal" => A::BranchBound,
+        "sequential" => A::Sequential,
+        _ => return None,
+    })
+}
+
+/// 64-bit FNV-1a over an artifact's canonical serialisation: the
+/// conformance checksum clients use to prove cache invisibility (a warm
+/// hit must equal a cold compile byte for byte).
+fn artifact_checksum(art: &mcc_core::Artifact) -> u64 {
+    mcc_cache::disk::fnv1a(mcc_cache::serialize_artifact(art).as_bytes())
+}
+
+impl Server {
+    /// Starts the worker pool and the supervisor thread.
+    pub fn start(cfg: ServeConfig) -> Server {
+        let pool: WorkerPool<CompileResult> = WorkerPool::new(cfg.workers);
+        let handle = pool.handle();
+        let inner = Arc::new(Inner {
+            breakers: Mutex::new((BreakerBank::new(cfg.breaker), 0)),
+            limiter: RateLimiter::new(cfg.rate_per_client),
+            cfg,
+            counters: ServeCounters::default(),
+            inflight: AtomicUsize::new(0),
+            next_token: AtomicU64::new(1),
+            draining: AtomicBool::new(false),
+            pending: Mutex::new(HashMap::new()),
+            handle,
+            started: Instant::now(),
+        });
+        let sup_inner = Arc::clone(&inner);
+        let supervisor = std::thread::spawn(move || supervise(sup_inner, pool));
+        Server {
+            inner,
+            supervisor: Some(supervisor),
+        }
+    }
+
+    /// Handles one frame from `client` and blocks until its single
+    /// response is ready. `ping`/`stats` and every rejection resolve
+    /// immediately; admitted compiles resolve when a worker (or the
+    /// deadline) does. A `drain` frame begins the drain and answers
+    /// `200` at once.
+    pub fn handle_line(&self, line: &str, client: &str) -> Response {
+        match self.submit_line(line, client) {
+            Submitted::Done(r) => r,
+            // The supervisor guarantees exactly one send per admitted
+            // request, so a closed channel is unreachable; answer 500
+            // rather than panicking a connection if it ever regresses.
+            Submitted::Pending(rx) => rx
+                .recv()
+                .unwrap_or_else(|_| Response::error("", 500, "response channel lost")),
+        }
+    }
+
+    /// Non-blocking intake: parses and either resolves the frame
+    /// immediately or admits it and hands back the response channel.
+    pub fn submit_line(&self, line: &str, client: &str) -> Submitted {
+        let req = match proto::parse_request(line) {
+            Ok(r) => r,
+            Err(reason) => {
+                self.inner.counters.bump(&self.inner.counters.bad_requests);
+                return Submitted::Done(Response::error(&proto::frame_id(line), 400, &reason));
+            }
+        };
+        match req {
+            Request::Ping => {
+                let mut r = Response::new(&proto::frame_id(line), 200);
+                r.push_str("pong", "mcc-serve");
+                r.push_num("uptime_ms", self.inner.started.elapsed().as_millis() as u64);
+                Submitted::Done(r)
+            }
+            Request::Stats => {
+                let mut r = self.stats_response();
+                r.id = proto::frame_id(line);
+                Submitted::Done(r)
+            }
+            Request::Drain => {
+                self.begin_drain();
+                let mut r = Response::new(&proto::frame_id(line), 200);
+                r.push_str("draining", "true");
+                Submitted::Done(r)
+            }
+            Request::Compile(c) => self.submit_compile(c, client),
+        }
+    }
+
+    /// Admits (or rejects) one compile request.
+    fn submit_compile(&self, req: CompileReq, client: &str) -> Submitted {
+        let inner = &*self.inner;
+        let counters = &inner.counters;
+        if inner.draining.load(Ordering::SeqCst) {
+            counters.bump(&counters.drain_rejects);
+            return Submitted::Done(Response::error(&req.id, 503, "draining"));
+        }
+        if !inner.limiter.admit(client) {
+            counters.bump(&counters.rate_limited);
+            return Submitted::Done(Response::error(&req.id, 429, "rate limited"));
+        }
+
+        // Validate names before spending a pool slot.
+        let Some(machine) = mcc_machine::machines::by_name(&req.machine) else {
+            counters.bump(&counters.bad_requests);
+            return Submitted::Done(Response::error(
+                &req.id,
+                400,
+                &format!("unknown machine `{}`", req.machine),
+            ));
+        };
+        let Some(lang) = SourceLang::from_name(&req.lang) else {
+            counters.bump(&counters.bad_requests);
+            return Submitted::Done(Response::error(
+                &req.id,
+                400,
+                &format!("unknown language `{}`", req.lang),
+            ));
+        };
+        let mut opts = CompilerOptions::default();
+        if let Some(name) = &req.algo {
+            match algo_from_name(name) {
+                Some(a) => opts.algorithm = a,
+                None => {
+                    counters.bump(&counters.bad_requests);
+                    return Submitted::Done(Response::error(
+                        &req.id,
+                        400,
+                        &format!("unknown algorithm `{name}`"),
+                    ));
+                }
+            }
+        }
+
+        // Per-machine breaker: a key that keeps panicking or timing out
+        // is rejected fast until its cool-down elapses.
+        {
+            let mut b = inner.breakers.lock().unwrap();
+            let now = b.1;
+            if b.0.admit(&req.machine, now) == mcc_harness::Admit::Reject {
+                counters.bump(&counters.breaker_rejects);
+                return Submitted::Done(Response::error(
+                    &req.id,
+                    503,
+                    &format!("breaker open for machine `{}`", req.machine),
+                ));
+            }
+        }
+
+        // The bounded queue: reserve a slot or shed. compare_exchange so
+        // concurrent submitters can never overshoot the bound.
+        let tier = loop {
+            let depth = inner.inflight.load(Ordering::SeqCst);
+            let Some(tier) = tier_for_depth(depth, inner.cfg.queue_bound) else {
+                counters.bump(&counters.shed);
+                return Submitted::Done(Response::error(&req.id, 503, "queue full: shed"));
+            };
+            if inner
+                .inflight
+                .compare_exchange(depth, depth + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                break tier;
+            }
+        };
+        counters.bump(&counters.accepted);
+        if tier > 0 {
+            counters.bump(&counters.degraded[usize::from(tier) - 1]);
+            if tier >= 2 {
+                // Global persistence override for any other in-process
+                // compile paths; cleared when pressure drops (below).
+                mcc_cache::set_persist_override(Some(Persist::Memory));
+            }
+        }
+
+        let opts = options_for_tier(opts, tier);
+        let persist = persist_for_tier(tier);
+        let deadline = inner
+            .cfg
+            .deadline
+            .min(Duration::from_millis(req.deadline_ms.unwrap_or(u64::MAX)));
+
+        let (tx, rx) = mpsc::channel();
+        let token = inner.next_token.fetch_add(1, Ordering::Relaxed);
+        inner.pending.lock().unwrap().insert(
+            token,
+            Pending {
+                id: req.id.clone(),
+                machine: req.machine.clone(),
+                tier,
+                deadline: Instant::now() + deadline,
+                responder: tx,
+            },
+        );
+        let src = req.src;
+        inner.handle.submit(
+            token,
+            Box::new(move || {
+                let compiler = Compiler::with_options(machine, opts);
+                match mcc_cache::compile_cached(&compiler, lang, &src, persist) {
+                    Ok(art) => Ok(CompileOk {
+                        instrs: art.stats.micro_instrs,
+                        ops: art.stats.micro_ops,
+                        spills: art.stats.spills,
+                        algorithm: art.stats.algorithm_used.clone(),
+                        cached: art.stats.cached,
+                        checksum: artifact_checksum(&art),
+                    }),
+                    Err(e) => Err(e.to_string()),
+                }
+            }),
+        );
+        Submitted::Pending(rx)
+    }
+
+    /// Renders the `stats` response: queue depth, shed/degrade/breaker
+    /// counters, and the cache hit rate.
+    fn stats_response(&self) -> Response {
+        let inner = &*self.inner;
+        let c = &inner.counters;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut r = Response::new("", 200);
+        r.push_num("queue_depth", inner.inflight.load(Ordering::SeqCst) as u64);
+        r.push_num("queue_bound", inner.cfg.queue_bound as u64);
+        r.push_num("workers", inner.cfg.workers as u64);
+        r.push_num("accepted", load(&c.accepted));
+        r.push_num("completed", load(&c.completed));
+        r.push_num("compile_errors", load(&c.compile_errors));
+        r.push_num("bad_requests", load(&c.bad_requests));
+        r.push_num("rate_limited", load(&c.rate_limited));
+        r.push_num("shed", load(&c.shed));
+        r.push_num("breaker_rejects", load(&c.breaker_rejects));
+        r.push_num("drain_rejects", load(&c.drain_rejects));
+        r.push_num("deadline_expired", load(&c.deadline_expired));
+        r.push_num("panics", load(&c.panics));
+        r.push_num("degraded_t1", load(&c.degraded[0]));
+        r.push_num("degraded_t2", load(&c.degraded[1]));
+        r.push_num("degraded_t3", load(&c.degraded[2]));
+        let breakers = inner.breakers.lock().unwrap();
+        r.push_num("breaker_trips", breakers.0.trips());
+        r.push_str("breakers_open", &breakers.0.degraded_keys().join(","));
+        drop(breakers);
+        let cache = mcc_cache::global().counters();
+        let lookups = cache.hits() + cache.misses;
+        r.push_num("cache_hits", cache.hits());
+        r.push_num("cache_misses", cache.misses);
+        r.push_num(
+            "cache_hit_permille",
+            (cache.hits() * 1000).checked_div(lookups).unwrap_or(0),
+        );
+        r.push_str(
+            "draining",
+            if inner.draining.load(Ordering::SeqCst) { "true" } else { "false" },
+        );
+        r
+    }
+
+    /// Current counters (for the in-process bench and tests).
+    pub fn counters(&self) -> &ServeCounters {
+        &self.inner.counters
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Flips the drain flag: no new compiles are admitted from here on.
+    pub fn begin_drain(&self) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Graceful drain: stop admitting, wait for the in-flight requests
+    /// to finish or deadline out, flush the cache stats journal. Returns
+    /// the number of requests that were still in flight when the drain
+    /// began.
+    pub fn drain(&self) -> usize {
+        self.begin_drain();
+        let at_start = self.queue_depth();
+        // Everything pending carries a deadline, and the supervisor
+        // condemns overdue attempts — so this loop terminates.
+        while self.queue_depth() > 0 {
+            std::thread::sleep(SUPERVISOR_TICK);
+        }
+        mcc_cache::flush_global_stats();
+        at_start
+    }
+
+    /// Stops the supervisor and the pool. Implies [`Server::drain`].
+    pub fn shutdown(mut self) {
+        self.drain();
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.begin_drain();
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The result of [`Server::submit_line`].
+pub enum Submitted {
+    /// Resolved immediately (controls, rejections, and errors).
+    Done(Response),
+    /// Admitted: the single response arrives on this channel.
+    Pending(mpsc::Receiver<Response>),
+}
+
+/// The supervisor loop: drains pool outcomes into responses, enforces
+/// deadlines by condemnation, and exits once draining and empty.
+fn supervise(inner: Arc<Inner>, mut pool: WorkerPool<CompileResult>) {
+    let counters = &inner.counters;
+    loop {
+        match pool.recv_timeout(SUPERVISOR_TICK) {
+            Ok((token, outcome)) => {
+                let Some(p) = inner.pending.lock().unwrap().remove(&token) else {
+                    // Already condemned and answered 504.
+                    continue;
+                };
+                let response = match outcome {
+                    TaskOutcome::Done(Ok(ok)) => {
+                        counters.bump(&counters.completed);
+                        breaker_result(&inner, &p.machine, true);
+                        let mut r = Response::new(&p.id, 200);
+                        r.push_num("instrs", ok.instrs as u64);
+                        r.push_num("ops", ok.ops as u64);
+                        r.push_num("spills", ok.spills as u64);
+                        r.push_str("algorithm", &ok.algorithm);
+                        r.push_str("cached", ok.cached.unwrap_or("cold"));
+                        r.push_str("checksum", &format!("{:016x}", ok.checksum));
+                        r.push_num("tier", u64::from(p.tier));
+                        r
+                    }
+                    TaskOutcome::Done(Err(msg)) => {
+                        // A compile error is the *pipeline working*: it
+                        // neither trips the breaker nor counts as
+                        // service degradation.
+                        counters.bump(&counters.compile_errors);
+                        breaker_result(&inner, &p.machine, true);
+                        Response::error(&p.id, 400, &msg)
+                    }
+                    TaskOutcome::Panicked(text) => {
+                        counters.bump(&counters.panics);
+                        breaker_result(&inner, &p.machine, false);
+                        Response::error(&p.id, 500, &format!("panic contained: {text}"))
+                    }
+                };
+                // Decrement before sending: a client that reacts to its
+                // response must observe the freed queue slot.
+                inner.inflight.fetch_sub(1, Ordering::SeqCst);
+                maybe_clear_pressure(&inner);
+                let _ = p.responder.send(response);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+
+        // Deadline scan: condemn overdue attempts and answer 504 now —
+        // the replacement worker keeps the pool at capacity.
+        let now = Instant::now();
+        let overdue: Vec<u64> = inner
+            .pending
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|(_, p)| now >= p.deadline)
+            .map(|(t, _)| *t)
+            .collect();
+        for token in overdue {
+            let Some(p) = inner.pending.lock().unwrap().remove(&token) else {
+                continue;
+            };
+            pool.condemn(token);
+            counters.bump(&counters.deadline_expired);
+            breaker_result(&inner, &p.machine, false);
+            inner.inflight.fetch_sub(1, Ordering::SeqCst);
+            maybe_clear_pressure(&inner);
+            let _ = p.responder.send(Response::error(&p.id, 504, "deadline expired"));
+        }
+
+        if inner.draining.load(Ordering::SeqCst) && inner.inflight.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+    }
+    pool.shutdown();
+}
+
+/// Advances breaker logical time and records one request's outcome.
+fn breaker_result(inner: &Inner, machine: &str, success: bool) {
+    let mut b = inner.breakers.lock().unwrap();
+    b.1 += 1;
+    let now = b.1;
+    if success {
+        b.0.on_success(machine);
+    } else {
+        b.0.on_failure(machine, now);
+    }
+}
+
+/// Clears the global persistence override once the queue has fallen back
+/// below the tier-2 threshold.
+fn maybe_clear_pressure(inner: &Inner) {
+    let depth = inner.inflight.load(Ordering::SeqCst);
+    if tier_for_depth(depth, inner.cfg.queue_bound).is_some_and(|t| t < 2) {
+        mcc_cache::set_persist_override(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_bound: 4,
+            deadline: Duration::from_millis(5_000),
+            rate_per_client: None,
+            breaker: BreakerConfig::default(),
+        }
+    }
+
+    const SRC: &str = "reg a = R0\nconst a, 7\nadd a, a, 1\nexit a\n";
+
+    #[test]
+    fn compile_request_answers_200_with_stats() {
+        let s = Server::start(tiny());
+        let line = proto::compile_line("r1", "hm1", "yalll", SRC);
+        let r = s.handle_line(&line, "t");
+        assert_eq!(r.code, 200, "got: {}", r.to_line());
+        let rendered = r.to_line();
+        assert!(Response::field_num(&rendered, "instrs").unwrap() > 0);
+        assert_eq!(Response::field_str(&rendered, "id").as_deref(), Some("r1"));
+        assert!(Response::field_str(&rendered, "checksum").is_some());
+        s.shutdown();
+    }
+
+    #[test]
+    fn warm_hit_has_identical_checksum() {
+        let s = Server::start(tiny());
+        let line = proto::compile_line("a", "vm1", "yalll", SRC);
+        let cold = s.handle_line(&line, "t").to_line();
+        let warm = s.handle_line(&line, "t").to_line();
+        assert_eq!(
+            Response::field_str(&cold, "checksum"),
+            Response::field_str(&warm, "checksum"),
+            "cache hits must be byte-identical to cold compiles"
+        );
+        s.shutdown();
+    }
+
+    #[test]
+    fn bad_frames_get_structured_400s() {
+        let s = Server::start(tiny());
+        for bad in ["garbage", "{\"op\":\"warp\"}", "{\"op\":\"compile\",\"id\":\"x\"}"] {
+            let r = s.handle_line(bad, "t");
+            assert_eq!(r.code, 400, "frame {bad:?}");
+        }
+        let r = s.handle_line(
+            &proto::compile_line("x", "not-a-machine", "yalll", SRC),
+            "t",
+        );
+        assert_eq!(r.code, 400);
+        let r = s.handle_line(&proto::compile_line("x", "hm1", "klingon", SRC), "t");
+        assert_eq!(r.code, 400);
+        assert!(s.counters().bad_requests.load(Ordering::Relaxed) >= 5);
+        s.shutdown();
+    }
+
+    #[test]
+    fn compile_errors_are_400_not_500() {
+        let s = Server::start(tiny());
+        let r = s.handle_line(&proto::compile_line("e", "hm1", "yalll", "reg a = NOPE\n"), "t");
+        assert_eq!(r.code, 400);
+        assert!(r.to_line().contains("error"));
+        s.shutdown();
+    }
+
+    #[test]
+    fn ping_and_stats_respond_immediately() {
+        let s = Server::start(tiny());
+        let r = s.handle_line("{\"op\":\"ping\"}", "t");
+        assert_eq!(r.code, 200);
+        assert!(r.to_line().contains("pong"));
+        let line = s.handle_line("{\"op\":\"stats\"}", "t").to_line();
+        assert_eq!(Response::field_num(&line, "queue_bound"), Some(4));
+        assert_eq!(Response::field_num(&line, "shed"), Some(0));
+        s.shutdown();
+    }
+
+    #[test]
+    fn draining_rejects_new_compiles_with_503() {
+        let s = Server::start(tiny());
+        s.begin_drain();
+        let r = s.handle_line(&proto::compile_line("d", "hm1", "yalll", SRC), "t");
+        assert_eq!(r.code, 503);
+        assert!(r.to_line().contains("draining"));
+        s.shutdown();
+    }
+
+    #[test]
+    fn rate_limiter_answers_429() {
+        let mut cfg = tiny();
+        cfg.rate_per_client = Some(0);
+        let s = Server::start(cfg);
+        let r = s.handle_line(&proto::compile_line("r", "hm1", "yalll", SRC), "greedy");
+        assert_eq!(r.code, 429);
+        assert_eq!(s.counters().rate_limited.load(Ordering::Relaxed), 1);
+        s.shutdown();
+    }
+
+    #[test]
+    fn deadline_expiry_answers_504_and_server_survives() {
+        let mut cfg = tiny();
+        cfg.workers = 1;
+        let s = Server::start(cfg);
+        // Occupy the single worker with a slow exact search (the 2M-node
+        // budget dwarfs the supervisor tick), then submit a victim whose
+        // deadline is already past: it expires in the pool queue, where
+        // condemnation is deterministic.
+        let filler_src = "reg a = R0\nreg b = R1\nconst a, 1\nconst b, 2\n\
+                          add a, a, 1\nadd b, b, 2\nadd a, a, 3\nadd b, b, 4\n\
+                          add a, a, 5\nadd b, b, 6\nadd a, a, b\nexit a\n";
+        let filler_line = format!(
+            "{{\"op\":\"compile\",\"id\":\"filler\",\"machine\":\"hm1\",\"lang\":\"yalll\",\"algo\":\"optimal\",\"src\":\"{}\"}}",
+            mcc_harness::json::esc(filler_src)
+        );
+        let filler = match s.submit_line(&filler_line, "t") {
+            Submitted::Pending(rx) => rx,
+            Submitted::Done(r) => panic!("filler rejected: {}", r.to_line()),
+        };
+        let victim_line = format!(
+            "{{\"op\":\"compile\",\"id\":\"victim\",\"machine\":\"hm1\",\"lang\":\"yalll\",\"deadline_ms\":0,\"src\":\"{}\"}}",
+            mcc_harness::json::esc(SRC)
+        );
+        let r = s.handle_line(&victim_line, "t");
+        assert_eq!(r.code, 504, "got: {}", r.to_line());
+        assert!(filler.recv_timeout(Duration::from_secs(60)).is_ok());
+        // The daemon still serves after a condemnation.
+        let r = s.handle_line(&proto::compile_line("after", "hm1", "yalll", SRC), "t");
+        assert_eq!(r.code, 200, "got: {}", r.to_line());
+        assert_eq!(s.counters().deadline_expired.load(Ordering::Relaxed), 1);
+        s.shutdown();
+    }
+
+    #[test]
+    fn tier_options_ladder_applies() {
+        let base = CompilerOptions::default();
+        let t0 = options_for_tier(base.clone(), 0);
+        assert_eq!(t0.bb_budget, base.bb_budget);
+        let t1 = options_for_tier(base.clone(), 1);
+        assert!(t1.bb_budget < base.bb_budget);
+        let t3 = options_for_tier(base.clone(), 3);
+        assert_eq!(t3.algorithm, mcc_compact::Algorithm::Sequential);
+        assert_eq!(persist_for_tier(0), Persist::Disk);
+        assert_eq!(persist_for_tier(2), Persist::Memory);
+        assert_eq!(persist_for_tier(3), Persist::Memory);
+    }
+
+    #[test]
+    fn overload_sheds_with_503_and_every_request_answers() {
+        // 1-worker, bound-2 server: a burst of slow-ish requests must
+        // shed deterministically past the bound, and every submission
+        // still resolves to exactly one response.
+        let s = Server::start(ServeConfig {
+            workers: 1,
+            queue_bound: 2,
+            deadline: Duration::from_millis(5_000),
+            rate_per_client: None,
+            breaker: BreakerConfig::default(),
+        });
+        let mut pendings = Vec::new();
+        let mut immediate = Vec::new();
+        for i in 0..8 {
+            // Distinct sources defeat the cache so each compile costs
+            // real work and the queue actually fills.
+            let src = format!("reg a = R0\nconst a, {i}\nadd a, a, 1\nexit a\n");
+            match s.submit_line(&proto::compile_line(&format!("b{i}"), "hm1", "yalll", &src), "t") {
+                Submitted::Done(r) => immediate.push(r),
+                Submitted::Pending(rx) => pendings.push(rx),
+            }
+        }
+        assert!(
+            immediate.iter().all(|r| r.code == 503),
+            "immediate resolutions in a burst are sheds"
+        );
+        assert!(
+            !immediate.is_empty(),
+            "a burst of 8 against bound 2 must shed"
+        );
+        let mut answered = 0;
+        for rx in pendings {
+            let r = rx.recv_timeout(Duration::from_secs(30)).expect("response");
+            assert_eq!(r.code, 200);
+            answered += 1;
+        }
+        assert_eq!(
+            answered + immediate.len(),
+            8,
+            "exactly one response per request"
+        );
+        assert!(s.counters().shed.load(Ordering::Relaxed) > 0);
+        s.shutdown();
+    }
+}

@@ -1,0 +1,234 @@
+//! The `mcc serve` wire protocol: newline-delimited flat JSON, one
+//! request object in, exactly one response object out, over the
+//! toolkit's shared JSON subset ([`mcc_harness::json`]).
+//!
+//! Requests:
+//!
+//! ```text
+//! {"op":"compile","id":"r1","machine":"hm1","lang":"yalll","src":"..."}
+//! {"op":"ping"}
+//! {"op":"stats"}
+//! {"op":"drain"}
+//! ```
+//!
+//! `compile` accepts optional `"algo"` (the CLI's algorithm names) and
+//! `"deadline_ms"` fields. Every op accepts an optional `"id"`, echoed
+//! verbatim in the response so clients can pipeline. Responses carry an
+//! HTTP-flavoured `code`:
+//!
+//! * `200` — compiled (fields: `instrs`, `ops`, `algorithm`, `cached`,
+//!   `checksum`, `tier`);
+//! * `400` — malformed frame, unknown machine/language, or compile error;
+//! * `429` — the client's token bucket ran dry;
+//! * `500` — a panic inside the pipeline, contained and reported;
+//! * `503` — shed (queue full), breaker open, or the server is draining;
+//! * `504` — the per-request deadline expired (condemn-and-replace).
+//!
+//! Malformed frames get a structured `400` — the connection stays up,
+//! and a frame can never take the daemon down.
+
+use std::collections::HashMap;
+
+use mcc_harness::json::{esc, get_num, get_str, parse_object, Val};
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Compile one source.
+    Compile(CompileReq),
+    /// Liveness probe.
+    Ping,
+    /// Server counters snapshot.
+    Stats,
+    /// Begin graceful drain.
+    Drain,
+}
+
+/// The payload of a `compile` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileReq {
+    /// Client-chosen id, echoed in the response (empty when omitted).
+    pub id: String,
+    /// Reference machine name (`hm1` | `vm1` | `bx2` | `wm64`).
+    pub machine: String,
+    /// Frontend name (`yalll` | `simpl` | `empl` | `sstar`).
+    pub lang: String,
+    /// The source text.
+    pub src: String,
+    /// Optional algorithm override (CLI names).
+    pub algo: Option<String>,
+    /// Optional per-request deadline override.
+    pub deadline_ms: Option<u64>,
+}
+
+/// One response line. `body` carries code-specific key/value pairs,
+/// already JSON-rendered by the constructors below.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Echo of the request id.
+    pub id: String,
+    /// HTTP-flavoured status code.
+    pub code: u16,
+    /// Extra fields as pre-rendered `"key":value` JSON fragments.
+    pub fields: Vec<(String, String)>,
+}
+
+impl Response {
+    /// A bare response with no extra fields.
+    pub fn new(id: &str, code: u16) -> Response {
+        Response {
+            id: id.to_string(),
+            code,
+            fields: Vec::new(),
+        }
+    }
+
+    /// An error response (`400`/`429`/`500`/`503`/`504`) with a reason.
+    pub fn error(id: &str, code: u16, reason: &str) -> Response {
+        let mut r = Response::new(id, code);
+        r.push_str("error", reason);
+        r
+    }
+
+    /// Appends a string field.
+    pub fn push_str(&mut self, key: &str, value: &str) {
+        self.fields
+            .push((key.to_string(), format!("\"{}\"", esc(value))));
+    }
+
+    /// Appends a numeric field.
+    pub fn push_num(&mut self, key: &str, value: u64) {
+        self.fields.push((key.to_string(), value.to_string()));
+    }
+
+    /// Renders the newline-terminated wire line.
+    pub fn to_line(&self) -> String {
+        let mut out = format!("{{\"id\":\"{}\",\"code\":{}", esc(&self.id), self.code);
+        for (k, v) in &self.fields {
+            out.push_str(&format!(",\"{}\":{v}", esc(k)));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Reads a string field back out of a rendered response line —
+    /// the client-side accessor used by tests and the load generator.
+    pub fn field_str(line: &str, key: &str) -> Option<String> {
+        get_str(&parse_object(line.trim_end())?, key)
+    }
+
+    /// Reads a numeric field back out of a rendered response line.
+    pub fn field_num(line: &str, key: &str) -> Option<u64> {
+        get_num(&parse_object(line.trim_end())?, key)
+    }
+}
+
+/// Parses one request frame. `Err` carries the structured reason for the
+/// `400` — never a panic, because frames arrive from the network.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let Some(m) = parse_object(line.trim_end()) else {
+        return Err("malformed frame: not a flat JSON object".to_string());
+    };
+    let op = get_str(&m, "op").ok_or("missing or non-string `op` field")?;
+    match op.as_str() {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "drain" => Ok(Request::Drain),
+        "compile" => {
+            let req = CompileReq {
+                id: get_str(&m, "id").unwrap_or_default(),
+                machine: get_str(&m, "machine").ok_or("compile: missing `machine`")?,
+                lang: get_str(&m, "lang").ok_or("compile: missing `lang`")?,
+                src: get_str(&m, "src").ok_or("compile: missing `src`")?,
+                algo: get_str(&m, "algo"),
+                deadline_ms: get_num(&m, "deadline_ms"),
+            };
+            Ok(Request::Compile(req))
+        }
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+/// The id a response should echo for a frame that may not even parse.
+pub fn frame_id(line: &str) -> String {
+    parse_object(line.trim_end())
+        .as_ref()
+        .and_then(|m| get_str(m, "id"))
+        .unwrap_or_default()
+}
+
+/// Renders a compile request as a wire line — the client-side encoder
+/// shared by the load generator and the tests.
+pub fn compile_line(id: &str, machine: &str, lang: &str, src: &str) -> String {
+    format!(
+        "{{\"op\":\"compile\",\"id\":\"{}\",\"machine\":\"{}\",\"lang\":\"{}\",\"src\":\"{}\"}}\n",
+        esc(id),
+        esc(machine),
+        esc(lang),
+        esc(src)
+    )
+}
+
+/// Convenience for tests: all fields of a parsed response line.
+pub fn parse_response(line: &str) -> Option<HashMap<String, Val>> {
+    parse_object(line.trim_end())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_request_round_trips() {
+        let line = compile_line("r7", "hm1", "yalll", "reg a = R0\nexit a\n");
+        match parse_request(&line).unwrap() {
+            Request::Compile(c) => {
+                assert_eq!(c.id, "r7");
+                assert_eq!(c.machine, "hm1");
+                assert_eq!(c.lang, "yalll");
+                assert!(c.src.contains('\n'), "newlines survive escaping");
+                assert_eq!(c.algo, None);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_requests_parse() {
+        assert_eq!(parse_request("{\"op\":\"ping\"}").unwrap(), Request::Ping);
+        assert_eq!(parse_request("{\"op\":\"stats\"}\n").unwrap(), Request::Stats);
+        assert_eq!(parse_request("{\"op\":\"drain\"}").unwrap(), Request::Drain);
+    }
+
+    #[test]
+    fn malformed_frames_are_structured_errors() {
+        for bad in [
+            "",
+            "garbage",
+            "{\"op\":\"compile\"}",
+            "{\"op\":\"warp\"}",
+            "{\"no_op\":1}",
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn responses_render_and_read_back() {
+        let mut r = Response::new("x", 200);
+        r.push_num("instrs", 12);
+        r.push_str("cached", "memory");
+        let line = r.to_line();
+        assert!(line.ends_with('\n'));
+        assert_eq!(Response::field_num(&line, "code"), Some(200));
+        assert_eq!(Response::field_num(&line, "instrs"), Some(12));
+        assert_eq!(Response::field_str(&line, "cached").as_deref(), Some("memory"));
+        assert_eq!(Response::field_str(&line, "id").as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn frame_id_survives_malformed_ops() {
+        assert_eq!(frame_id("{\"op\":\"warp\",\"id\":\"z9\"}"), "z9");
+        assert_eq!(frame_id("total garbage"), "");
+    }
+}

@@ -1,0 +1,217 @@
+//! The TCP front end: newline-delimited JSON over `TcpListener`, one
+//! thread per connection, the accept loop polling a stop flag so a
+//! signal (or a `drain` frame) can end the daemon gracefully.
+//!
+//! Containment discipline: each *request* is handled behind
+//! `catch_unwind`, so neither a malformed frame nor a pipeline bug can
+//! take down a connection, and no connection failure can take down the
+//! daemon — a dropped socket mid-frame just ends that connection's
+//! thread. Responses are written back in request order per connection
+//! (the protocol is pipelined but ordered, like HTTP/1.1).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::proto::Response;
+use crate::Server;
+
+/// How often the accept loop polls the stop flag.
+const ACCEPT_TICK: Duration = Duration::from_millis(25);
+
+/// Serves connections until `stop` goes true (a signal handler or a
+/// `drain` frame sets it), then returns — the caller runs the drain.
+/// Connection threads are detached: they answer `503 draining` to
+/// anything submitted after the drain begins, and die with their
+/// sockets.
+///
+/// # Errors
+///
+/// Propagates listener configuration errors; per-connection I/O errors
+/// only end that connection.
+pub fn serve(server: Arc<Server>, listener: TcpListener, stop: Arc<AtomicBool>) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, addr)) => {
+                let server = Arc::clone(&server);
+                let stop = Arc::clone(&stop);
+                let client = addr.to_string();
+                std::thread::spawn(move || {
+                    let _ = connection(&server, stream, &client, &stop);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_TICK);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// One connection: read frames, answer each with exactly one line.
+fn connection(
+    server: &Server,
+    stream: TcpStream,
+    client: &str,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_contained(server, &line, client);
+        writer.write_all(response.to_line().as_bytes())?;
+        writer.flush()?;
+        // A drain frame stops the accept loop too, not just this
+        // connection.
+        if matches!(crate::proto::parse_request(&line), Ok(crate::Request::Drain)) {
+            stop.store(true, Ordering::SeqCst);
+        }
+    }
+    Ok(())
+}
+
+/// Handles one frame with panic containment: a panic anywhere in the
+/// request path becomes a structured `500`, never a dead connection.
+pub fn handle_contained(server: &Server, line: &str, client: &str) -> Response {
+    match catch_unwind(AssertUnwindSafe(|| server.handle_line(line, client))) {
+        Ok(r) => r,
+        Err(p) => Response::error(
+            &crate::proto::frame_id(line),
+            500,
+            &format!(
+                "panic contained in request loop: {}",
+                mcc_harness::pool::panic_text(p.as_ref())
+            ),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto;
+    use crate::ServeConfig;
+    use std::io::BufRead;
+
+    fn start_tcp(cfg: ServeConfig) -> (Arc<Server>, std::net::SocketAddr, Arc<AtomicBool>) {
+        let server = Arc::new(Server::start(cfg));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let s2 = Arc::clone(&server);
+        let stop2 = Arc::clone(&stop);
+        std::thread::spawn(move || serve(s2, listener, stop2).unwrap());
+        (server, addr, stop)
+    }
+
+    #[test]
+    fn tcp_round_trip_compile_ping_and_garbage() {
+        let (server, addr, stop) = start_tcp(ServeConfig::default());
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+
+        let mut line = String::new();
+        writer
+            .write_all(
+                proto::compile_line("t1", "hm1", "yalll", "reg a = R0\nconst a, 3\nexit a\n")
+                    .as_bytes(),
+            )
+            .unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(Response::field_num(&line, "code"), Some(200), "got {line}");
+
+        line.clear();
+        writer.write_all(b"{\"op\":\"ping\"}\n").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(Response::field_num(&line, "code"), Some(200));
+        assert!(line.contains("pong"));
+
+        // Garbage gets a structured 400 and the connection survives.
+        line.clear();
+        writer.write_all(b"this is not json\n").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(Response::field_num(&line, "code"), Some(400));
+
+        line.clear();
+        writer.write_all(b"{\"op\":\"stats\"}\n").unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(Response::field_num(&line, "bad_requests"), Some(1));
+
+        stop.store(true, Ordering::SeqCst);
+        drop(writer);
+        drop(reader);
+        if let Ok(s) = Arc::try_unwrap(server) {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn dropped_connection_does_not_kill_the_daemon() {
+        let (server, addr, stop) = start_tcp(ServeConfig::default());
+        {
+            // Write half a frame and slam the socket shut.
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"{\"op\":\"compile\",\"id\":\"torn").unwrap();
+        }
+        // A fresh connection still gets served.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"{\"op\":\"ping\"}\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(Response::field_num(&line, "code"), Some(200));
+        stop.store(true, Ordering::SeqCst);
+        drop(writer);
+        drop(reader);
+        if let Ok(s) = Arc::try_unwrap(server) {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn drain_frame_stops_the_accept_loop() {
+        let (server, addr, stop) = start_tcp(ServeConfig::default());
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"{\"op\":\"drain\"}\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(Response::field_num(&line, "code"), Some(200));
+        // The flag flips, which is what ends the accept loop.
+        for _ in 0..200 {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(stop.load(Ordering::SeqCst), "drain frame must set the stop flag");
+        // And new compiles are refused.
+        writer
+            .write_all(
+                proto::compile_line("late", "hm1", "yalll", "reg a = R0\nexit a\n").as_bytes(),
+            )
+            .unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(Response::field_num(&line, "code"), Some(503));
+        drop(writer);
+        drop(reader);
+        if let Ok(s) = Arc::try_unwrap(server) {
+            s.shutdown();
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! End-to-end drain discipline: a drain that begins mid-burst must leave
+//! no request unanswered, execute nothing twice, and leave a cache
+//! journal that replays cleanly on restart.
+//!
+//! Single `#[test]` on purpose: the global cache (and its
+//! `MCC_CACHE_DIR`) is process-wide state, so this file owns the whole
+//! process.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use mcc_harness::BreakerConfig;
+use mcc_serve::{proto, ServeConfig, Server};
+
+#[test]
+fn drain_mid_burst_answers_everything_and_journal_replays() {
+    let dir = std::env::temp_dir().join(format!("mcc-serve-drain-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var("MCC_CACHE_DIR", &dir);
+    assert!(mcc_cache::attach_default_disk().unwrap());
+
+    let server = Arc::new(Server::start(ServeConfig {
+        workers: 2,
+        queue_bound: 8,
+        deadline: Duration::from_millis(30_000),
+        rate_per_client: None,
+        breaker: BreakerConfig::default(),
+    }));
+
+    // Four clients burst 12 distinct compiles each; the drain begins in
+    // the middle of the burst.
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 12;
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let server = Arc::clone(&server);
+        handles.push(std::thread::spawn(move || {
+            let mut codes = Vec::new();
+            for i in 0..PER_THREAD {
+                // Distinct sources: every 200 is a genuine cold compile,
+                // so cache counters measure executions exactly.
+                let src = format!(
+                    "reg a = R0\nconst a, {}\nadd a, a, 1\nexit a\n",
+                    t * 1000 + i
+                );
+                let line = proto::compile_line(&format!("c{t}-{i}"), "hm1", "yalll", &src);
+                let r = server.handle_line(&line, &format!("client{t}"));
+                codes.push(r.code);
+            }
+            codes
+        }));
+    }
+
+    std::thread::sleep(Duration::from_millis(10));
+    let inflight_at_drain = server.drain();
+
+    let mut all_codes = Vec::new();
+    for h in handles {
+        let codes = h.join().expect("client thread survived the drain");
+        assert_eq!(
+            codes.len(),
+            PER_THREAD,
+            "every submission resolved to exactly one response"
+        );
+        all_codes.extend(codes);
+    }
+    assert_eq!(all_codes.len(), THREADS * PER_THREAD);
+    assert!(
+        all_codes.iter().all(|c| [200, 503].contains(c)),
+        "burst responses are 200 or structured 503, got {all_codes:?}"
+    );
+
+    let n200 = all_codes.iter().filter(|&&c| c == 200).count() as u64;
+    assert!(n200 > 0, "some requests completed before the drain");
+    let counters = server.counters();
+    assert_eq!(
+        counters.accepted.load(Ordering::Relaxed),
+        counters.completed.load(Ordering::Relaxed),
+        "every accepted request completed (none dropped by the drain)"
+    );
+    assert_eq!(counters.completed.load(Ordering::Relaxed), n200);
+    assert_eq!(server.queue_depth(), 0, "drain leaves nothing in flight");
+    eprintln!("drain began with {inflight_at_drain} in flight, {n200} of 48 completed");
+
+    // No double execution: with all-distinct sources, each 200 is one
+    // miss and one store, and nothing was ever served twice from cache.
+    let cache = mcc_cache::global().counters();
+    assert_eq!(cache.hits(), 0, "distinct sources cannot hit");
+    assert_eq!(cache.misses, n200, "each 200 executed exactly once");
+    assert_eq!(cache.stores, n200);
+
+    if let Ok(s) = Arc::try_unwrap(server) {
+        s.shutdown();
+    }
+
+    // Restart: the journal and the stats log replay cleanly.
+    let tier = mcc_cache::DiskTier::open(&dir).expect("cache log replays after drain");
+    assert!(
+        tier.len() as u64 <= n200,
+        "disk tier holds at most the completed artifacts (tier-2 pressure may skip disk)"
+    );
+    let stats = mcc_cache::read_stats(&dir);
+    assert_eq!(
+        (stats.misses, stats.stores, stats.evictions),
+        (n200, n200, 0),
+        "drain flushed the stats journal; restart replays the same totals"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -10,6 +10,8 @@
 //! mcc compile --mdl my.mdl -l yalll f   compile for a machine described in MDL
 //! mcc fuzz --seed 1 --trials 1000       differential fuzz all four frontends
 //! mcc campaign e10 --jobs 4 --resume    supervised, journaled experiment run
+//! mcc serve --port 7077 --jobs 4        compile-as-a-service daemon
+//! mcc bench-serve --clients 8 --rps 200 seeded closed-loop load generator
 //! ```
 //!
 //! The language defaults from the file extension: `.yll`/`.yalll` → YALLL,
@@ -33,6 +35,8 @@ commands:
   run      [opts] <file>       compile, simulate, print symbol values
   fuzz     [opts]              differential fuzzing campaign (see below)
   campaign <e9|e10|fuzz>       run an experiment as a supervised campaign
+  serve    [opts]              compile-as-a-service daemon (see below)
+  bench-serve [opts]           deterministic load generator for the daemon
   cache    <stats|clear>       inspect or wipe the compilation cache
   mdl dump <machine>           print a reference machine as MDL text
 
@@ -78,12 +82,40 @@ campaign options:
   are byte-identical for any --jobs value, and a killed campaign resumed
   with --resume completes to the same table as an uninterrupted run.
 
+serve options:
+      --port <n>               TCP port on 127.0.0.1 (default 7077)
+      --jobs <n>               compile worker threads (default 4)
+      --queue-bound <n>        max in-flight compiles; beyond it requests
+                               are shed with a 503 (default 64)
+      --deadline-ms <n>        per-request deadline (default 10000)
+      --rate <n>               per-client token-bucket rate, requests/s
+                               (default: unlimited)
+
+  The daemon speaks newline-delimited JSON: {{\"op\":\"compile\",...}},
+  {{\"op\":\"ping\"}}, {{\"op\":\"stats\"}}, {{\"op\":\"drain\"}}. SIGTERM,
+  SIGINT, or a drain frame stop admission, finish the in-flight
+  requests, flush the cache journal, and exit 0.
+
+bench-serve options:
+      --clients <n>            closed-loop client threads (default 8)
+      --rps <n>                paced request rate (default 200)
+      --duration-ms <n>        schedule length (default 2000)
+      --seed <n>               request-mix seed (default 42)
+      --jobs <n>               server worker threads (default 2)
+      --queue-bound <n>        server admission bound (default 8)
+      --json <file>            report path (default BENCH_serve.json)
+
+  stdout carries only seed-determined invariants (byte-identical across
+  --clients and --jobs); latency/shed numbers go to stderr and the JSON.
+
 cache:
   compile/disasm/encode/run reuse artifacts from a content-addressed
   cache (in-memory plus an on-disk tier under .mcc-cache, or
   MCC_CACHE_DIR). A hit is byte-identical to a cold compile. `mcc cache
-  stats` prints lifetime hit/miss counters; `mcc cache clear` wipes the
-  store. MCC_NO_CACHE=1 is equivalent to passing --no-cache everywhere."
+  stats` prints lifetime hit/miss/eviction counters; `mcc cache clear`
+  wipes the store. The disk tier is byte-capped (MCC_CACHE_MAX_BYTES,
+  default 256 MiB, 0 = unbounded) with oldest-first eviction.
+  MCC_NO_CACHE=1 is equivalent to passing --no-cache everywhere."
     );
     ExitCode::from(2)
 }
@@ -106,10 +138,32 @@ struct Args {
     deadline_ms: Option<u64>,
     retries: Option<u32>,
     journal: Option<String>,
+    port: Option<u16>,
+    queue_bound: Option<usize>,
+    rate: Option<u32>,
+    clients: Option<usize>,
+    rps: Option<u64>,
+    duration_ms: Option<u64>,
+    json: Option<String>,
     resume: bool,
     chaos: bool,
     no_cache: bool,
     positional: Vec<String>,
+}
+
+/// Validates a worker-count flag: zero workers is a configuration error
+/// everywhere (`mcc campaign --jobs 0` would deadlock on an empty pool),
+/// so it gets a diagnostic and the flag-error exit status (2), matching
+/// malformed numeric values.
+fn positive_jobs(flag: &str, jobs: Option<usize>, default: usize) -> usize {
+    match jobs {
+        Some(0) => {
+            eprintln!("mcc: {flag} must be at least 1 (got 0)");
+            std::process::exit(2);
+        }
+        Some(n) => n,
+        None => default,
+    }
 }
 
 /// Parses a numeric flag value; a missing or malformed value is a hard
@@ -146,6 +200,13 @@ fn parse_args() -> Option<Args> {
         deadline_ms: None,
         retries: None,
         journal: None,
+        port: None,
+        queue_bound: None,
+        rate: None,
+        clients: None,
+        rps: None,
+        duration_ms: None,
+        json: None,
         resume: false,
         chaos: false,
         no_cache: false,
@@ -169,6 +230,13 @@ fn parse_args() -> Option<Args> {
             "--deadline-ms" => a.deadline_ms = Some(numeric("--deadline-ms", it.next())?),
             "--retries" => a.retries = Some(numeric("--retries", it.next())?),
             "--journal" => a.journal = Some(it.next()?),
+            "--port" => a.port = Some(numeric("--port", it.next())?),
+            "--queue-bound" => a.queue_bound = Some(numeric("--queue-bound", it.next())?),
+            "--rate" => a.rate = Some(numeric("--rate", it.next())?),
+            "--clients" => a.clients = Some(numeric("--clients", it.next())?),
+            "--rps" => a.rps = Some(numeric("--rps", it.next())?),
+            "--duration-ms" => a.duration_ms = Some(numeric("--duration-ms", it.next())?),
+            "--json" => a.json = Some(it.next()?),
             "--resume" => a.resume = true,
             "--chaos" => a.chaos = true,
             "--no-cache" => a.no_cache = true,
@@ -315,7 +383,7 @@ fn campaign_command(args: &Args) -> Result<(), String> {
     let seed = args.seed.unwrap_or(1);
     let cfg = HarnessConfig {
         campaign: which.to_string(),
-        workers: args.jobs.unwrap_or(4),
+        workers: positive_jobs("campaign: --jobs", args.jobs, 4),
         deadline: Some(Duration::from_millis(args.deadline_ms.unwrap_or(60_000))),
         attempts: args.retries.unwrap_or(2) + 1,
         backoff: BackoffConfig::default(),
@@ -442,6 +510,94 @@ fn fault_campaign(
     println!("  coverage        {:>5.1}%", t.coverage() * 100.0);
 }
 
+/// Signal plumbing for the daemon: SIGTERM and SIGINT flip the stop flag
+/// the accept loop polls, so either begins the graceful drain. The
+/// handler only stores to an atomic — async-signal-safe by construction.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    static STOP: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    extern "C" fn on_signal(_sig: i32) {
+        if let Some(stop) = STOP.get() {
+            stop.store(true, Ordering::SeqCst);
+        }
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    /// Routes SIGTERM/SIGINT into `stop`.
+    pub fn install(stop: &Arc<AtomicBool>) {
+        let _ = STOP.set(Arc::clone(stop));
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    /// Non-unix targets drain via the `drain` frame only.
+    pub fn install(_stop: &Arc<AtomicBool>) {}
+}
+
+/// `mcc serve`: the compile daemon on 127.0.0.1. Runs until SIGTERM,
+/// SIGINT, or a `drain` frame, then drains gracefully and exits 0.
+fn serve_command(args: &Args) -> Result<(), String> {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    let cfg = mcc::serve::ServeConfig {
+        workers: positive_jobs("serve: --jobs", args.jobs, 4),
+        queue_bound: positive_jobs("serve: --queue-bound", args.queue_bound, 64),
+        deadline: std::time::Duration::from_millis(args.deadline_ms.unwrap_or(10_000)),
+        rate_per_client: args.rate,
+        ..mcc::serve::ServeConfig::default()
+    };
+    let port = args.port.unwrap_or(7077);
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| format!("serve: cannot bind 127.0.0.1:{port}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let (workers, bound) = (cfg.workers, cfg.queue_bound);
+    let server = Arc::new(mcc::serve::Server::start(cfg));
+    let stop = Arc::new(AtomicBool::new(false));
+    sig::install(&stop);
+    eprintln!(
+        "mcc serve: listening on {addr} ({workers} workers, queue bound {bound}); \
+         stop with SIGTERM/SIGINT or a drain frame"
+    );
+    mcc::serve::tcp::serve(Arc::clone(&server), listener, stop).map_err(|e| e.to_string())?;
+    let in_flight = server.drain();
+    eprintln!("mcc serve: drained ({in_flight} requests were in flight); cache journal flushed");
+    Ok(())
+}
+
+/// `mcc bench-serve`: the seeded closed-loop load generator (stdout is
+/// deterministic; timing goes to stderr and the JSON report).
+fn bench_serve_command(args: &Args) -> Result<(), String> {
+    let cfg = mcc::bench::serveload::LoadConfig {
+        clients: positive_jobs("bench-serve: --clients", args.clients, 8),
+        rps: args.rps.unwrap_or(200).max(1),
+        duration_ms: args.duration_ms.unwrap_or(2_000),
+        seed: args.seed.unwrap_or(42),
+        workers: positive_jobs("bench-serve: --jobs", args.jobs, 2),
+        queue_bound: positive_jobs("bench-serve: --queue-bound", args.queue_bound, 8),
+        json_path: args.json.clone().unwrap_or_else(|| "BENCH_serve.json".to_string()),
+    };
+    mcc::bench::serveload::run(&cfg)
+}
+
 /// `mcc cache stats|clear`: inspect or wipe the on-disk artifact store.
 /// The "lifetime:" line is stable and greppable — CI parses it to assert
 /// a warmed cache actually served hits.
@@ -460,16 +616,21 @@ fn cache_command(args: &Args) -> Result<(), String> {
             let lookups = n.hits() + n.misses;
             println!("cache directory: {}", dir.display());
             println!(
-                "entries: {entries} ({} bytes on disk)",
-                mcc::cache::disk::log_bytes(&dir)
+                "entries: {entries} ({} bytes on disk, cap {})",
+                mcc::cache::disk::log_bytes(&dir),
+                match mcc::cache::disk::configured_cap() {
+                    Some(cap) => format!("{cap} bytes"),
+                    None => "unbounded".to_string(),
+                }
             );
             println!(
-                "lifetime: {} hits ({} memory + {} disk), {} misses, {} stores",
+                "lifetime: {} hits ({} memory + {} disk), {} misses, {} stores, {} evictions",
                 n.hits(),
                 n.hits_memory,
                 n.hits_disk,
                 n.misses,
-                n.stores
+                n.stores,
+                n.evictions
             );
             if lookups > 0 {
                 println!(
@@ -503,7 +664,7 @@ fn main() -> ExitCode {
     // the store is never fatal — the in-memory tier still works.
     if matches!(
         args.command.as_str(),
-        "compile" | "disasm" | "encode" | "run" | "campaign"
+        "compile" | "disasm" | "encode" | "run" | "campaign" | "serve"
     ) && mcc::cache::enabled()
     {
         if let Err(e) = mcc::cache::attach_default_disk() {
@@ -588,6 +749,8 @@ fn main() -> ExitCode {
             Ok(())
         }),
         "campaign" => campaign_command(&args),
+        "serve" => serve_command(&args),
+        "bench-serve" => bench_serve_command(&args),
         "cache" => cache_command(&args),
         "fuzz" => {
             return match fuzz_command(&args) {
