@@ -146,6 +146,23 @@ pub fn key_of(m: &MachineDesc, lang: SourceLang, opts: &CompilerOptions, src: &s
     CacheKey(h.0)
 }
 
+/// The routing address of a wire-level compile request: the same 128-bit
+/// content address a backend's [`compile_cached`] computes for it under
+/// default options, derived from the wire names. `None` when a name does
+/// not resolve (the router then falls back to a raw-bytes hash and lets
+/// the chosen backend answer the structured `400`).
+///
+/// Placement only needs *agreement*, not exact key equality: a request
+/// served at a degraded pressure tier compiles under tightened options
+/// (a different full cache key), but it still lands on the shard that
+/// owns every tier of that source — which is what keeps per-shard cache
+/// locality intact.
+pub fn key_for_wire(machine: &str, lang: &str, src: &str) -> Option<CacheKey> {
+    let m = mcc_machine::machines::by_name(machine)?;
+    let lang = SourceLang::from_name(lang)?;
+    Some(key_of(&m, lang, &CompilerOptions::default(), src))
+}
+
 // -------------------------------------------------------------- cache ----
 
 /// Whether a freshly compiled artifact is persisted to the disk tier
@@ -494,6 +511,19 @@ mod tests {
         let mut o2 = opts.clone();
         o2.algorithm = Algorithm::Linear;
         assert_ne!(base, key_of(&m, SourceLang::Yalll, &o2, SRC));
+    }
+
+    #[test]
+    fn wire_key_matches_the_compile_key_and_rejects_bad_names() {
+        let m = hm1();
+        assert_eq!(
+            key_for_wire("hm1", "yalll", SRC),
+            Some(key_of(&m, SourceLang::Yalll, &CompilerOptions::default(), SRC)),
+            "the router and the backend must derive the same address"
+        );
+        assert_ne!(key_for_wire("hm1", "yalll", SRC), key_for_wire("vm1", "yalll", SRC));
+        assert_eq!(key_for_wire("not-a-machine", "yalll", SRC), None);
+        assert_eq!(key_for_wire("hm1", "klingon", SRC), None);
     }
 
     #[test]

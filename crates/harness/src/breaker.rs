@@ -1,4 +1,5 @@
-//! Per-key circuit breakers.
+//! Circuit breakers: a single [`Breaker`] state machine plus the
+//! campaign's per-key [`BreakerBank`].
 //!
 //! A campaign fans many jobs over a small set of (frontend, algorithm)
 //! style keys. When one key is pathological — every job on it panics or
@@ -9,8 +10,14 @@
 //! cool-down the breaker admits a single probe; a probe success closes
 //! the breaker, a probe failure re-opens it.
 //!
+//! The same machine guards *backends* in `mcc route`: one standalone
+//! [`Breaker`] per shard, fed by health probes and request outcomes, so
+//! a dead or sick backend is rejected-fast and traffic fails over to its
+//! ring successor until a probe succeeds.
+//!
 //! Time is logical, not wall-clock: the supervisor advances one tick per
-//! job resolution, so breaker behaviour is deterministic and testable.
+//! job resolution (the router per recorded outcome), so breaker
+//! behaviour is deterministic and testable.
 
 use std::collections::HashMap;
 
@@ -32,7 +39,7 @@ impl Default for BreakerConfig {
     }
 }
 
-/// One key's breaker state.
+/// One breaker's state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum State {
     /// Normal operation; counts consecutive failures.
@@ -43,7 +50,7 @@ enum State {
     HalfOpen,
 }
 
-/// What the breaker says about dispatching a job on some key.
+/// What the breaker says about dispatching a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Admit {
     /// Closed: run the job normally.
@@ -54,13 +61,104 @@ pub enum Admit {
     Reject,
 }
 
+/// One closed → open → half-open circuit breaker. The campaign bank
+/// keys a map of these; `mcc route` holds one per backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Breaker {
+    cfg: BreakerConfig,
+    state: State,
+    trips: u64,
+}
+
+impl Breaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(cfg: BreakerConfig) -> Breaker {
+        Breaker {
+            cfg,
+            state: State::Closed { consecutive: 0 },
+            trips: 0,
+        }
+    }
+
+    /// Times this breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Whether the breaker is closed (normal operation).
+    pub fn is_closed(&self) -> bool {
+        matches!(self.state, State::Closed { .. })
+    }
+
+    /// The state name (`closed` | `open` | `half-open`) for stats output.
+    pub fn state_name(&self) -> &'static str {
+        match self.state {
+            State::Closed { .. } => "closed",
+            State::Open { .. } => "open",
+            State::HalfOpen => "half-open",
+        }
+    }
+
+    /// Asks whether a job may run at logical time `now`. Transitions
+    /// Open → HalfOpen when the cool-down has elapsed; the caller must
+    /// report the probe's outcome via [`on_success`](Self::on_success) /
+    /// [`on_failure`](Self::on_failure).
+    pub fn admit(&mut self, now: u64) -> Admit {
+        match self.state {
+            State::Closed { .. } => Admit::Execute,
+            State::Open { since } => {
+                if now.saturating_sub(since) >= self.cfg.cooldown {
+                    self.state = State::HalfOpen;
+                    Admit::Probe
+                } else {
+                    Admit::Reject
+                }
+            }
+            // One probe at a time: while it is in flight, everything
+            // else stays rejected.
+            State::HalfOpen => Admit::Reject,
+        }
+    }
+
+    /// Records a success. Closes a half-open breaker and resets the
+    /// failure streak.
+    pub fn on_success(&mut self) {
+        self.state = State::Closed { consecutive: 0 };
+    }
+
+    /// Records one failed attempt at logical time `now` (every attempt
+    /// counts, so a retry storm trips the breaker even when each job
+    /// still has budget left). Returns `true` when this failure trips
+    /// the breaker open.
+    pub fn on_failure(&mut self, now: u64) -> bool {
+        match self.state {
+            State::Closed { consecutive } => {
+                let consecutive = consecutive + 1;
+                if consecutive >= self.cfg.threshold {
+                    self.state = State::Open { since: now };
+                    self.trips += 1;
+                    true
+                } else {
+                    self.state = State::Closed { consecutive };
+                    false
+                }
+            }
+            // Failed probe: back to open, cool-down restarts.
+            State::HalfOpen => {
+                self.state = State::Open { since: now };
+                self.trips += 1;
+                true
+            }
+            State::Open { .. } => false,
+        }
+    }
+}
+
 /// The campaign's breaker bank, one state machine per key.
 #[derive(Debug, Default)]
 pub struct BreakerBank {
     cfg: BreakerConfig,
-    states: HashMap<String, State>,
-    /// Total trips, for the supervision summary.
-    trips: u64,
+    states: HashMap<String, Breaker>,
 }
 
 impl BreakerBank {
@@ -69,13 +167,12 @@ impl BreakerBank {
         BreakerBank {
             cfg,
             states: HashMap::new(),
-            trips: 0,
         }
     }
 
     /// Total times any breaker has tripped open.
     pub fn trips(&self) -> u64 {
-        self.trips
+        self.states.values().map(Breaker::trips).sum()
     }
 
     /// Keys whose breaker is currently open or half-open, sorted.
@@ -83,74 +180,36 @@ impl BreakerBank {
         let mut keys: Vec<String> = self
             .states
             .iter()
-            .filter(|(_, s)| !matches!(s, State::Closed { .. }))
+            .filter(|(_, b)| !b.is_closed())
             .map(|(k, _)| k.clone())
             .collect();
         keys.sort();
         keys
     }
 
-    /// Asks whether a job on `key` may run at logical time `now`.
-    /// Transitions Open → HalfOpen when the cool-down has elapsed; the
-    /// caller must report the probe's outcome via
-    /// [`on_success`](Self::on_success) / [`on_failure`](Self::on_failure).
+    fn entry(&mut self, key: &str) -> &mut Breaker {
+        if !self.states.contains_key(key) {
+            self.states.insert(key.to_string(), Breaker::new(self.cfg));
+        }
+        self.states.get_mut(key).expect("just inserted")
+    }
+
+    /// Asks whether a job on `key` may run at logical time `now` (see
+    /// [`Breaker::admit`]).
     pub fn admit(&mut self, key: &str, now: u64) -> Admit {
-        let state = self
-            .states
-            .entry(key.to_string())
-            .or_insert(State::Closed { consecutive: 0 });
-        match *state {
-            State::Closed { .. } => Admit::Execute,
-            State::Open { since } => {
-                if now.saturating_sub(since) >= self.cfg.cooldown {
-                    *state = State::HalfOpen;
-                    Admit::Probe
-                } else {
-                    Admit::Reject
-                }
-            }
-            // One probe at a time: while it is in flight, everything
-            // else on the key stays rejected.
-            State::HalfOpen => Admit::Reject,
-        }
+        self.entry(key).admit(now)
     }
 
-    /// Records a successful job on `key`. Closes a half-open breaker and
-    /// resets the failure streak.
+    /// Records a successful job on `key` (see [`Breaker::on_success`]).
     pub fn on_success(&mut self, key: &str) {
-        self.states
-            .insert(key.to_string(), State::Closed { consecutive: 0 });
+        self.entry(key).on_success();
     }
 
-    /// Records one failed attempt on `key` at logical time `now` (every
-    /// attempt counts, so a retry storm on one key trips its breaker
-    /// even when each job still has budget left). Returns `true` when
-    /// this failure trips the breaker open.
+    /// Records one failed attempt on `key` at logical time `now` (see
+    /// [`Breaker::on_failure`]). Returns `true` when this failure trips
+    /// the breaker open.
     pub fn on_failure(&mut self, key: &str, now: u64) -> bool {
-        let state = self
-            .states
-            .entry(key.to_string())
-            .or_insert(State::Closed { consecutive: 0 });
-        match *state {
-            State::Closed { consecutive } => {
-                let consecutive = consecutive + 1;
-                if consecutive >= self.cfg.threshold {
-                    *state = State::Open { since: now };
-                    self.trips += 1;
-                    true
-                } else {
-                    *state = State::Closed { consecutive };
-                    false
-                }
-            }
-            // Failed probe: back to open, cool-down restarts.
-            State::HalfOpen => {
-                *state = State::Open { since: now };
-                self.trips += 1;
-                true
-            }
-            State::Open { .. } => false,
-        }
+        self.entry(key).on_failure(now)
     }
 }
 
@@ -226,5 +285,25 @@ mod tests {
         assert_eq!(b.admit("good", 4), Admit::Execute);
         b.on_success("good");
         assert_eq!(b.degraded_keys(), vec!["bad".to_string()]);
+    }
+
+    #[test]
+    fn standalone_breaker_full_lifecycle() {
+        let mut b = Breaker::new(BreakerConfig {
+            threshold: 2,
+            cooldown: 4,
+        });
+        assert!(b.is_closed());
+        assert_eq!(b.state_name(), "closed");
+        assert_eq!(b.admit(0), Admit::Execute);
+        assert!(!b.on_failure(0));
+        assert!(b.on_failure(1), "second consecutive failure trips");
+        assert_eq!(b.state_name(), "open");
+        assert_eq!(b.admit(2), Admit::Reject);
+        assert_eq!(b.admit(5), Admit::Probe, "cool-down elapsed at 1+4");
+        assert_eq!(b.state_name(), "half-open");
+        b.on_success();
+        assert!(b.is_closed());
+        assert_eq!(b.trips(), 1);
     }
 }

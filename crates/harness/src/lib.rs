@@ -45,12 +45,14 @@ use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 pub use backoff::BackoffConfig;
-pub use breaker::{Admit, BreakerBank, BreakerConfig};
+pub use breaker::{Admit, Breaker, BreakerBank, BreakerConfig};
 pub use chaos::{ChaosPlan, Fault};
 pub use journal::{Header, JobRecord, JobStatus, Journal, JournalError};
 pub use pool::{PoolHandle, Task, TaskOutcome, WorkerPool};
 
-pub(crate) fn splitmix64(mut x: u64) -> u64 {
+/// SplitMix64 — the toolkit's standard seedable mixer, shared by backoff
+/// jitter, chaos decisions, the load generator, and the routing ring.
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

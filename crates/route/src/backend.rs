@@ -1,0 +1,249 @@
+//! Backend transports: how the router actually reaches a shard.
+//!
+//! A [`Backend`] turns one request line into one response line.
+//! `Err` means *transport* failure — connect refused, connection torn
+//! mid-frame, backend process gone — and feeds the shard's circuit
+//! breaker. Structured protocol errors (`400`, `503`, …) come back as
+//! `Ok`: the shard answered, so it is healthy, whatever it said.
+//!
+//! Two transports:
+//!
+//! * [`InProcBackend`] wraps an in-process [`Server`] — the bench fleet
+//!   and the deterministic unit tests, with a [`kill`] switch that
+//!   simulates a SIGKILLed shard;
+//! * [`TcpBackend`] pools real connections to a remote `mcc serve`,
+//!   reconnecting with the harness's capped-exponential,
+//!   splitmix64-jittered backoff so a restarting fleet of routers does
+//!   not stampede a recovering shard.
+//!
+//! [`kill`]: InProcBackend::kill
+
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mcc_harness::backoff::{self, BackoffConfig};
+use mcc_serve::tcp::write_frame;
+use mcc_serve::Server;
+
+/// One shard, behind whatever transport reaches it.
+pub trait Backend: Send + Sync {
+    /// The shard's stable name (ring placement hashes this).
+    fn name(&self) -> &str;
+
+    /// One request line in, one response line out. `Err` is a transport
+    /// failure and trips the breaker; structured errors are `Ok`.
+    fn call(&self, line: &str, client: &str) -> Result<String, String>;
+}
+
+/// An in-process shard: calls straight into a [`Server`], with a kill
+/// switch for deterministic failover tests.
+pub struct InProcBackend {
+    name: String,
+    server: Arc<Server>,
+    dead: AtomicBool,
+}
+
+impl InProcBackend {
+    /// Wraps `server` as the shard named `name`.
+    pub fn new(name: &str, server: Arc<Server>) -> InProcBackend {
+        InProcBackend {
+            name: name.to_string(),
+            server,
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// Simulates SIGKILL: every subsequent call is a transport failure.
+    pub fn kill(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+    }
+
+    /// Undoes [`kill`](InProcBackend::kill) — the shard restarted.
+    pub fn revive(&self) {
+        self.dead.store(false, Ordering::SeqCst);
+    }
+
+    /// The wrapped server (for counter assertions in tests).
+    pub fn server(&self) -> &Arc<Server> {
+        &self.server
+    }
+}
+
+impl Backend for InProcBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn call(&self, line: &str, client: &str) -> Result<String, String> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(format!("{}: connection refused (killed)", self.name));
+        }
+        Ok(self.server.handle_line(line, client).to_line())
+    }
+}
+
+/// A remote shard over TCP, with a small connection pool and
+/// deterministic reconnect backoff.
+pub struct TcpBackend {
+    name: String,
+    addr: String,
+    pool: Mutex<Vec<TcpStream>>,
+    backoff: BackoffConfig,
+    seed: u64,
+    connect_attempts: u32,
+}
+
+impl TcpBackend {
+    /// A backend reaching `addr`, retrying failed connects
+    /// `connect_attempts` times on the jittered schedule derived from
+    /// `seed` and the backend name.
+    pub fn new(name: &str, addr: &str, seed: u64, connect_attempts: u32) -> TcpBackend {
+        TcpBackend {
+            name: name.to_string(),
+            addr: addr.to_string(),
+            pool: Mutex::new(Vec::new()),
+            backoff: BackoffConfig::default(),
+            seed,
+            connect_attempts: connect_attempts.max(1),
+        }
+    }
+
+    /// Connects with capped-exponential backoff; the jitter is a pure
+    /// function of `(seed, backend name, attempt)`, so a router fleet
+    /// restarting together still spreads its reconnects.
+    fn connect(&self) -> Result<TcpStream, String> {
+        let mut last = String::new();
+        for attempt in 1..=self.connect_attempts {
+            if attempt > 1 {
+                std::thread::sleep(backoff::delay(
+                    &self.backoff,
+                    self.seed,
+                    &self.name,
+                    attempt - 1,
+                ));
+            }
+            match TcpStream::connect(&self.addr) {
+                Ok(s) => {
+                    s.set_nodelay(true).ok();
+                    return Ok(s);
+                }
+                Err(e) => last = e.to_string(),
+            }
+        }
+        Err(format!("{}: connect {} failed: {last}", self.name, self.addr))
+    }
+
+    /// One request/response round trip on an established connection.
+    fn round_trip(stream: &mut TcpStream, line: &str) -> Result<String, String> {
+        write_frame(stream, line.as_bytes()).map_err(|e| format!("write: {e}"))?;
+        // The server sends exactly one line per request, so a throwaway
+        // BufReader cannot strand buffered bytes.
+        let mut reader = BufReader::new(stream);
+        let mut resp = String::new();
+        match reader.read_line(&mut resp) {
+            Ok(0) => Err("connection closed mid-response".to_string()),
+            Ok(_) => Ok(resp),
+            Err(e) => Err(format!("read: {e}")),
+        }
+    }
+}
+
+impl Backend for TcpBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn call(&self, line: &str, _client: &str) -> Result<String, String> {
+        // First try a pooled connection; a stale one (shard restarted,
+        // idle reaper closed it) falls through to a fresh connect, so
+        // one dead pooled socket never fails the request. The pop is
+        // bound outside the `if let` — an `if let` on the lock result
+        // would hold the guard through the body (edition-2021 scrutinee
+        // lifetime) and deadlock against the push below.
+        let pooled = self.pool.lock().unwrap().pop();
+        if let Some(mut s) = pooled {
+            if let Ok(resp) = Self::round_trip(&mut s, line) {
+                self.pool.lock().unwrap().push(s);
+                return Ok(resp);
+            }
+        }
+        let mut s = self.connect()?;
+        let resp = Self::round_trip(&mut s, line)?;
+        self.pool.lock().unwrap().push(s);
+        Ok(resp)
+    }
+}
+
+/// A line terminated by `\n`, with `"backend":"<name>"` spliced in
+/// before the closing brace — how the router marks which shard served a
+/// response, so tests and the bench can audit placement end to end.
+pub fn tag_backend(line: &str, name: &str) -> String {
+    let t = line.trim_end();
+    if let Some(body) = t.strip_suffix('}') {
+        format!("{body},\"backend\":\"{}\"}}\n", mcc_harness::json::esc(name))
+    } else {
+        // Not an object (shouldn't happen) — pass through untagged.
+        format!("{t}\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_serve::{proto::Response, ServeConfig};
+
+    #[test]
+    fn inproc_serves_then_kill_fails_then_revive_serves() {
+        let b = InProcBackend::new("b0", Arc::new(Server::start(ServeConfig::default())));
+        let pong = b.call("{\"op\":\"ping\"}\n", "t").expect("live backend answers");
+        assert_eq!(Response::field_num(&pong, "code"), Some(200));
+        b.kill();
+        assert!(b.call("{\"op\":\"ping\"}\n", "t").is_err(), "killed = transport error");
+        b.revive();
+        assert!(b.call("{\"op\":\"ping\"}\n", "t").is_ok());
+    }
+
+    #[test]
+    fn tag_backend_splices_the_shard_name() {
+        let tagged = tag_backend("{\"id\":\"r1\",\"code\":200}\n", "b2");
+        assert_eq!(tagged, "{\"id\":\"r1\",\"code\":200,\"backend\":\"b2\"}\n");
+        assert_eq!(Response::field_str(&tagged, "backend").as_deref(), Some("b2"));
+    }
+
+    #[test]
+    fn tcp_backend_reuses_its_pooled_connection_across_calls() {
+        let server = Arc::new(Server::start(ServeConfig::default()));
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let (server, stop) = (server.clone(), stop.clone());
+            std::thread::spawn(move || mcc_serve::tcp::serve(server, listener, stop))
+        };
+        let b = TcpBackend::new("b0", &addr, 1, 2);
+        // Sequential calls after the first must reuse the pooled
+        // connection; this once deadlocked because the pool guard lived
+        // through the `if let` body.
+        for i in 0..3 {
+            let resp = b.call("{\"op\":\"ping\"}\n", "t").expect("pooled call answers");
+            assert_eq!(Response::field_num(&resp, "code"), Some(200), "call {i}");
+        }
+        assert_eq!(b.pool.lock().unwrap().len(), 1, "one connection, reused");
+        stop.store(true, Ordering::SeqCst);
+        handle.join().ok();
+    }
+
+    #[test]
+    fn tcp_backend_reports_connect_failure_with_the_backend_name() {
+        // A port nothing listens on: bind-then-drop reserves one.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let b = TcpBackend::new("b7", &addr, 1, 2);
+        let err = b.call("{\"op\":\"ping\"}\n", "t").unwrap_err();
+        assert!(err.contains("b7"), "error names the shard: {err}");
+    }
+}

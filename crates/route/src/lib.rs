@@ -1,0 +1,768 @@
+//! `mcc-route`: a shard router in front of a fleet of `mcc serve`
+//! backends, speaking the same newline-delimited protocol on both
+//! sides.
+//!
+//! Placement is a consistent-hash ring ([`Ring`]) over the compile
+//! request's content-addressed cache key — the same 128-bit key
+//! `mcc-cache` uses — so a given source always lands on the same shard
+//! and the fleet's caches partition instead of duplicating. Everything
+//! else is about what happens when a shard misbehaves:
+//!
+//! * **Health probes.** A probe thread pings every backend on a fixed
+//!   interval; the pong carries the shard's `draining` flag, so a
+//!   draining backend counts as unhealthy and traffic moves off it
+//!   before it stops answering.
+//! * **Per-backend circuit breakers.** Probe and request outcomes feed
+//!   one [`Breaker`] per shard (closed → open → half-open, logical
+//!   ticks). An open backend is skipped at dispatch; a half-open one
+//!   admits a single probe.
+//! * **Deterministic failover.** A transport failure fails over to the
+//!   next live ring successor — the same order every time, because the
+//!   ring is a pure function of names and the key.
+//! * **Request hedging.** If the primary has not answered within
+//!   `hedge_after`, the same idempotent compile is fired at the ring
+//!   successor; the first response wins and the loser's outcome is
+//!   discarded (its send lands on a dropped channel).
+//! * **Hot-key replication.** A count-min sketch spots keys hot enough
+//!   to swamp one shard; their traffic rotates between the primary and
+//!   its first successor, warming both caches.
+//! * **Graceful drain.** Draining the router stops admission, waits out
+//!   in-flight requests, stops the probes, then propagates the drain to
+//!   every backend — strictly in that order, so no request is in flight
+//!   anywhere when the fleet goes down.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mcc_harness::{Admit, Breaker, BreakerConfig};
+use mcc_serve::proto::{frame_id, parse_request, CompileReq, Request, Response};
+use mcc_serve::tcp::LineHandler;
+
+pub mod backend;
+pub mod ring;
+pub mod sketch;
+
+pub use backend::{tag_backend, Backend, InProcBackend, TcpBackend};
+pub use ring::Ring;
+pub use sketch::Sketch;
+
+/// How often the drain loop re-checks the in-flight count.
+const DRAIN_TICK: Duration = Duration::from_millis(2);
+
+/// Router tuning. Everything that affects *placement* (vnodes, seed) or
+/// *policy* (hedging, breakers, hot threshold) lives here, so a config
+/// fully determines routing behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteConfig {
+    /// Virtual nodes per backend on the ring.
+    pub vnodes: usize,
+    /// Fire a hedge at the ring successor after this long without a
+    /// primary response; `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+    /// Health-probe period.
+    pub probe_interval: Duration,
+    /// Per-backend breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Sketch estimate at which a key counts as hot and starts rotating
+    /// across two shards.
+    pub hot_threshold: u64,
+    /// Seed for the sketch rows and reconnect jitter.
+    pub seed: u64,
+    /// Idle-connection reaper timeout for the router's own listener.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for RouteConfig {
+    fn default() -> Self {
+        RouteConfig {
+            vnodes: 64,
+            hedge_after: Some(Duration::from_millis(50)),
+            probe_interval: Duration::from_millis(250),
+            breaker: BreakerConfig::default(),
+            hot_threshold: 64,
+            seed: 0,
+            idle_timeout: Some(Duration::from_millis(30_000)),
+        }
+    }
+}
+
+/// Router service counters (all relaxed: they feed `stats`, not control
+/// flow).
+#[derive(Debug, Default)]
+pub struct RouteCounters {
+    /// Compile requests routed (admitted past the drain gate).
+    pub routed: AtomicU64,
+    /// Requests re-fired at a successor after a transport failure.
+    pub failovers: AtomicU64,
+    /// Hedges fired after the latency threshold.
+    pub hedges: AtomicU64,
+    /// Hedged requests won by the hedge, not the primary.
+    pub hedge_wins: AtomicU64,
+    /// Requests answered `503` because no live backend remained.
+    pub no_backend: AtomicU64,
+    /// Requests routed via hot-key rotation.
+    pub hot_routed: AtomicU64,
+    /// Requests rejected `503` while the router drains.
+    pub drain_rejects: AtomicU64,
+    /// Malformed frames answered `400` at the router.
+    pub bad_requests: AtomicU64,
+    /// Health probes that failed (fed the breaker).
+    pub probe_failures: AtomicU64,
+    /// Idle connections reaped on the router's own listener.
+    pub idle_reaped: AtomicU64,
+    /// Responses served, per backend index.
+    pub served: Vec<AtomicU64>,
+}
+
+/// The shard router. Construct with [`Router::new`], optionally start
+/// the probe thread with [`Router::start_probes`], serve lines via the
+/// shared [`LineHandler`] loop or call [`Router::handle_line`] directly.
+pub struct Router {
+    cfg: RouteConfig,
+    backends: Vec<Arc<dyn Backend>>,
+    ring: Ring,
+    sketch: Mutex<Sketch>,
+    breakers: Vec<Mutex<Breaker>>,
+    /// Logical clock: one tick per breaker decision (admit / recorded
+    /// failure / probe), shared by requests and probes — deterministic,
+    /// no wall time.
+    tick: AtomicU64,
+    counters: RouteCounters,
+    draining: AtomicBool,
+    inflight: AtomicUsize,
+    probe_stop: Arc<AtomicBool>,
+    probe_handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// Decrements the in-flight gauge on every exit path.
+struct InflightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl Router {
+    /// A router over `backends` (ring order is by backend *name*, so
+    /// every router given the same names agrees on placement).
+    ///
+    /// # Panics
+    ///
+    /// If `backends` is empty.
+    pub fn new(backends: Vec<Arc<dyn Backend>>, cfg: RouteConfig) -> Router {
+        let names: Vec<String> = backends.iter().map(|b| b.name().to_string()).collect();
+        let ring = Ring::new(&names, cfg.vnodes);
+        let breakers = backends
+            .iter()
+            .map(|_| Mutex::new(Breaker::new(cfg.breaker)))
+            .collect();
+        let counters = RouteCounters {
+            served: backends.iter().map(|_| AtomicU64::new(0)).collect(),
+            ..RouteCounters::default()
+        };
+        Router {
+            sketch: Mutex::new(Sketch::new(1024, 4, cfg.seed)),
+            cfg,
+            backends,
+            ring,
+            breakers,
+            tick: AtomicU64::new(0),
+            counters,
+            draining: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            probe_stop: Arc::new(AtomicBool::new(false)),
+            probe_handle: Mutex::new(None),
+        }
+    }
+
+    /// Spawns the health-probe thread: every `probe_interval`, ping each
+    /// backend its breaker admits and feed the outcome back. A pong is
+    /// healthy only if it is a `200` *and* the shard is not draining.
+    pub fn start_probes(router: &Arc<Router>) {
+        let r = Arc::clone(router);
+        let stop = Arc::clone(&router.probe_stop);
+        let handle = std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                for i in 0..r.backends.len() {
+                    let now = r.now();
+                    let admit = r.breakers[i].lock().unwrap().admit(now);
+                    if admit == Admit::Reject {
+                        continue;
+                    }
+                    let healthy = match r.backends[i].call("{\"op\":\"ping\"}\n", "route-probe")
+                    {
+                        Ok(pong) => {
+                            Response::field_num(&pong, "code") == Some(200)
+                                && Response::field_str(&pong, "draining").as_deref()
+                                    != Some("true")
+                        }
+                        Err(_) => false,
+                    };
+                    if healthy {
+                        r.breakers[i].lock().unwrap().on_success();
+                    } else {
+                        r.counters.bump(&r.counters.probe_failures);
+                        let at = r.now();
+                        r.breakers[i].lock().unwrap().on_failure(at);
+                    }
+                }
+                std::thread::sleep(r.cfg.probe_interval);
+            }
+        });
+        *router.probe_handle.lock().unwrap() = Some(handle);
+    }
+
+    /// Stops and joins the probe thread (idempotent).
+    pub fn stop_probes(&self) {
+        self.probe_stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.probe_handle.lock().unwrap().take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Router counters.
+    pub fn counters(&self) -> &RouteCounters {
+        &self.counters
+    }
+
+    /// Backend names in ring-index order.
+    pub fn backend_names(&self) -> Vec<String> {
+        self.backends.iter().map(|b| b.name().to_string()).collect()
+    }
+
+    /// The breaker state (`closed` | `open` | `half-open`) of backend
+    /// `idx`.
+    pub fn breaker_state(&self, idx: usize) -> &'static str {
+        self.breakers[idx].lock().unwrap().state_name()
+    }
+
+    /// The deterministic candidate order (primary first) for a compile,
+    /// ignoring breakers and hot rotation — the analytic placement used
+    /// by the bench's scaling table and by placement-audit tests.
+    pub fn placement(&self, machine: &str, lang: &str, src: &str) -> Vec<usize> {
+        self.ring.successors(point_for(machine, lang, src))
+    }
+
+    /// Whether the router is draining.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Graceful drain: stop admitting, wait for in-flight requests,
+    /// stop the probes, then propagate the drain to every backend.
+    /// Returns the number of requests in flight when the drain began.
+    pub fn drain(&self) -> usize {
+        self.draining.store(true, Ordering::SeqCst);
+        let at_start = self.inflight.load(Ordering::SeqCst);
+        while self.inflight.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(DRAIN_TICK);
+        }
+        self.stop_probes();
+        // Best effort: a dead backend cannot be drained, and that is
+        // fine — it has nothing in flight either.
+        for b in &self.backends {
+            let _ = b.call("{\"op\":\"drain\"}\n", "route-drain");
+        }
+        at_start
+    }
+
+    /// Handles one frame: `ping`/`stats`/`drain` are answered locally,
+    /// compiles are routed. Always returns a newline-terminated line.
+    pub fn handle_line(&self, line: &str, client: &str) -> String {
+        match parse_request(line) {
+            Err(reason) => {
+                self.counters.bump(&self.counters.bad_requests);
+                Response::error(&frame_id(line), 400, &reason).to_line()
+            }
+            Ok(Request::Ping) => {
+                let mut r = Response::new(&frame_id(line), 200);
+                r.push_str("pong", "mcc-route");
+                r.push_num("backends", self.backends.len() as u64);
+                r.push_num(
+                    "live",
+                    self.breakers
+                        .iter()
+                        .filter(|b| b.lock().unwrap().is_closed())
+                        .count() as u64,
+                );
+                r.push_str(
+                    "draining",
+                    if self.is_draining() { "true" } else { "false" },
+                );
+                r.to_line()
+            }
+            Ok(Request::Stats) => self.stats_response(&frame_id(line)).to_line(),
+            Ok(Request::Drain) => {
+                let inflight = self.drain();
+                let mut r = Response::new(&frame_id(line), 200);
+                r.push_str("draining", "true");
+                r.push_num("inflight_at_drain", inflight as u64);
+                r.to_line()
+            }
+            Ok(Request::Compile(req)) => self.route_compile(line, client, &req),
+        }
+    }
+
+    /// Advances the logical clock and returns the new tick.
+    fn now(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Routes one compile: place on the ring, rotate if hot, skip open
+    /// breakers, hedge if slow, fail over on transport failure.
+    fn route_compile(&self, line: &str, client: &str, req: &CompileReq) -> String {
+        if self.is_draining() {
+            self.counters.bump(&self.counters.drain_rejects);
+            return Response::error(&req.id, 503, "router draining").to_line();
+        }
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+        let _guard = InflightGuard(&self.inflight);
+        self.counters.bump(&self.counters.routed);
+
+        let point = point_for(&req.machine, &req.lang, &req.src);
+        let mut order = self.ring.successors(point);
+        // Hot keys rotate between the primary and its first successor:
+        // both shards end up warm, and neither takes the whole flood.
+        let count = self.sketch.lock().unwrap().observe(point);
+        if count >= self.cfg.hot_threshold && order.len() >= 2 {
+            self.counters.bump(&self.counters.hot_routed);
+            if count % 2 == 1 {
+                order.swap(0, 1);
+            }
+        }
+
+        // fire(): walk the candidate order, ask each breaker at the
+        // moment of dispatch (an admit that is never fired would strand
+        // a half-open breaker), spawn the first admitted call.
+        let (tx, rx) = mpsc::channel::<(usize, Result<String, String>)>();
+        let mut next = 0usize;
+        let fire = |from: &mut usize| -> Option<usize> {
+            while *from < order.len() {
+                let b = order[*from];
+                *from += 1;
+                let now = self.now();
+                if self.breakers[b].lock().unwrap().admit(now) == Admit::Reject {
+                    continue;
+                }
+                let backend = Arc::clone(&self.backends[b]);
+                let tx = tx.clone();
+                let line = line.to_string();
+                let client = client.to_string();
+                std::thread::spawn(move || {
+                    // A loser's send lands on a dropped receiver: that
+                    // IS the cancelled accounting.
+                    let _ = tx.send((b, backend.call(&line, &client)));
+                });
+                return Some(b);
+            }
+            None
+        };
+
+        if fire(&mut next).is_none() {
+            self.counters.bump(&self.counters.no_backend);
+            return Response::error(&req.id, 503, "no live backend").to_line();
+        }
+        let mut pending = 1usize;
+        let mut hedge_backend: Option<usize> = None;
+
+        loop {
+            // Hedge window: only before any hedge has fired, and only
+            // while the primary is the sole pending call.
+            let msg = match self.cfg.hedge_after {
+                Some(after) if hedge_backend.is_none() => match rx.recv_timeout(after) {
+                    Ok(m) => m,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if let Some(b) = fire(&mut next) {
+                            self.counters.bump(&self.counters.hedges);
+                            hedge_backend = Some(b);
+                            pending += 1;
+                        } else {
+                            // Nothing to hedge to: wait out the primary.
+                            hedge_backend = Some(usize::MAX);
+                        }
+                        continue;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => unreachable!(),
+                },
+                // `tx` lives in this scope, so recv() can only return
+                // once a fired call reports — and pending > 0 here.
+                _ => rx.recv().expect("a fired call always reports"),
+            };
+            match msg {
+                (b, Ok(resp)) => {
+                    self.breakers[b].lock().unwrap().on_success();
+                    self.counters.bump(&self.counters.served[b]);
+                    if hedge_backend == Some(b) {
+                        self.counters.bump(&self.counters.hedge_wins);
+                    }
+                    return tag_backend(&resp, self.backends[b].name());
+                }
+                (b, Err(_)) => {
+                    let at = self.now();
+                    self.breakers[b].lock().unwrap().on_failure(at);
+                    pending -= 1;
+                    if pending == 0 {
+                        if fire(&mut next).is_some() {
+                            self.counters.bump(&self.counters.failovers);
+                            pending = 1;
+                        } else {
+                            self.counters.bump(&self.counters.no_backend);
+                            return Response::error(&req.id, 503, "all backends failed")
+                                .to_line();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Renders the router `stats` response: routing counters plus
+    /// per-backend served counts and breaker states.
+    fn stats_response(&self, id: &str) -> Response {
+        let c = &self.counters;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut r = Response::new(id, 200);
+        r.push_str("role", "route");
+        r.push_num("backends", self.backends.len() as u64);
+        r.push_num("routed", load(&c.routed));
+        r.push_num("failovers", load(&c.failovers));
+        r.push_num("hedges", load(&c.hedges));
+        r.push_num("hedge_wins", load(&c.hedge_wins));
+        r.push_num("no_backend", load(&c.no_backend));
+        r.push_num("hot_routed", load(&c.hot_routed));
+        r.push_num("drain_rejects", load(&c.drain_rejects));
+        r.push_num("bad_requests", load(&c.bad_requests));
+        r.push_num("probe_failures", load(&c.probe_failures));
+        r.push_num("idle_reaped", load(&c.idle_reaped));
+        for (i, b) in self.backends.iter().enumerate() {
+            r.push_num(&format!("served_{}", b.name()), load(&c.served[i]));
+            r.push_str(&format!("breaker_{}", b.name()), self.breaker_state(i));
+        }
+        r.push_str(
+            "draining",
+            if self.is_draining() { "true" } else { "false" },
+        );
+        r
+    }
+}
+
+impl RouteCounters {
+    /// Bumps one counter.
+    pub fn bump(&self, c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl LineHandler for Router {
+    fn handle_wire(&self, line: &str, client: &str) -> String {
+        self.handle_line(line, client)
+    }
+
+    fn on_idle_reap(&self) {
+        self.counters.bump(&self.counters.idle_reaped);
+    }
+
+    fn idle_timeout(&self) -> Option<Duration> {
+        self.cfg.idle_timeout
+    }
+}
+
+/// The ring point for a compile request: fold of the content-addressed
+/// cache key when the names resolve (so placement tracks cache
+/// identity), else a hash of the raw fields (bad names still route
+/// consistently — to a shard that will answer `400`).
+pub fn point_for(machine: &str, lang: &str, src: &str) -> u64 {
+    match mcc_cache::key_for_wire(machine, lang, src) {
+        Some(k) => Ring::point_of(k.0),
+        None => Ring::point_of(u128::from(mcc_harness::splitmix64(
+            src.len() as u64 ^ (machine.len() as u64) << 32 ^ (lang.len() as u64) << 48,
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_serve::{proto, ServeConfig, Server};
+
+    fn fleet(n: usize, cfg: RouteConfig) -> (Vec<Arc<InProcBackend>>, Arc<Router>) {
+        let shards: Vec<Arc<InProcBackend>> = (0..n)
+            .map(|i| {
+                Arc::new(InProcBackend::new(
+                    &format!("b{i}"),
+                    Arc::new(Server::start(ServeConfig::default())),
+                ))
+            })
+            .collect();
+        let backends: Vec<Arc<dyn Backend>> = shards
+            .iter()
+            .map(|s| Arc::clone(s) as Arc<dyn Backend>)
+            .collect();
+        (shards, Arc::new(Router::new(backends, cfg)))
+    }
+
+    fn compile_line(nonce: u64) -> String {
+        proto::compile_line(
+            &format!("r{nonce}"),
+            "hm1",
+            "yalll",
+            // The nonce comment changes the cache key without changing
+            // the program: distinct sources, distinct ring points.
+            &format!("; n{nonce}\nreg a = R0\nconst a, 7\nexit a\n"),
+        )
+    }
+
+    fn no_hedge() -> RouteConfig {
+        RouteConfig {
+            hedge_after: None,
+            ..RouteConfig::default()
+        }
+    }
+
+    #[test]
+    fn routes_compiles_consistently_and_tags_the_backend() {
+        let (_shards, router) = fleet(3, no_hedge());
+        let mut tags = Vec::new();
+        for nonce in 0..24 {
+            let line = compile_line(nonce);
+            let r1 = router.handle_line(&line, "t");
+            assert_eq!(Response::field_num(&r1, "code"), Some(200), "{r1}");
+            let tag = Response::field_str(&r1, "backend").expect("response is tagged");
+            // Same request again: same shard, every time.
+            let r2 = router.handle_line(&line, "t");
+            assert_eq!(Response::field_str(&r2, "backend").as_deref(), Some(&*tag));
+            tags.push(tag);
+        }
+        tags.sort();
+        tags.dedup();
+        assert!(tags.len() > 1, "24 distinct keys spread over >1 shard: {tags:?}");
+    }
+
+    #[test]
+    fn transport_failure_fails_over_to_the_ring_successor() {
+        let (shards, router) = fleet(2, no_hedge());
+        // A key whose primary is shard 0.
+        let nonce = (0..)
+            .find(|&n| {
+                let src = format!("; n{n}\nreg a = R0\nconst a, 7\nexit a\n");
+                router.placement("hm1", "yalll", &src)[0] == 0
+            })
+            .unwrap();
+        shards[0].kill();
+        let resp = router.handle_line(&compile_line(nonce), "t");
+        assert_eq!(Response::field_num(&resp, "code"), Some(200), "{resp}");
+        assert_eq!(
+            Response::field_str(&resp, "backend").as_deref(),
+            Some("b1"),
+            "served by the ring successor"
+        );
+        let c = router.counters();
+        assert!(c.failovers.load(Ordering::Relaxed) >= 1);
+        assert_eq!(c.served[1].load(Ordering::Relaxed), 1);
+        assert_eq!(c.served[0].load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn repeated_failures_open_the_breaker_and_skip_the_dead_shard() {
+        let cfg = RouteConfig {
+            breaker: BreakerConfig {
+                threshold: 2,
+                cooldown: 1_000_000,
+            },
+            ..no_hedge()
+        };
+        let (shards, router) = fleet(2, cfg);
+        shards[0].kill();
+        // Enough primaries-on-b0 to trip its breaker...
+        let mut nonces = (0..).filter(|&n: &u64| {
+            let src = format!("; n{n}\nreg a = R0\nconst a, 7\nexit a\n");
+            router.placement("hm1", "yalll", &src)[0] == 0
+        });
+        for _ in 0..2 {
+            let r = router.handle_line(&compile_line(nonces.next().unwrap()), "t");
+            assert_eq!(Response::field_num(&r, "code"), Some(200));
+        }
+        assert_eq!(router.breaker_state(0), "open");
+        let failovers_before = router.counters().failovers.load(Ordering::Relaxed);
+        // ...after which b0 is skipped at dispatch: no more failovers,
+        // requests go straight to b1.
+        let r = router.handle_line(&compile_line(nonces.next().unwrap()), "t");
+        assert_eq!(Response::field_str(&r, "backend").as_deref(), Some("b1"));
+        assert_eq!(
+            router.counters().failovers.load(Ordering::Relaxed),
+            failovers_before,
+            "an open breaker is a skip, not a failover"
+        );
+    }
+
+    #[test]
+    fn all_backends_dead_is_a_structured_503() {
+        let (shards, router) = fleet(2, no_hedge());
+        for s in &shards {
+            s.kill();
+        }
+        let r = router.handle_line(&compile_line(1), "t");
+        assert_eq!(Response::field_num(&r, "code"), Some(503), "{r}");
+        assert!(r.contains("all backends failed"));
+        // Once the breakers are open it becomes "no live backend".
+        for _ in 0..8 {
+            let _ = router.handle_line(&compile_line(2), "t");
+        }
+        let r = router.handle_line(&compile_line(3), "t");
+        assert_eq!(Response::field_num(&r, "code"), Some(503));
+        assert!(router.counters().no_backend.load(Ordering::Relaxed) >= 1);
+    }
+
+    /// A backend that answers correctly but slowly — the hedging target.
+    struct SlowBackend {
+        inner: InProcBackend,
+        delay: Duration,
+    }
+
+    impl Backend for SlowBackend {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn call(&self, line: &str, client: &str) -> Result<String, String> {
+            std::thread::sleep(self.delay);
+            self.inner.call(line, client)
+        }
+    }
+
+    #[test]
+    fn slow_primary_is_hedged_and_the_successor_wins() {
+        let cfg = RouteConfig {
+            hedge_after: Some(Duration::from_millis(15)),
+            ..RouteConfig::default()
+        };
+        let slow = Arc::new(SlowBackend {
+            inner: InProcBackend::new("b0", Arc::new(Server::start(ServeConfig::default()))),
+            delay: Duration::from_millis(300),
+        });
+        let fast = Arc::new(InProcBackend::new(
+            "b1",
+            Arc::new(Server::start(ServeConfig::default())),
+        ));
+        let router = Router::new(
+            vec![Arc::clone(&slow) as Arc<dyn Backend>, fast as Arc<dyn Backend>],
+            cfg,
+        );
+        let nonce = (0..)
+            .find(|&n| {
+                let src = format!("; n{n}\nreg a = R0\nconst a, 7\nexit a\n");
+                router.placement("hm1", "yalll", &src)[0] == 0
+            })
+            .unwrap();
+        let resp = router.handle_line(&compile_line(nonce), "t");
+        assert_eq!(Response::field_num(&resp, "code"), Some(200), "{resp}");
+        assert_eq!(
+            Response::field_str(&resp, "backend").as_deref(),
+            Some("b1"),
+            "the hedge at the successor beat the slow primary"
+        );
+        let c = router.counters();
+        assert_eq!(c.hedges.load(Ordering::Relaxed), 1);
+        assert_eq!(c.hedge_wins.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn hot_keys_rotate_across_two_shards() {
+        let cfg = RouteConfig {
+            hot_threshold: 4,
+            ..no_hedge()
+        };
+        let (_shards, router) = fleet(2, cfg);
+        let line = compile_line(99);
+        for _ in 0..20 {
+            let r = router.handle_line(&line, "t");
+            assert_eq!(Response::field_num(&r, "code"), Some(200));
+        }
+        let c = router.counters();
+        assert!(c.hot_routed.load(Ordering::Relaxed) >= 1, "the key went hot");
+        let s0 = c.served[0].load(Ordering::Relaxed);
+        let s1 = c.served[1].load(Ordering::Relaxed);
+        assert!(
+            s0 >= 2 && s1 >= 2,
+            "a hot key is served by both its primary and the successor, got {s0}/{s1}"
+        );
+    }
+
+    #[test]
+    fn probes_reopen_a_revived_shard() {
+        let cfg = RouteConfig {
+            breaker: BreakerConfig {
+                threshold: 1,
+                cooldown: 2,
+            },
+            probe_interval: Duration::from_millis(2),
+            ..no_hedge()
+        };
+        let (shards, router) = fleet(1, cfg);
+        shards[0].kill();
+        Router::start_probes(&router);
+        // Probes fail, the breaker opens, requests are rejected fast.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while router.breaker_state(0) != "open" && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(router.breaker_state(0), "open");
+        let r = router.handle_line(&compile_line(1), "t");
+        assert_eq!(Response::field_num(&r, "code"), Some(503));
+        // The shard comes back; a probe closes the breaker without any
+        // request traffic.
+        shards[0].revive();
+        while !router.breakers[0].lock().unwrap().is_closed()
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(router.breaker_state(0), "closed");
+        let r = router.handle_line(&compile_line(2), "t");
+        assert_eq!(Response::field_num(&r, "code"), Some(200), "{r}");
+        router.stop_probes();
+    }
+
+    #[test]
+    fn drain_propagates_to_every_backend_in_order() {
+        let (shards, router) = fleet(2, no_hedge());
+        Router::start_probes(&router);
+        let warm = router.handle_line(&compile_line(5), "t");
+        assert_eq!(Response::field_num(&warm, "code"), Some(200));
+        let resp = router.handle_line("{\"op\":\"drain\"}\n", "t");
+        assert_eq!(Response::field_num(&resp, "code"), Some(200));
+        assert!(router.is_draining());
+        // Every backend saw the drain: their pongs report draining.
+        for s in &shards {
+            let pong = s.server().handle_line("{\"op\":\"ping\"}", "t").to_line();
+            assert_eq!(
+                Response::field_str(&pong, "draining").as_deref(),
+                Some("true"),
+                "backend {} drained: {pong}",
+                s.name()
+            );
+        }
+        // New compiles at the router are refused with a structured 503.
+        let r = router.handle_line(&compile_line(6), "t");
+        assert_eq!(Response::field_num(&r, "code"), Some(503));
+        assert!(router.counters().drain_rejects.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn ping_stats_and_garbage_are_answered_locally() {
+        let (_shards, router) = fleet(2, no_hedge());
+        let pong = router.handle_line("{\"op\":\"ping\",\"id\":\"p1\"}\n", "t");
+        assert_eq!(Response::field_num(&pong, "code"), Some(200));
+        assert_eq!(Response::field_str(&pong, "pong").as_deref(), Some("mcc-route"));
+        assert_eq!(Response::field_num(&pong, "backends"), Some(2));
+        assert_eq!(Response::field_num(&pong, "live"), Some(2));
+        let bad = router.handle_line("not json\n", "t");
+        assert_eq!(Response::field_num(&bad, "code"), Some(400));
+        let stats = router.handle_line("{\"op\":\"stats\"}\n", "t");
+        assert_eq!(Response::field_num(&stats, "bad_requests"), Some(1));
+        assert!(Response::field_num(&stats, "served_b0").is_some());
+        assert!(stats.contains("breaker_b1"));
+    }
+}

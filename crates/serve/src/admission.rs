@@ -68,6 +68,9 @@ pub struct ServeCounters {
     pub deadline_expired: AtomicU64,
     /// Admitted requests answered `500` (contained pipeline panic).
     pub panics: AtomicU64,
+    /// Idle connections closed by the reaper (a connected client that
+    /// never sent a request must not pin an accept slot forever).
+    pub idle_reaped: AtomicU64,
     /// Requests served at pressure tier 1 / 2 / 3.
     pub degraded: [AtomicU64; 3],
 }

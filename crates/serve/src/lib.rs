@@ -64,6 +64,9 @@ pub struct ServeConfig {
     pub rate_per_client: Option<u32>,
     /// Per-machine circuit-breaker tuning.
     pub breaker: BreakerConfig,
+    /// TCP connections idle longer than this are reaped (`None` = never);
+    /// reaped connections bump the `idle_reaped` counter.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +77,7 @@ impl Default for ServeConfig {
             deadline: Duration::from_millis(10_000),
             rate_per_client: None,
             breaker: BreakerConfig::default(),
+            idle_timeout: Some(Duration::from_millis(30_000)),
         }
     }
 }
@@ -227,9 +231,18 @@ impl Server {
         };
         match req {
             Request::Ping => {
+                // The pong doubles as the router's health probe, so it
+                // carries what a probe needs: queue pressure (a saturated
+                // backend is a hedging candidate) and the drain flag (a
+                // draining backend must leave the ring).
                 let mut r = Response::new(&proto::frame_id(line), 200);
                 r.push_str("pong", "mcc-serve");
                 r.push_num("uptime_ms", self.inner.started.elapsed().as_millis() as u64);
+                r.push_num("queue_depth", self.queue_depth() as u64);
+                r.push_str(
+                    "draining",
+                    if self.inner.draining.load(Ordering::SeqCst) { "true" } else { "false" },
+                );
                 Submitted::Done(r)
             }
             Request::Stats => {
@@ -393,6 +406,7 @@ impl Server {
         r.push_num("drain_rejects", load(&c.drain_rejects));
         r.push_num("deadline_expired", load(&c.deadline_expired));
         r.push_num("panics", load(&c.panics));
+        r.push_num("idle_reaped", load(&c.idle_reaped));
         r.push_num("degraded_t1", load(&c.degraded[0]));
         r.push_num("degraded_t2", load(&c.degraded[1]));
         r.push_num("degraded_t3", load(&c.degraded[2]));
@@ -423,6 +437,11 @@ impl Server {
     /// Current queue depth.
     pub fn queue_depth(&self) -> usize {
         self.inner.inflight.load(Ordering::SeqCst)
+    }
+
+    /// The configured idle-connection timeout (`None` = never reap).
+    pub fn config_idle_timeout(&self) -> Option<Duration> {
+        self.inner.cfg.idle_timeout
     }
 
     /// Flips the drain flag: no new compiles are admitted from here on.
@@ -581,8 +600,7 @@ mod tests {
             workers: 2,
             queue_bound: 4,
             deadline: Duration::from_millis(5_000),
-            rate_per_client: None,
-            breaker: BreakerConfig::default(),
+            ..ServeConfig::default()
         }
     }
 
@@ -732,8 +750,7 @@ mod tests {
             workers: 1,
             queue_bound: 2,
             deadline: Duration::from_millis(5_000),
-            rate_per_client: None,
-            breaker: BreakerConfig::default(),
+            ..ServeConfig::default()
         });
         let mut pendings = Vec::new();
         let mut immediate = Vec::new();

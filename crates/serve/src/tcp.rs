@@ -2,14 +2,25 @@
 //! thread per connection, the accept loop polling a stop flag so a
 //! signal (or a `drain` frame) can end the daemon gracefully.
 //!
+//! The loop is generic over a [`LineHandler`] so the compile daemon
+//! (`mcc serve`) and the shard router (`mcc route`) share one accept
+//! loop, one containment discipline, and one idle reaper.
+//!
 //! Containment discipline: each *request* is handled behind
 //! `catch_unwind`, so neither a malformed frame nor a pipeline bug can
 //! take down a connection, and no connection failure can take down the
 //! daemon — a dropped socket mid-frame just ends that connection's
 //! thread. Responses are written back in request order per connection
-//! (the protocol is pipelined but ordered, like HTTP/1.1).
+//! (the protocol is pipelined but ordered, like HTTP/1.1), through
+//! [`write_frame`], which loops over partial writes and retries `EINTR`
+//! so a short `write` can never truncate a frame.
+//!
+//! Idle reaper: a connected client that never sends a request must not
+//! pin a connection thread forever. With an idle timeout set, the read
+//! side times out, the connection is closed, and the handler's
+//! [`LineHandler::on_idle_reap`] bumps its `idle_reaped` counter.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -22,6 +33,71 @@ use crate::Server;
 /// How often the accept loop polls the stop flag.
 const ACCEPT_TICK: Duration = Duration::from_millis(25);
 
+/// One endpoint of the newline-delimited protocol: turns a request line
+/// into a newline-terminated response line. Implemented by the compile
+/// daemon ([`Server`]) and by the router (`mcc_route::Router`).
+pub trait LineHandler: Send + Sync + 'static {
+    /// Handles one frame; the returned line must be newline-terminated.
+    fn handle_wire(&self, line: &str, client: &str) -> String;
+
+    /// Called when the idle reaper closes a connection.
+    fn on_idle_reap(&self) {}
+
+    /// The idle timeout for connections served on behalf of this
+    /// handler (`None` = never reap).
+    fn idle_timeout(&self) -> Option<Duration> {
+        None
+    }
+}
+
+impl LineHandler for Server {
+    fn handle_wire(&self, line: &str, client: &str) -> String {
+        handle_contained(self, line, client).to_line()
+    }
+
+    fn on_idle_reap(&self) {
+        let c = self.counters();
+        c.bump(&c.idle_reaped);
+    }
+
+    fn idle_timeout(&self) -> Option<Duration> {
+        self.config_idle_timeout()
+    }
+}
+
+/// Writes one whole response frame: loops until every byte is accepted,
+/// retrying `EINTR` (`ErrorKind::Interrupted`) on both the writes and
+/// the flush — a short write must never truncate a frame mid-line, or
+/// the client would misparse every subsequent pipelined response.
+///
+/// # Errors
+///
+/// Any non-`EINTR` I/O error, and `WriteZero` if the peer stops
+/// accepting bytes entirely.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    let mut rest = frame;
+    while !rest.is_empty() {
+        match w.write(rest) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "connection stopped accepting bytes mid-frame",
+                ))
+            }
+            Ok(n) => rest = &rest[n..],
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    loop {
+        match w.flush() {
+            Ok(()) => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Serves connections until `stop` goes true (a signal handler or a
 /// `drain` frame sets it), then returns — the caller runs the drain.
 /// Connection threads are detached: they answer `503 draining` to
@@ -32,53 +108,90 @@ const ACCEPT_TICK: Duration = Duration::from_millis(25);
 ///
 /// Propagates listener configuration errors; per-connection I/O errors
 /// only end that connection.
-pub fn serve(server: Arc<Server>, listener: TcpListener, stop: Arc<AtomicBool>) -> std::io::Result<()> {
+pub fn serve_lines(
+    handler: Arc<dyn LineHandler>,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+) -> io::Result<()> {
     listener.set_nonblocking(true)?;
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, addr)) => {
-                let server = Arc::clone(&server);
+                let handler = Arc::clone(&handler);
                 let stop = Arc::clone(&stop);
                 let client = addr.to_string();
                 std::thread::spawn(move || {
-                    let _ = connection(&server, stream, &client, &stop);
+                    let _ = connection(&*handler, stream, &client, &stop);
                 });
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(ACCEPT_TICK);
             }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
         }
     }
     Ok(())
 }
 
-/// One connection: read frames, answer each with exactly one line.
+/// The compile daemon's entry point (kept for source compatibility):
+/// [`serve_lines`] over the server itself.
+///
+/// # Errors
+///
+/// See [`serve_lines`].
+pub fn serve(
+    server: Arc<Server>,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+) -> io::Result<()> {
+    serve_lines(server, listener, stop)
+}
+
+/// One connection: read frames, answer each with exactly one line. An
+/// idle timeout on the read side feeds the reaper.
 fn connection(
-    server: &Server,
+    handler: &dyn LineHandler,
     stream: TcpStream,
     client: &str,
     stop: &AtomicBool,
-) -> std::io::Result<()> {
+) -> io::Result<()> {
     stream.set_nodelay(true).ok();
+    stream.set_read_timeout(handler.idle_timeout())?;
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // EOF: client closed cleanly.
+            Ok(_) => {}
+            // The read timed out with nothing (or only a partial frame)
+            // buffered: reap the connection. A stalled half-frame is
+            // reaped too — the client was mid-line for the whole window.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                handler.on_idle_reap();
+                return Ok(());
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
         if line.trim().is_empty() {
             continue;
         }
-        let response = handle_contained(server, &line, client);
-        writer.write_all(response.to_line().as_bytes())?;
-        writer.flush()?;
+        let response = handler.handle_wire(&line, client);
+        write_frame(&mut writer, response.as_bytes())?;
         // A drain frame stops the accept loop too, not just this
         // connection.
         if matches!(crate::proto::parse_request(&line), Ok(crate::Request::Drain)) {
             stop.store(true, Ordering::SeqCst);
         }
     }
-    Ok(())
 }
 
 /// Handles one frame with panic containment: a panic anywhere in the
@@ -115,6 +228,62 @@ mod tests {
         (server, addr, stop)
     }
 
+    /// A writer that accepts at most one byte per call and injects an
+    /// `EINTR` before every real write — the worst short-write peer.
+    struct TrickleWriter {
+        written: Vec<u8>,
+        interrupt_next: bool,
+        flushes: usize,
+    }
+
+    impl Write for TrickleWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.interrupt_next {
+                self.interrupt_next = false;
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "EINTR"));
+            }
+            self.interrupt_next = true;
+            self.written.push(buf[0]);
+            Ok(1)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            self.flushes += 1;
+            if self.flushes == 1 {
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "EINTR"));
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_frame_survives_short_writes_and_eintr() {
+        let mut w = TrickleWriter {
+            written: Vec::new(),
+            interrupt_next: true,
+            flushes: 0,
+        };
+        let frame = b"{\"id\":\"x\",\"code\":200}\n";
+        write_frame(&mut w, frame).expect("trickle writer still gets the whole frame");
+        assert_eq!(w.written, frame, "no byte lost to a short write");
+        assert!(w.flushes >= 2, "flush retried through EINTR");
+    }
+
+    #[test]
+    fn write_frame_reports_write_zero() {
+        struct Dead;
+        impl Write for Dead {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = write_frame(&mut Dead, b"x\n").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+    }
+
     #[test]
     fn tcp_round_trip_compile_ping_and_garbage() {
         let (server, addr, stop) = start_tcp(ServeConfig::default());
@@ -137,6 +306,15 @@ mod tests {
         reader.read_line(&mut line).unwrap();
         assert_eq!(Response::field_num(&line, "code"), Some(200));
         assert!(line.contains("pong"));
+        assert!(
+            Response::field_num(&line, "queue_depth").is_some(),
+            "pong carries queue pressure for router probes: {line}"
+        );
+        assert_eq!(
+            Response::field_str(&line, "draining").as_deref(),
+            Some("false"),
+            "pong carries the drain flag for router probes: {line}"
+        );
 
         // Garbage gets a structured 400 and the connection survives.
         line.clear();
@@ -173,6 +351,47 @@ mod tests {
         let mut line = String::new();
         reader.read_line(&mut line).unwrap();
         assert_eq!(Response::field_num(&line, "code"), Some(200));
+        stop.store(true, Ordering::SeqCst);
+        drop(writer);
+        drop(reader);
+        if let Ok(s) = Arc::try_unwrap(server) {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn idle_connection_is_reaped_and_counted() {
+        let cfg = ServeConfig {
+            idle_timeout: Some(Duration::from_millis(60)),
+            ..ServeConfig::default()
+        };
+        let (server, addr, stop) = start_tcp(cfg);
+
+        // A client that connects and never sends a frame: the reaper
+        // must close it (read returns 0) within a few timeout windows.
+        let idler = TcpStream::connect(addr).unwrap();
+        idler
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut idle_reader = BufReader::new(idler);
+        let mut line = String::new();
+        let n = idle_reader.read_line(&mut line).expect("reaped, not hung");
+        assert_eq!(n, 0, "the server closed the idle connection");
+
+        // An active client on the same server is untouched, and the
+        // stats op reports the reap.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"{\"op\":\"stats\"}\n").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(
+            Response::field_num(&line, "idle_reaped"),
+            Some(1),
+            "stats counts the reaped connection: {line}"
+        );
+
         stop.store(true, Ordering::SeqCst);
         drop(writer);
         drop(reader);

@@ -10,7 +10,6 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-use mcc_harness::BreakerConfig;
 use mcc_serve::{proto, ServeConfig, Server};
 
 #[test]
@@ -24,8 +23,7 @@ fn drain_mid_burst_answers_everything_and_journal_replays() {
         workers: 2,
         queue_bound: 8,
         deadline: Duration::from_millis(30_000),
-        rate_per_client: None,
-        breaker: BreakerConfig::default(),
+        ..ServeConfig::default()
     }));
 
     // Four clients burst 12 distinct compiles each; the drain begins in

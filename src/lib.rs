@@ -35,6 +35,7 @@ pub use mcc_lang as lang;
 pub use mcc_machine as machine;
 pub use mcc_mir as mir;
 pub use mcc_regalloc as regalloc;
+pub use mcc_route as route;
 pub use mcc_serve as serve;
 pub use mcc_sim as sim;
 pub use mcc_simpl as simpl;

@@ -11,6 +11,7 @@
 //! mcc fuzz --seed 1 --trials 1000       differential fuzz all four frontends
 //! mcc campaign e10 --jobs 4 --resume    supervised, journaled experiment run
 //! mcc serve --port 7077 --jobs 4        compile-as-a-service daemon
+//! mcc route --backend 127.0.0.1:7077    consistent-hash shard router
 //! mcc bench-serve --clients 8 --rps 200 seeded closed-loop load generator
 //! ```
 //!
@@ -36,6 +37,7 @@ commands:
   fuzz     [opts]              differential fuzzing campaign (see below)
   campaign <e9|e10|fuzz>       run an experiment as a supervised campaign
   serve    [opts]              compile-as-a-service daemon (see below)
+  route    [opts]              consistent-hash shard router over serve backends
   bench-serve [opts]           deterministic load generator for the daemon
   cache    <stats|clear>       inspect or wipe the compilation cache
   mdl dump <machine>           print a reference machine as MDL text
@@ -90,11 +92,29 @@ serve options:
       --deadline-ms <n>        per-request deadline (default 10000)
       --rate <n>               per-client token-bucket rate, requests/s
                                (default: unlimited)
+      --idle-timeout-ms <n>    reap connections idle this long
+                               (default 30000; 0 = never)
 
   The daemon speaks newline-delimited JSON: {{\"op\":\"compile\",...}},
   {{\"op\":\"ping\"}}, {{\"op\":\"stats\"}}, {{\"op\":\"drain\"}}. SIGTERM,
   SIGINT, or a drain frame stop admission, finish the in-flight
   requests, flush the cache journal, and exit 0.
+
+route options:
+      --backend <[name=]addr>  one serve backend (repeat per shard; required)
+      --port <n>               TCP port on 127.0.0.1 (default 7076; 0 = any)
+      --vnodes <n>             virtual nodes per backend (default 64)
+      --hedge-ms <n>           hedge slow compiles at the ring successor
+                               after n ms (default 50; 0 = off)
+      --probe-interval-ms <n>  health-probe period (default 250)
+      --idle-timeout-ms <n>    reap idle connections (default 30000; 0 = never)
+      --seed <n>               sketch/jitter seed (default 0)
+
+  The router speaks the serve protocol and consistent-hashes each
+  compile's cache key onto the backend ring: failover to the ring
+  successor when a shard dies, per-backend circuit breakers fed by
+  ping probes, hot-key replication, and drain propagation to every
+  backend on SIGTERM.
 
 bench-serve options:
       --clients <n>            closed-loop client threads (default 8)
@@ -104,6 +124,13 @@ bench-serve options:
       --jobs <n>               server worker threads (default 2)
       --queue-bound <n>        server admission bound (default 8)
       --json <file>            report path (default BENCH_serve.json)
+      --backends <n>           routed mode: burst through mcc route over an
+                               in-process fleet at each doubling size up to n,
+                               emitting the scaling table (default 0 = single
+                               server, no router)
+      --kill-at <k>            SIGKILL the seed-chosen shard when request k is
+                               drawn (spawns real serve children; needs
+                               --backends >= 2)
 
   stdout carries only seed-determined invariants (byte-identical across
   --clients and --jobs); latency/shed numbers go to stderr and the JSON.
@@ -145,6 +172,13 @@ struct Args {
     rps: Option<u64>,
     duration_ms: Option<u64>,
     json: Option<String>,
+    backends: Option<usize>,
+    kill_at: Option<usize>,
+    backend: Vec<String>,
+    vnodes: Option<usize>,
+    hedge_ms: Option<u64>,
+    probe_interval_ms: Option<u64>,
+    idle_timeout_ms: Option<u64>,
     resume: bool,
     chaos: bool,
     no_cache: bool,
@@ -207,6 +241,13 @@ fn parse_args() -> Option<Args> {
         rps: None,
         duration_ms: None,
         json: None,
+        backends: None,
+        kill_at: None,
+        backend: Vec::new(),
+        vnodes: None,
+        hedge_ms: None,
+        probe_interval_ms: None,
+        idle_timeout_ms: None,
         resume: false,
         chaos: false,
         no_cache: false,
@@ -237,6 +278,17 @@ fn parse_args() -> Option<Args> {
             "--rps" => a.rps = Some(numeric("--rps", it.next())?),
             "--duration-ms" => a.duration_ms = Some(numeric("--duration-ms", it.next())?),
             "--json" => a.json = Some(it.next()?),
+            "--backends" => a.backends = Some(numeric("--backends", it.next())?),
+            "--kill-at" => a.kill_at = Some(numeric("--kill-at", it.next())?),
+            "--backend" => a.backend.push(it.next()?),
+            "--vnodes" => a.vnodes = Some(numeric("--vnodes", it.next())?),
+            "--hedge-ms" => a.hedge_ms = Some(numeric("--hedge-ms", it.next())?),
+            "--probe-interval-ms" => {
+                a.probe_interval_ms = Some(numeric("--probe-interval-ms", it.next())?);
+            }
+            "--idle-timeout-ms" => {
+                a.idle_timeout_ms = Some(numeric("--idle-timeout-ms", it.next())?);
+            }
             "--resume" => a.resume = true,
             "--chaos" => a.chaos = true,
             "--no-cache" => a.no_cache = true,
@@ -563,6 +615,7 @@ fn serve_command(args: &Args) -> Result<(), String> {
         queue_bound: positive_jobs("serve: --queue-bound", args.queue_bound, 64),
         deadline: std::time::Duration::from_millis(args.deadline_ms.unwrap_or(10_000)),
         rate_per_client: args.rate,
+        idle_timeout: idle_timeout(args),
         ..mcc::serve::ServeConfig::default()
     };
     let port = args.port.unwrap_or(7077);
@@ -583,6 +636,82 @@ fn serve_command(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--idle-timeout-ms` flag as a config value (`0` disables the
+/// reaper, absent takes the default).
+fn idle_timeout(args: &Args) -> Option<std::time::Duration> {
+    match args.idle_timeout_ms {
+        Some(0) => None,
+        Some(ms) => Some(std::time::Duration::from_millis(ms)),
+        None => mcc::serve::ServeConfig::default().idle_timeout,
+    }
+}
+
+/// `mcc route`: the consistent-hash shard router fronting a fleet of
+/// `mcc serve` backends. Runs until SIGTERM, SIGINT, or a `drain`
+/// frame, then drains itself and every backend, and exits 0.
+fn route_command(args: &Args) -> Result<(), String> {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    if args.backend.is_empty() {
+        return Err("route: pass at least one --backend [name=]host:port".to_string());
+    }
+    let seed = args.seed.unwrap_or(0);
+    let cfg = mcc::route::RouteConfig {
+        vnodes: positive_jobs("route: --vnodes", args.vnodes, 64),
+        hedge_after: match args.hedge_ms {
+            Some(0) => None,
+            Some(ms) => Some(std::time::Duration::from_millis(ms)),
+            None => mcc::route::RouteConfig::default().hedge_after,
+        },
+        probe_interval: std::time::Duration::from_millis(
+            args.probe_interval_ms.unwrap_or(250).max(1),
+        ),
+        seed,
+        idle_timeout: idle_timeout(args),
+        ..mcc::route::RouteConfig::default()
+    };
+    // `--backend name=addr` names the shard explicitly (ring placement
+    // hashes the name, so all routers over one fleet must agree);
+    // otherwise shards are named b0, b1, … in flag order.
+    let backends: Vec<Arc<dyn mcc::route::Backend>> = args
+        .backend
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let (name, addr) = match spec.split_once('=') {
+                Some((n, a)) => (n.to_string(), a),
+                None => (format!("b{i}"), spec.as_str()),
+            };
+            Arc::new(mcc::route::TcpBackend::new(&name, addr, seed, 4))
+                as Arc<dyn mcc::route::Backend>
+        })
+        .collect();
+    let n = backends.len();
+    let router = Arc::new(mcc::route::Router::new(backends, cfg));
+    mcc::route::Router::start_probes(&router);
+
+    let port = args.port.unwrap_or(7076);
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| format!("route: cannot bind 127.0.0.1:{port}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let stop = Arc::new(AtomicBool::new(false));
+    sig::install(&stop);
+    eprintln!(
+        "mcc route: listening on {addr} fronting {n} backends; \
+         stop with SIGTERM/SIGINT or a drain frame"
+    );
+    mcc::serve::tcp::serve_lines(
+        Arc::clone(&router) as Arc<dyn mcc::serve::tcp::LineHandler>,
+        listener,
+        stop,
+    )
+    .map_err(|e| e.to_string())?;
+    let in_flight = router.drain();
+    eprintln!("mcc route: drained ({in_flight} requests were in flight); backends drained");
+    Ok(())
+}
+
 /// `mcc bench-serve`: the seeded closed-loop load generator (stdout is
 /// deterministic; timing goes to stderr and the JSON report).
 fn bench_serve_command(args: &Args) -> Result<(), String> {
@@ -594,6 +723,8 @@ fn bench_serve_command(args: &Args) -> Result<(), String> {
         workers: positive_jobs("bench-serve: --jobs", args.jobs, 2),
         queue_bound: positive_jobs("bench-serve: --queue-bound", args.queue_bound, 8),
         json_path: args.json.clone().unwrap_or_else(|| "BENCH_serve.json".to_string()),
+        backends: args.backends.unwrap_or(0),
+        kill_at: args.kill_at,
     };
     mcc::bench::serveload::run(&cfg)
 }
@@ -750,6 +881,7 @@ fn main() -> ExitCode {
         }),
         "campaign" => campaign_command(&args),
         "serve" => serve_command(&args),
+        "route" => route_command(&args),
         "bench-serve" => bench_serve_command(&args),
         "cache" => cache_command(&args),
         "fuzz" => {
