@@ -20,6 +20,8 @@
 //! identical per `(kernel, machine, tier)`, because comments never reach
 //! the parser.
 
+mod soak;
+
 use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -56,6 +58,13 @@ pub struct LoadConfig {
     /// this request index is drawn (requires `backends ≥ 2`; spawns
     /// real `mcc serve` child processes).
     pub kill_at: Option<usize>,
+    /// Chaos-soak mode: run `--bursts` paced bursts against a
+    /// supervised [`mcc_fleet::Fleet`] under a seeded kill schedule
+    /// (requires `backends ≥ 2`; one extra sabotage shard is added).
+    pub chaos_soak: bool,
+    /// Burst count for `--chaos-soak`: one baseline burst plus a kill
+    /// per remaining burst (minimum 4).
+    pub bursts: usize,
 }
 
 impl Default for LoadConfig {
@@ -70,6 +79,8 @@ impl Default for LoadConfig {
             json_path: "BENCH_serve.json".to_string(),
             backends: 0,
             kill_at: None,
+            chaos_soak: false,
+            bursts: 4,
         }
     }
 }
@@ -138,6 +149,9 @@ struct Sample {
 ///
 /// Invariant violations and JSON-report I/O errors.
 pub fn run(cfg: &LoadConfig) -> Result<(), String> {
+    if cfg.chaos_soak {
+        return soak::run(cfg);
+    }
     if cfg.backends > 0 {
         return match cfg.kill_at {
             Some(k) => routed::run_kill(cfg, k),
@@ -684,8 +698,7 @@ mod routed {
     impl Drop for FleetGuard {
         fn drop(&mut self) {
             for s in &self.0 {
-                let _ = s.child.lock().unwrap().kill();
-                let _ = s.child.lock().unwrap().wait();
+                mcc_fleet::child::reap(&mut s.child.lock().unwrap());
             }
         }
     }
@@ -787,7 +800,10 @@ mod routed {
         let canonical = warm(&router, &entries, total)?;
         let kill_child = Arc::clone(&fleet.0[victim].child);
         let action: Arc<dyn Fn() + Send + Sync> = Arc::new(move || {
-            let _ = kill_child.lock().unwrap().kill();
+            // Kill *and wait*: a SIGKILL without the `waitpid` leaves a
+            // zombie holding a process-table slot for the rest of the
+            // run. The fleet crate's reaper does both.
+            mcc_fleet::child::reap(&mut kill_child.lock().unwrap());
         });
         let start = Instant::now();
         let samples = burst(&router, &entries, cfg, total, 0, Some((kill_at, action)));
@@ -845,8 +861,8 @@ mod routed {
         let (p50, p95, p99) = percentiles(&samples);
         let throughput = (samples.len() as u64 * 1000).checked_div(elapsed_ms).unwrap_or(0);
         let mut served: Vec<String> = Vec::new();
-        for (i, cnt) in c.served.iter().enumerate() {
-            served.push(format!("b{i}:{}", cnt.load(Ordering::Relaxed)));
+        for name in router.backend_names() {
+            served.push(format!("{name}:{}", router.served_of(&name).unwrap_or(0)));
         }
         eprintln!(
             "kill timing: clients={} elapsed_ms={elapsed_ms} ok={ok} shed503={shed} \
@@ -976,9 +992,28 @@ mod tests {
             queue_bound: 8,
             json_path: String::new(),
             backends: 2,
-            kill_at: None,
+            ..LoadConfig::default()
         };
         run(&cfg).expect("tiny scaling run upholds its invariants");
+    }
+
+    #[test]
+    fn soak_mode_rejects_bad_configurations() {
+        let lone = LoadConfig {
+            backends: 1,
+            chaos_soak: true,
+            json_path: String::new(),
+            ..LoadConfig::default()
+        };
+        assert!(run(&lone).unwrap_err().contains("--backends >= 2"));
+        let short = LoadConfig {
+            backends: 2,
+            chaos_soak: true,
+            bursts: 2,
+            json_path: String::new(),
+            ..LoadConfig::default()
+        };
+        assert!(run(&short).unwrap_err().contains("--bursts >= 4"));
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! The heartbeat registry: one entry per supervised shard, updated by
+//! the supervisor's reap/restart decisions and by the heartbeat pings.
+//!
+//! The registry is the fleet's *observable* state — `mcc fleet` logs
+//! transitions from it, the chaos-soak bench gates on it, and the
+//! quarantine test asserts against it. It deliberately mirrors the
+//! shape of a machine registry with heartbeat reporting: a shard that
+//! stops reporting is eventually acted on (killed and restarted), and a
+//! shard that burns its restart budget is marked quarantined rather
+//! than silently retried forever.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Where a shard is in its supervision lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Spawned, banner not yet seen (or first spawn still pending).
+    Starting,
+    /// Child alive and listening; heartbeats expected.
+    Up,
+    /// Child dead; a respawn is scheduled after backoff.
+    Restarting,
+    /// Restart budget exhausted: the supervisor has given up on this
+    /// shard and the router routes around it.
+    Quarantined,
+}
+
+impl ShardState {
+    /// The state name for logs and stats output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardState::Starting => "starting",
+            ShardState::Up => "up",
+            ShardState::Restarting => "restarting",
+            ShardState::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// One registry entry, as observed (a snapshot, not live state).
+#[derive(Debug, Clone)]
+pub struct ShardInfo {
+    /// Shard name (also its ring name).
+    pub name: String,
+    /// Lifecycle state.
+    pub state: ShardState,
+    /// Listen address of the current incarnation, if any.
+    pub addr: Option<String>,
+    /// Process exits observed (kills and crashes alike).
+    pub crashes: u64,
+    /// Respawns attempted.
+    pub restarts: u64,
+    /// Whether the shard is currently a ring member.
+    pub joined: bool,
+    /// Queue depth from the last successful heartbeat.
+    pub queue_depth: u64,
+    /// Drain flag from the last successful heartbeat.
+    pub draining: bool,
+    /// Milliseconds since the shard was last seen healthy (banner or
+    /// heartbeat), `u64::MAX` if never.
+    pub last_seen_ms: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    state: ShardState,
+    addr: Option<String>,
+    crashes: u64,
+    restarts: u64,
+    joined: bool,
+    queue_depth: u64,
+    draining: bool,
+    last_seen: Option<Instant>,
+}
+
+/// The fleet's shard registry. All methods take `&self`; the lock is
+/// internal.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// A registry with one `Starting` entry per name, in order.
+    pub fn new(names: &[String]) -> Registry {
+        Registry {
+            entries: Mutex::new(
+                names
+                    .iter()
+                    .map(|n| Entry {
+                        name: n.clone(),
+                        state: ShardState::Starting,
+                        addr: None,
+                        crashes: 0,
+                        restarts: 0,
+                        joined: false,
+                        queue_depth: 0,
+                        draining: false,
+                        last_seen: None,
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    fn with<R>(&self, name: &str, f: impl FnOnce(&mut Entry) -> R) -> Option<R> {
+        let mut es = self.entries.lock().unwrap();
+        es.iter_mut().find(|e| e.name == name).map(f)
+    }
+
+    /// The shard came up (banner seen) at `addr`.
+    pub fn mark_up(&self, name: &str, addr: &str) {
+        self.with(name, |e| {
+            e.state = ShardState::Up;
+            e.addr = Some(addr.to_string());
+            e.last_seen = Some(Instant::now());
+        });
+    }
+
+    /// The shard's process exited; a respawn is scheduled.
+    pub fn mark_restarting(&self, name: &str) {
+        self.with(name, |e| {
+            e.state = ShardState::Restarting;
+            e.addr = None;
+            e.crashes += 1;
+        });
+    }
+
+    /// A respawn was attempted.
+    pub fn mark_restart_attempt(&self, name: &str) {
+        self.with(name, |e| e.restarts += 1);
+    }
+
+    /// The shard burned its restart budget.
+    pub fn mark_quarantined(&self, name: &str) {
+        self.with(name, |e| {
+            e.state = ShardState::Quarantined;
+            e.addr = None;
+            e.crashes += 1;
+        });
+    }
+
+    /// Ring membership changed.
+    pub fn mark_joined(&self, name: &str, joined: bool) {
+        self.with(name, |e| e.joined = joined);
+    }
+
+    /// A heartbeat pong arrived.
+    pub fn heartbeat(&self, name: &str, queue_depth: u64, draining: bool) {
+        self.with(name, |e| {
+            e.queue_depth = queue_depth;
+            e.draining = draining;
+            e.last_seen = Some(Instant::now());
+        });
+    }
+
+    /// Snapshot of every entry, in registration order.
+    pub fn snapshot(&self) -> Vec<ShardInfo> {
+        self.entries
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|e| ShardInfo {
+                name: e.name.clone(),
+                state: e.state,
+                addr: e.addr.clone(),
+                crashes: e.crashes,
+                restarts: e.restarts,
+                joined: e.joined,
+                queue_depth: e.queue_depth,
+                draining: e.draining,
+                last_seen_ms: e
+                    .last_seen
+                    .map_or(u64::MAX, |t| t.elapsed().as_millis() as u64),
+            })
+            .collect()
+    }
+
+    /// One shard's snapshot.
+    pub fn get(&self, name: &str) -> Option<ShardInfo> {
+        self.snapshot().into_iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_transitions_are_recorded() {
+        let names = vec!["b0".to_string(), "b1".to_string()];
+        let r = Registry::new(&names);
+        assert_eq!(r.get("b0").unwrap().state, ShardState::Starting);
+        r.mark_up("b0", "127.0.0.1:1234");
+        let s = r.get("b0").unwrap();
+        assert_eq!(s.state, ShardState::Up);
+        assert_eq!(s.addr.as_deref(), Some("127.0.0.1:1234"));
+        assert!(s.last_seen_ms < 1000, "banner counts as seen");
+        r.mark_restarting("b0");
+        let s = r.get("b0").unwrap();
+        assert_eq!(s.state, ShardState::Restarting);
+        assert_eq!(s.crashes, 1);
+        assert_eq!(s.addr, None);
+        r.mark_restart_attempt("b0");
+        r.mark_up("b0", "127.0.0.1:4321");
+        assert_eq!(r.get("b0").unwrap().restarts, 1);
+        r.mark_quarantined("b0");
+        assert_eq!(r.get("b0").unwrap().state, ShardState::Quarantined);
+        // b1 untouched throughout.
+        let s1 = r.get("b1").unwrap();
+        assert_eq!(s1.state, ShardState::Starting);
+        assert_eq!(s1.crashes, 0);
+    }
+
+    #[test]
+    fn heartbeats_update_pressure_and_liveness() {
+        let r = Registry::new(&["b0".to_string()]);
+        r.mark_up("b0", "a");
+        r.heartbeat("b0", 7, true);
+        let s = r.get("b0").unwrap();
+        assert_eq!(s.queue_depth, 7);
+        assert!(s.draining);
+        assert!(s.last_seen_ms < 1000);
+    }
+
+    #[test]
+    fn unknown_names_are_ignored_not_panics() {
+        let r = Registry::new(&["b0".to_string()]);
+        r.mark_up("nope", "a");
+        r.heartbeat("nope", 1, false);
+        assert!(r.get("nope").is_none());
+        assert_eq!(r.snapshot().len(), 1);
+    }
+}

@@ -38,6 +38,7 @@ pub mod chaos;
 pub mod journal;
 pub mod json;
 pub mod pool;
+pub mod restart;
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::path::Path;
@@ -49,6 +50,7 @@ pub use breaker::{Admit, Breaker, BreakerBank, BreakerConfig};
 pub use chaos::{ChaosPlan, Fault};
 pub use journal::{Header, JobRecord, JobStatus, Journal, JournalError};
 pub use pool::{PoolHandle, Task, TaskOutcome, WorkerPool};
+pub use restart::{RestartDecision, RestartPolicy, RestartTracker};
 
 /// SplitMix64 — the toolkit's standard seedable mixer, shared by backoff
 /// jitter, chaos decisions, the load generator, and the routing ring.

@@ -11,7 +11,8 @@
 //! * **Health probes.** A probe thread pings every backend on a fixed
 //!   interval; the pong carries the shard's `draining` flag, so a
 //!   draining backend counts as unhealthy and traffic moves off it
-//!   before it stops answering.
+//!   before it stops answering. Probe round-trip latency is recorded
+//!   per backend and surfaced by `stats`.
 //! * **Per-backend circuit breakers.** Probe and request outcomes feed
 //!   one [`Breaker`] per shard (closed → open → half-open, logical
 //!   ticks). An open backend is skipped at dispatch; a half-open one
@@ -22,22 +23,30 @@
 //! * **Request hedging.** If the primary has not answered within
 //!   `hedge_after`, the same idempotent compile is fired at the ring
 //!   successor; the first response wins and the loser's outcome is
-//!   discarded (its send lands on a dropped channel).
+//!   discarded (its send lands on a dropped channel). Both halves are
+//!   accounted: `hedge_wins` and `hedge_losses`.
 //! * **Hot-key replication.** A count-min sketch spots keys hot enough
 //!   to swamp one shard; their traffic rotates between the primary and
 //!   its first successor, warming both caches.
+//! * **Live membership.** The ring is *mutable at runtime*: `join`
+//!   re-adds (or re-points) a backend and `leave` removes one, with the
+//!   consistent-hash guarantee that only ~1/N of keys move either way.
+//!   Membership lives behind one `RwLock` shared with the probe thread
+//!   — probes and routing read it, `join`/`leave` write it — so the
+//!   fleet supervisor can heal a restarted shard back into the ring
+//!   while requests are in flight.
 //! * **Graceful drain.** Draining the router stops admission, waits out
 //!   in-flight requests, stops the probes, then propagates the drain to
 //!   every backend — strictly in that order, so no request is in flight
 //!   anywhere when the fleet goes down.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mcc_harness::{Admit, Breaker, BreakerConfig};
-use mcc_serve::proto::{frame_id, parse_request, CompileReq, Request, Response};
+use mcc_serve::proto::{frame_id, parse_request, CompileReq, JoinReq, Request, Response};
 use mcc_serve::tcp::LineHandler;
 
 pub mod backend;
@@ -50,6 +59,9 @@ pub use sketch::Sketch;
 
 /// How often the drain loop re-checks the in-flight count.
 const DRAIN_TICK: Duration = Duration::from_millis(2);
+
+/// Connect retries for a backend created by a wire `join` frame.
+const JOIN_CONNECT_ATTEMPTS: u32 = 3;
 
 /// Router tuning. Everything that affects *placement* (vnodes, seed) or
 /// *policy* (hedging, breakers, hot threshold) lives here, so a config
@@ -100,6 +112,8 @@ pub struct RouteCounters {
     pub hedges: AtomicU64,
     /// Hedged requests won by the hedge, not the primary.
     pub hedge_wins: AtomicU64,
+    /// Hedged requests the primary still won (the hedge was wasted work).
+    pub hedge_losses: AtomicU64,
     /// Requests answered `503` because no live backend remained.
     pub no_backend: AtomicU64,
     /// Requests routed via hot-key rotation.
@@ -112,8 +126,65 @@ pub struct RouteCounters {
     pub probe_failures: AtomicU64,
     /// Idle connections reaped on the router's own listener.
     pub idle_reaped: AtomicU64,
-    /// Responses served, per backend index.
-    pub served: Vec<AtomicU64>,
+    /// `join` frames applied (new backend or re-pointed transport).
+    pub joins: AtomicU64,
+    /// `leave` frames applied.
+    pub leaves: AtomicU64,
+}
+
+/// One backend's live state: the swappable transport, its breaker, and
+/// its counters. Requests hold `Arc<Slot>` snapshots, so a slot that
+/// leaves the ring mid-request keeps absorbing that request's outcome
+/// instead of misattributing it to whoever inherited the index.
+struct Slot {
+    name: String,
+    /// The transport, swappable on rejoin (a restarted shard comes back
+    /// on a new port; the name — and therefore placement — is stable).
+    backend: Mutex<Arc<dyn Backend>>,
+    breaker: Mutex<Breaker>,
+    /// Responses this backend served.
+    served: AtomicU64,
+    /// Last successful probe round trip, microseconds.
+    probe_rtt_us: AtomicU64,
+    /// Successful probes.
+    probe_ok: AtomicU64,
+    /// Failed probes.
+    probe_fail: AtomicU64,
+}
+
+impl Slot {
+    fn new(backend: Arc<dyn Backend>, breaker: BreakerConfig) -> Slot {
+        Slot {
+            name: backend.name().to_string(),
+            backend: Mutex::new(backend),
+            breaker: Mutex::new(Breaker::new(breaker)),
+            served: AtomicU64::new(0),
+            probe_rtt_us: AtomicU64::new(0),
+            probe_ok: AtomicU64::new(0),
+            probe_fail: AtomicU64::new(0),
+        }
+    }
+
+    fn transport(&self) -> Arc<dyn Backend> {
+        Arc::clone(&self.backend.lock().unwrap())
+    }
+}
+
+/// The mutable membership view: the slots and the ring derived from
+/// their names. One `RwLock` guards both so a reader never sees a ring
+/// that disagrees with the slot list. This is the "probe lock": the
+/// probe thread snapshots slots through it, `join`/`leave` rebuild the
+/// ring under it.
+struct Membership {
+    slots: Vec<Arc<Slot>>,
+    ring: Ring,
+}
+
+impl Membership {
+    fn rebuild_ring(&mut self, vnodes: usize) {
+        let names: Vec<String> = self.slots.iter().map(|s| s.name.clone()).collect();
+        self.ring = Ring::new(&names, vnodes);
+    }
 }
 
 /// The shard router. Construct with [`Router::new`], optionally start
@@ -121,10 +192,8 @@ pub struct RouteCounters {
 /// shared [`LineHandler`] loop or call [`Router::handle_line`] directly.
 pub struct Router {
     cfg: RouteConfig,
-    backends: Vec<Arc<dyn Backend>>,
-    ring: Ring,
+    membership: RwLock<Membership>,
     sketch: Mutex<Sketch>,
-    breakers: Vec<Mutex<Breaker>>,
     /// Logical clock: one tick per breaker decision (admit / recorded
     /// failure / probe), shared by requests and probes — deterministic,
     /// no wall time.
@@ -155,22 +224,16 @@ impl Router {
     pub fn new(backends: Vec<Arc<dyn Backend>>, cfg: RouteConfig) -> Router {
         let names: Vec<String> = backends.iter().map(|b| b.name().to_string()).collect();
         let ring = Ring::new(&names, cfg.vnodes);
-        let breakers = backends
-            .iter()
-            .map(|_| Mutex::new(Breaker::new(cfg.breaker)))
+        let slots = backends
+            .into_iter()
+            .map(|b| Arc::new(Slot::new(b, cfg.breaker)))
             .collect();
-        let counters = RouteCounters {
-            served: backends.iter().map(|_| AtomicU64::new(0)).collect(),
-            ..RouteCounters::default()
-        };
         Router {
             sketch: Mutex::new(Sketch::new(1024, 4, cfg.seed)),
             cfg,
-            backends,
-            ring,
-            breakers,
+            membership: RwLock::new(Membership { slots, ring }),
             tick: AtomicU64::new(0),
-            counters,
+            counters: RouteCounters::default(),
             draining: AtomicBool::new(false),
             inflight: AtomicUsize::new(0),
             probe_stop: Arc::new(AtomicBool::new(false)),
@@ -181,18 +244,22 @@ impl Router {
     /// Spawns the health-probe thread: every `probe_interval`, ping each
     /// backend its breaker admits and feed the outcome back. A pong is
     /// healthy only if it is a `200` *and* the shard is not draining.
+    /// The thread re-snapshots membership every round, so a joined
+    /// backend is probed from the next round on.
     pub fn start_probes(router: &Arc<Router>) {
         let r = Arc::clone(router);
         let stop = Arc::clone(&router.probe_stop);
         let handle = std::thread::spawn(move || {
             while !stop.load(Ordering::SeqCst) {
-                for i in 0..r.backends.len() {
+                let slots: Vec<Arc<Slot>> = r.membership.read().unwrap().slots.clone();
+                for slot in slots {
                     let now = r.now();
-                    let admit = r.breakers[i].lock().unwrap().admit(now);
+                    let admit = slot.breaker.lock().unwrap().admit(now);
                     if admit == Admit::Reject {
                         continue;
                     }
-                    let healthy = match r.backends[i].call("{\"op\":\"ping\"}\n", "route-probe")
+                    let t0 = Instant::now();
+                    let healthy = match slot.transport().call("{\"op\":\"ping\"}\n", "route-probe")
                     {
                         Ok(pong) => {
                             Response::field_num(&pong, "code") == Some(200)
@@ -202,11 +269,16 @@ impl Router {
                         Err(_) => false,
                     };
                     if healthy {
-                        r.breakers[i].lock().unwrap().on_success();
+                        #[allow(clippy::cast_possible_truncation)]
+                        slot.probe_rtt_us
+                            .store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+                        slot.probe_ok.fetch_add(1, Ordering::Relaxed);
+                        slot.breaker.lock().unwrap().on_success();
                     } else {
+                        slot.probe_fail.fetch_add(1, Ordering::Relaxed);
                         r.counters.bump(&r.counters.probe_failures);
                         let at = r.now();
-                        r.breakers[i].lock().unwrap().on_failure(at);
+                        slot.breaker.lock().unwrap().on_failure(at);
                     }
                 }
                 std::thread::sleep(r.cfg.probe_interval);
@@ -228,22 +300,90 @@ impl Router {
         &self.counters
     }
 
-    /// Backend names in ring-index order.
+    /// Backend names in slot order (ring indices point into this).
     pub fn backend_names(&self) -> Vec<String> {
-        self.backends.iter().map(|b| b.name().to_string()).collect()
+        self.membership
+            .read()
+            .unwrap()
+            .slots
+            .iter()
+            .map(|s| s.name.clone())
+            .collect()
     }
 
-    /// The breaker state (`closed` | `open` | `half-open`) of backend
-    /// `idx`.
-    pub fn breaker_state(&self, idx: usize) -> &'static str {
-        self.breakers[idx].lock().unwrap().state_name()
+    /// The breaker state (`closed` | `open` | `half-open`) of the named
+    /// backend, or `None` if it is not a member.
+    pub fn breaker_state_of(&self, name: &str) -> Option<&'static str> {
+        self.membership
+            .read()
+            .unwrap()
+            .slots
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.breaker.lock().unwrap().state_name())
+    }
+
+    /// Responses served by the named backend, or `None` if it is not a
+    /// member.
+    pub fn served_of(&self, name: &str) -> Option<u64> {
+        self.membership
+            .read()
+            .unwrap()
+            .slots
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.served.load(Ordering::Relaxed))
+    }
+
+    /// Adds `backend` to the live ring, or — if a member with the same
+    /// name exists — swaps its transport in place (the rejoin path: a
+    /// restarted shard comes back on a new port under its old name, so
+    /// it reclaims exactly its old keys and its disk cache stays warm).
+    /// Either way the breaker resets to closed: the supervisor only
+    /// joins a shard it has just seen answer a readiness ping.
+    pub fn join_backend(&self, backend: Arc<dyn Backend>) -> Result<(), String> {
+        let name = backend.name().to_string();
+        if name.is_empty() {
+            return Err("join: empty backend name".to_string());
+        }
+        let mut m = self.membership.write().unwrap();
+        self.counters.bump(&self.counters.joins);
+        if let Some(slot) = m.slots.iter().find(|s| s.name == name) {
+            *slot.backend.lock().unwrap() = backend;
+            *slot.breaker.lock().unwrap() = Breaker::new(self.cfg.breaker);
+            return Ok(());
+        }
+        m.slots.push(Arc::new(Slot::new(backend, self.cfg.breaker)));
+        m.rebuild_ring(self.cfg.vnodes);
+        Ok(())
+    }
+
+    /// Removes the named backend from the live ring. Refuses to empty
+    /// the ring — a router with no backends cannot route anything, so
+    /// the last member stays (open-breakered if it is dead).
+    pub fn leave_backend(&self, name: &str) -> Result<(), String> {
+        let mut m = self.membership.write().unwrap();
+        let Some(idx) = m.slots.iter().position(|s| s.name == name) else {
+            return Err(format!("leave: `{name}` is not a member"));
+        };
+        if m.slots.len() == 1 {
+            return Err("leave: refusing to remove the last backend".to_string());
+        }
+        m.slots.remove(idx);
+        m.rebuild_ring(self.cfg.vnodes);
+        self.counters.bump(&self.counters.leaves);
+        Ok(())
     }
 
     /// The deterministic candidate order (primary first) for a compile,
     /// ignoring breakers and hot rotation — the analytic placement used
     /// by the bench's scaling table and by placement-audit tests.
     pub fn placement(&self, machine: &str, lang: &str, src: &str) -> Vec<usize> {
-        self.ring.successors(point_for(machine, lang, src))
+        self.membership
+            .read()
+            .unwrap()
+            .ring
+            .successors(point_for(machine, lang, src))
     }
 
     /// Whether the router is draining.
@@ -263,14 +403,16 @@ impl Router {
         self.stop_probes();
         // Best effort: a dead backend cannot be drained, and that is
         // fine — it has nothing in flight either.
-        for b in &self.backends {
-            let _ = b.call("{\"op\":\"drain\"}\n", "route-drain");
+        let slots: Vec<Arc<Slot>> = self.membership.read().unwrap().slots.clone();
+        for s in slots {
+            let _ = s.transport().call("{\"op\":\"drain\"}\n", "route-drain");
         }
         at_start
     }
 
     /// Handles one frame: `ping`/`stats`/`drain` are answered locally,
-    /// compiles are routed. Always returns a newline-terminated line.
+    /// `join`/`leave` mutate the live ring, compiles are routed. Always
+    /// returns a newline-terminated line.
     pub fn handle_line(&self, line: &str, client: &str) -> String {
         match parse_request(line) {
             Err(reason) => {
@@ -278,16 +420,19 @@ impl Router {
                 Response::error(&frame_id(line), 400, &reason).to_line()
             }
             Ok(Request::Ping) => {
+                let (members, live) = {
+                    let m = self.membership.read().unwrap();
+                    let live = m
+                        .slots
+                        .iter()
+                        .filter(|s| s.breaker.lock().unwrap().is_closed())
+                        .count();
+                    (m.slots.len(), live)
+                };
                 let mut r = Response::new(&frame_id(line), 200);
                 r.push_str("pong", "mcc-route");
-                r.push_num("backends", self.backends.len() as u64);
-                r.push_num(
-                    "live",
-                    self.breakers
-                        .iter()
-                        .filter(|b| b.lock().unwrap().is_closed())
-                        .count() as u64,
-                );
+                r.push_num("backends", members as u64);
+                r.push_num("live", live as u64);
                 r.push_str(
                     "draining",
                     if self.is_draining() { "true" } else { "false" },
@@ -302,7 +447,43 @@ impl Router {
                 r.push_num("inflight_at_drain", inflight as u64);
                 r.to_line()
             }
+            Ok(Request::Join(j)) => self.handle_join(&j),
+            Ok(Request::Leave { name }) => match self.leave_backend(&name) {
+                Ok(()) => {
+                    let mut r = Response::new(&frame_id(line), 200);
+                    r.push_str("left", &name);
+                    r.push_num("backends", self.backend_names().len() as u64);
+                    r.to_line()
+                }
+                Err(reason) => Response::error(&frame_id(line), 400, &reason).to_line(),
+            },
             Ok(Request::Compile(req)) => self.route_compile(line, client, &req),
+        }
+    }
+
+    /// Applies a wire `join`: the new member is reached over TCP with
+    /// the router's seeded reconnect backoff.
+    fn handle_join(&self, j: &JoinReq) -> String {
+        if self.is_draining() {
+            return Response::error(&j.id, 503, "router draining").to_line();
+        }
+        if j.addr.is_empty() {
+            return Response::error(&j.id, 400, "join: empty `addr`").to_line();
+        }
+        let backend: Arc<dyn Backend> = Arc::new(TcpBackend::new(
+            &j.name,
+            &j.addr,
+            self.cfg.seed,
+            JOIN_CONNECT_ATTEMPTS,
+        ));
+        match self.join_backend(backend) {
+            Ok(()) => {
+                let mut r = Response::new(&j.id, 200);
+                r.push_str("joined", &j.name);
+                r.push_num("backends", self.backend_names().len() as u64);
+                r.to_line()
+            }
+            Err(reason) => Response::error(&j.id, 400, &reason).to_line(),
         }
     }
 
@@ -323,7 +504,17 @@ impl Router {
         self.counters.bump(&self.counters.routed);
 
         let point = point_for(&req.machine, &req.lang, &req.src);
-        let mut order = self.ring.successors(point);
+        // Snapshot the candidate order under the membership lock, then
+        // drop it: in-flight requests keep their `Arc<Slot>`s even if a
+        // concurrent `leave` rebuilds the ring underneath them.
+        let mut order: Vec<Arc<Slot>> = {
+            let m = self.membership.read().unwrap();
+            m.ring
+                .successors(point)
+                .into_iter()
+                .map(|i| Arc::clone(&m.slots[i]))
+                .collect()
+        };
         // Hot keys rotate between the primary and its first successor:
         // both shards end up warm, and neither takes the whole flood.
         let count = self.sketch.lock().unwrap().observe(point);
@@ -336,27 +527,28 @@ impl Router {
 
         // fire(): walk the candidate order, ask each breaker at the
         // moment of dispatch (an admit that is never fired would strand
-        // a half-open breaker), spawn the first admitted call.
+        // a half-open breaker), spawn the first admitted call. Sends
+        // carry the order index, so the winner's slot is unambiguous.
         let (tx, rx) = mpsc::channel::<(usize, Result<String, String>)>();
         let mut next = 0usize;
         let fire = |from: &mut usize| -> Option<usize> {
             while *from < order.len() {
-                let b = order[*from];
+                let oi = *from;
                 *from += 1;
                 let now = self.now();
-                if self.breakers[b].lock().unwrap().admit(now) == Admit::Reject {
+                if order[oi].breaker.lock().unwrap().admit(now) == Admit::Reject {
                     continue;
                 }
-                let backend = Arc::clone(&self.backends[b]);
+                let backend = order[oi].transport();
                 let tx = tx.clone();
                 let line = line.to_string();
                 let client = client.to_string();
                 std::thread::spawn(move || {
                     // A loser's send lands on a dropped receiver: that
                     // IS the cancelled accounting.
-                    let _ = tx.send((b, backend.call(&line, &client)));
+                    let _ = tx.send((oi, backend.call(&line, &client)));
                 });
-                return Some(b);
+                return Some(oi);
             }
             None
         };
@@ -366,22 +558,22 @@ impl Router {
             return Response::error(&req.id, 503, "no live backend").to_line();
         }
         let mut pending = 1usize;
-        let mut hedge_backend: Option<usize> = None;
+        let mut hedge_at: Option<usize> = None;
 
         loop {
             // Hedge window: only before any hedge has fired, and only
             // while the primary is the sole pending call.
             let msg = match self.cfg.hedge_after {
-                Some(after) if hedge_backend.is_none() => match rx.recv_timeout(after) {
+                Some(after) if hedge_at.is_none() => match rx.recv_timeout(after) {
                     Ok(m) => m,
                     Err(mpsc::RecvTimeoutError::Timeout) => {
-                        if let Some(b) = fire(&mut next) {
+                        if let Some(oi) = fire(&mut next) {
                             self.counters.bump(&self.counters.hedges);
-                            hedge_backend = Some(b);
+                            hedge_at = Some(oi);
                             pending += 1;
                         } else {
                             // Nothing to hedge to: wait out the primary.
-                            hedge_backend = Some(usize::MAX);
+                            hedge_at = Some(usize::MAX);
                         }
                         continue;
                     }
@@ -392,17 +584,22 @@ impl Router {
                 _ => rx.recv().expect("a fired call always reports"),
             };
             match msg {
-                (b, Ok(resp)) => {
-                    self.breakers[b].lock().unwrap().on_success();
-                    self.counters.bump(&self.counters.served[b]);
-                    if hedge_backend == Some(b) {
-                        self.counters.bump(&self.counters.hedge_wins);
+                (oi, Ok(resp)) => {
+                    let slot = &order[oi];
+                    slot.breaker.lock().unwrap().on_success();
+                    slot.served.fetch_add(1, Ordering::Relaxed);
+                    match hedge_at {
+                        Some(h) if h == oi => self.counters.bump(&self.counters.hedge_wins),
+                        Some(h) if h != usize::MAX => {
+                            self.counters.bump(&self.counters.hedge_losses);
+                        }
+                        _ => {}
                     }
-                    return tag_backend(&resp, self.backends[b].name());
+                    return tag_backend(&resp, &slot.name);
                 }
-                (b, Err(_)) => {
+                (oi, Err(_)) => {
                     let at = self.now();
-                    self.breakers[b].lock().unwrap().on_failure(at);
+                    order[oi].breaker.lock().unwrap().on_failure(at);
                     pending -= 1;
                     if pending == 0 {
                         if fire(&mut next).is_some() {
@@ -419,28 +616,55 @@ impl Router {
         }
     }
 
-    /// Renders the router `stats` response: routing counters plus
-    /// per-backend served counts and breaker states.
+    /// Renders the router `stats` response: one JSON blob aggregating
+    /// the routing counters with, per backend, the served count, the
+    /// breaker state, and the probe health (last round-trip micros,
+    /// ok/fail totals).
     fn stats_response(&self, id: &str) -> Response {
         let c = &self.counters;
         let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let mut r = Response::new(id, 200);
         r.push_str("role", "route");
-        r.push_num("backends", self.backends.len() as u64);
         r.push_num("routed", load(&c.routed));
         r.push_num("failovers", load(&c.failovers));
         r.push_num("hedges", load(&c.hedges));
         r.push_num("hedge_wins", load(&c.hedge_wins));
+        r.push_num("hedge_losses", load(&c.hedge_losses));
         r.push_num("no_backend", load(&c.no_backend));
         r.push_num("hot_routed", load(&c.hot_routed));
         r.push_num("drain_rejects", load(&c.drain_rejects));
         r.push_num("bad_requests", load(&c.bad_requests));
         r.push_num("probe_failures", load(&c.probe_failures));
         r.push_num("idle_reaped", load(&c.idle_reaped));
-        for (i, b) in self.backends.iter().enumerate() {
-            r.push_num(&format!("served_{}", b.name()), load(&c.served[i]));
-            r.push_str(&format!("breaker_{}", b.name()), self.breaker_state(i));
+        r.push_num("joins", load(&c.joins));
+        r.push_num("leaves", load(&c.leaves));
+        let m = self.membership.read().unwrap();
+        r.push_num("backends", m.slots.len() as u64);
+        r.push_str(
+            "members",
+            &m.slots
+                .iter()
+                .map(|s| s.name.as_str())
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        for s in &m.slots {
+            r.push_num(&format!("served_{}", s.name), s.served.load(Ordering::Relaxed));
+            r.push_str(
+                &format!("breaker_{}", s.name),
+                s.breaker.lock().unwrap().state_name(),
+            );
+            r.push_num(
+                &format!("probe_rtt_us_{}", s.name),
+                s.probe_rtt_us.load(Ordering::Relaxed),
+            );
+            r.push_num(&format!("probe_ok_{}", s.name), s.probe_ok.load(Ordering::Relaxed));
+            r.push_num(
+                &format!("probe_fail_{}", s.name),
+                s.probe_fail.load(Ordering::Relaxed),
+            );
         }
+        drop(m);
         r.push_str(
             "draining",
             if self.is_draining() { "true" } else { "false" },
@@ -561,8 +785,8 @@ mod tests {
         );
         let c = router.counters();
         assert!(c.failovers.load(Ordering::Relaxed) >= 1);
-        assert_eq!(c.served[1].load(Ordering::Relaxed), 1);
-        assert_eq!(c.served[0].load(Ordering::Relaxed), 0);
+        assert_eq!(router.served_of("b1"), Some(1));
+        assert_eq!(router.served_of("b0"), Some(0));
     }
 
     #[test]
@@ -585,7 +809,7 @@ mod tests {
             let r = router.handle_line(&compile_line(nonces.next().unwrap()), "t");
             assert_eq!(Response::field_num(&r, "code"), Some(200));
         }
-        assert_eq!(router.breaker_state(0), "open");
+        assert_eq!(router.breaker_state_of("b0"), Some("open"));
         let failovers_before = router.counters().failovers.load(Ordering::Relaxed);
         // ...after which b0 is skipped at dispatch: no more failovers,
         // requests go straight to b1.
@@ -666,6 +890,48 @@ mod tests {
         let c = router.counters();
         assert_eq!(c.hedges.load(Ordering::Relaxed), 1);
         assert_eq!(c.hedge_wins.load(Ordering::Relaxed), 1);
+        assert_eq!(c.hedge_losses.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn fast_primary_wins_and_the_hedge_is_a_loss() {
+        let cfg = RouteConfig {
+            hedge_after: Some(Duration::from_millis(15)),
+            ..RouteConfig::default()
+        };
+        // Primary answers in 60ms (after the hedge fires), hedge target
+        // in 300ms: the hedge fires and loses.
+        let prim = Arc::new(SlowBackend {
+            inner: InProcBackend::new("b0", Arc::new(Server::start(ServeConfig::default()))),
+            delay: Duration::from_millis(60),
+        });
+        let succ = Arc::new(SlowBackend {
+            inner: InProcBackend::new("b1", Arc::new(Server::start(ServeConfig::default()))),
+            delay: Duration::from_millis(300),
+        });
+        let router = Router::new(
+            vec![
+                Arc::clone(&prim) as Arc<dyn Backend>,
+                succ as Arc<dyn Backend>,
+            ],
+            cfg,
+        );
+        let nonce = (0..)
+            .find(|&n| {
+                let src = format!("; n{n}\nreg a = R0\nconst a, 7\nexit a\n");
+                router.placement("hm1", "yalll", &src)[0] == 0
+            })
+            .unwrap();
+        let resp = router.handle_line(&compile_line(nonce), "t");
+        assert_eq!(
+            Response::field_str(&resp, "backend").as_deref(),
+            Some("b0"),
+            "the primary won its own race"
+        );
+        let c = router.counters();
+        assert_eq!(c.hedges.load(Ordering::Relaxed), 1);
+        assert_eq!(c.hedge_wins.load(Ordering::Relaxed), 0);
+        assert_eq!(c.hedge_losses.load(Ordering::Relaxed), 1);
     }
 
     #[test]
@@ -682,8 +948,8 @@ mod tests {
         }
         let c = router.counters();
         assert!(c.hot_routed.load(Ordering::Relaxed) >= 1, "the key went hot");
-        let s0 = c.served[0].load(Ordering::Relaxed);
-        let s1 = c.served[1].load(Ordering::Relaxed);
+        let s0 = router.served_of("b0").unwrap();
+        let s1 = router.served_of("b1").unwrap();
         assert!(
             s0 >= 2 && s1 >= 2,
             "a hot key is served by both its primary and the successor, got {s0}/{s1}"
@@ -705,21 +971,23 @@ mod tests {
         Router::start_probes(&router);
         // Probes fail, the breaker opens, requests are rejected fast.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while router.breaker_state(0) != "open" && std::time::Instant::now() < deadline {
+        while router.breaker_state_of("b0") != Some("open")
+            && std::time::Instant::now() < deadline
+        {
             std::thread::sleep(Duration::from_millis(2));
         }
-        assert_eq!(router.breaker_state(0), "open");
+        assert_eq!(router.breaker_state_of("b0"), Some("open"));
         let r = router.handle_line(&compile_line(1), "t");
         assert_eq!(Response::field_num(&r, "code"), Some(503));
         // The shard comes back; a probe closes the breaker without any
         // request traffic.
         shards[0].revive();
-        while !router.breakers[0].lock().unwrap().is_closed()
+        while router.breaker_state_of("b0") != Some("closed")
             && std::time::Instant::now() < deadline
         {
             std::thread::sleep(Duration::from_millis(2));
         }
-        assert_eq!(router.breaker_state(0), "closed");
+        assert_eq!(router.breaker_state_of("b0"), Some("closed"));
         let r = router.handle_line(&compile_line(2), "t");
         assert_eq!(Response::field_num(&r, "code"), Some(200), "{r}");
         router.stop_probes();
@@ -764,5 +1032,129 @@ mod tests {
         assert_eq!(Response::field_num(&stats, "bad_requests"), Some(1));
         assert!(Response::field_num(&stats, "served_b0").is_some());
         assert!(stats.contains("breaker_b1"));
+        assert_eq!(Response::field_str(&stats, "members").as_deref(), Some("b0,b1"));
+        assert!(Response::field_num(&stats, "probe_rtt_us_b0").is_some());
+        assert!(Response::field_num(&stats, "hedge_losses").is_some());
+        assert!(Response::field_num(&stats, "joins").is_some());
+    }
+
+    #[test]
+    fn leave_shrinks_the_ring_and_join_reclaims_the_same_keys() {
+        let (_shards, router) = fleet(3, no_hedge());
+        // Record b2's keys before it leaves.
+        let owned: Vec<u64> = (0..96)
+            .filter(|&n| {
+                let src = format!("; n{n}\nreg a = R0\nconst a, 7\nexit a\n");
+                let names = router.backend_names();
+                names[router.placement("hm1", "yalll", &src)[0]] == "b2"
+            })
+            .collect();
+        assert!(!owned.is_empty(), "b2 owns some of 96 keys");
+        router.leave_backend("b2").unwrap();
+        assert_eq!(router.backend_names(), vec!["b0", "b1"]);
+        // Its keys are served by survivors...
+        for &n in &owned {
+            let r = router.handle_line(&compile_line(n), "t");
+            assert_eq!(Response::field_num(&r, "code"), Some(200));
+            let tag = Response::field_str(&r, "backend").unwrap();
+            assert_ne!(tag, "b2");
+        }
+        // ...and a rejoin under the same name reclaims exactly them.
+        let back = Arc::new(InProcBackend::new(
+            "b2",
+            Arc::new(Server::start(ServeConfig::default())),
+        ));
+        router.join_backend(back).unwrap();
+        assert_eq!(router.backend_names(), vec!["b0", "b1", "b2"]);
+        for &n in &owned {
+            let src = format!("; n{n}\nreg a = R0\nconst a, 7\nexit a\n");
+            let names = router.backend_names();
+            assert_eq!(
+                names[router.placement("hm1", "yalll", &src)[0]],
+                "b2",
+                "rejoined shard reclaims its old keys"
+            );
+        }
+        let c = router.counters();
+        assert_eq!(c.leaves.load(Ordering::Relaxed), 1);
+        assert_eq!(c.joins.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn join_with_an_existing_name_swaps_the_transport_in_place() {
+        let (shards, router) = fleet(2, no_hedge());
+        shards[0].kill();
+        // Find a b0-owned key; with b0 dead it fails over.
+        let nonce = (0..)
+            .find(|&n| {
+                let src = format!("; n{n}\nreg a = R0\nconst a, 7\nexit a\n");
+                router.placement("hm1", "yalll", &src)[0] == 0
+            })
+            .unwrap();
+        let r = router.handle_line(&compile_line(nonce), "t");
+        assert_eq!(Response::field_str(&r, "backend").as_deref(), Some("b1"));
+        // "Restart" b0 as a fresh server joined under the old name.
+        let reborn = Arc::new(InProcBackend::new(
+            "b0",
+            Arc::new(Server::start(ServeConfig::default())),
+        ));
+        router.join_backend(reborn).unwrap();
+        assert_eq!(router.backend_names(), vec!["b0", "b1"], "no duplicate slot");
+        let r = router.handle_line(&compile_line(nonce), "t");
+        assert_eq!(
+            Response::field_str(&r, "backend").as_deref(),
+            Some("b0"),
+            "the rejoined transport serves its old keys again"
+        );
+    }
+
+    #[test]
+    fn the_last_backend_cannot_leave() {
+        let (_shards, router) = fleet(1, no_hedge());
+        let err = router.leave_backend("b0").unwrap_err();
+        assert!(err.contains("last backend"), "{err}");
+        let resp = router.handle_line("{\"op\":\"leave\",\"name\":\"b0\"}\n", "t");
+        assert_eq!(Response::field_num(&resp, "code"), Some(400));
+        let resp = router.handle_line("{\"op\":\"leave\",\"name\":\"nope\"}\n", "t");
+        assert_eq!(Response::field_num(&resp, "code"), Some(400));
+        assert!(resp.contains("not a member"));
+    }
+
+    #[test]
+    fn wire_join_and_leave_drive_the_live_ring() {
+        use mcc_serve::tcp::serve_lines;
+        // A real TCP shard to join by address.
+        let server = Arc::new(Server::start(ServeConfig::default()));
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let (server, stop) = (Arc::clone(&server), Arc::clone(&stop));
+            std::thread::spawn(move || serve_lines(server, listener, stop))
+        };
+        let (_shards, router) = fleet(2, no_hedge());
+        let resp = router.handle_line(&proto::join_line("j1", "b2", &addr), "t");
+        assert_eq!(Response::field_num(&resp, "code"), Some(200), "{resp}");
+        assert_eq!(Response::field_str(&resp, "joined").as_deref(), Some("b2"));
+        assert_eq!(Response::field_num(&resp, "backends"), Some(3));
+        // A key owned by the TCP member is served by it, over the wire.
+        let nonce = (0..)
+            .find(|&n| {
+                let src = format!("; n{n}\nreg a = R0\nconst a, 7\nexit a\n");
+                let names = router.backend_names();
+                names[router.placement("hm1", "yalll", &src)[0]] == "b2"
+            })
+            .unwrap();
+        let r = router.handle_line(&compile_line(nonce), "t");
+        assert_eq!(Response::field_num(&r, "code"), Some(200), "{r}");
+        assert_eq!(Response::field_str(&r, "backend").as_deref(), Some("b2"));
+        // And a wire leave takes it back out.
+        let resp = router.handle_line(&proto::leave_line("l1", "b2"), "t");
+        assert_eq!(Response::field_num(&resp, "code"), Some(200));
+        assert_eq!(Response::field_num(&resp, "backends"), Some(2));
+        let r = router.handle_line(&compile_line(nonce), "t");
+        assert_ne!(Response::field_str(&r, "backend").as_deref(), Some("b2"));
+        stop.store(true, Ordering::SeqCst);
+        accept.join().ok();
     }
 }

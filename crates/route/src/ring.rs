@@ -168,6 +168,38 @@ mod tests {
     }
 
     #[test]
+    fn adding_a_backend_moves_only_its_fair_share() {
+        // The join path: a shard (re)joining a 3-backend ring must take
+        // ~1/4 of the keys and disturb nobody else's placement — the
+        // keys it takes are exactly the keys it owns afterwards.
+        let all = names(4);
+        let ring3 = Ring::new(&all[..3], 64);
+        let ring4 = Ring::new(&all, 64);
+        let total = 4096u64;
+        let mut moved = 0usize;
+        for k in 0..total {
+            let p = Ring::point_of(u128::from(k).wrapping_mul(0x2545_f491_4f6c_dd1d));
+            let before = ring3.primary(p);
+            let after = ring4.primary(p);
+            if after == 3 {
+                moved += 1;
+            } else {
+                assert_eq!(
+                    before, after,
+                    "a key not claimed by the joiner must not move"
+                );
+            }
+        }
+        // ~1/N of keys move to the joiner; with 64 vnodes the share is
+        // within a factor of two of fair either way.
+        let fair = total as usize / 4;
+        assert!(
+            moved > fair / 2 && moved < fair * 2,
+            "joiner claimed {moved} of {total} keys, fair share {fair}"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "at least one backend")]
     fn empty_ring_is_a_configuration_error() {
         let _ = Ring::new(&[], 8);

@@ -235,14 +235,18 @@ impl Server {
                 // carries what a probe needs: queue pressure (a saturated
                 // backend is a hedging candidate) and the drain flag (a
                 // draining backend must leave the ring).
+                let draining = self.inner.draining.load(Ordering::SeqCst);
                 let mut r = Response::new(&proto::frame_id(line), 200);
                 r.push_str("pong", "mcc-serve");
                 r.push_num("uptime_ms", self.inner.started.elapsed().as_millis() as u64);
                 r.push_num("queue_depth", self.queue_depth() as u64);
-                r.push_str(
-                    "draining",
-                    if self.inner.draining.load(Ordering::SeqCst) { "true" } else { "false" },
-                );
+                r.push_str("draining", if draining { "true" } else { "false" });
+                // Child-facing readiness for the fleet supervisor: a pong
+                // means the shard is accepting, `ready` folds in the drain
+                // flag, and the pid lets the supervisor confirm it is
+                // talking to the child it actually spawned.
+                r.push_str("ready", if draining { "false" } else { "true" });
+                r.push_num("pid", u64::from(std::process::id()));
                 Submitted::Done(r)
             }
             Request::Stats => {
@@ -256,6 +260,18 @@ impl Server {
                 r.push_str("draining", "true");
                 Submitted::Done(r)
             }
+            // Ring membership is a router concern: a shard answering
+            // `join`/`leave` itself would fork the membership view.
+            Request::Join(j) => Submitted::Done(Response::error(
+                &j.id,
+                400,
+                "join is a router admin op, not a shard op",
+            )),
+            Request::Leave { .. } => Submitted::Done(Response::error(
+                &proto::frame_id(line),
+                400,
+                "leave is a router admin op, not a shard op",
+            )),
             Request::Compile(c) => self.submit_compile(c, client),
         }
     }

@@ -9,6 +9,8 @@
 //! {"op":"ping"}
 //! {"op":"stats"}
 //! {"op":"drain"}
+//! {"op":"join","name":"b2","addr":"127.0.0.1:7102"}
+//! {"op":"leave","name":"b2"}
 //! ```
 //!
 //! `compile` accepts optional `"algo"` (the CLI's algorithm names) and
@@ -42,6 +44,15 @@ pub enum Request {
     Stats,
     /// Begin graceful drain.
     Drain,
+    /// Router admin: add (or re-point) a backend on the live ring.
+    /// A plain `mcc serve` shard answers this with a `400` — membership
+    /// is a router concern.
+    Join(JoinReq),
+    /// Router admin: remove a backend from the live ring.
+    Leave {
+        /// Backend name to remove.
+        name: String,
+    },
 }
 
 /// The payload of a `compile` request.
@@ -59,6 +70,18 @@ pub struct CompileReq {
     pub algo: Option<String>,
     /// Optional per-request deadline override.
     pub deadline_ms: Option<u64>,
+}
+
+/// The payload of a `join` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinReq {
+    /// Client-chosen id, echoed in the response (empty when omitted).
+    pub id: String,
+    /// Backend name: ring placement is a pure function of the name, so
+    /// a shard that rejoins under its old name reclaims its old keys.
+    pub name: String,
+    /// `host:port` the router should dial for this backend.
+    pub addr: String,
 }
 
 /// One response line. `body` carries code-specific key/value pairs,
@@ -134,6 +157,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
         "drain" => Ok(Request::Drain),
+        "join" => Ok(Request::Join(JoinReq {
+            id: get_str(&m, "id").unwrap_or_default(),
+            name: get_str(&m, "name").ok_or("join: missing `name`")?,
+            addr: get_str(&m, "addr").ok_or("join: missing `addr`")?,
+        })),
+        "leave" => Ok(Request::Leave {
+            name: get_str(&m, "name").ok_or("leave: missing `name`")?,
+        }),
         "compile" => {
             let req = CompileReq {
                 id: get_str(&m, "id").unwrap_or_default(),
@@ -167,6 +198,22 @@ pub fn compile_line(id: &str, machine: &str, lang: &str, src: &str) -> String {
         esc(lang),
         esc(src)
     )
+}
+
+/// Renders a `join` admin frame — the client-side encoder used by the
+/// fleet supervisor when it re-adds a restarted shard to the ring.
+pub fn join_line(id: &str, name: &str, addr: &str) -> String {
+    format!(
+        "{{\"op\":\"join\",\"id\":\"{}\",\"name\":\"{}\",\"addr\":\"{}\"}}\n",
+        esc(id),
+        esc(name),
+        esc(addr)
+    )
+}
+
+/// Renders a `leave` admin frame.
+pub fn leave_line(id: &str, name: &str) -> String {
+    format!("{{\"op\":\"leave\",\"id\":\"{}\",\"name\":\"{}\"}}\n", esc(id), esc(name))
 }
 
 /// Convenience for tests: all fields of a parsed response line.
@@ -208,9 +255,28 @@ mod tests {
             "{\"op\":\"compile\"}",
             "{\"op\":\"warp\"}",
             "{\"no_op\":1}",
+            "{\"op\":\"join\",\"name\":\"b2\"}",
+            "{\"op\":\"join\",\"addr\":\"127.0.0.1:1\"}",
+            "{\"op\":\"leave\"}",
         ] {
             assert!(parse_request(bad).is_err(), "accepted: {bad:?}");
         }
+    }
+
+    #[test]
+    fn join_and_leave_round_trip() {
+        match parse_request(&join_line("j1", "b2", "127.0.0.1:7102")).unwrap() {
+            Request::Join(j) => {
+                assert_eq!(j.id, "j1");
+                assert_eq!(j.name, "b2");
+                assert_eq!(j.addr, "127.0.0.1:7102");
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert_eq!(
+            parse_request(&leave_line("l1", "b2")).unwrap(),
+            Request::Leave { name: "b2".to_string() }
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub use mcc_compact as compact;
 pub use mcc_core as core;
 pub use mcc_empl as empl;
 pub use mcc_faults as faults;
+pub use mcc_fleet as fleet;
 pub use mcc_fuzz as fuzz;
 pub use mcc_harness as harness;
 pub use mcc_lang as lang;

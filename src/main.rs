@@ -38,6 +38,8 @@ commands:
   campaign <e9|e10|fuzz>       run an experiment as a supervised campaign
   serve    [opts]              compile-as-a-service daemon (see below)
   route    [opts]              consistent-hash shard router over serve backends
+  fleet    [opts]              self-healing supervisor: router + serve shards
+                               as children, auto-restart, live ring membership
   bench-serve [opts]           deterministic load generator for the daemon
   cache    <stats|clear>       inspect or wipe the compilation cache
   mdl dump <machine>           print a reference machine as MDL text
@@ -116,6 +118,29 @@ route options:
   ping probes, hot-key replication, and drain propagation to every
   backend on SIGTERM.
 
+fleet options:
+      --shards <n>             serve shards to supervise (default 3)
+      --port <n>               router TCP port on 127.0.0.1 (default 7076;
+                               0 = any)
+      --jobs <n>               compile workers per shard (default 4)
+      --queue-bound <n>        per-shard admission bound (default 64)
+      --restart-budget <n>     consecutive failed lives before a shard is
+                               quarantined (default 5)
+      --hedge-ms <n>           router hedge delay (default 50; 0 = off)
+      --probe-interval-ms <n>  router health-probe period (default 250)
+      --cache-root <dir>       per-shard persistent cache dirs live under
+                               <dir>/<shard> (default .mcc-fleet-cache);
+                               a restarted shard rejoins warm
+      --seed <n>               restart-backoff jitter + router seed (default 0)
+
+  The supervisor spawns the router and every shard as child processes,
+  pings each shard for heartbeats, reaps dead children, respawns them
+  under seeded capped-exponential backoff, and re-announces a restarted
+  shard to the router with a `join` frame (its keys move back, minimal
+  movement, warm cache). A shard that crash-loops past the restart
+  budget is quarantined and the ring permanently routes around it.
+  SIGTERM/SIGINT drain the router and every shard, then exit 0.
+
 bench-serve options:
       --clients <n>            closed-loop client threads (default 8)
       --rps <n>                paced request rate (default 200)
@@ -131,6 +156,13 @@ bench-serve options:
       --kill-at <k>            SIGKILL the seed-chosen shard when request k is
                                drawn (spawns real serve children; needs
                                --backends >= 2)
+      --chaos-soak             soak a supervised fleet (router + shards as
+                               child processes) through --bursts bursts under
+                               a seeded kill schedule, including one sabotaged
+                               crash-looping shard; gates zero drops, rejoin,
+                               and quarantine (needs --backends >= 2)
+      --bursts <n>             chaos-soak burst count: one baseline plus one
+                               kill per remaining burst (default 4, min 4)
 
   stdout carries only seed-determined invariants (byte-identical across
   --clients and --jobs); latency/shed numbers go to stderr and the JSON.
@@ -174,6 +206,11 @@ struct Args {
     json: Option<String>,
     backends: Option<usize>,
     kill_at: Option<usize>,
+    chaos_soak: bool,
+    bursts: Option<usize>,
+    shards: Option<usize>,
+    restart_budget: Option<u32>,
+    cache_root: Option<String>,
     backend: Vec<String>,
     vnodes: Option<usize>,
     hedge_ms: Option<u64>,
@@ -243,6 +280,11 @@ fn parse_args() -> Option<Args> {
         json: None,
         backends: None,
         kill_at: None,
+        chaos_soak: false,
+        bursts: None,
+        shards: None,
+        restart_budget: None,
+        cache_root: None,
         backend: Vec::new(),
         vnodes: None,
         hedge_ms: None,
@@ -280,6 +322,13 @@ fn parse_args() -> Option<Args> {
             "--json" => a.json = Some(it.next()?),
             "--backends" => a.backends = Some(numeric("--backends", it.next())?),
             "--kill-at" => a.kill_at = Some(numeric("--kill-at", it.next())?),
+            "--chaos-soak" => a.chaos_soak = true,
+            "--bursts" => a.bursts = Some(numeric("--bursts", it.next())?),
+            "--shards" => a.shards = Some(numeric("--shards", it.next())?),
+            "--restart-budget" => {
+                a.restart_budget = Some(numeric("--restart-budget", it.next())?);
+            }
+            "--cache-root" => a.cache_root = Some(it.next()?),
             "--backend" => a.backend.push(it.next()?),
             "--vnodes" => a.vnodes = Some(numeric("--vnodes", it.next())?),
             "--hedge-ms" => a.hedge_ms = Some(numeric("--hedge-ms", it.next())?),
@@ -712,6 +761,66 @@ fn route_command(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `mcc fleet`: the self-healing supervisor. Spawns the router and N
+/// `mcc serve` shards as child processes, heartbeats them, restarts
+/// crashes under budgeted backoff, quarantines crash-loopers, and keeps
+/// the router's ring membership live through join/leave frames. Runs
+/// until SIGTERM/SIGINT, then drains everything and exits 0.
+fn fleet_command(args: &Args) -> Result<(), String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let n = positive_jobs("fleet: --shards", args.shards, 3);
+    let exe = std::env::current_exe().map_err(|e| format!("fleet: current_exe: {e}"))?;
+    let cache_root = std::path::PathBuf::from(
+        args.cache_root.clone().unwrap_or_else(|| ".mcc-fleet-cache".to_string()),
+    );
+    let mut cfg = mcc::fleet::FleetConfig::new(exe, cache_root);
+    cfg.router_port = args.port.unwrap_or(7076);
+    cfg.workers = positive_jobs("fleet: --jobs", args.jobs, 4);
+    cfg.queue_bound = positive_jobs("fleet: --queue-bound", args.queue_bound, 64);
+    cfg.seed = args.seed.unwrap_or(0);
+    cfg.hedge_ms = args.hedge_ms.unwrap_or(50);
+    cfg.probe_interval_ms = args.probe_interval_ms.unwrap_or(250).max(1);
+    cfg.restart.budget = args.restart_budget.unwrap_or(5);
+    cfg.log = true;
+    let specs: Vec<mcc::fleet::ShardSpec> =
+        (0..n).map(|i| mcc::fleet::ShardSpec::stock(&format!("b{i}"))).collect();
+
+    let mut fleet = mcc::fleet::Fleet::start(cfg, specs)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    sig::install(&stop);
+    eprintln!(
+        "mcc fleet: supervising {n} shards behind {}; stop with SIGTERM/SIGINT",
+        fleet.router_addr()
+    );
+    let mut last_report = std::time::Instant::now();
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        if last_report.elapsed() >= std::time::Duration::from_secs(10) {
+            last_report = std::time::Instant::now();
+            let states: Vec<String> = fleet
+                .snapshot()
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{}:{}(crashes {}, restarts {}, qd {})",
+                        s.name,
+                        s.state.name(),
+                        s.crashes,
+                        s.restarts,
+                        s.queue_depth
+                    )
+                })
+                .collect();
+            eprintln!("mcc fleet: [{}]", states.join(" "));
+        }
+    }
+    eprintln!("mcc fleet: draining");
+    fleet.shutdown();
+    Ok(())
+}
+
 /// `mcc bench-serve`: the seeded closed-loop load generator (stdout is
 /// deterministic; timing goes to stderr and the JSON report).
 fn bench_serve_command(args: &Args) -> Result<(), String> {
@@ -725,6 +834,8 @@ fn bench_serve_command(args: &Args) -> Result<(), String> {
         json_path: args.json.clone().unwrap_or_else(|| "BENCH_serve.json".to_string()),
         backends: args.backends.unwrap_or(0),
         kill_at: args.kill_at,
+        chaos_soak: args.chaos_soak,
+        bursts: args.bursts.unwrap_or(4),
     };
     mcc::bench::serveload::run(&cfg)
 }
@@ -882,6 +993,7 @@ fn main() -> ExitCode {
         "campaign" => campaign_command(&args),
         "serve" => serve_command(&args),
         "route" => route_command(&args),
+        "fleet" => fleet_command(&args),
         "bench-serve" => bench_serve_command(&args),
         "cache" => cache_command(&args),
         "fuzz" => {

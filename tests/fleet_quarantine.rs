@@ -1,0 +1,128 @@
+//! Quarantine under supervision, end to end: a fleet whose third shard
+//! is sabotaged to die before its banner on *every* life must burn its
+//! restart budget and land in quarantine — never hot-loop — while the
+//! healthy rest of the fleet answers every accepted request exactly
+//! once (cache-counter accounting, the PR 5/6 invariant lifted onto the
+//! supervisor).
+//!
+//! Single `#[test]` on purpose: this file owns a whole supervised
+//! fleet of child processes and their cache directories.
+
+use std::time::Duration;
+
+use mcc::fleet::{child, Fleet, FleetConfig, ShardSpec, ShardState};
+use mcc::harness::backoff::BackoffConfig;
+use mcc::harness::restart::RestartPolicy;
+use mcc::serve::proto::{self, Response};
+
+#[test]
+fn crash_looping_shard_is_quarantined_while_the_fleet_serves_exactly_once() {
+    let base = std::env::temp_dir().join(format!("mcc-fleet-quarantine-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let budget = 2u32;
+    let mut cfg = FleetConfig::new(env!("CARGO_BIN_EXE_mcc").into(), base.clone());
+    cfg.hedge_ms = 0; // no hedging: cache counters count exactly once
+    cfg.restart = RestartPolicy {
+        budget,
+        backoff: BackoffConfig {
+            base: Duration::from_millis(25),
+            cap: Duration::from_millis(100),
+        },
+    };
+    cfg.log = true;
+
+    // b2's argv is unparseable: every life exits before the banner.
+    let specs = vec![
+        ShardSpec::stock("b0"),
+        ShardSpec::stock("b1"),
+        ShardSpec {
+            name: "b2".to_string(),
+            argv: Some(vec![
+                "serve".to_string(),
+                "--port".to_string(),
+                "not-a-port".to_string(),
+            ]),
+            restart_argv: None,
+        },
+    ];
+    let mut fleet = Fleet::start(cfg, specs).expect("two healthy shards are enough to start");
+
+    // The sabotaged shard must reach quarantine (budget restarts, then
+    // the supervisor gives up) while b0/b1 come up and join.
+    assert!(
+        fleet.wait_until(Duration::from_secs(30), |shards| {
+            shards.iter().any(|s| s.name == "b2" && s.state == ShardState::Quarantined)
+                && shards
+                    .iter()
+                    .filter(|s| s.name != "b2")
+                    .all(|s| s.state == ShardState::Up && s.joined)
+        }),
+        "b2 quarantined and b0/b1 up, got {:?}",
+        fleet.snapshot()
+    );
+
+    let b2 = fleet.registry().get("b2").expect("b2 registered");
+    assert_eq!(
+        b2.restarts,
+        u64::from(budget),
+        "quarantine came after exactly the budgeted restarts"
+    );
+    assert_eq!(
+        b2.crashes,
+        u64::from(budget) + 1,
+        "the crash after the last budgeted restart trips quarantine"
+    );
+    assert!(!b2.joined, "a quarantined shard is not a ring member");
+
+    // The surviving fleet answers every request: M distinct cold
+    // compiles through the router child, all 200.
+    let addr = fleet.router_addr();
+    const M: usize = 40;
+    let mut n200 = 0u64;
+    for i in 0..M {
+        let src = format!("reg a = R0\nconst a, {i}\nadd a, a, 1\nexit a\n");
+        let line = proto::compile_line(&format!("q{i}"), "hm1", "yalll", &src);
+        let resp = child::line_call(&addr, &line, Duration::from_secs(30))
+            .expect("router answers while a shard is quarantined");
+        assert_eq!(
+            Response::field_num(&resp, "code"),
+            Some(200),
+            "request {i} compiled: {resp}"
+        );
+        let backend = Response::field_str(&resp, "backend").unwrap_or_default();
+        assert_ne!(backend, "b2", "the quarantined shard serves nothing");
+        n200 += 1;
+    }
+
+    // Quarantine is sticky: give the supervisor a beat, then confirm the
+    // restart count never moved (no hot loop).
+    std::thread::sleep(Duration::from_millis(500));
+    let b2 = fleet.registry().get("b2").expect("b2 registered");
+    assert_eq!(b2.state, ShardState::Quarantined);
+    assert_eq!(b2.restarts, u64::from(budget), "no restarts after quarantine");
+
+    let healthy_crashes: u64 = fleet
+        .snapshot()
+        .iter()
+        .filter(|s| s.name != "b2")
+        .map(|s| s.crashes)
+        .sum();
+    assert_eq!(healthy_crashes, 0, "healthy shards never crashed");
+
+    fleet.shutdown();
+
+    // Exactly-once accounting: with hedging off and all-distinct
+    // sources, every 200 is one miss and one store on exactly one
+    // healthy shard — nothing ran twice, nothing went unanswered.
+    let (mut misses, mut stores) = (0u64, 0u64);
+    for name in ["b0", "b1"] {
+        let stats = mcc::cache::read_stats(&base.join(name));
+        misses += stats.misses;
+        stores += stats.stores;
+    }
+    assert_eq!(misses, n200, "each accepted compile executed exactly once");
+    assert_eq!(stores, n200, "each executed compile persisted exactly once");
+
+    let _ = std::fs::remove_dir_all(&base);
+}
