@@ -20,6 +20,7 @@
 //! identical per `(kernel, machine, tier)`, because comments never reach
 //! the parser.
 
+mod chaosnet;
 mod soak;
 
 use std::io::Write as _;
@@ -65,6 +66,11 @@ pub struct LoadConfig {
     /// Burst count for `--chaos-soak`: one baseline burst plus a kill
     /// per remaining burst (minimum 4).
     pub bursts: usize,
+    /// Chaos-net mode: drive a routed fleet through seeded
+    /// fault-injection proxies on every hop (client→router and
+    /// router→shard) and gate zero drops, zero double executions, and
+    /// zero corrupt frames accepted (`--chaos-net`).
+    pub chaos_net: bool,
 }
 
 impl Default for LoadConfig {
@@ -81,6 +87,7 @@ impl Default for LoadConfig {
             kill_at: None,
             chaos_soak: false,
             bursts: 4,
+            chaos_net: false,
         }
     }
 }
@@ -149,6 +156,9 @@ struct Sample {
 ///
 /// Invariant violations and JSON-report I/O errors.
 pub fn run(cfg: &LoadConfig) -> Result<(), String> {
+    if cfg.chaos_net {
+        return chaosnet::run(cfg);
+    }
     if cfg.chaos_soak {
         return soak::run(cfg);
     }
@@ -397,7 +407,7 @@ mod routed {
 
     /// The analytic primary-placement counts for the burst: which shard
     /// the ring gives each scheduled request, ignoring runtime health.
-    fn placement_counts(cfg: &LoadConfig, entries: &[Entry], n: usize, total: usize, nonce_base: usize) -> Vec<u64> {
+    pub(super) fn placement_counts(cfg: &LoadConfig, entries: &[Entry], n: usize, total: usize, nonce_base: usize) -> Vec<u64> {
         let ring = mcc_route::Ring::new(&names(n), RouteConfig::default().vnodes);
         let mut counts = vec![0u64; n];
         for k in 0..total {
@@ -686,14 +696,14 @@ mod routed {
     }
 
     /// One spawned `mcc serve` child and the address it bound.
-    struct Shard {
-        child: Arc<Mutex<std::process::Child>>,
-        addr: String,
+    pub(super) struct Shard {
+        pub(super) child: Arc<Mutex<std::process::Child>>,
+        pub(super) addr: String,
     }
 
     /// Kills every child on drop — panics and early `?` returns must
     /// not leak daemon processes.
-    struct FleetGuard(Vec<Shard>);
+    pub(super) struct FleetGuard(pub(super) Vec<Shard>);
 
     impl Drop for FleetGuard {
         fn drop(&mut self) {
@@ -705,7 +715,7 @@ mod routed {
 
     /// Spawns one `mcc serve --port 0` child with its own cache dir and
     /// parses the bound address off its stderr banner.
-    fn spawn_shard(cfg: &LoadConfig, cache_dir: &std::path::Path) -> Result<Shard, String> {
+    pub(super) fn spawn_shard(cfg: &LoadConfig, cache_dir: &std::path::Path) -> Result<Shard, String> {
         let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
         let mut child = std::process::Command::new(exe)
             .args([

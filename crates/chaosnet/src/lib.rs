@@ -1,0 +1,646 @@
+//! Deterministic TCP fault-injection proxy for the mcc wire path.
+//!
+//! The proxy sits between a line-protocol client and its upstream (client↔router
+//! or router↔shard) and injects network faults on a schedule that is a **pure
+//! function of the seed**: the n-th request frame through the proxy either
+//! passes clean or suffers exactly one fault, decided by `fault_for(seed, plan, n)`
+//! with no dependence on wall-clock time, thread interleaving, or OS buffering.
+//!
+//! The fault menu covers every failure class the wire hardening must survive:
+//! resets before/during/after the request write, torn and corrupted reply
+//! frames, latency spikes, full stalls, slow-loris trickle delivery, duplicated
+//! delivery, and black-holes (reply read and discarded). Faults apply per
+//! *request frame*, not per connection, so a pooled connection that carries
+//! many frames sees the same schedule a reconnect-per-frame client would.
+
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use mcc_harness::splitmix64;
+use mcc_serve::proto::MAX_FRAME_BYTES;
+use mcc_serve::tcp::{read_frame_into, write_frame, FrameRead};
+
+/// Every fault kind the proxy can inject. The scheduler guarantees each kind
+/// appears exactly once per cycle of `KIND_COUNT` faulted frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Close both directions before forwarding any request bytes upstream.
+    ResetPreWrite,
+    /// Forward roughly half the request frame, then close. Upstream sees a torn frame.
+    ResetMidFrame,
+    /// Forward the whole request, read the upstream reply (the server has
+    /// executed), then close without relaying. The retry-after-execute case.
+    ResetPostWrite,
+    /// Relay only the first half of the reply, then close: a truncated frame.
+    Truncate,
+    /// Flip one byte of the reply at a seeded position before relaying.
+    CorruptByte,
+    /// Flip several bytes of the reply at seeded positions before relaying.
+    CorruptMulti,
+    /// Delay the reply by `plan.delay` before relaying it intact.
+    Delay,
+    /// Hold the reply for `plan.stall` (longer than any sane read deadline),
+    /// then deliver it late on the same connection.
+    Stall,
+    /// Relay the reply one byte at a time with a pause between bytes.
+    Trickle,
+    /// Forward the request twice; relay both replies. Duplicate delivery.
+    Duplicate,
+    /// Read the reply, hold for `plan.hold`, then close without relaying.
+    BlackHole,
+}
+
+/// Number of distinct fault kinds; one full cycle injects each exactly once.
+pub const KIND_COUNT: u64 = 11;
+
+const KINDS: [Fault; KIND_COUNT as usize] = [
+    Fault::ResetPreWrite,
+    Fault::ResetMidFrame,
+    Fault::ResetPostWrite,
+    Fault::Truncate,
+    Fault::CorruptByte,
+    Fault::CorruptMulti,
+    Fault::Delay,
+    Fault::Stall,
+    Fault::Trickle,
+    Fault::Duplicate,
+    Fault::BlackHole,
+];
+
+impl Fault {
+    /// Stable lowercase name used in schedules, stats, and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::ResetPreWrite => "reset-pre-write",
+            Fault::ResetMidFrame => "reset-mid-frame",
+            Fault::ResetPostWrite => "reset-post-write",
+            Fault::Truncate => "truncate",
+            Fault::CorruptByte => "corrupt-byte",
+            Fault::CorruptMulti => "corrupt-multi",
+            Fault::Delay => "delay",
+            Fault::Stall => "stall",
+            Fault::Trickle => "trickle",
+            Fault::Duplicate => "duplicate",
+            Fault::BlackHole => "black-hole",
+        }
+    }
+
+    fn index(&self) -> usize {
+        KINDS.iter().position(|k| k == self).unwrap()
+    }
+}
+
+/// Tunable shape of the fault schedule. `warm` leading frames always pass
+/// clean (so connection setup and version negotiation happen on a quiet wire),
+/// then every `stride`-th frame is faulted.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Number of leading frames that are never faulted.
+    pub warm: u64,
+    /// After the warm window, frame n is faulted iff (n - warm) % stride == 0.
+    pub stride: u64,
+    /// Added latency for `Fault::Delay`.
+    pub delay: Duration,
+    /// Hold time for `Fault::Stall` — pick it longer than the client read deadline.
+    pub stall: Duration,
+    /// Hold time for `Fault::BlackHole` before the connection is dropped.
+    pub hold: Duration,
+    /// Pause between bytes for `Fault::Trickle`.
+    pub trickle_pause: Duration,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            warm: 8,
+            stride: 3,
+            delay: Duration::from_millis(40),
+            stall: Duration::from_millis(600),
+            hold: Duration::from_millis(600),
+            trickle_pause: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Seeded permutation of the fault kinds for one cycle. Fisher–Yates driven by
+/// splitmix64 so the order varies with the seed and cycle index but is fully
+/// reproducible.
+fn kind_permutation(seed: u64, cycle: u64) -> [Fault; KIND_COUNT as usize] {
+    let mut kinds = KINDS;
+    let mut s = splitmix64(seed ^ cycle.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let n = kinds.len();
+    for i in (1..n).rev() {
+        s = splitmix64(s);
+        let j = (s % (i as u64 + 1)) as usize;
+        kinds.swap(i, j);
+    }
+    kinds
+}
+
+/// The fault (if any) injected on the n-th request frame (0-based) through a
+/// proxy with this seed and plan. Pure function: same (seed, plan, n) → same
+/// answer on every run, machine, and thread.
+pub fn fault_for(seed: u64, plan: &FaultPlan, n: u64) -> Option<Fault> {
+    if n < plan.warm {
+        return None;
+    }
+    let k = n - plan.warm;
+    if plan.stride == 0 || !k.is_multiple_of(plan.stride) {
+        return None;
+    }
+    let slot = k / plan.stride;
+    let cycle = slot / KIND_COUNT;
+    let perm = kind_permutation(seed, cycle);
+    Some(perm[(slot % KIND_COUNT) as usize])
+}
+
+/// Render the first full fault cycle of the schedule as stable text — printed
+/// by benches so stdout is a pure function of the seed.
+pub fn schedule_text(name: &str, seed: u64, plan: &FaultPlan) -> String {
+    let mut out = format!(
+        "chaos schedule {name}: seed={seed} warm={} stride={} cycle={}\n",
+        plan.warm, plan.stride, KIND_COUNT
+    );
+    let perm = kind_permutation(seed, 0);
+    for (i, kind) in perm.iter().enumerate() {
+        let frame = plan.warm + (i as u64) * plan.stride;
+        out.push_str(&format!("chaos schedule {name}:   frame {frame} -> {}\n", kind.name()));
+    }
+    out
+}
+
+type Schedule = Box<dyn Fn(u64) -> Option<Fault> + Send + Sync>;
+
+struct Shared {
+    upstream: String,
+    plan: FaultPlan,
+    schedule: Schedule,
+    seed: u64,
+    frames: AtomicU64,
+    injected: [AtomicU64; KIND_COUNT as usize],
+    stop: AtomicBool,
+}
+
+/// A running chaos proxy. Accepts connections on a local listener and relays
+/// newline-delimited frames to `upstream`, injecting scheduled faults.
+pub struct ChaosProxy {
+    addr: String,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+const ACCEPT_TICK: Duration = Duration::from_millis(25);
+
+impl ChaosProxy {
+    /// Start with the standard seeded schedule.
+    pub fn start(listener: TcpListener, upstream: &str, seed: u64, plan: FaultPlan) -> std::io::Result<ChaosProxy> {
+        let p = plan;
+        Self::start_with(listener, upstream, Box::new(move |n| fault_for(seed, &p, n)), seed, plan)
+    }
+
+    /// Start with an arbitrary schedule closure — used by tests that need one
+    /// specific fault on one specific frame.
+    pub fn start_with(
+        listener: TcpListener,
+        upstream: &str,
+        schedule: Schedule,
+        seed: u64,
+        plan: FaultPlan,
+    ) -> std::io::Result<ChaosProxy> {
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?.to_string();
+        let shared = Arc::new(Shared {
+            upstream: upstream.to_string(),
+            plan,
+            schedule,
+            seed,
+            frames: AtomicU64::new(0),
+            injected: Default::default(),
+            stop: AtomicBool::new(false),
+        });
+        let sh = Arc::clone(&shared);
+        let accept = thread::spawn(move || {
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
+            while !sh.stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let csh = Arc::clone(&sh);
+                        conns.push(thread::spawn(move || relay_connection(stream, csh)));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(ACCEPT_TICK);
+                    }
+                    Err(_) => thread::sleep(ACCEPT_TICK),
+                }
+                conns.retain(|h| !h.is_finished());
+            }
+            for h in conns {
+                let _ = h.join();
+            }
+        });
+        Ok(ChaosProxy { addr, shared, accept: Some(accept) })
+    }
+
+    /// Address clients should connect to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Total request frames seen so far.
+    pub fn frames(&self) -> u64 {
+        self.shared.frames.load(Ordering::Relaxed)
+    }
+
+    /// Injection counts per fault kind, as (name, count) pairs.
+    pub fn injected(&self) -> Vec<(&'static str, u64)> {
+        KINDS
+            .iter()
+            .map(|k| (k.name(), self.shared.injected[k.index()].load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Seed this proxy was started with.
+    pub fn seed(&self) -> u64 {
+        self.shared.seed
+    }
+
+    /// Stop accepting and wait for the accept loop (in-flight relays are joined).
+    pub fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Relay one downstream connection. Each request frame read from the client is
+/// assigned the next global frame number, the schedule decides its fault, and
+/// the relay performs the fault's exact semantics. A connection-fatal fault
+/// (reset/truncate/black-hole) ends this relay; the client reconnects and later
+/// frames continue the global schedule.
+fn relay_connection(client: TcpStream, sh: Arc<Shared>) {
+    let _ = client.set_nodelay(true);
+    let _ = client.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut client_w = match client.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut client_r = BufReader::new(client);
+    // Partial request bytes survive the short stop-flag polling timeout.
+    let mut partial = Vec::new();
+
+    let mut up: Option<(TcpStream, BufReader<TcpStream>)> = None;
+
+    loop {
+        if sh.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let frame = match read_frame_into(&mut client_r, &mut partial, MAX_FRAME_BYTES) {
+            Ok(FrameRead::Frame(f)) => f,
+            Ok(FrameRead::TimedOut) => continue,
+            Ok(FrameRead::Eof) | Ok(FrameRead::Oversized) | Err(_) => return,
+        };
+        let n = sh.frames.fetch_add(1, Ordering::Relaxed);
+        let fault = (sh.schedule)(n);
+        if let Some(kind) = fault {
+            sh.injected[kind.index()].fetch_add(1, Ordering::Relaxed);
+        }
+
+        // (Re)establish the upstream connection for this frame if needed.
+        if up.is_none() {
+            match TcpStream::connect(&sh.upstream) {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    let r = match s.try_clone() {
+                        Ok(c) => BufReader::new(c),
+                        Err(_) => return,
+                    };
+                    up = Some((s, r));
+                }
+                Err(_) => return,
+            }
+        }
+        let (uw, ur) = up.as_mut().unwrap();
+
+        let verdict = relay_frame(&frame, fault, &sh.plan, uw, ur, &mut client_w, sh.seed, n);
+        match verdict {
+            RelayOutcome::Continue => {}
+            RelayOutcome::CloseBoth => {
+                if let Some((s, _)) = up.take() {
+                    let _ = s.shutdown(Shutdown::Both);
+                }
+                return;
+            }
+        }
+    }
+}
+
+enum RelayOutcome {
+    /// Keep both connections; next frame reuses the upstream.
+    Continue,
+    /// Tear down the client connection (and upstream) now. The client's
+    /// reconnect gets a fresh upstream connection from a fresh relay.
+    CloseBoth,
+}
+
+/// Read one reply frame from upstream with a generous deadline — the proxy
+/// itself must never black-hole by accident.
+fn read_reply(ur: &mut BufReader<TcpStream>) -> Option<String> {
+    let deadline = Duration::from_secs(30);
+    let _ = ur.get_ref().set_read_timeout(Some(Duration::from_millis(100)));
+    let start = std::time::Instant::now();
+    let mut partial = Vec::new();
+    loop {
+        match read_frame_into(ur, &mut partial, MAX_FRAME_BYTES) {
+            Ok(FrameRead::Frame(f)) => return Some(f),
+            Ok(FrameRead::TimedOut) => {
+                if start.elapsed() > deadline {
+                    return None;
+                }
+            }
+            Ok(FrameRead::Eof) | Ok(FrameRead::Oversized) | Err(_) => return None,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn relay_frame(
+    frame: &str,
+    fault: Option<Fault>,
+    plan: &FaultPlan,
+    uw: &mut TcpStream,
+    ur: &mut BufReader<TcpStream>,
+    cw: &mut TcpStream,
+    seed: u64,
+    n: u64,
+) -> RelayOutcome {
+    match fault {
+        None => {
+            if write_frame(uw, frame.as_bytes()).is_err() {
+                return RelayOutcome::CloseBoth;
+            }
+            match read_reply(ur) {
+                Some(reply) => {
+                    if write_frame(cw, reply.as_bytes()).is_err() {
+                        return RelayOutcome::CloseBoth;
+                    }
+                    RelayOutcome::Continue
+                }
+                None => RelayOutcome::CloseBoth,
+            }
+        }
+        Some(Fault::ResetPreWrite) => RelayOutcome::CloseBoth,
+        Some(Fault::ResetMidFrame) => {
+            let bytes = frame.as_bytes();
+            let half = bytes.len() / 2;
+            let _ = uw.write_all(&bytes[..half]);
+            let _ = uw.flush();
+            let _ = uw.shutdown(Shutdown::Both);
+            RelayOutcome::CloseBoth
+        }
+        Some(Fault::ResetPostWrite) => {
+            // Server executes; the reply dies with the connection.
+            if write_frame(uw, frame.as_bytes()).is_err() {
+                return RelayOutcome::CloseBoth;
+            }
+            let _ = read_reply(ur);
+            RelayOutcome::CloseBoth
+        }
+        Some(Fault::Truncate) => {
+            if write_frame(uw, frame.as_bytes()).is_err() {
+                return RelayOutcome::CloseBoth;
+            }
+            if let Some(reply) = read_reply(ur) {
+                let bytes = reply.as_bytes();
+                let half = bytes.len() / 2;
+                let _ = cw.write_all(&bytes[..half]);
+                let _ = cw.flush();
+            }
+            RelayOutcome::CloseBoth
+        }
+        Some(Fault::CorruptByte) => {
+            if write_frame(uw, frame.as_bytes()).is_err() {
+                return RelayOutcome::CloseBoth;
+            }
+            match read_reply(ur) {
+                Some(reply) => {
+                    let corrupted = corrupt(&reply, seed, n, 1);
+                    if cw.write_all(&corrupted).is_err() || cw.flush().is_err() {
+                        return RelayOutcome::CloseBoth;
+                    }
+                    RelayOutcome::Continue
+                }
+                None => RelayOutcome::CloseBoth,
+            }
+        }
+        Some(Fault::CorruptMulti) => {
+            if write_frame(uw, frame.as_bytes()).is_err() {
+                return RelayOutcome::CloseBoth;
+            }
+            match read_reply(ur) {
+                Some(reply) => {
+                    let corrupted = corrupt(&reply, seed, n, 4);
+                    if cw.write_all(&corrupted).is_err() || cw.flush().is_err() {
+                        return RelayOutcome::CloseBoth;
+                    }
+                    RelayOutcome::Continue
+                }
+                None => RelayOutcome::CloseBoth,
+            }
+        }
+        Some(Fault::Delay) => {
+            if write_frame(uw, frame.as_bytes()).is_err() {
+                return RelayOutcome::CloseBoth;
+            }
+            match read_reply(ur) {
+                Some(reply) => {
+                    thread::sleep(plan.delay);
+                    if write_frame(cw, reply.as_bytes()).is_err() {
+                        return RelayOutcome::CloseBoth;
+                    }
+                    RelayOutcome::Continue
+                }
+                None => RelayOutcome::CloseBoth,
+            }
+        }
+        Some(Fault::Stall) => {
+            if write_frame(uw, frame.as_bytes()).is_err() {
+                return RelayOutcome::CloseBoth;
+            }
+            match read_reply(ur) {
+                Some(reply) => {
+                    // Longer than the client's read deadline: the client gives
+                    // up and retries elsewhere; the late reply lands on a
+                    // connection the client already abandoned.
+                    thread::sleep(plan.stall);
+                    let _ = write_frame(cw, reply.as_bytes());
+                    RelayOutcome::CloseBoth
+                }
+                None => RelayOutcome::CloseBoth,
+            }
+        }
+        Some(Fault::Trickle) => {
+            if write_frame(uw, frame.as_bytes()).is_err() {
+                return RelayOutcome::CloseBoth;
+            }
+            match read_reply(ur) {
+                Some(reply) => {
+                    for b in reply.as_bytes() {
+                        if cw.write_all(std::slice::from_ref(b)).is_err() {
+                            return RelayOutcome::CloseBoth;
+                        }
+                        let _ = cw.flush();
+                        thread::sleep(plan.trickle_pause);
+                    }
+                    RelayOutcome::Continue
+                }
+                None => RelayOutcome::CloseBoth,
+            }
+        }
+        Some(Fault::Duplicate) => {
+            // Forward the request twice; relay both replies. With dedup on the
+            // server the second execution must be a replay, and the client must
+            // cope with a stale duplicate frame arriving after the real one.
+            if write_frame(uw, frame.as_bytes()).is_err() || write_frame(uw, frame.as_bytes()).is_err() {
+                return RelayOutcome::CloseBoth;
+            }
+            for _ in 0..2 {
+                match read_reply(ur) {
+                    Some(reply) => {
+                        if write_frame(cw, reply.as_bytes()).is_err() {
+                            return RelayOutcome::CloseBoth;
+                        }
+                    }
+                    None => return RelayOutcome::CloseBoth,
+                }
+            }
+            RelayOutcome::Continue
+        }
+        Some(Fault::BlackHole) => {
+            if write_frame(uw, frame.as_bytes()).is_err() {
+                return RelayOutcome::CloseBoth;
+            }
+            let _ = read_reply(ur);
+            thread::sleep(plan.hold);
+            RelayOutcome::CloseBoth
+        }
+    }
+}
+
+/// Flip `count` bytes of the frame at seeded positions, never touching the
+/// trailing newline (framing survives; content is damaged) and never flipping
+/// a byte *to* a newline (which would split the frame instead of corrupting it).
+fn corrupt(frame: &str, seed: u64, n: u64, count: usize) -> Vec<u8> {
+    let mut bytes = frame.as_bytes().to_vec();
+    let body_len = if bytes.ends_with(b"\n") { bytes.len() - 1 } else { bytes.len() };
+    if body_len == 0 {
+        return bytes;
+    }
+    let mut s = splitmix64(seed ^ n.wrapping_mul(0x2545_f491_4f6c_dd1d));
+    for _ in 0..count {
+        s = splitmix64(s);
+        let pos = (s % body_len as u64) as usize;
+        let mut x = ((s >> 32) & 0xff) as u8;
+        // xor must change the byte and must not yield '\n'
+        while x == 0 || bytes[pos] ^ x == b'\n' {
+            x = x.wrapping_add(1);
+        }
+        bytes[pos] ^= x;
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_pure_and_covers_every_kind_each_cycle() {
+        let plan = FaultPlan::default();
+        for seed in [1u64, 42, 0xdead_beef] {
+            // Pure: two evaluations agree.
+            for n in 0..200 {
+                assert_eq!(fault_for(seed, &plan, n), fault_for(seed, &plan, n));
+            }
+            // Warm window is clean.
+            for n in 0..plan.warm {
+                assert_eq!(fault_for(seed, &plan, n), None);
+            }
+            // One full cycle covers all kinds exactly once.
+            let mut seen = Vec::new();
+            let mut n = plan.warm;
+            while seen.len() < KIND_COUNT as usize {
+                if let Some(f) = fault_for(seed, &plan, n) {
+                    seen.push(f);
+                }
+                n += 1;
+            }
+            for k in KINDS {
+                assert_eq!(seen.iter().filter(|f| **f == k).count(), 1, "kind {k:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_text_is_stable_per_seed() {
+        let plan = FaultPlan::default();
+        let a = schedule_text("front", 7, &plan);
+        let b = schedule_text("front", 7, &plan);
+        assert_eq!(a, b);
+        assert_ne!(a, schedule_text("front", 8, &plan));
+        assert_eq!(a.lines().count(), 1 + KIND_COUNT as usize);
+    }
+
+    #[test]
+    fn corrupt_changes_content_but_not_framing() {
+        let frame = "{\"id\":\"x\",\"code\":200}\n";
+        for n in 0..50u64 {
+            let out = corrupt(frame, 99, n, 1);
+            assert_eq!(out.len(), frame.len());
+            assert_eq!(out.last(), Some(&b'\n'));
+            assert_eq!(out.iter().filter(|b| **b == b'\n').count(), 1);
+            assert_ne!(&out[..], frame.as_bytes());
+        }
+    }
+
+    #[test]
+    fn clean_relay_passes_frames_through() {
+        use std::io::BufRead;
+        // Echo upstream: replies with the line it received, uppercased op field intact.
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let up_addr = upstream.local_addr().unwrap().to_string();
+        thread::spawn(move || {
+            if let Ok((s, _)) = upstream.accept() {
+                let mut r = BufReader::new(s.try_clone().unwrap());
+                let mut w = s;
+                let mut line = String::new();
+                while r.read_line(&mut line).map(|n| n > 0).unwrap_or(false) {
+                    let _ = write_frame(&mut w, line.as_bytes());
+                    line.clear();
+                }
+            }
+        });
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let plan = FaultPlan { warm: 100, ..FaultPlan::default() };
+        let mut proxy = ChaosProxy::start(listener, &up_addr, 5, plan).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_frame(&mut c, b"{\"op\":\"ping\"}\n").unwrap();
+        let mut r = BufReader::new(c.try_clone().unwrap());
+        let mut reply = String::new();
+        r.read_line(&mut reply).unwrap();
+        assert_eq!(reply, "{\"op\":\"ping\"}\n");
+        assert_eq!(proxy.frames(), 1);
+        proxy.stop();
+    }
+}

@@ -8,7 +8,8 @@ use std::process::{Child, Command, ExitStatus, Stdio};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-use mcc_serve::tcp::write_frame;
+use mcc_serve::proto::MAX_FRAME_BYTES;
+use mcc_serve::tcp::{read_frame, write_frame, FrameRead};
 
 /// Kills `child` (if still running) and **waits** on it, so the kernel
 /// releases the process entry. SIGKILLing without the wait leaks a
@@ -90,11 +91,14 @@ pub fn line_call(addr: &str, line: &str, timeout: Duration) -> Result<String, St
     stream.set_read_timeout(Some(timeout)).ok();
     stream.set_write_timeout(Some(timeout)).ok();
     write_frame(&mut stream, line.as_bytes()).map_err(|e| format!("{addr}: write: {e}"))?;
+    // Capped read: a misbehaving (or chaos-proxied) peer cannot make a
+    // heartbeat buffer an endless line.
     let mut reader = BufReader::new(stream);
-    let mut resp = String::new();
-    match reader.read_line(&mut resp) {
-        Ok(0) => Err(format!("{addr}: closed mid-response")),
-        Ok(_) => Ok(resp),
+    match read_frame(&mut reader, MAX_FRAME_BYTES) {
+        Ok(FrameRead::Frame(resp)) => Ok(resp),
+        Ok(FrameRead::Eof) => Err(format!("{addr}: closed mid-response")),
+        Ok(FrameRead::TimedOut) => Err(format!("{addr}: read timed out after {timeout:?}")),
+        Ok(FrameRead::Oversized) => Err(format!("{addr}: oversized response frame")),
         Err(e) => Err(format!("{addr}: read: {e}")),
     }
 }

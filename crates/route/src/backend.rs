@@ -18,13 +18,15 @@
 //!
 //! [`kill`]: InProcBackend::kill
 
-use std::io::{BufRead, BufReader};
+use std::io::BufReader;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use mcc_harness::backoff::{self, BackoffConfig};
-use mcc_serve::tcp::write_frame;
+use mcc_serve::proto::{self, Envelope, Response, MAX_FRAME_BYTES};
+use mcc_serve::tcp::{read_frame, write_frame, FrameRead};
 use mcc_serve::Server;
 
 /// One shard, behind whatever transport reaches it.
@@ -80,12 +82,28 @@ impl Backend for InProcBackend {
         if self.dead.load(Ordering::SeqCst) {
             return Err(format!("{}: connection refused (killed)", self.name));
         }
-        Ok(self.server.handle_line(line, client).to_line())
+        // Through the frame path, so enveloped requests get the same
+        // dedup/replay semantics a TCP shard would apply; the envelope is
+        // stripped because backends return bare bodies (the router wraps
+        // its own client's response itself).
+        let resp = self.server.handle_frame(line, client);
+        Ok(match proto::unwrap_envelope(&resp) {
+            Envelope::Enveloped { body, .. } => format!("{body}\n"),
+            _ => resp,
+        })
     }
 }
 
-/// A remote shard over TCP, with a small connection pool and
-/// deterministic reconnect backoff.
+/// A remote shard over TCP, with a small connection pool, deterministic
+/// reconnect backoff, a read deadline on every round trip, and
+/// exactly-once retries for enveloped requests.
+///
+/// Retry safety: a pooled-connection failure *after the write completed*
+/// is indistinguishable from a failure before the server executed — so a
+/// blind re-send could double-execute. For enveloped requests the retry
+/// re-sends the **same frame** (same `request_id`): the server's
+/// idempotency window replays the recorded response instead of executing
+/// again, which is what makes the reconnect path safe.
 pub struct TcpBackend {
     name: String,
     addr: String,
@@ -93,12 +111,42 @@ pub struct TcpBackend {
     backoff: BackoffConfig,
     seed: u64,
     connect_attempts: u32,
+    /// Read deadline per round trip — distinct from the serve-side idle
+    /// reaper, so a black-holed shard surfaces as a timed-out call
+    /// feeding the breaker instead of hanging a router worker.
+    read_timeout: Option<Duration>,
+    /// Fresh-connection attempts after a failed round trip (each re-sends
+    /// the same frame; the dedup window makes that exactly-once).
+    call_retries: u32,
+    /// Version negotiation: set when the peer rejected an envelope as
+    /// bare JSON — subsequent requests are sent unwrapped.
+    peer_bare: AtomicBool,
+    /// Guard against corruption-driven downgrades: once any enveloped
+    /// exchange succeeded, a later bare 400 can't flip `peer_bare`.
+    envelope_ok: AtomicBool,
+}
+
+/// One validated round-trip result.
+enum Wire {
+    /// The matching response body (bare, newline-terminated).
+    Ok(String),
+    /// The peer answered an enveloped request with a bare
+    /// `400 malformed frame` — it predates the envelope.
+    BarePeer,
+}
+
+/// One connection attempt's outcome inside [`TcpBackend::call`].
+enum Attempt {
+    Done(String),
+    BareRenegotiate,
+    Fail(String),
 }
 
 impl TcpBackend {
     /// A backend reaching `addr`, retrying failed connects
     /// `connect_attempts` times on the jittered schedule derived from
-    /// `seed` and the backend name.
+    /// `seed` and the backend name. Wire defaults: 10 s read deadline,
+    /// one fresh-connection retry (tune with [`TcpBackend::with_wire`]).
     pub fn new(name: &str, addr: &str, seed: u64, connect_attempts: u32) -> TcpBackend {
         TcpBackend {
             name: name.to_string(),
@@ -107,7 +155,19 @@ impl TcpBackend {
             backoff: BackoffConfig::default(),
             seed,
             connect_attempts: connect_attempts.max(1),
+            read_timeout: Some(Duration::from_millis(10_000)),
+            call_retries: 1,
+            peer_bare: AtomicBool::new(false),
+            envelope_ok: AtomicBool::new(false),
         }
+    }
+
+    /// Overrides the per-round-trip read deadline (`None` = wait forever)
+    /// and the number of fresh-connection retries per call.
+    pub fn with_wire(mut self, read_timeout: Option<Duration>, call_retries: u32) -> TcpBackend {
+        self.read_timeout = read_timeout;
+        self.call_retries = call_retries.max(1);
+        self
     }
 
     /// Connects with capped-exponential backoff; the jitter is a pure
@@ -135,17 +195,85 @@ impl TcpBackend {
         Err(format!("{}: connect {} failed: {last}", self.name, self.addr))
     }
 
-    /// One request/response round trip on an established connection.
-    fn round_trip(stream: &mut TcpStream, line: &str) -> Result<String, String> {
-        write_frame(stream, line.as_bytes()).map_err(|e| format!("write: {e}"))?;
-        // The server sends exactly one line per request, so a throwaway
-        // BufReader cannot strand buffered bytes.
+    /// One request/response round trip on an established connection, with
+    /// the read deadline applied and capped frame reads. For enveloped
+    /// requests (`ident` set) the read loop validates the response: frames
+    /// with the wrong identity are stale duplicates from an earlier
+    /// request on this pooled connection and are discarded, corrupt
+    /// envelopes are transport failures (never accepted — the retry, not
+    /// the corruption, wins), and the matching frame is unwrapped.
+    fn round_trip(
+        &self,
+        stream: &mut TcpStream,
+        frame: &str,
+        ident: Option<&(String, u64)>,
+    ) -> Result<Wire, String> {
+        stream
+            .set_read_timeout(self.read_timeout)
+            .map_err(|e| format!("set read timeout: {e}"))?;
+        write_frame(stream, frame.as_bytes()).map_err(|e| format!("write: {e}"))?;
+        // The BufReader is throwaway: anything it strands past the frame
+        // we return is a stale duplicate (or half of one), and the next
+        // round trip's discard loop skips whatever is left of it.
         let mut reader = BufReader::new(stream);
-        let mut resp = String::new();
-        match reader.read_line(&mut resp) {
-            Ok(0) => Err("connection closed mid-response".to_string()),
-            Ok(_) => Ok(resp),
-            Err(e) => Err(format!("read: {e}")),
+        loop {
+            let resp = match read_frame(&mut reader, MAX_FRAME_BYTES)
+                .map_err(|e| format!("read: {e}"))?
+            {
+                FrameRead::Frame(resp) => resp,
+                FrameRead::Eof => return Err("connection closed mid-response".to_string()),
+                FrameRead::TimedOut => {
+                    return Err(format!(
+                        "read timed out after {:?} (black-holed or stalled peer)",
+                        self.read_timeout.unwrap_or_default()
+                    ))
+                }
+                FrameRead::Oversized => return Err("oversized response frame".to_string()),
+            };
+            let Some((cid, rid)) = ident else {
+                return Ok(Wire::Ok(resp));
+            };
+            match proto::unwrap_envelope(&resp) {
+                Envelope::Enveloped { cid: rcid, rid: rrid, body } => {
+                    if rcid == *cid && rrid == *rid {
+                        return Ok(Wire::Ok(format!("{body}\n")));
+                    }
+                    // Stale duplicate delivery: discard, keep reading.
+                }
+                Envelope::Corrupt(reason) => {
+                    return Err(format!("corrupt response frame: {reason}"));
+                }
+                Envelope::Bare => {
+                    if Response::field_num(&resp, "code") == Some(400)
+                        && resp.contains("not a flat JSON object")
+                    {
+                        // The peer parsed our envelope as garbage JSON:
+                        // it predates the extension.
+                        return Ok(Wire::BarePeer);
+                    }
+                    // A stray bare frame on an enveloped exchange:
+                    // stale — discard, keep reading.
+                }
+            }
+        }
+    }
+
+    /// One attempt over one connection: round trip, pool the connection
+    /// back on success, and remember that the peer speaks the envelope.
+    fn attempt(&self, mut s: TcpStream, frame: &str, ident: Option<&(String, u64)>) -> Attempt {
+        match self.round_trip(&mut s, frame, ident) {
+            Ok(Wire::Ok(resp)) => {
+                if ident.is_some() {
+                    self.envelope_ok.store(true, Ordering::Relaxed);
+                }
+                self.pool.lock().unwrap().push(s);
+                Attempt::Done(resp)
+            }
+            Ok(Wire::BarePeer) => {
+                self.pool.lock().unwrap().push(s);
+                Attempt::BareRenegotiate
+            }
+            Err(e) => Attempt::Fail(e),
         }
     }
 }
@@ -155,24 +283,63 @@ impl Backend for TcpBackend {
         &self.name
     }
 
-    fn call(&self, line: &str, _client: &str) -> Result<String, String> {
+    // `client` is trait-mandated; this transport only threads it through
+    // the renegotiation retry.
+    #[allow(clippy::only_used_in_recursion)]
+    fn call(&self, line: &str, client: &str) -> Result<String, String> {
+        let ident = match proto::unwrap_envelope(line) {
+            Envelope::Enveloped { cid, rid, .. } => Some((cid, rid)),
+            _ => None,
+        };
+        // Version negotiation: a peer that rejected the envelope gets the
+        // bare body. Sticky per backend, never set while corruption is a
+        // plausible cause (see `envelope_ok`).
+        let (frame, ident) = if ident.is_some() && self.peer_bare.load(Ordering::Relaxed) {
+            (format!("{}\n", proto::envelope_body(line)), None)
+        } else {
+            (line.to_string(), ident)
+        };
+
+        let mut last = String::new();
         // First try a pooled connection; a stale one (shard restarted,
         // idle reaper closed it) falls through to a fresh connect, so
         // one dead pooled socket never fails the request. The pop is
         // bound outside the `if let` — an `if let` on the lock result
         // would hold the guard through the body (edition-2021 scrutinee
-        // lifetime) and deadlock against the push below.
+        // lifetime) and deadlock against the push inside `attempt`.
         let pooled = self.pool.lock().unwrap().pop();
-        if let Some(mut s) = pooled {
-            if let Ok(resp) = Self::round_trip(&mut s, line) {
-                self.pool.lock().unwrap().push(s);
-                return Ok(resp);
+        if let Some(s) = pooled {
+            match self.attempt(s, &frame, ident.as_ref()) {
+                Attempt::Done(resp) => return Ok(resp),
+                Attempt::BareRenegotiate => {
+                    if !self.envelope_ok.load(Ordering::Relaxed) {
+                        self.peer_bare.store(true, Ordering::Relaxed);
+                        return self.call(line, client);
+                    }
+                    last = "enveloped request answered bare by an envelope-capable peer"
+                        .to_string();
+                }
+                Attempt::Fail(e) => last = e,
             }
         }
-        let mut s = self.connect()?;
-        let resp = Self::round_trip(&mut s, line)?;
-        self.pool.lock().unwrap().push(s);
-        Ok(resp)
+        // Fresh connections re-send the SAME frame — same request_id —
+        // so a failure after the server executed replays, not re-runs.
+        for _ in 0..self.call_retries {
+            let s = self.connect()?;
+            match self.attempt(s, &frame, ident.as_ref()) {
+                Attempt::Done(resp) => return Ok(resp),
+                Attempt::BareRenegotiate => {
+                    if !self.envelope_ok.load(Ordering::Relaxed) {
+                        self.peer_bare.store(true, Ordering::Relaxed);
+                        return self.call(line, client);
+                    }
+                    last = "enveloped request answered bare by an envelope-capable peer"
+                        .to_string();
+                }
+                Attempt::Fail(e) => last = e,
+            }
+        }
+        Err(format!("{}: {last}", self.name))
     }
 }
 
@@ -233,6 +400,95 @@ mod tests {
         assert_eq!(b.pool.lock().unwrap().len(), 1, "one connection, reused");
         stop.store(true, Ordering::SeqCst);
         handle.join().ok();
+    }
+
+    #[test]
+    fn black_holed_backend_times_out_instead_of_hanging() {
+        // A listener that accepts and never answers.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let hold = std::thread::spawn(move || {
+            let mut socks = Vec::new();
+            // Keep sockets open (no reply, no close) until the test ends.
+            listener
+                .set_nonblocking(false)
+                .expect("blocking accept for the hold thread");
+            for _ in 0..4 {
+                match listener.accept() {
+                    Ok((s, _)) => socks.push(s),
+                    Err(_) => break,
+                }
+            }
+        });
+        let b = TcpBackend::new("bh", &addr, 1, 1)
+            .with_wire(Some(Duration::from_millis(80)), 1);
+        let start = std::time::Instant::now();
+        let err = b.call("{\"op\":\"ping\"}\n", "t").unwrap_err();
+        assert!(err.contains("timed out"), "deadline surfaced: {err}");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "bounded wait, not a hung router worker"
+        );
+        drop(hold);
+    }
+
+    #[test]
+    fn enveloped_call_round_trips_and_replays_on_same_rid() {
+        let server = Arc::new(Server::start(ServeConfig::default()));
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let (server, stop) = (server.clone(), stop.clone());
+            std::thread::spawn(move || mcc_serve::tcp::serve(server, listener, stop))
+        };
+        let b = TcpBackend::new("b0", &addr, 1, 2);
+        let frame = mcc_serve::proto::wrap_envelope("router-x", 11, "{\"op\":\"ping\"}");
+        let resp = b.call(&frame, "t").expect("enveloped ping answers");
+        assert_eq!(Response::field_num(&resp, "code"), Some(200), "{resp}");
+        assert!(!resp.starts_with("@mcc1"), "backend returns the bare body");
+        // Same rid again: served from the dedup window, still a bare 200.
+        let resp2 = b.call(&frame, "t").expect("replay answers");
+        assert_eq!(Response::field_num(&resp2, "code"), Some(200));
+        stop.store(true, Ordering::SeqCst);
+        handle.join().ok();
+    }
+
+    #[test]
+    fn bare_peer_negotiation_downgrades_and_sticks() {
+        use std::io::{BufRead, BufReader as StdBufReader, Write};
+        // A pre-envelope peer: envelope lines are garbage JSON to it.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            while let Ok((s, _)) = listener.accept() {
+                std::thread::spawn(move || {
+                    let mut r = StdBufReader::new(s.try_clone().unwrap());
+                    let mut w = s;
+                    let mut line = String::new();
+                    while r.read_line(&mut line).map(|n| n > 0).unwrap_or(false) {
+                        let resp = if line.starts_with("@mcc1") {
+                            "{\"id\":\"\",\"code\":400,\"error\":\"malformed frame: not a flat JSON object\"}\n".to_string()
+                        } else {
+                            "{\"id\":\"\",\"code\":200,\"pong\":1}\n".to_string()
+                        };
+                        if w.write_all(resp.as_bytes()).is_err() {
+                            break;
+                        }
+                        line.clear();
+                    }
+                });
+            }
+        });
+        let b = TcpBackend::new("old", &addr, 1, 2);
+        let frame = mcc_serve::proto::wrap_envelope("router-x", 1, "{\"op\":\"ping\"}");
+        let resp = b.call(&frame, "t").expect("negotiates down to bare JSON");
+        assert_eq!(Response::field_num(&resp, "code"), Some(200), "{resp}");
+        assert!(b.peer_bare.load(Ordering::Relaxed), "downgrade is sticky");
+        // Subsequent enveloped calls go straight through bare.
+        let frame2 = mcc_serve::proto::wrap_envelope("router-x", 2, "{\"op\":\"ping\"}");
+        let resp2 = b.call(&frame2, "t").unwrap();
+        assert_eq!(Response::field_num(&resp2, "code"), Some(200));
     }
 
     #[test]

@@ -46,7 +46,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use mcc_harness::{Admit, Breaker, BreakerConfig};
-use mcc_serve::proto::{frame_id, parse_request, CompileReq, JoinReq, Request, Response};
+use mcc_serve::proto::{
+    self, frame_id, parse_request, CompileReq, Envelope, JoinReq, Request, Response,
+};
 use mcc_serve::tcp::LineHandler;
 
 pub mod backend;
@@ -84,6 +86,12 @@ pub struct RouteConfig {
     pub seed: u64,
     /// Idle-connection reaper timeout for the router's own listener.
     pub idle_timeout: Option<Duration>,
+    /// Read deadline per backend round trip (applied to backends created
+    /// by wire `join`s; construction-time backends set their own).
+    pub call_timeout: Option<Duration>,
+    /// Same-request-id retries per backend call (exactly-once thanks to
+    /// the shard-side dedup window).
+    pub call_retries: u32,
 }
 
 impl Default for RouteConfig {
@@ -96,6 +104,8 @@ impl Default for RouteConfig {
             hot_threshold: 64,
             seed: 0,
             idle_timeout: Some(Duration::from_millis(30_000)),
+            call_timeout: Some(Duration::from_millis(10_000)),
+            call_retries: 1,
         }
     }
 }
@@ -130,6 +140,10 @@ pub struct RouteCounters {
     pub joins: AtomicU64,
     /// `leave` frames applied.
     pub leaves: AtomicU64,
+    /// Envelope-shaped frames that failed validation at the router.
+    pub corrupt_frames: AtomicU64,
+    /// Inbound lines past `MAX_FRAME_BYTES` on the router's listener.
+    pub oversized_frames: AtomicU64,
 }
 
 /// One backend's live state: the swappable transport, its breaker, and
@@ -203,6 +217,9 @@ pub struct Router {
     inflight: AtomicUsize,
     probe_stop: Arc<AtomicBool>,
     probe_handle: Mutex<Option<JoinHandle<()>>>,
+    /// Monotonic request-id source for compiles the router envelopes on
+    /// behalf of bare-JSON clients.
+    next_rid: AtomicU64,
 }
 
 /// Decrements the in-flight gauge on every exit path.
@@ -238,6 +255,7 @@ impl Router {
             inflight: AtomicUsize::new(0),
             probe_stop: Arc::new(AtomicBool::new(false)),
             probe_handle: Mutex::new(None),
+            next_rid: AtomicU64::new(1),
         }
     }
 
@@ -414,6 +432,13 @@ impl Router {
     /// `join`/`leave` mutate the live ring, compiles are routed. Always
     /// returns a newline-terminated line.
     pub fn handle_line(&self, line: &str, client: &str) -> String {
+        self.handle_ident(line, client, None)
+    }
+
+    /// [`Router::handle_line`] with the client's envelope identity, when
+    /// it spoke the envelope — compiles forward it to the shard so the
+    /// exactly-once key is end-to-end, not per-hop.
+    fn handle_ident(&self, line: &str, client: &str, ident: Option<(&str, u64)>) -> String {
         match parse_request(line) {
             Err(reason) => {
                 self.counters.bump(&self.counters.bad_requests);
@@ -457,7 +482,7 @@ impl Router {
                 }
                 Err(reason) => Response::error(&frame_id(line), 400, &reason).to_line(),
             },
-            Ok(Request::Compile(req)) => self.route_compile(line, client, &req),
+            Ok(Request::Compile(req)) => self.route_compile(line, client, &req, ident),
         }
     }
 
@@ -470,12 +495,10 @@ impl Router {
         if j.addr.is_empty() {
             return Response::error(&j.id, 400, "join: empty `addr`").to_line();
         }
-        let backend: Arc<dyn Backend> = Arc::new(TcpBackend::new(
-            &j.name,
-            &j.addr,
-            self.cfg.seed,
-            JOIN_CONNECT_ATTEMPTS,
-        ));
+        let backend: Arc<dyn Backend> = Arc::new(
+            TcpBackend::new(&j.name, &j.addr, self.cfg.seed, JOIN_CONNECT_ATTEMPTS)
+                .with_wire(self.cfg.call_timeout, self.cfg.call_retries),
+        );
         match self.join_backend(backend) {
             Ok(()) => {
                 let mut r = Response::new(&j.id, 200);
@@ -494,7 +517,13 @@ impl Router {
 
     /// Routes one compile: place on the ring, rotate if hot, skip open
     /// breakers, hedge if slow, fail over on transport failure.
-    fn route_compile(&self, line: &str, client: &str, req: &CompileReq) -> String {
+    fn route_compile(
+        &self,
+        line: &str,
+        client: &str,
+        req: &CompileReq,
+        ident: Option<(&str, u64)>,
+    ) -> String {
         if self.is_draining() {
             self.counters.bump(&self.counters.drain_rejects);
             return Response::error(&req.id, 503, "router draining").to_line();
@@ -525,6 +554,20 @@ impl Router {
             }
         }
 
+        // Every forward is enveloped, with ONE identity per client
+        // request: the client's own (end-to-end exactly-once when it
+        // spoke the envelope) or a router-assigned `(r:<client>, rid)`.
+        // Retries, failovers, and hedges all reuse this same frame, so a
+        // shard that already executed it replays instead of re-running.
+        let fwd = match ident {
+            Some((cid, rid)) => proto::wrap_envelope(cid, rid, line.trim_end()),
+            None => {
+                let rid = self.next_rid.fetch_add(1, Ordering::Relaxed);
+                let cid = format!("r:{}", client.replace(' ', "_"));
+                proto::wrap_envelope(&cid, rid, line.trim_end())
+            }
+        };
+
         // fire(): walk the candidate order, ask each breaker at the
         // moment of dispatch (an admit that is never fired would strand
         // a half-open breaker), spawn the first admitted call. Sends
@@ -541,7 +584,7 @@ impl Router {
                 }
                 let backend = order[oi].transport();
                 let tx = tx.clone();
-                let line = line.to_string();
+                let line = fwd.clone();
                 let client = client.to_string();
                 std::thread::spawn(move || {
                     // A loser's send lands on a dropped receiver: that
@@ -638,6 +681,8 @@ impl Router {
         r.push_num("idle_reaped", load(&c.idle_reaped));
         r.push_num("joins", load(&c.joins));
         r.push_num("leaves", load(&c.leaves));
+        r.push_num("corrupt_frames", load(&c.corrupt_frames));
+        r.push_num("oversized_frames", load(&c.oversized_frames));
         let m = self.membership.read().unwrap();
         r.push_num("backends", m.slots.len() as u64);
         r.push_str(
@@ -682,11 +727,27 @@ impl RouteCounters {
 
 impl LineHandler for Router {
     fn handle_wire(&self, line: &str, client: &str) -> String {
-        self.handle_line(line, client)
+        match proto::unwrap_envelope(line) {
+            Envelope::Bare => self.handle_line(line, client),
+            Envelope::Corrupt(reason) => {
+                self.counters.bump(&self.counters.corrupt_frames);
+                // Bare 400: the envelope's identity fields can't be
+                // trusted enough to echo them back.
+                Response::error("", 400, &reason).to_line()
+            }
+            Envelope::Enveloped { cid, rid, body } => {
+                let resp = self.handle_ident(&format!("{body}\n"), client, Some((&cid, rid)));
+                proto::wrap_envelope(&cid, rid, &resp)
+            }
+        }
     }
 
     fn on_idle_reap(&self) {
         self.counters.bump(&self.counters.idle_reaped);
+    }
+
+    fn on_oversized(&self) {
+        self.counters.bump(&self.counters.oversized_frames);
     }
 
     fn idle_timeout(&self) -> Option<Duration> {

@@ -71,6 +71,15 @@ pub struct ServeCounters {
     /// Idle connections closed by the reaper (a connected client that
     /// never sent a request must not pin an accept slot forever).
     pub idle_reaped: AtomicU64,
+    /// Duplicate enveloped requests answered from the idempotency window
+    /// (recorded response replayed, nothing re-executed).
+    pub replayed: AtomicU64,
+    /// Inbound lines that exceeded `MAX_FRAME_BYTES` (connection closed
+    /// after a structured `400`).
+    pub oversized_frames: AtomicU64,
+    /// Envelope-shaped frames that failed structural or checksum
+    /// validation — never executed, answered with a bare `400`.
+    pub corrupt_frames: AtomicU64,
     /// Requests served at pressure tier 1 / 2 / 3.
     pub degraded: [AtomicU64; 3],
 }

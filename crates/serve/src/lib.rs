@@ -43,10 +43,12 @@ use mcc_core::{Compiler, CompilerOptions, SourceLang};
 use mcc_harness::{BreakerBank, BreakerConfig, PoolHandle, TaskOutcome, WorkerPool};
 
 pub mod admission;
+pub mod dedup;
 pub mod proto;
 pub mod tcp;
 
 pub use admission::{tier_for_depth, RateLimiter, ServeCounters};
+pub use dedup::{Claim, DedupWindow};
 pub use proto::{parse_request, CompileReq, Request, Response};
 
 /// Server tuning.
@@ -67,6 +69,9 @@ pub struct ServeConfig {
     /// TCP connections idle longer than this are reaped (`None` = never);
     /// reaped connections bump the `idle_reaped` counter.
     pub idle_timeout: Option<Duration>,
+    /// Capacity of the idempotency window: how many `(client, request_id)`
+    /// keys the server remembers for exactly-once retries.
+    pub dedup_window: usize,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +83,7 @@ impl Default for ServeConfig {
             rate_per_client: None,
             breaker: BreakerConfig::default(),
             idle_timeout: Some(Duration::from_millis(30_000)),
+            dedup_window: 4096,
         }
     }
 }
@@ -122,6 +128,8 @@ struct Inner {
     /// (bank, logical now): one tick per resolution, like the campaign
     /// supervisor, so breaker behaviour is deterministic under test.
     breakers: Mutex<(BreakerBank, u64)>,
+    /// The exactly-once window for enveloped requests.
+    dedup: DedupWindow,
     handle: PoolHandle<CompileResult>,
     started: Instant,
 }
@@ -185,6 +193,7 @@ impl Server {
         let inner = Arc::new(Inner {
             breakers: Mutex::new((BreakerBank::new(cfg.breaker), 0)),
             limiter: RateLimiter::new(cfg.rate_per_client),
+            dedup: DedupWindow::new(cfg.dedup_window),
             cfg,
             counters: ServeCounters::default(),
             inflight: AtomicUsize::new(0),
@@ -216,6 +225,61 @@ impl Server {
             Submitted::Pending(rx) => rx
                 .recv()
                 .unwrap_or_else(|_| Response::error("", 500, "response channel lost")),
+        }
+    }
+
+    /// Handles one wire frame, enveloped or bare, with panic containment
+    /// and exactly-once semantics for enveloped frames.
+    ///
+    /// * bare JSON — the original [`Server::handle_line`] path, unchanged;
+    /// * `@mcc1` envelope — the `(cid, rid)` key goes through the
+    ///   idempotency window: duplicates replay the recorded response (or
+    ///   wait for the in-flight original) instead of re-executing, and the
+    ///   response is wrapped back with the same identity and a fresh
+    ///   checksum;
+    /// * corrupt envelope — counted, answered with a *bare* `400` (the
+    ///   identity fields cannot be trusted), never executed.
+    pub fn handle_frame(&self, line: &str, client: &str) -> String {
+        let c = self.counters();
+        match proto::unwrap_envelope(line) {
+            proto::Envelope::Bare => tcp::handle_contained(self, line, client).to_line(),
+            proto::Envelope::Corrupt(reason) => {
+                c.bump(&c.corrupt_frames);
+                Response::error("", 400, &reason).to_line()
+            }
+            proto::Envelope::Enveloped { cid, rid, body } => {
+                match self.inner.dedup.claim(&cid, rid) {
+                    Claim::Replay(resp) => {
+                        c.bump(&c.replayed);
+                        resp
+                    }
+                    Claim::Wait(rx) => {
+                        c.bump(&c.replayed);
+                        rx.recv_timeout(self.inner.cfg.deadline + Duration::from_secs(5))
+                            .unwrap_or_else(|_| {
+                                let id = proto::frame_id(&body);
+                                proto::wrap_envelope(
+                                    &cid,
+                                    rid,
+                                    &Response::error(&id, 504, "duplicate wait timed out")
+                                        .to_line(),
+                                )
+                            })
+                    }
+                    Claim::Fresh => {
+                        // The envelope's client id is the logical identity:
+                        // rate limiting and dedup follow the client across
+                        // reconnects, not the ephemeral socket address.
+                        let r = tcp::handle_contained(self, &format!("{body}\n"), &cid);
+                        // Transient rejections must not be replayed: a
+                        // retried frame deserves a fresh admission attempt.
+                        let record = !matches!(r.code, 429 | 503);
+                        let wrapped = proto::wrap_envelope(&cid, rid, &r.to_line());
+                        self.inner.dedup.resolve(&cid, rid, &wrapped, record);
+                        wrapped
+                    }
+                }
+            }
         }
     }
 
@@ -423,6 +487,9 @@ impl Server {
         r.push_num("deadline_expired", load(&c.deadline_expired));
         r.push_num("panics", load(&c.panics));
         r.push_num("idle_reaped", load(&c.idle_reaped));
+        r.push_num("replayed", load(&c.replayed));
+        r.push_num("oversized_frames", load(&c.oversized_frames));
+        r.push_num("corrupt_frames", load(&c.corrupt_frames));
         r.push_num("degraded_t1", load(&c.degraded[0]));
         r.push_num("degraded_t2", load(&c.degraded[1]));
         r.push_num("degraded_t3", load(&c.degraded[2]));

@@ -31,7 +31,102 @@
 
 use std::collections::HashMap;
 
+use mcc_cache::disk::fnv1a;
 use mcc_harness::json::{esc, get_num, get_str, parse_object, Val};
+
+/// Hard cap on one inbound wire frame. A peer that sends a longer line gets a
+/// structured `400` and the connection is closed — it can never make a server
+/// buffer unboundedly.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Marker that opens an enveloped frame. Everything after it is
+/// `<client_id> <request_id> <fnv1a:016x> <body>`.
+pub const ENVELOPE_PREFIX: &str = "@mcc1 ";
+
+/// Result of inspecting one inbound line for the envelope extension.
+///
+/// The envelope is version-negotiated by shape: a frame that starts with
+/// [`ENVELOPE_PREFIX`] is enveloped, anything else is a bare JSON frame from
+/// an old peer and flows through the original path untouched. A frame that
+/// *claims* to be enveloped but fails structural or checksum validation is
+/// `Corrupt` — it must be answered with a bare `400` (the identity fields
+/// cannot be trusted) and never executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Envelope {
+    /// Legacy bare JSON frame; no id, no checksum.
+    Bare,
+    /// Validated envelope: checksum matched the transmitted bytes.
+    Enveloped {
+        /// Client identity half of the dedup key.
+        cid: String,
+        /// Monotonic per-client request id — the retry-safety handle.
+        rid: u64,
+        /// The inner JSON line (no trailing newline).
+        body: String,
+    },
+    /// Envelope-shaped but invalid; the reason for the diagnostic `400`.
+    Corrupt(String),
+}
+
+/// Wraps a bare JSON line in the `@mcc1` envelope. The checksum is FNV-1a
+/// over the exact transmitted substring `"{cid} {rid} {body}"`, so any
+/// single-byte change to identity or payload is detectable.
+pub fn wrap_envelope(cid: &str, rid: u64, body: &str) -> String {
+    let body = body.trim_end_matches('\n');
+    let sum = fnv1a(format!("{cid} {rid} {body}").as_bytes());
+    format!("{ENVELOPE_PREFIX}{cid} {rid} {sum:016x} {body}\n")
+}
+
+/// Classifies one inbound line: bare, a validated envelope, or corrupt.
+///
+/// The checksum is recomputed over the *raw received* cid/rid substrings (not
+/// re-rendered values), so a corruption that still parses — e.g. a digit
+/// flip in `rid` — is caught by the sum even though the field looks valid.
+pub fn unwrap_envelope(line: &str) -> Envelope {
+    let trimmed = line.trim_end_matches('\n');
+    let Some(rest) = trimmed.strip_prefix(ENVELOPE_PREFIX) else {
+        return Envelope::Bare;
+    };
+    let mut parts = rest.splitn(4, ' ');
+    let (Some(cid), Some(rid_s), Some(sum_s), Some(body)) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Envelope::Corrupt("corrupt frame: short envelope".to_string());
+    };
+    if cid.is_empty() {
+        return Envelope::Corrupt("corrupt frame: empty client id".to_string());
+    }
+    if sum_s.len() != 16 || !sum_s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Envelope::Corrupt("corrupt frame: bad checksum field".to_string());
+    }
+    let Ok(sum) = u64::from_str_radix(sum_s, 16) else {
+        return Envelope::Corrupt("corrupt frame: bad checksum field".to_string());
+    };
+    let Ok(rid) = rid_s.parse::<u64>() else {
+        return Envelope::Corrupt("corrupt frame: bad request id".to_string());
+    };
+    let computed = fnv1a(format!("{cid} {rid_s} {body}").as_bytes());
+    if computed != sum {
+        return Envelope::Corrupt("corrupt frame: checksum mismatch".to_string());
+    }
+    Envelope::Enveloped { cid: cid.to_string(), rid, body: body.to_string() }
+}
+
+/// The inner JSON of a line whether or not it is enveloped — used where only
+/// the payload matters (e.g. spotting a `drain` frame in the accept loop).
+/// Corrupt envelopes yield the raw line, which will fail parsing downstream.
+pub fn envelope_body(line: &str) -> &str {
+    let trimmed = line.trim_end_matches('\n');
+    if let Some(rest) = trimmed.strip_prefix(ENVELOPE_PREFIX) {
+        let mut parts = rest.splitn(4, ' ');
+        if let (Some(_), Some(_), Some(_), Some(body)) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        {
+            return body;
+        }
+    }
+    line
+}
 
 /// A parsed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -296,5 +391,57 @@ mod tests {
     fn frame_id_survives_malformed_ops() {
         assert_eq!(frame_id("{\"op\":\"warp\",\"id\":\"z9\"}"), "z9");
         assert_eq!(frame_id("total garbage"), "");
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let body = compile_line("r1", "hm1", "yalll", "reg a = R0\nexit a\n");
+        let wrapped = wrap_envelope("client-7", 42, &body);
+        assert!(wrapped.starts_with(ENVELOPE_PREFIX));
+        assert!(wrapped.ends_with('\n'));
+        match unwrap_envelope(&wrapped) {
+            Envelope::Enveloped { cid, rid, body: b } => {
+                assert_eq!(cid, "client-7");
+                assert_eq!(rid, 42);
+                assert_eq!(b, body.trim_end_matches('\n'));
+            }
+            other => panic!("wrong unwrap: {other:?}"),
+        }
+        assert_eq!(envelope_body(&wrapped), body.trim_end_matches('\n'));
+    }
+
+    #[test]
+    fn bare_frames_stay_bare() {
+        assert_eq!(unwrap_envelope("{\"op\":\"ping\"}\n"), Envelope::Bare);
+        assert_eq!(envelope_body("{\"op\":\"ping\"}\n"), "{\"op\":\"ping\"}\n");
+    }
+
+    #[test]
+    fn structurally_broken_envelopes_are_corrupt() {
+        for bad in [
+            "@mcc1 \n",
+            "@mcc1 c 1\n",
+            "@mcc1 c 1 abcd\n",
+            "@mcc1  1 0000000000000000 {}\n",
+            "@mcc1 c x 0000000000000000 {}\n",
+            "@mcc1 c 1 zzzzzzzzzzzzzzzz {}\n",
+            "@mcc1 c 1 00000000000000000 {}\n",
+        ] {
+            assert!(
+                matches!(unwrap_envelope(bad), Envelope::Corrupt(_)),
+                "accepted: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_mismatch_is_corrupt() {
+        let wrapped = wrap_envelope("c", 9, "{\"op\":\"ping\"}");
+        // Damage the body: the sum no longer matches.
+        let tampered = wrapped.replace("ping", "pong");
+        assert!(matches!(unwrap_envelope(&tampered), Envelope::Corrupt(_)));
+        // Damage the rid: still rejected even though it parses as a number.
+        let tampered = wrapped.replacen(" 9 ", " 8 ", 1);
+        assert!(matches!(unwrap_envelope(&tampered), Envelope::Corrupt(_)));
     }
 }

@@ -43,6 +43,10 @@ pub trait LineHandler: Send + Sync + 'static {
     /// Called when the idle reaper closes a connection.
     fn on_idle_reap(&self) {}
 
+    /// Called when a connection is closed for exceeding
+    /// [`crate::proto::MAX_FRAME_BYTES`] on one inbound line.
+    fn on_oversized(&self) {}
+
     /// The idle timeout for connections served on behalf of this
     /// handler (`None` = never reap).
     fn idle_timeout(&self) -> Option<Duration> {
@@ -52,7 +56,7 @@ pub trait LineHandler: Send + Sync + 'static {
 
 impl LineHandler for Server {
     fn handle_wire(&self, line: &str, client: &str) -> String {
-        handle_contained(self, line, client).to_line()
+        self.handle_frame(line, client)
     }
 
     fn on_idle_reap(&self) {
@@ -60,9 +64,97 @@ impl LineHandler for Server {
         c.bump(&c.idle_reaped);
     }
 
+    fn on_oversized(&self) {
+        let c = self.counters();
+        c.bump(&c.oversized_frames);
+    }
+
     fn idle_timeout(&self) -> Option<Duration> {
         self.config_idle_timeout()
     }
+}
+
+/// The outcome of reading one frame from a socket with a length cap.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// One complete newline-terminated frame (invalid UTF-8 replaced, so
+    /// corruption surfaces as a parse `400`, never an I/O error).
+    Frame(String),
+    /// Clean end of stream (a partial trailing frame is discarded — a torn
+    /// frame is never processed as if it were complete).
+    Eof,
+    /// The line exceeded the cap. The caller must answer with a structured
+    /// `400` and close the connection — there is no bounded way to resync.
+    Oversized,
+    /// The read timed out (`WouldBlock`/`TimedOut` from a socket deadline).
+    TimedOut,
+}
+
+/// Reads one capped frame, carrying partial-frame state in `buf` so a caller
+/// that polls with a short read timeout (e.g. to check a stop flag) never
+/// loses bytes across [`FrameRead::TimedOut`] returns. `EINTR` is retried,
+/// matching the [`write_frame`] write-all discipline.
+///
+/// # Errors
+///
+/// Any I/O error other than `EINTR` and the timeout kinds.
+pub fn read_frame_into(
+    r: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> io::Result<FrameRead> {
+    loop {
+        let (take, done) = {
+            let chunk = match r.fill_buf() {
+                Ok(c) => c,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(FrameRead::TimedOut)
+                }
+                Err(e) => return Err(e),
+            };
+            if chunk.is_empty() {
+                return Ok(FrameRead::Eof);
+            }
+            match chunk.iter().position(|b| *b == b'\n') {
+                Some(i) => {
+                    buf.extend_from_slice(&chunk[..=i]);
+                    (i + 1, true)
+                }
+                None => {
+                    buf.extend_from_slice(chunk);
+                    (chunk.len(), false)
+                }
+            }
+        };
+        r.consume(take);
+        if buf.len() > max {
+            buf.clear();
+            return Ok(FrameRead::Oversized);
+        }
+        if done {
+            let frame = String::from_utf8_lossy(buf).into_owned();
+            buf.clear();
+            return Ok(FrameRead::Frame(frame));
+        }
+    }
+}
+
+/// [`read_frame_into`] with a throwaway buffer — for callers that treat a
+/// timeout as fatal for the connection (serve reaper, router round trips),
+/// where discarding a stalled half-frame is the intended behaviour.
+///
+/// # Errors
+///
+/// See [`read_frame_into`].
+pub fn read_frame(r: &mut impl BufRead, max: usize) -> io::Result<FrameRead> {
+    let mut buf = Vec::new();
+    read_frame_into(r, &mut buf, max)
 }
 
 /// Writes one whole response frame: loops until every byte is accepted,
@@ -160,35 +252,42 @@ fn connection(
     stream.set_read_timeout(handler.idle_timeout())?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // EOF: client closed cleanly.
-            Ok(_) => {}
+        let line = match read_frame(&mut reader, crate::proto::MAX_FRAME_BYTES)? {
+            FrameRead::Frame(line) => line,
+            FrameRead::Eof => return Ok(()), // client closed cleanly.
             // The read timed out with nothing (or only a partial frame)
             // buffered: reap the connection. A stalled half-frame is
             // reaped too — the client was mid-line for the whole window.
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
+            FrameRead::TimedOut => {
                 handler.on_idle_reap();
                 return Ok(());
             }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        }
+            // One endless line must not OOM the daemon: structured 400,
+            // count it, close — resyncing on the rest is unbounded too.
+            FrameRead::Oversized => {
+                handler.on_oversized();
+                let resp = Response::error(
+                    "",
+                    400,
+                    &format!(
+                        "oversized frame: longer than {} bytes",
+                        crate::proto::MAX_FRAME_BYTES
+                    ),
+                );
+                let _ = write_frame(&mut writer, resp.to_line().as_bytes());
+                return Ok(());
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
         let response = handler.handle_wire(&line, client);
         write_frame(&mut writer, response.as_bytes())?;
         // A drain frame stops the accept loop too, not just this
-        // connection.
-        if matches!(crate::proto::parse_request(&line), Ok(crate::Request::Drain)) {
+        // connection. Enveloped drains count: unwrap before sniffing.
+        let body = crate::proto::envelope_body(&line);
+        if matches!(crate::proto::parse_request(body), Ok(crate::Request::Drain)) {
             stop.store(true, Ordering::SeqCst);
         }
     }
@@ -282,6 +381,115 @@ mod tests {
         }
         let err = write_frame(&mut Dead, b"x\n").unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+    }
+
+    /// A reader that yields at most one byte per call and injects an
+    /// `EINTR` before every real read — the worst slow-loris peer.
+    struct TrickleReader {
+        data: Vec<u8>,
+        pos: usize,
+        interrupt_next: bool,
+    }
+
+    impl io::Read for TrickleReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.interrupt_next {
+                self.interrupt_next = false;
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "EINTR"));
+            }
+            self.interrupt_next = true;
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn read_frame_survives_trickle_and_eintr() {
+        let data = b"{\"op\":\"ping\"}\n{\"op\":\"stats\"}\n".to_vec();
+        let mut r = BufReader::new(TrickleReader {
+            data,
+            pos: 0,
+            interrupt_next: true,
+        });
+        match read_frame(&mut r, 1024).unwrap() {
+            FrameRead::Frame(f) => assert_eq!(f, "{\"op\":\"ping\"}\n"),
+            other => panic!("wrong read: {other:?}"),
+        }
+        match read_frame(&mut r, 1024).unwrap() {
+            FrameRead::Frame(f) => assert_eq!(f, "{\"op\":\"stats\"}\n"),
+            other => panic!("wrong read: {other:?}"),
+        }
+        assert!(matches!(read_frame(&mut r, 1024).unwrap(), FrameRead::Eof));
+    }
+
+    #[test]
+    fn read_frame_caps_line_length() {
+        let mut data = vec![b'a'; 100];
+        data.extend_from_slice(b"\n{\"op\":\"ping\"}\n");
+        let mut r = BufReader::new(io::Cursor::new(data));
+        assert!(matches!(read_frame(&mut r, 64).unwrap(), FrameRead::Oversized));
+    }
+
+    #[test]
+    fn read_frame_discards_torn_trailing_frame() {
+        let mut r = BufReader::new(io::Cursor::new(b"{\"op\":\"ping\"}\n{\"op\":\"st".to_vec()));
+        assert!(matches!(read_frame(&mut r, 1024).unwrap(), FrameRead::Frame(_)));
+        assert!(matches!(read_frame(&mut r, 1024).unwrap(), FrameRead::Eof));
+    }
+
+    #[test]
+    fn oversized_tcp_frame_gets_structured_400_and_is_counted() {
+        let (server, addr, stop) = start_tcp(ServeConfig::default());
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // One endless line, comfortably past the cap. The server may close
+        // the write side once it gives up, so write errors are fine.
+        let chunk = vec![b'a'; 64 * 1024];
+        for _ in 0..20 {
+            if writer.write_all(&chunk).is_err() {
+                break;
+            }
+        }
+        let _ = writer.write_all(b"\n");
+        let _ = writer.flush();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(Response::field_num(&line, "code"), Some(400), "got {line}");
+        assert!(line.contains("oversized"), "diagnostic names the cause: {line}");
+
+        // The connection is closed after the 400 — either a clean EOF or a
+        // reset, depending on how much of our flood was still in flight.
+        line.clear();
+        // An Err is an RST because unread bytes were discarded: also closed.
+        if let Ok(n) = reader.read_line(&mut line) {
+            assert_eq!(n, 0, "no second response");
+        }
+
+        // ...and stats on a fresh connection counts it.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut w2 = stream.try_clone().unwrap();
+        let mut r2 = BufReader::new(stream);
+        w2.write_all(b"{\"op\":\"stats\"}\n").unwrap();
+        line.clear();
+        r2.read_line(&mut line).unwrap();
+        assert_eq!(
+            Response::field_num(&line, "oversized_frames"),
+            Some(1),
+            "stats counts the oversized frame: {line}"
+        );
+
+        stop.store(true, Ordering::SeqCst);
+        drop(writer);
+        drop(reader);
+        if let Ok(s) = Arc::try_unwrap(server) {
+            s.shutdown();
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 pub use mcc_bench as bench;
 pub use mcc_cache as cache;
+pub use mcc_chaosnet as chaosnet;
 pub use mcc_compact as compact;
 pub use mcc_core as core;
 pub use mcc_empl as empl;

@@ -41,6 +41,7 @@ commands:
   fleet    [opts]              self-healing supervisor: router + serve shards
                                as children, auto-restart, live ring membership
   bench-serve [opts]           deterministic load generator for the daemon
+  chaos-proxy [opts]           seeded TCP fault-injection proxy for wire tests
   cache    <stats|clear>       inspect or wipe the compilation cache
   mdl dump <machine>           print a reference machine as MDL text
 
@@ -163,9 +164,29 @@ bench-serve options:
                                and quarantine (needs --backends >= 2)
       --bursts <n>             chaos-soak burst count: one baseline plus one
                                kill per remaining burst (default 4, min 4)
+      --chaos-net              route a burst through seeded fault-injection
+                               proxies on every hop (client->router and
+                               router->shard) and gate zero drops, zero
+                               double executions, and zero corrupt frames
+                               accepted; the fault schedule prints on stdout
+                               as a pure function of --seed
 
   stdout carries only seed-determined invariants (byte-identical across
   --clients and --jobs); latency/shed numbers go to stderr and the JSON.
+
+chaos-proxy options:
+      --upstream <host:port>   where to relay accepted connections (required)
+      --listen <host:port>     listen address (default 127.0.0.1:0)
+      --seed <n>               fault-schedule seed (default 1)
+      --plan <spec>            schedule shape, comma-separated keys:
+                               warm=,stride=,delay-ms=,stall-ms=,hold-ms=,
+                               trickle-us= (defaults: 8,3,40,600,600,2000)
+
+  The proxy sits between a serve/route client and its upstream and
+  injects resets, torn and corrupted frames, latency spikes, stalls,
+  trickle, duplication, and black-holes on a schedule that is a pure
+  function of the seed. The schedule prints on stdout; per-kind injection
+  counters go to stderr on exit.
 
 cache:
   compile/disasm/encode/run reuse artifacts from a content-addressed
@@ -207,7 +228,11 @@ struct Args {
     backends: Option<usize>,
     kill_at: Option<usize>,
     chaos_soak: bool,
+    chaos_net: bool,
     bursts: Option<usize>,
+    listen: Option<String>,
+    upstream: Option<String>,
+    plan: Option<String>,
     shards: Option<usize>,
     restart_budget: Option<u32>,
     cache_root: Option<String>,
@@ -281,7 +306,11 @@ fn parse_args() -> Option<Args> {
         backends: None,
         kill_at: None,
         chaos_soak: false,
+        chaos_net: false,
         bursts: None,
+        listen: None,
+        upstream: None,
+        plan: None,
         shards: None,
         restart_budget: None,
         cache_root: None,
@@ -323,6 +352,10 @@ fn parse_args() -> Option<Args> {
             "--backends" => a.backends = Some(numeric("--backends", it.next())?),
             "--kill-at" => a.kill_at = Some(numeric("--kill-at", it.next())?),
             "--chaos-soak" => a.chaos_soak = true,
+            "--chaos-net" => a.chaos_net = true,
+            "--listen" => a.listen = Some(it.next()?),
+            "--upstream" => a.upstream = Some(it.next()?),
+            "--plan" => a.plan = Some(it.next()?),
             "--bursts" => a.bursts = Some(numeric("--bursts", it.next())?),
             "--shards" => a.shards = Some(numeric("--shards", it.next())?),
             "--restart-budget" => {
@@ -732,8 +765,10 @@ fn route_command(args: &Args) -> Result<(), String> {
                 Some((n, a)) => (n.to_string(), a),
                 None => (format!("b{i}"), spec.as_str()),
             };
-            Arc::new(mcc::route::TcpBackend::new(&name, addr, seed, 4))
-                as Arc<dyn mcc::route::Backend>
+            Arc::new(
+                mcc::route::TcpBackend::new(&name, addr, seed, 4)
+                    .with_wire(cfg.call_timeout, cfg.call_retries),
+            ) as Arc<dyn mcc::route::Backend>
         })
         .collect();
     let n = backends.len();
@@ -835,9 +870,81 @@ fn bench_serve_command(args: &Args) -> Result<(), String> {
         backends: args.backends.unwrap_or(0),
         kill_at: args.kill_at,
         chaos_soak: args.chaos_soak,
+        chaos_net: args.chaos_net,
         bursts: args.bursts.unwrap_or(4),
     };
     mcc::bench::serveload::run(&cfg)
+}
+
+/// Parses a `--plan` spec like `warm=8,stride=3,delay-ms=40` into a
+/// [`mcc::chaosnet::FaultPlan`]; unknown keys are hard errors so a typo
+/// cannot silently run the default schedule.
+fn parse_plan(spec: &str) -> Result<mcc::chaosnet::FaultPlan, String> {
+    use std::time::Duration;
+    let mut plan = mcc::chaosnet::FaultPlan::default();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("chaos-proxy: --plan entry `{part}` is not key=value"))?;
+        let n: u64 = value
+            .parse()
+            .map_err(|_| format!("chaos-proxy: --plan {key} expects a number, got `{value}`"))?;
+        match key {
+            "warm" => plan.warm = n,
+            "stride" => plan.stride = n.max(1),
+            "delay-ms" => plan.delay = Duration::from_millis(n),
+            "stall-ms" => plan.stall = Duration::from_millis(n),
+            "hold-ms" => plan.hold = Duration::from_millis(n),
+            "trickle-us" => plan.trickle_pause = Duration::from_micros(n),
+            other => return Err(format!("chaos-proxy: unknown --plan key `{other}`")),
+        }
+    }
+    Ok(plan)
+}
+
+/// `mcc chaos-proxy`: the seeded deterministic fault-injection proxy.
+/// Sits between a client and an upstream serve/route daemon, relays
+/// newline-delimited frames, and injects faults on a schedule that is a
+/// pure function of the seed. The schedule goes to stdout (so a harness
+/// can diff it across runs); injection counters go to stderr on exit.
+fn chaos_proxy_command(args: &Args) -> Result<(), String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let upstream = args
+        .upstream
+        .clone()
+        .ok_or_else(|| "chaos-proxy: pass --upstream host:port".to_string())?;
+    let listen = args.listen.clone().unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let plan = match &args.plan {
+        Some(spec) => parse_plan(spec)?,
+        None => mcc::chaosnet::FaultPlan::default(),
+    };
+    let seed = args.seed.unwrap_or(1);
+    let listener = std::net::TcpListener::bind(&listen)
+        .map_err(|e| format!("chaos-proxy: cannot bind {listen}: {e}"))?;
+    let mut proxy = mcc::chaosnet::ChaosProxy::start(listener, &upstream, seed, plan)
+        .map_err(|e| format!("chaos-proxy: {e}"))?;
+    let stop = Arc::new(AtomicBool::new(false));
+    sig::install(&stop);
+    eprintln!(
+        "mcc chaos-proxy: listening on {} -> {upstream}; stop with SIGTERM/SIGINT",
+        proxy.addr()
+    );
+    print!("{}", mcc::chaosnet::schedule_text("proxy", seed, &plan));
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let frames = proxy.frames();
+    let injected = proxy.injected();
+    proxy.stop();
+    eprintln!("mcc chaos-proxy: stopped after {frames} frames");
+    for (kind, n) in injected {
+        if n > 0 {
+            eprintln!("  injected {kind:<16} {n}");
+        }
+    }
+    Ok(())
 }
 
 /// `mcc cache stats|clear`: inspect or wipe the on-disk artifact store.
@@ -995,6 +1102,7 @@ fn main() -> ExitCode {
         "route" => route_command(&args),
         "fleet" => fleet_command(&args),
         "bench-serve" => bench_serve_command(&args),
+        "chaos-proxy" => chaos_proxy_command(&args),
         "cache" => cache_command(&args),
         "fuzz" => {
             return match fuzz_command(&args) {

@@ -519,3 +519,53 @@ mod regressions {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Wire-path integrity: flipping any single byte of a checksummed
+    /// envelope frame (anywhere but the frame terminator) must never be
+    /// accepted as a valid frame with altered content. The only survivors
+    /// allowed are content-identical ones — e.g. a hex-digit case flip in
+    /// the checksum field, which parses to the same value.
+    #[test]
+    fn single_byte_corruption_of_an_envelope_never_changes_accepted_content(
+        rid in 0u64..1_000_000u64,
+        pos_pick in 0usize..100_000usize,
+        xor in 1u8..=255u8,
+    ) {
+        use mcc::serve::proto::{parse_request, unwrap_envelope, wrap_envelope, Envelope};
+
+        let cid = "client-7";
+        let body = "{\"op\":\"compile\",\"id\":\"x\",\"machine\":\"hm1\",\"lang\":\"yalll\",\"src\":\"exit\"}";
+        let frame = wrap_envelope(cid, rid, body);
+
+        // Corrupt one byte anywhere except the trailing newline (losing
+        // the terminator is a framing concern, not a checksum one), then
+        // deliver what the framing layer would: the first '\n'-terminated
+        // segment of the corrupted bytes.
+        let mut bytes = frame.clone().into_bytes();
+        let pos = pos_pick % (bytes.len() - 1);
+        bytes[pos] ^= xor;
+        let delivered: Vec<u8> = bytes.split(|&b| b == b'\n').next().unwrap_or(&[]).to_vec();
+        let line = String::from_utf8_lossy(&delivered).into_owned();
+
+        match unwrap_envelope(&line) {
+            Envelope::Corrupt(reason) => {
+                prop_assert!(reason.starts_with("corrupt frame:"), "{reason}");
+            }
+            Envelope::Bare => {
+                // The prefix was mangled: the line must not pass for a
+                // valid bare request either.
+                prop_assert!(parse_request(line.trim_end()).is_err(), "{line}");
+            }
+            Envelope::Enveloped { cid: c, rid: r, body: b } => {
+                // Only content-identical frames may survive (e.g. a case
+                // flip inside the hex checksum).
+                prop_assert_eq!(c, cid.to_string());
+                prop_assert_eq!(r, rid);
+                prop_assert_eq!(b, body.to_string());
+            }
+        }
+    }
+}
