@@ -21,6 +21,7 @@
 //! the parser.
 
 mod chaosnet;
+mod proto_ab;
 mod soak;
 
 use std::io::Write as _;
@@ -71,6 +72,49 @@ pub struct LoadConfig {
     /// router→shard) and gate zero drops, zero double executions, and
     /// zero corrupt frames accepted (`--chaos-net`).
     pub chaos_net: bool,
+    /// Wire-protocol selection (`--proto v1|v2|both`). On its own it
+    /// runs the A/B mode over a real TCP hop; combined with
+    /// `--chaos-net` it picks the wire the fault battery runs on.
+    /// `None` keeps every mode on its classic v1 behavior.
+    pub proto: Option<ProtoChoice>,
+    /// One-way emulated network delay for the `--proto` A/B, in
+    /// microseconds (`--net-delay-us`; 0 = raw loopback). Both series
+    /// traverse the same delay relay, so the A/B measures the protocols
+    /// under a realistic link RTT instead of the loopback special case
+    /// where a lockstep round trip is nearly free.
+    pub net_delay_us: u64,
+}
+
+/// Which wire protocol(s) a `--proto` run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoChoice {
+    /// Newline-delimited lines only.
+    V1,
+    /// Binary length-prefixed frames only.
+    V2,
+    /// Both, as back-to-back series in one report.
+    Both,
+}
+
+impl ProtoChoice {
+    /// Parses the `--proto` flag value.
+    pub fn parse(s: &str) -> Option<ProtoChoice> {
+        match s {
+            "v1" => Some(ProtoChoice::V1),
+            "v2" => Some(ProtoChoice::V2),
+            "both" => Some(ProtoChoice::Both),
+            _ => None,
+        }
+    }
+
+    /// The series tags this choice runs, in order.
+    fn series(self) -> &'static [&'static str] {
+        match self {
+            ProtoChoice::V1 => &["v1"],
+            ProtoChoice::V2 => &["v2"],
+            ProtoChoice::Both => &["v1", "v2"],
+        }
+    }
 }
 
 impl Default for LoadConfig {
@@ -88,6 +132,8 @@ impl Default for LoadConfig {
             chaos_soak: false,
             bursts: 4,
             chaos_net: false,
+            proto: None,
+            net_delay_us: 0,
         }
     }
 }
@@ -158,6 +204,14 @@ struct Sample {
 pub fn run(cfg: &LoadConfig) -> Result<(), String> {
     if cfg.chaos_net {
         return chaosnet::run(cfg);
+    }
+    if let Some(choice) = cfg.proto {
+        if cfg.chaos_soak || cfg.backends > 0 {
+            return Err(
+                "--proto combines only with the default mode or --chaos-net".to_string()
+            );
+        }
+        return proto_ab::run(cfg, choice);
     }
     if cfg.chaos_soak {
         return soak::run(cfg);

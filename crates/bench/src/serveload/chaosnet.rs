@@ -54,6 +54,25 @@ struct CSample {
 }
 
 pub(super) fn run(cfg: &LoadConfig) -> Result<(), String> {
+    match cfg.proto {
+        None => run_pass(cfg, false, None),
+        Some(ProtoChoice::V1) => run_pass(cfg, false, Some("v1")),
+        Some(ProtoChoice::V2) => run_pass(cfg, true, Some("v2")),
+        Some(ProtoChoice::Both) => {
+            run_pass(cfg, false, Some("v1"))?;
+            run_pass(cfg, true, Some("v2"))
+        }
+    }
+}
+
+/// One full chaos-net battery over the chosen wire. `v2` opts every
+/// backend hop (client→router and router→shard) into the binary
+/// protocol; the proxies sniff the dialect themselves. `tag` suffixes
+/// the seed-pure stdout lines (`proto=v1|v2`) — absent on a plain
+/// `--chaos-net` run so its transcript stays byte-identical to the
+/// pre-`--proto` format.
+fn run_pass(cfg: &LoadConfig, v2: bool, tag: Option<&str>) -> Result<(), String> {
+    let proto_sfx = tag.map(|t| format!(" proto={t}")).unwrap_or_default();
     let n = match cfg.backends {
         0 => 2,
         1 => return Err("--chaos-net needs --backends >= 2 (or omit for the default 2)".to_string()),
@@ -83,7 +102,7 @@ pub(super) fn run(cfg: &LoadConfig) -> Result<(), String> {
     // ---- seed-pure stdout: header and every proxy's schedule ----
     println!(
         "bench-serve chaos-net seed={} rps={} duration_ms={} requests={} backends={n} \
-         warm={} stride={}",
+         warm={} stride={}{proto_sfx}",
         cfg.seed, cfg.rps, cfg.duration_ms, total, plan.warm, plan.stride
     );
     print!("{}", schedule_text("front", proxy_seed(cfg.seed, 0), &plan));
@@ -92,7 +111,11 @@ pub(super) fn run(cfg: &LoadConfig) -> Result<(), String> {
     }
 
     // ---- the fleet: real `mcc serve` children, fresh cache dirs ----
-    let base = std::env::temp_dir().join(format!("mcc-bench-chaosnet-{}", std::process::id()));
+    let base = std::env::temp_dir().join(format!(
+        "mcc-bench-chaosnet-{}{}",
+        std::process::id(),
+        tag.map(|t| format!("-{t}")).unwrap_or_default()
+    ));
     let _ = std::fs::remove_dir_all(&base);
     let mut fleet = routed::FleetGuard(Vec::new());
     for i in 0..n {
@@ -117,7 +140,8 @@ pub(super) fn run(cfg: &LoadConfig) -> Result<(), String> {
         .map(|(i, p)| {
             Arc::new(
                 TcpBackend::new(&format!("b{i}"), p.addr(), cfg.seed, 3)
-                    .with_wire(Some(Duration::from_millis(250)), 5),
+                    .with_wire(Some(Duration::from_millis(250)), 5)
+                    .with_proto2(v2),
             ) as Arc<dyn Backend>
         })
         .collect();
@@ -178,7 +202,8 @@ pub(super) fn run(cfg: &LoadConfig) -> Result<(), String> {
     // own per-hop retries, and rid = the request index, so a duplicate
     // or replayed frame anywhere downstream dedups at the shard.
     let front = TcpBackend::new("front", front_proxy.addr(), cfg.seed, 3)
-        .with_wire(Some(Duration::from_millis(900)), 6);
+        .with_wire(Some(Duration::from_millis(900)), 6)
+        .with_proto2(v2);
     let start = Instant::now();
     let mut samples: Vec<CSample> = Vec::with_capacity(total);
     let mut first_errors: Vec<String> = Vec::new();
@@ -259,7 +284,7 @@ pub(super) fn run(cfg: &LoadConfig) -> Result<(), String> {
     println!(
         "chaos-net verdict: responses={responses} dropped={dropped} \
          corrupt_accepted={corrupt_accepted} double_executions={double_executions} \
-         conformance={} fault_kinds={covered}/{KIND_COUNT}",
+         conformance={} fault_kinds={covered}/{KIND_COUNT}{proto_sfx}",
         if conforms { "ok" } else { "VIOLATED" }
     );
 
@@ -285,8 +310,11 @@ pub(super) fn run(cfg: &LoadConfig) -> Result<(), String> {
     }
 
     if !cfg.json_path.is_empty() {
+        // On a `--proto both` run the v2 pass's report is the one that
+        // survives; the self-describing `proto` field says which it is.
+        let proto_json = tag.map(|t| format!("\"proto\":\"{t}\",")).unwrap_or_default();
         let json = format!(
-            "{{\"bench\":\"serve\",\"mode\":\"chaos-net\",\"seed\":{},\"rps\":{},\
+            "{{\"bench\":\"serve\",\"mode\":\"chaos-net\",{proto_json}\"seed\":{},\"rps\":{},\
              \"duration_ms\":{},\"backends\":{n},\"requests\":{total},\"responses\":{responses},\
              \"dropped\":{dropped},\"ok\":{ok200},\"replayed\":{replayed},\
              \"shard_misses\":{misses},\"double_executions\":{double_executions},\

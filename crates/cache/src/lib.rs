@@ -132,18 +132,69 @@ pub fn canonical_options(o: &CompilerOptions) -> String {
     )
 }
 
-/// Derives the content address of one compilation request. The machine
-/// is identified by its canonical MDL rendering — total over every
-/// semantic field of a [`MachineDesc`] — so structurally different
-/// machines can never alias.
-pub fn key_of(m: &MachineDesc, lang: SourceLang, opts: &CompilerOptions, src: &str) -> CacheKey {
+/// The FNV-128 state after every key section *except* the source: the
+/// per-(machine, lang, options) constant part of a [`CacheKey`].
+///
+/// Rendering a machine to MDL and hashing it dominates key derivation
+/// (tens of microseconds against a sub-microsecond source hash), yet it
+/// is identical for every request against the same machine under the
+/// same options. A prefix computed once can finish any number of keys
+/// via [`key_from_prefix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyPrefix(u128);
+
+/// Computes the constant prefix of [`key_of`] — everything but the
+/// source section.
+pub fn key_prefix(m: &MachineDesc, lang: SourceLang, opts: &CompilerOptions) -> KeyPrefix {
     let mut h = Fnv128::new();
     h.section("salt", toolkit_salt().as_bytes());
     h.section("lang", lang.name().as_bytes());
     h.section("machine", mcc_machine::mdl::to_mdl(m).as_bytes());
     h.section("options", canonical_options(opts).as_bytes());
+    KeyPrefix(h.0)
+}
+
+/// Finishes a key from a memoized prefix: identical to [`key_of`] on
+/// the same (machine, lang, options, source) by construction — the
+/// prefix *is* the hash state at the source section boundary.
+pub fn key_from_prefix(prefix: KeyPrefix, src: &str) -> CacheKey {
+    let mut h = Fnv128(prefix.0);
     h.section("source", src.as_bytes());
     CacheKey(h.0)
+}
+
+/// Memoized [`key_prefix`] for the canonical machine set. Keyed by the
+/// resolved machine name plus the canonical options line — safe *only*
+/// because [`mcc_machine::machines::by_name`] deterministically builds
+/// the same description for a name; a custom or mutated `MachineDesc`
+/// must go through [`key_prefix`] directly. `None` when a name does not
+/// resolve.
+pub fn canonical_key_prefix(
+    machine: &str,
+    lang: SourceLang,
+    opts: &CompilerOptions,
+) -> Option<KeyPrefix> {
+    type PrefixMemo = Mutex<HashMap<(String, &'static str, String), KeyPrefix>>;
+    static MEMO: OnceLock<PrefixMemo> =
+        OnceLock::new();
+    let name = machine.to_ascii_lowercase();
+    let opts_line = canonical_options(opts);
+    let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(p) = memo.lock().unwrap().get(&(name.clone(), lang.name(), opts_line.clone())) {
+        return Some(*p);
+    }
+    let m = mcc_machine::machines::by_name(&name)?;
+    let p = key_prefix(&m, lang, opts);
+    memo.lock().unwrap().insert((name, lang.name(), opts_line), p);
+    Some(p)
+}
+
+/// Derives the content address of one compilation request. The machine
+/// is identified by its canonical MDL rendering — total over every
+/// semantic field of a [`MachineDesc`] — so structurally different
+/// machines can never alias.
+pub fn key_of(m: &MachineDesc, lang: SourceLang, opts: &CompilerOptions, src: &str) -> CacheKey {
+    key_from_prefix(key_prefix(m, lang, opts), src)
 }
 
 /// The routing address of a wire-level compile request: the same 128-bit
@@ -158,9 +209,9 @@ pub fn key_of(m: &MachineDesc, lang: SourceLang, opts: &CompilerOptions, src: &s
 /// owns every tier of that source — which is what keeps per-shard cache
 /// locality intact.
 pub fn key_for_wire(machine: &str, lang: &str, src: &str) -> Option<CacheKey> {
-    let m = mcc_machine::machines::by_name(machine)?;
     let lang = SourceLang::from_name(lang)?;
-    Some(key_of(&m, lang, &CompilerOptions::default(), src))
+    let prefix = canonical_key_prefix(machine, lang, &CompilerOptions::default())?;
+    Some(key_from_prefix(prefix, src))
 }
 
 // -------------------------------------------------------------- cache ----
@@ -256,7 +307,26 @@ impl Cache {
         persist: Persist,
     ) -> Result<Artifact, CompileError> {
         let key = key_of(compiler.machine(), lang, compiler.options(), src);
+        self.compile_keyed(key, compiler, lang, src, persist)
+    }
 
+    /// [`Cache::compile`] with the content address already derived —
+    /// for callers holding a memoized [`KeyPrefix`] who finish the key
+    /// themselves via [`key_from_prefix`]. The key MUST be
+    /// `key_of(compiler.machine(), lang, compiler.options(), src)` or
+    /// the cache will alias.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`]; errors are never cached.
+    pub fn compile_keyed(
+        &self,
+        key: CacheKey,
+        compiler: &Compiler,
+        lang: SourceLang,
+        src: &str,
+        persist: Persist,
+    ) -> Result<Artifact, CompileError> {
         if let Some(mut hit) = self.mem.lock().unwrap().get(&key.0).cloned() {
             hit.stats.cached = Some("memory");
             self.hits_memory.fetch_add(1, Ordering::Relaxed);
@@ -315,6 +385,16 @@ impl Cache {
             stores: self.stores.load(Ordering::Relaxed),
             evictions: 0,
         }
+    }
+
+    /// Whether `key` is present in the in-memory tier, counting a hit
+    /// when it is — see [`memory_hit_keyed`] for the intended caller.
+    pub fn note_memory_hit(&self, key: CacheKey) -> bool {
+        if self.mem.lock().unwrap().contains_key(&key.0) {
+            self.hits_memory.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
     }
 
     /// Number of artifacts in the in-memory tier.
@@ -456,6 +536,36 @@ pub fn compile_cached(
     global().compile(compiler, lang, src, persist)
 }
 
+/// Memory-tier membership probe that counts as a hit when present —
+/// the synchronous fast path a server uses to answer a known-warm key
+/// without a worker round trip. Always `false` when caching is
+/// disabled, sending the caller down the full compile path.
+pub fn memory_hit_keyed(key: CacheKey) -> bool {
+    enabled() && global().note_memory_hit(key)
+}
+
+/// [`compile_cached`] with the content address already derived from a
+/// memoized [`KeyPrefix`] — the hot-path variant for servers that issue
+/// many compiles against the same canonical machine. The same
+/// correctness obligation as [`Cache::compile_keyed`] applies.
+///
+/// # Errors
+///
+/// See [`CompileError`].
+pub fn compile_cached_keyed(
+    key: CacheKey,
+    compiler: &Compiler,
+    lang: SourceLang,
+    src: &str,
+    persist: Persist,
+) -> Result<Artifact, CompileError> {
+    if !enabled() {
+        return compiler.compile_contained(lang, src);
+    }
+    let persist = persist_override().unwrap_or(persist);
+    global().compile_keyed(key, compiler, lang, src, persist)
+}
+
 /// Flushes the global cache's stats to its disk tier, ignoring errors —
 /// call at process exit from binaries that attached a disk tier.
 pub fn flush_global_stats() {
@@ -494,6 +604,48 @@ mod tests {
         }
         let n = cache.counters();
         assert_eq!((n.misses, n.stores, n.hits()), (2, 0, 0));
+    }
+
+    #[test]
+    fn prefixed_keys_match_direct_derivation() {
+        let opts = CompilerOptions::default();
+        for m in [hm1(), vm1()] {
+            let p = key_prefix(&m, SourceLang::Yalll, &opts);
+            for src in [SRC, "reg a = R0\nexit a\n", ""] {
+                assert_eq!(
+                    key_from_prefix(p, src),
+                    key_of(&m, SourceLang::Yalll, &opts, src),
+                    "prefixed key diverges for machine {} src {src:?}",
+                    m.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_prefix_memo_agrees_with_by_name() {
+        let opts = CompilerOptions::default();
+        // Twice: the second call exercises the memoized path.
+        for _ in 0..2 {
+            let p = canonical_key_prefix("hm1", SourceLang::Yalll, &opts).unwrap();
+            assert_eq!(
+                key_from_prefix(p, SRC),
+                key_of(&hm1(), SourceLang::Yalll, &opts, SRC)
+            );
+        }
+        // Aliases resolve to the same machine, hence the same prefix.
+        assert_eq!(
+            canonical_key_prefix("horizon", SourceLang::Yalll, &opts),
+            canonical_key_prefix("hm-1", SourceLang::Yalll, &opts)
+        );
+        assert!(canonical_key_prefix("no-such-machine", SourceLang::Yalll, &opts).is_none());
+        // Different options produce a different prefix under the memo.
+        let mut tuned = CompilerOptions::default();
+        tuned.algorithm = Algorithm::Linear;
+        assert_ne!(
+            canonical_key_prefix("hm1", SourceLang::Yalll, &opts),
+            canonical_key_prefix("hm1", SourceLang::Yalll, &tuned)
+        );
     }
 
     #[test]

@@ -12,8 +12,16 @@
 //! delivery, and black-holes (reply read and discarded). Faults apply per
 //! *request frame*, not per connection, so a pooled connection that carries
 //! many frames sees the same schedule a reconnect-per-frame client would.
+//!
+//! The proxy speaks both wire dialects. It sniffs the first client byte: the
+//! protocol-v2 magic selects a length-prefixed binary relay (one unit = any
+//! bait newlines plus one whole frame, found via `proto2::frame_len`), anything
+//! else selects the newline relay. The same seeded schedule drives both, so
+//! every fault kind lands on binary frames too — `ResetMidFrame` tears the
+//! length prefix, `CorruptByte`/`CorruptMulti` may hit the varints or the
+//! checksum, and `Truncate` cuts a compressed payload short.
 
-use std::io::{BufReader, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -22,6 +30,7 @@ use std::time::Duration;
 
 use mcc_harness::splitmix64;
 use mcc_serve::proto::MAX_FRAME_BYTES;
+use mcc_serve::proto2;
 use mcc_serve::tcp::{read_frame_into, write_frame, FrameRead};
 
 /// Every fault kind the proxy can inject. The scheduler guarantees each kind
@@ -283,11 +292,30 @@ impl Drop for ChaosProxy {
     }
 }
 
-/// Relay one downstream connection. Each request frame read from the client is
-/// assigned the next global frame number, the schedule decides its fault, and
-/// the relay performs the fault's exact semantics. A connection-fatal fault
-/// (reset/truncate/black-hole) ends this relay; the client reconnects and later
-/// frames continue the global schedule.
+/// Which framing discipline a relayed connection speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Wire {
+    /// Newline-delimited text frames (bare JSON or `@mcc1` envelopes).
+    V1,
+    /// Protocol-v2 length-prefixed binary frames.
+    V2,
+}
+
+/// One upstream connection plus the byte accumulator that survives across
+/// reply reads — a single `fill_buf` may deliver bytes of the *next* reply
+/// (e.g. both replies to a duplicated request), and those must not be lost.
+struct Up {
+    w: TcpStream,
+    r: BufReader<TcpStream>,
+    acc: Vec<u8>,
+}
+
+/// Relay one downstream connection. The first client byte picks the wire
+/// dialect; each request unit read from the client is assigned the next global
+/// frame number, the schedule decides its fault, and the relay performs the
+/// fault's exact semantics. A connection-fatal fault (reset/truncate/
+/// black-hole) ends this relay; the client reconnects and later frames
+/// continue the global schedule.
 fn relay_connection(client: TcpStream, sh: Arc<Shared>) {
     let _ = client.set_nodelay(true);
     let _ = client.set_read_timeout(Some(Duration::from_millis(250)));
@@ -296,19 +324,48 @@ fn relay_connection(client: TcpStream, sh: Arc<Shared>) {
         Err(_) => return,
     };
     let mut client_r = BufReader::new(client);
+
+    // Sniff the first byte without consuming it: the v2 magic never starts a
+    // JSON or `@mcc1` line, so one byte decides the dialect for good.
+    let wire = loop {
+        if sh.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match client_r.fill_buf() {
+            Ok([]) => return,
+            Ok(chunk) => {
+                break if chunk[0] == proto2::MAGIC[0] { Wire::V2 } else { Wire::V1 };
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+    };
+
     // Partial request bytes survive the short stop-flag polling timeout.
     let mut partial = Vec::new();
-
-    let mut up: Option<(TcpStream, BufReader<TcpStream>)> = None;
+    let mut up: Option<Up> = None;
 
     loop {
         if sh.stop.load(Ordering::Relaxed) {
             return;
         }
-        let frame = match read_frame_into(&mut client_r, &mut partial, MAX_FRAME_BYTES) {
-            Ok(FrameRead::Frame(f)) => f,
-            Ok(FrameRead::TimedOut) => continue,
-            Ok(FrameRead::Eof) | Ok(FrameRead::Oversized) | Err(_) => return,
+        let unit: Vec<u8> = match wire {
+            Wire::V1 => match read_frame_into(&mut client_r, &mut partial, MAX_FRAME_BYTES) {
+                Ok(FrameRead::Frame(f)) => f.into_bytes(),
+                Ok(FrameRead::TimedOut) => continue,
+                Ok(FrameRead::Eof) | Ok(FrameRead::Oversized) | Err(_) => return,
+            },
+            Wire::V2 => match read_unit_v2(&mut client_r, &mut partial, &sh.stop) {
+                Some(u) => u,
+                None => return,
+            },
         };
         let n = sh.frames.fetch_add(1, Ordering::Relaxed);
         let fault = (sh.schedule)(n);
@@ -325,22 +382,62 @@ fn relay_connection(client: TcpStream, sh: Arc<Shared>) {
                         Ok(c) => BufReader::new(c),
                         Err(_) => return,
                     };
-                    up = Some((s, r));
+                    up = Some(Up { w: s, r, acc: Vec::new() });
                 }
                 Err(_) => return,
             }
         }
-        let (uw, ur) = up.as_mut().unwrap();
+        let u = up.as_mut().unwrap();
 
-        let verdict = relay_frame(&frame, fault, &sh.plan, uw, ur, &mut client_w, sh.seed, n);
+        let verdict = relay_unit(&unit, fault, &sh.plan, u, &mut client_w, sh.seed, n, wire);
         match verdict {
             RelayOutcome::Continue => {}
             RelayOutcome::CloseBoth => {
-                if let Some((s, _)) = up.take() {
-                    let _ = s.shutdown(Shutdown::Both);
+                if let Some(u) = up.take() {
+                    let _ = u.w.shutdown(Shutdown::Both);
                 }
                 return;
             }
+        }
+    }
+}
+
+/// Read one v2 request unit from the client: any leading bait newlines (the
+/// handshake probe a v2 client sends to smoke out v1 peers) plus one whole
+/// length-prefixed frame. The newlines stay glued to their frame so the
+/// upstream sees byte-for-byte what the client wrote.
+fn read_unit_v2(
+    r: &mut BufReader<TcpStream>,
+    acc: &mut Vec<u8>,
+    stop: &AtomicBool,
+) -> Option<Vec<u8>> {
+    loop {
+        let nl = acc.iter().take_while(|b| **b == b'\n').count();
+        if acc.len() > nl {
+            match proto2::frame_len(&acc[nl..]) {
+                Ok(Some(total)) if acc.len() >= nl + total => {
+                    return Some(acc.drain(..nl + total).collect());
+                }
+                Ok(_) => {}
+                Err(_) => return None,
+            }
+        }
+        if stop.load(Ordering::Relaxed) {
+            return None;
+        }
+        match r.fill_buf() {
+            Ok([]) => return None,
+            Ok(chunk) => {
+                let take = chunk.len();
+                acc.extend_from_slice(chunk);
+                r.consume(take);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => return None,
         }
     }
 }
@@ -353,45 +450,87 @@ enum RelayOutcome {
     CloseBoth,
 }
 
-/// Read one reply frame from upstream with a generous deadline — the proxy
-/// itself must never black-hole by accident.
-fn read_reply(ur: &mut BufReader<TcpStream>) -> Option<String> {
+/// Read one reply unit from upstream with a generous deadline — the proxy
+/// itself must never black-hole by accident. On the v1 wire a unit is one
+/// newline-terminated line; on the v2 wire it is one length-prefixed frame
+/// (with a bare-line fallback so a v1-only upstream's downgrade answer still
+/// relays to the probing client).
+fn read_reply(wire: Wire, u: &mut Up) -> Option<Vec<u8>> {
     let deadline = Duration::from_secs(30);
-    let _ = ur.get_ref().set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = u.r.get_ref().set_read_timeout(Some(Duration::from_millis(100)));
     let start = std::time::Instant::now();
-    let mut partial = Vec::new();
-    loop {
-        match read_frame_into(ur, &mut partial, MAX_FRAME_BYTES) {
-            Ok(FrameRead::Frame(f)) => return Some(f),
-            Ok(FrameRead::TimedOut) => {
-                if start.elapsed() > deadline {
-                    return None;
+    if wire == Wire::V1 {
+        let mut partial = Vec::new();
+        loop {
+            match read_frame_into(&mut u.r, &mut partial, MAX_FRAME_BYTES) {
+                Ok(FrameRead::Frame(f)) => return Some(f.into_bytes()),
+                Ok(FrameRead::TimedOut) => {
+                    if start.elapsed() > deadline {
+                        return None;
+                    }
                 }
+                Ok(FrameRead::Eof) | Ok(FrameRead::Oversized) | Err(_) => return None,
             }
-            Ok(FrameRead::Eof) | Ok(FrameRead::Oversized) | Err(_) => return None,
+        }
+    }
+    // v2: accumulate into the connection's persistent buffer and drain exactly
+    // one frame, so bytes of a second in-flight reply are kept for the next call.
+    loop {
+        if !u.acc.is_empty() {
+            if u.acc[0] == proto2::MAGIC[0] {
+                match proto2::frame_len(&u.acc) {
+                    Ok(Some(total)) if u.acc.len() >= total => {
+                        return Some(u.acc.drain(..total).collect());
+                    }
+                    Ok(_) => {}
+                    Err(_) => return None,
+                }
+            } else if let Some(i) = u.acc.iter().position(|b| *b == b'\n') {
+                // A v1-only upstream answered the binary hello with a bare line.
+                return Some(u.acc.drain(..=i).collect());
+            } else if u.acc.len() > MAX_FRAME_BYTES {
+                return None;
+            }
+        }
+        if start.elapsed() > deadline {
+            return None;
+        }
+        match u.r.fill_buf() {
+            Ok([]) => return None,
+            Ok(chunk) => {
+                let take = chunk.len();
+                u.acc.extend_from_slice(chunk);
+                u.r.consume(take);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => return None,
         }
     }
 }
 
 #[allow(clippy::too_many_arguments)]
-fn relay_frame(
-    frame: &str,
+fn relay_unit(
+    unit: &[u8],
     fault: Option<Fault>,
     plan: &FaultPlan,
-    uw: &mut TcpStream,
-    ur: &mut BufReader<TcpStream>,
+    u: &mut Up,
     cw: &mut TcpStream,
     seed: u64,
     n: u64,
+    wire: Wire,
 ) -> RelayOutcome {
     match fault {
         None => {
-            if write_frame(uw, frame.as_bytes()).is_err() {
+            if write_frame(&mut u.w, unit).is_err() {
                 return RelayOutcome::CloseBoth;
             }
-            match read_reply(ur) {
+            match read_reply(wire, u) {
                 Some(reply) => {
-                    if write_frame(cw, reply.as_bytes()).is_err() {
+                    if write_frame(cw, &reply).is_err() {
                         return RelayOutcome::CloseBoth;
                     }
                     RelayOutcome::Continue
@@ -401,40 +540,40 @@ fn relay_frame(
         }
         Some(Fault::ResetPreWrite) => RelayOutcome::CloseBoth,
         Some(Fault::ResetMidFrame) => {
-            let bytes = frame.as_bytes();
-            let half = bytes.len() / 2;
-            let _ = uw.write_all(&bytes[..half]);
-            let _ = uw.flush();
-            let _ = uw.shutdown(Shutdown::Both);
+            // Half the unit, then a hard close: on the v2 wire the cut can
+            // land inside the header — a torn length prefix.
+            let half = unit.len() / 2;
+            let _ = u.w.write_all(&unit[..half]);
+            let _ = u.w.flush();
+            let _ = u.w.shutdown(Shutdown::Both);
             RelayOutcome::CloseBoth
         }
         Some(Fault::ResetPostWrite) => {
             // Server executes; the reply dies with the connection.
-            if write_frame(uw, frame.as_bytes()).is_err() {
+            if write_frame(&mut u.w, unit).is_err() {
                 return RelayOutcome::CloseBoth;
             }
-            let _ = read_reply(ur);
+            let _ = read_reply(wire, u);
             RelayOutcome::CloseBoth
         }
         Some(Fault::Truncate) => {
-            if write_frame(uw, frame.as_bytes()).is_err() {
+            if write_frame(&mut u.w, unit).is_err() {
                 return RelayOutcome::CloseBoth;
             }
-            if let Some(reply) = read_reply(ur) {
-                let bytes = reply.as_bytes();
-                let half = bytes.len() / 2;
-                let _ = cw.write_all(&bytes[..half]);
+            if let Some(reply) = read_reply(wire, u) {
+                let half = reply.len() / 2;
+                let _ = cw.write_all(&reply[..half]);
                 let _ = cw.flush();
             }
             RelayOutcome::CloseBoth
         }
         Some(Fault::CorruptByte) => {
-            if write_frame(uw, frame.as_bytes()).is_err() {
+            if write_frame(&mut u.w, unit).is_err() {
                 return RelayOutcome::CloseBoth;
             }
-            match read_reply(ur) {
+            match read_reply(wire, u) {
                 Some(reply) => {
-                    let corrupted = corrupt(&reply, seed, n, 1);
+                    let corrupted = corrupt(&reply, seed, n, 1, wire == Wire::V1);
                     if cw.write_all(&corrupted).is_err() || cw.flush().is_err() {
                         return RelayOutcome::CloseBoth;
                     }
@@ -444,12 +583,12 @@ fn relay_frame(
             }
         }
         Some(Fault::CorruptMulti) => {
-            if write_frame(uw, frame.as_bytes()).is_err() {
+            if write_frame(&mut u.w, unit).is_err() {
                 return RelayOutcome::CloseBoth;
             }
-            match read_reply(ur) {
+            match read_reply(wire, u) {
                 Some(reply) => {
-                    let corrupted = corrupt(&reply, seed, n, 4);
+                    let corrupted = corrupt(&reply, seed, n, 4, wire == Wire::V1);
                     if cw.write_all(&corrupted).is_err() || cw.flush().is_err() {
                         return RelayOutcome::CloseBoth;
                     }
@@ -459,13 +598,13 @@ fn relay_frame(
             }
         }
         Some(Fault::Delay) => {
-            if write_frame(uw, frame.as_bytes()).is_err() {
+            if write_frame(&mut u.w, unit).is_err() {
                 return RelayOutcome::CloseBoth;
             }
-            match read_reply(ur) {
+            match read_reply(wire, u) {
                 Some(reply) => {
                     thread::sleep(plan.delay);
-                    if write_frame(cw, reply.as_bytes()).is_err() {
+                    if write_frame(cw, &reply).is_err() {
                         return RelayOutcome::CloseBoth;
                     }
                     RelayOutcome::Continue
@@ -474,28 +613,28 @@ fn relay_frame(
             }
         }
         Some(Fault::Stall) => {
-            if write_frame(uw, frame.as_bytes()).is_err() {
+            if write_frame(&mut u.w, unit).is_err() {
                 return RelayOutcome::CloseBoth;
             }
-            match read_reply(ur) {
+            match read_reply(wire, u) {
                 Some(reply) => {
                     // Longer than the client's read deadline: the client gives
                     // up and retries elsewhere; the late reply lands on a
                     // connection the client already abandoned.
                     thread::sleep(plan.stall);
-                    let _ = write_frame(cw, reply.as_bytes());
+                    let _ = write_frame(cw, &reply);
                     RelayOutcome::CloseBoth
                 }
                 None => RelayOutcome::CloseBoth,
             }
         }
         Some(Fault::Trickle) => {
-            if write_frame(uw, frame.as_bytes()).is_err() {
+            if write_frame(&mut u.w, unit).is_err() {
                 return RelayOutcome::CloseBoth;
             }
-            match read_reply(ur) {
+            match read_reply(wire, u) {
                 Some(reply) => {
-                    for b in reply.as_bytes() {
+                    for b in &reply {
                         if cw.write_all(std::slice::from_ref(b)).is_err() {
                             return RelayOutcome::CloseBoth;
                         }
@@ -511,13 +650,13 @@ fn relay_frame(
             // Forward the request twice; relay both replies. With dedup on the
             // server the second execution must be a replay, and the client must
             // cope with a stale duplicate frame arriving after the real one.
-            if write_frame(uw, frame.as_bytes()).is_err() || write_frame(uw, frame.as_bytes()).is_err() {
+            if write_frame(&mut u.w, unit).is_err() || write_frame(&mut u.w, unit).is_err() {
                 return RelayOutcome::CloseBoth;
             }
             for _ in 0..2 {
-                match read_reply(ur) {
+                match read_reply(wire, u) {
                     Some(reply) => {
-                        if write_frame(cw, reply.as_bytes()).is_err() {
+                        if write_frame(cw, &reply).is_err() {
                             return RelayOutcome::CloseBoth;
                         }
                     }
@@ -527,22 +666,29 @@ fn relay_frame(
             RelayOutcome::Continue
         }
         Some(Fault::BlackHole) => {
-            if write_frame(uw, frame.as_bytes()).is_err() {
+            if write_frame(&mut u.w, unit).is_err() {
                 return RelayOutcome::CloseBoth;
             }
-            let _ = read_reply(ur);
+            let _ = read_reply(wire, u);
             thread::sleep(plan.hold);
             RelayOutcome::CloseBoth
         }
     }
 }
 
-/// Flip `count` bytes of the frame at seeded positions, never touching the
-/// trailing newline (framing survives; content is damaged) and never flipping
-/// a byte *to* a newline (which would split the frame instead of corrupting it).
-fn corrupt(frame: &str, seed: u64, n: u64, count: usize) -> Vec<u8> {
-    let mut bytes = frame.as_bytes().to_vec();
-    let body_len = if bytes.ends_with(b"\n") { bytes.len() - 1 } else { bytes.len() };
+/// Flip `count` bytes of the frame at seeded positions. With
+/// `preserve_newline` (the v1 wire) the trailing newline is never touched and
+/// no byte is flipped *to* a newline — framing survives, content is damaged.
+/// On the v2 wire any byte is fair game: a flip in the varint lengths, the
+/// magic, or the checksum is exactly the corruption the binary decoder must
+/// refuse.
+fn corrupt(frame: &[u8], seed: u64, n: u64, count: usize, preserve_newline: bool) -> Vec<u8> {
+    let mut bytes = frame.to_vec();
+    let body_len = if preserve_newline && bytes.ends_with(b"\n") {
+        bytes.len() - 1
+    } else {
+        bytes.len()
+    };
     if body_len == 0 {
         return bytes;
     }
@@ -551,8 +697,8 @@ fn corrupt(frame: &str, seed: u64, n: u64, count: usize) -> Vec<u8> {
         s = splitmix64(s);
         let pos = (s % body_len as u64) as usize;
         let mut x = ((s >> 32) & 0xff) as u8;
-        // xor must change the byte and must not yield '\n'
-        while x == 0 || bytes[pos] ^ x == b'\n' {
+        // xor must change the byte and (on v1) must not yield '\n'
+        while x == 0 || (preserve_newline && bytes[pos] ^ x == b'\n') {
             x = x.wrapping_add(1);
         }
         bytes[pos] ^= x;
@@ -605,12 +751,173 @@ mod tests {
     fn corrupt_changes_content_but_not_framing() {
         let frame = "{\"id\":\"x\",\"code\":200}\n";
         for n in 0..50u64 {
-            let out = corrupt(frame, 99, n, 1);
+            let out = corrupt(frame.as_bytes(), 99, n, 1, true);
             assert_eq!(out.len(), frame.len());
             assert_eq!(out.last(), Some(&b'\n'));
             assert_eq!(out.iter().filter(|b| **b == b'\n').count(), 1);
             assert_ne!(&out[..], frame.as_bytes());
         }
+    }
+
+    #[test]
+    fn corrupt_on_the_binary_wire_may_hit_any_byte_but_always_changes_one() {
+        let mut frame = Vec::new();
+        proto2::encode_frame(&mut frame, proto2::FrameType::Response, "cid", 7, "{\"code\":200}", None);
+        for n in 0..50u64 {
+            let out = corrupt(&frame, 99, n, 1, false);
+            assert_eq!(out.len(), frame.len());
+            assert_ne!(out, frame);
+        }
+    }
+
+    /// A minimal v2 upstream: acks hellos, echoes request bodies, counts
+    /// requests. No dedup — relay-level duplication is visible as two hits.
+    fn spawn_v2_echo() -> (String, Arc<AtomicU64>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let requests = Arc::new(AtomicU64::new(0));
+        let rq = Arc::clone(&requests);
+        thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(s) = stream else { break };
+                let rq = Arc::clone(&rq);
+                thread::spawn(move || {
+                    let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+                    let mut w = s.try_clone().unwrap();
+                    let mut r = BufReader::new(s);
+                    let mut acc: Vec<u8> = Vec::new();
+                    let mut out = Vec::new();
+                    loop {
+                        let nl = acc.iter().take_while(|b| **b == b'\n').count();
+                        acc.drain(..nl);
+                        if !acc.is_empty() {
+                            match proto2::frame_len(&acc) {
+                                Ok(Some(total)) if acc.len() >= total => {
+                                    let fb: Vec<u8> = acc.drain(..total).collect();
+                                    let Ok((f, _)) = proto2::decode_frame(&fb) else { return };
+                                    out.clear();
+                                    match f.ftype {
+                                        proto2::FrameType::Hello => {
+                                            let want = proto2::parse_hello(&f.body)
+                                                .unwrap_or_else(proto2::Caps::off);
+                                            let granted = proto2::negotiate(&want);
+                                            proto2::encode_frame(
+                                                &mut out,
+                                                proto2::FrameType::HelloAck,
+                                                "",
+                                                0,
+                                                &proto2::hello_body(&granted),
+                                                None,
+                                            );
+                                        }
+                                        proto2::FrameType::Request => {
+                                            rq.fetch_add(1, Ordering::Relaxed);
+                                            proto2::encode_frame(
+                                                &mut out,
+                                                proto2::FrameType::Response,
+                                                &f.cid,
+                                                f.rid,
+                                                &f.body,
+                                                None,
+                                            );
+                                        }
+                                        _ => return,
+                                    }
+                                    if write_frame(&mut w, &out).is_err() {
+                                        return;
+                                    }
+                                    continue;
+                                }
+                                Ok(_) => {}
+                                Err(_) => return,
+                            }
+                        }
+                        match r.fill_buf() {
+                            Ok([]) => return,
+                            Ok(chunk) => {
+                                let take = chunk.len();
+                                acc.extend_from_slice(chunk);
+                                r.consume(take);
+                            }
+                            Err(_) => return,
+                        }
+                    }
+                });
+            }
+        });
+        (addr, requests)
+    }
+
+    fn v2_connect(addr: &str) -> proto2::Client {
+        let s = TcpStream::connect(addr).unwrap();
+        match proto2::Client::handshake(
+            s,
+            Some(Duration::from_secs(5)),
+            &proto2::Caps { compress: true, window: 4 },
+        )
+        .unwrap()
+        {
+            proto2::Handshake::V2(c) => c,
+            proto2::Handshake::V1Peer => panic!("upstream should speak v2"),
+        }
+    }
+
+    #[test]
+    fn v2_clean_relay_preserves_binary_frames_end_to_end() {
+        let (up_addr, reqs) = spawn_v2_echo();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let plan = FaultPlan { warm: 100, ..FaultPlan::default() };
+        let mut proxy = ChaosProxy::start(listener, &up_addr, 5, plan).unwrap();
+        let mut c = v2_connect(proxy.addr());
+        let body = c.call("t", 1, "{\"op\":\"ping\"}").unwrap();
+        assert_eq!(body, "{\"op\":\"ping\"}\n");
+        // Hello and request each took one schedule slot.
+        assert_eq!(proxy.frames(), 2);
+        assert_eq!(reqs.load(Ordering::Relaxed), 1);
+        proxy.stop();
+    }
+
+    #[test]
+    fn v2_corrupt_reply_is_refused_by_the_client() {
+        let (up_addr, _reqs) = spawn_v2_echo();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        // Frame 0 is the hello, frame 1 the first request (clean), frame 2
+        // the second request — its reply gets one flipped byte.
+        let mut proxy = ChaosProxy::start_with(
+            listener,
+            &up_addr,
+            Box::new(|n| (n == 2).then_some(Fault::CorruptByte)),
+            7,
+            FaultPlan::default(),
+        )
+        .unwrap();
+        let mut c = v2_connect(proxy.addr());
+        assert_eq!(c.call("t", 1, "{\"op\":\"ping\"}").unwrap(), "{\"op\":\"ping\"}\n");
+        let err = c.call("t", 2, "{\"op\":\"ping\"}").unwrap_err();
+        assert!(!err.is_empty(), "corrupted binary reply must surface an error");
+        proxy.stop();
+    }
+
+    #[test]
+    fn v2_duplicate_forwards_twice_and_the_stale_reply_is_skipped() {
+        let (up_addr, reqs) = spawn_v2_echo();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut proxy = ChaosProxy::start_with(
+            listener,
+            &up_addr,
+            Box::new(|n| (n == 1).then_some(Fault::Duplicate)),
+            7,
+            FaultPlan::default(),
+        )
+        .unwrap();
+        let mut c = v2_connect(proxy.addr());
+        // The duplicated request reaches the (dedup-free) echo twice; the
+        // client reads its reply once and must skip the stale duplicate when
+        // the next call comes around.
+        assert_eq!(c.call("t", 1, "{\"op\":\"a\"}").unwrap(), "{\"op\":\"a\"}\n");
+        assert_eq!(c.call("t", 2, "{\"op\":\"b\"}").unwrap(), "{\"op\":\"b\"}\n");
+        assert_eq!(reqs.load(Ordering::Relaxed), 3, "request 1 relayed twice, request 2 once");
+        proxy.stop();
     }
 
     #[test]

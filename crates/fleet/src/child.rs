@@ -2,6 +2,7 @@
 //! bench's chaos modes: spawn-and-wait-for-banner, a zombie-free
 //! reaper, and a one-shot TCP line client.
 
+use std::cell::RefCell;
 use std::io::{BufRead, BufReader, Read};
 use std::net::TcpStream;
 use std::process::{Child, Command, ExitStatus, Stdio};
@@ -9,7 +10,15 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use mcc_serve::proto::MAX_FRAME_BYTES;
-use mcc_serve::tcp::{read_frame, write_frame, FrameRead};
+use mcc_serve::tcp::{read_frame_into, write_frame, FrameRead};
+
+thread_local! {
+    /// Reusable read buffer for [`line_call`]: the supervisor heartbeats
+    /// every tick from the same thread, and a fresh `Vec` per call was
+    /// pure churn. Cleared before each call, so a timed-out partial
+    /// frame never leaks into the next round trip.
+    static CALL_BUF: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Kills `child` (if still running) and **waits** on it, so the kernel
 /// releases the process entry. SIGKILLing without the wait leaks a
@@ -94,13 +103,17 @@ pub fn line_call(addr: &str, line: &str, timeout: Duration) -> Result<String, St
     // Capped read: a misbehaving (or chaos-proxied) peer cannot make a
     // heartbeat buffer an endless line.
     let mut reader = BufReader::new(stream);
-    match read_frame(&mut reader, MAX_FRAME_BYTES) {
-        Ok(FrameRead::Frame(resp)) => Ok(resp),
-        Ok(FrameRead::Eof) => Err(format!("{addr}: closed mid-response")),
-        Ok(FrameRead::TimedOut) => Err(format!("{addr}: read timed out after {timeout:?}")),
-        Ok(FrameRead::Oversized) => Err(format!("{addr}: oversized response frame")),
-        Err(e) => Err(format!("{addr}: read: {e}")),
-    }
+    CALL_BUF.with(|b| {
+        let mut buf = b.borrow_mut();
+        mcc_serve::buf::shrink_reusable(&mut buf);
+        match read_frame_into(&mut reader, &mut buf, MAX_FRAME_BYTES) {
+            Ok(FrameRead::Frame(resp)) => Ok(resp),
+            Ok(FrameRead::Eof) => Err(format!("{addr}: closed mid-response")),
+            Ok(FrameRead::TimedOut) => Err(format!("{addr}: read timed out after {timeout:?}")),
+            Ok(FrameRead::Oversized) => Err(format!("{addr}: oversized response frame")),
+            Err(e) => Err(format!("{addr}: read: {e}")),
+        }
+    })
 }
 
 /// Waits up to `timeout` for the child to exit on its own (no signal),

@@ -39,6 +39,19 @@ pub fn by_name(name: &str) -> Option<MachineDesc> {
     }
 }
 
+/// Whether a name resolves, without building the description — the
+/// hot-path validity check for servers that memoize compilers by name.
+/// Must accept exactly the names [`by_name`] accepts.
+pub fn is_known(name: &str) -> bool {
+    matches!(
+        name.to_ascii_lowercase().as_str(),
+        "hm-1" | "hm1" | "horizon"
+            | "vm-1" | "vm1" | "vertica"
+            | "bx-2" | "bx2" | "baroque"
+            | "wm-64" | "wm64" | "wide"
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,6 +70,10 @@ mod tests {
         assert_eq!(by_name("bx2").unwrap().name, "BX-2");
         assert_eq!(by_name("wide").unwrap().name, "WM-64");
         assert!(by_name("pdp-11").is_none());
+        for name in ["hm-1", "HM1", "horizon", "vm1", "vertica", "bx-2", "wm64", "WIDE"] {
+            assert_eq!(is_known(name), by_name(name).is_some(), "{name}");
+        }
+        assert!(!is_known("pdp-11"));
     }
 
     #[test]

@@ -20,13 +20,14 @@
 
 use std::io::BufReader;
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use mcc_harness::backoff::{self, BackoffConfig};
 use mcc_serve::proto::{self, Envelope, Response, MAX_FRAME_BYTES};
-use mcc_serve::tcp::{read_frame, write_frame, FrameRead};
+use mcc_serve::proto2;
+use mcc_serve::tcp::{read_frame_into, write_frame, FrameRead};
 use mcc_serve::Server;
 
 /// One shard, behind whatever transport reaches it.
@@ -107,7 +108,7 @@ impl Backend for InProcBackend {
 pub struct TcpBackend {
     name: String,
     addr: String,
-    pool: Mutex<Vec<TcpStream>>,
+    pool: Mutex<Vec<Conn>>,
     backoff: BackoffConfig,
     seed: u64,
     connect_attempts: u32,
@@ -124,6 +125,30 @@ pub struct TcpBackend {
     /// Guard against corruption-driven downgrades: once any enveloped
     /// exchange succeeded, a later bare 400 can't flip `peer_bare`.
     envelope_ok: AtomicBool,
+    /// Speak binary protocol v2 first (fall back to v1 on handshake
+    /// evidence that the peer only does lines).
+    proto2: bool,
+    /// Sticky v2→v1 downgrade: the peer answered the v2 hello with v1's
+    /// bare 400.
+    peer_v1: AtomicBool,
+    /// Guard against corruption-driven v2 downgrades, mirroring
+    /// `envelope_ok`: once any v2 exchange succeeded, a later bare
+    /// answer can't flip `peer_v1`.
+    v2_ok: AtomicBool,
+    /// Pooled negotiated v2 connections (their internal buffers are the
+    /// reusable read/write state).
+    v2_pool: Mutex<Vec<proto2::Client>>,
+    /// rid source for bare (unenveloped) requests sent over v2 — only
+    /// used to match responses on the connection, never for dedup.
+    anon_rid: AtomicU64,
+}
+
+/// One pooled v1 connection: the buffered reader survives across round
+/// trips (writes go through [`BufReader::get_mut`]) and `buf` is the
+/// reusable frame buffer — no per-call `BufReader` or `Vec` churn.
+struct Conn {
+    r: BufReader<TcpStream>,
+    buf: Vec<u8>,
 }
 
 /// One validated round-trip result.
@@ -159,6 +184,11 @@ impl TcpBackend {
             call_retries: 1,
             peer_bare: AtomicBool::new(false),
             envelope_ok: AtomicBool::new(false),
+            proto2: false,
+            peer_v1: AtomicBool::new(false),
+            v2_ok: AtomicBool::new(false),
+            v2_pool: Mutex::new(Vec::new()),
+            anon_rid: AtomicU64::new(1),
         }
     }
 
@@ -167,6 +197,15 @@ impl TcpBackend {
     pub fn with_wire(mut self, read_timeout: Option<Duration>, call_retries: u32) -> TcpBackend {
         self.read_timeout = read_timeout;
         self.call_retries = call_retries.max(1);
+        self
+    }
+
+    /// Opts this backend into binary protocol v2. The first connection
+    /// runs the hello handshake; a peer that answers with v1's bare 400
+    /// downgrades the backend to lines, stickily, exactly like the
+    /// envelope negotiation one layer down.
+    pub fn with_proto2(mut self, on: bool) -> TcpBackend {
+        self.proto2 = on;
         self
     }
 
@@ -204,20 +243,22 @@ impl TcpBackend {
     /// the corruption, wins), and the matching frame is unwrapped.
     fn round_trip(
         &self,
-        stream: &mut TcpStream,
+        conn: &mut Conn,
         frame: &str,
         ident: Option<&(String, u64)>,
     ) -> Result<Wire, String> {
-        stream
+        conn.r
+            .get_ref()
             .set_read_timeout(self.read_timeout)
             .map_err(|e| format!("set read timeout: {e}"))?;
-        write_frame(stream, frame.as_bytes()).map_err(|e| format!("write: {e}"))?;
-        // The BufReader is throwaway: anything it strands past the frame
-        // we return is a stale duplicate (or half of one), and the next
-        // round trip's discard loop skips whatever is left of it.
-        let mut reader = BufReader::new(stream);
+        write_frame(conn.r.get_mut(), frame.as_bytes()).map_err(|e| format!("write: {e}"))?;
+        // The reader persists across round trips: anything a previous
+        // trip left buffered is a stale duplicate, and this trip's
+        // discard loop skips it. A failed trip drops the whole
+        // connection, so `buf` never carries a torn partial forward.
+        conn.buf.clear();
         loop {
-            let resp = match read_frame(&mut reader, MAX_FRAME_BYTES)
+            let resp = match read_frame_into(&mut conn.r, &mut conn.buf, MAX_FRAME_BYTES)
                 .map_err(|e| format!("read: {e}"))?
             {
                 FrameRead::Frame(resp) => resp,
@@ -260,21 +301,90 @@ impl TcpBackend {
 
     /// One attempt over one connection: round trip, pool the connection
     /// back on success, and remember that the peer speaks the envelope.
-    fn attempt(&self, mut s: TcpStream, frame: &str, ident: Option<&(String, u64)>) -> Attempt {
-        match self.round_trip(&mut s, frame, ident) {
+    fn attempt(&self, mut conn: Conn, frame: &str, ident: Option<&(String, u64)>) -> Attempt {
+        match self.round_trip(&mut conn, frame, ident) {
             Ok(Wire::Ok(resp)) => {
                 if ident.is_some() {
                     self.envelope_ok.store(true, Ordering::Relaxed);
                 }
-                self.pool.lock().unwrap().push(s);
+                mcc_serve::buf::shrink_reusable(&mut conn.buf);
+                self.pool.lock().unwrap().push(conn);
                 Attempt::Done(resp)
             }
             Ok(Wire::BarePeer) => {
-                self.pool.lock().unwrap().push(s);
+                self.pool.lock().unwrap().push(conn);
                 Attempt::BareRenegotiate
             }
             Err(e) => Attempt::Fail(e),
         }
+    }
+
+    /// One v2 attempt over one negotiated client connection.
+    fn attempt_v2(
+        &self,
+        mut c: proto2::Client,
+        cid: &str,
+        rid: u64,
+        body: &str,
+    ) -> Attempt {
+        match c.call(cid, rid, body) {
+            Ok(resp) => {
+                self.v2_ok.store(true, Ordering::Relaxed);
+                self.v2_pool.lock().unwrap().push(c);
+                Attempt::Done(resp)
+            }
+            // Any failure drops the connection; the caller retries on a
+            // fresh one with the SAME (cid, rid), so the shard's dedup
+            // window keeps the retry exactly-once.
+            Err(e) => Attempt::Fail(e),
+        }
+    }
+
+    /// The v2 call path: pooled negotiated connection first, then fresh
+    /// handshakes. Returns `BareRenegotiate` only on strict downgrade
+    /// evidence (the peer answered the hello with v1's bare 400) — a
+    /// timeout or corrupt stream is a transport failure, never a
+    /// downgrade, so chaos cannot flip a healthy v2 peer to v1.
+    fn call_v2(&self, line: &str) -> Attempt {
+        let (cid, rid, body) = match proto::unwrap_envelope(line) {
+            Envelope::Enveloped { cid, rid, body } => (cid, rid, body),
+            _ => (
+                String::new(),
+                self.anon_rid.fetch_add(1, Ordering::Relaxed),
+                line.trim_end().to_string(),
+            ),
+        };
+        let mut last = String::new();
+        let pooled = self.v2_pool.lock().unwrap().pop();
+        if let Some(c) = pooled {
+            match self.attempt_v2(c, &cid, rid, &body) {
+                Attempt::Done(resp) => return Attempt::Done(resp),
+                Attempt::Fail(e) => last = e,
+                Attempt::BareRenegotiate => unreachable!("attempt_v2 never renegotiates"),
+            }
+        }
+        for _ in 0..self.call_retries {
+            let s = match self.connect() {
+                Ok(s) => s,
+                Err(e) => return Attempt::Fail(e),
+            };
+            let want = proto2::Caps { compress: true, window: 8 };
+            match proto2::Client::handshake(s, self.read_timeout, &want) {
+                Ok(proto2::Handshake::V2(c)) => match self.attempt_v2(c, &cid, rid, &body) {
+                    Attempt::Done(resp) => return Attempt::Done(resp),
+                    Attempt::Fail(e) => last = e,
+                    Attempt::BareRenegotiate => unreachable!("attempt_v2 never renegotiates"),
+                },
+                Ok(proto2::Handshake::V1Peer) => {
+                    if !self.v2_ok.load(Ordering::Relaxed) {
+                        return Attempt::BareRenegotiate;
+                    }
+                    last = "v2 hello answered bare by a v2-capable peer".to_string();
+                }
+                Err(e) => last = e,
+            }
+        }
+        Attempt::Fail(format!("{}: {last}", self.name))
     }
 }
 
@@ -287,6 +397,18 @@ impl Backend for TcpBackend {
     // the renegotiation retry.
     #[allow(clippy::only_used_in_recursion)]
     fn call(&self, line: &str, client: &str) -> Result<String, String> {
+        // v2 first when enabled and the peer hasn't proven v1-only.
+        if self.proto2 && !self.peer_v1.load(Ordering::Relaxed) {
+            match self.call_v2(line) {
+                Attempt::Done(resp) => return Ok(resp),
+                Attempt::Fail(e) => return Err(e),
+                Attempt::BareRenegotiate => {
+                    // Strict handshake evidence: the peer is a v1 line
+                    // server. Sticky, then fall through and speak v1.
+                    self.peer_v1.store(true, Ordering::Relaxed);
+                }
+            }
+        }
         let ident = match proto::unwrap_envelope(line) {
             Envelope::Enveloped { cid, rid, .. } => Some((cid, rid)),
             _ => None,
@@ -325,7 +447,7 @@ impl Backend for TcpBackend {
         // Fresh connections re-send the SAME frame — same request_id —
         // so a failure after the server executed replays, not re-runs.
         for _ in 0..self.call_retries {
-            let s = self.connect()?;
+            let s = Conn { r: BufReader::new(self.connect()?), buf: Vec::new() };
             match self.attempt(s, &frame, ident.as_ref()) {
                 Attempt::Done(resp) => return Ok(resp),
                 Attempt::BareRenegotiate => {
@@ -488,6 +610,72 @@ mod tests {
         // Subsequent enveloped calls go straight through bare.
         let frame2 = mcc_serve::proto::wrap_envelope("router-x", 2, "{\"op\":\"ping\"}");
         let resp2 = b.call(&frame2, "t").unwrap();
+        assert_eq!(Response::field_num(&resp2, "code"), Some(200));
+    }
+
+    #[test]
+    fn proto2_backend_round_trips_and_pools_the_negotiated_connection() {
+        let server = Arc::new(Server::start(ServeConfig::default()));
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let (server, stop) = (server.clone(), stop.clone());
+            std::thread::spawn(move || mcc_serve::tcp::serve(server, listener, stop))
+        };
+        let b = TcpBackend::new("v2b", &addr, 1, 2).with_proto2(true);
+        // Enveloped and bare calls both ride v2, and the same rid
+        // replays from the shard's dedup window.
+        let frame = mcc_serve::proto::wrap_envelope("router-x", 5, "{\"op\":\"ping\"}");
+        let resp = b.call(&frame, "t").expect("v2 enveloped ping answers");
+        assert_eq!(Response::field_num(&resp, "code"), Some(200), "{resp}");
+        assert!(!resp.starts_with("@mcc1"), "backend returns the bare body");
+        let resp2 = b.call(&frame, "t").expect("v2 replay answers");
+        assert_eq!(resp, resp2, "replayed response is byte-identical");
+        let bare = b.call("{\"op\":\"ping\"}\n", "t").expect("bare over v2");
+        assert_eq!(Response::field_num(&bare, "code"), Some(200));
+        assert_eq!(b.v2_pool.lock().unwrap().len(), 1, "one negotiated conn, reused");
+        assert!(b.v2_ok.load(Ordering::Relaxed));
+        assert!(!b.peer_v1.load(Ordering::Relaxed), "no downgrade against a v2 server");
+        stop.store(true, Ordering::SeqCst);
+        handle.join().ok();
+    }
+
+    #[test]
+    fn proto2_backend_downgrades_stickily_against_a_v1_only_peer() {
+        use std::io::{BufRead, BufReader as StdBufReader, Write};
+        // A v1-only line server: any non-JSON line (like the binary
+        // hello) gets the classic bare 400.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            while let Ok((s, _)) = listener.accept() {
+                std::thread::spawn(move || {
+                    let mut r = StdBufReader::new(s.try_clone().unwrap());
+                    let mut w = s;
+                    let mut raw = Vec::new();
+                    // Like the real v1 loop: lossy-decode, so the binary
+                    // hello surfaces as a 400, not a UTF-8 read error.
+                    while r.read_until(b'\n', &mut raw).map(|n| n > 0).unwrap_or(false) {
+                        let line = String::from_utf8_lossy(&raw);
+                        let resp = if line.trim_start().starts_with('{') {
+                            "{\"id\":\"\",\"code\":200,\"pong\":1}\n".to_string()
+                        } else {
+                            "{\"id\":\"\",\"code\":400,\"error\":\"malformed frame: not a flat JSON object\"}\n".to_string()
+                        };
+                        if w.write_all(resp.as_bytes()).is_err() {
+                            break;
+                        }
+                        raw.clear();
+                    }
+                });
+            }
+        });
+        let b = TcpBackend::new("old", &addr, 1, 2).with_proto2(true);
+        let resp = b.call("{\"op\":\"ping\"}\n", "t").expect("downgrades to v1 lines");
+        assert_eq!(Response::field_num(&resp, "code"), Some(200), "{resp}");
+        assert!(b.peer_v1.load(Ordering::Relaxed), "v2→v1 downgrade is sticky");
+        let resp2 = b.call("{\"op\":\"ping\"}\n", "t").unwrap();
         assert_eq!(Response::field_num(&resp2, "code"), Some(200));
     }
 

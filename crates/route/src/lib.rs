@@ -144,6 +144,10 @@ pub struct RouteCounters {
     pub corrupt_frames: AtomicU64,
     /// Inbound lines past `MAX_FRAME_BYTES` on the router's listener.
     pub oversized_frames: AtomicU64,
+    /// Client connections that negotiated up to binary protocol v2.
+    pub v2_connections: AtomicU64,
+    /// Binary v2 frames decoded on the router's listener.
+    pub v2_frames: AtomicU64,
 }
 
 /// One backend's live state: the swappable transport, its breaker, and
@@ -683,6 +687,8 @@ impl Router {
         r.push_num("leaves", load(&c.leaves));
         r.push_num("corrupt_frames", load(&c.corrupt_frames));
         r.push_num("oversized_frames", load(&c.oversized_frames));
+        r.push_num("v2_connections", load(&c.v2_connections));
+        r.push_num("v2_frames", load(&c.v2_frames));
         let m = self.membership.read().unwrap();
         r.push_num("backends", m.slots.len() as u64);
         r.push_str(
@@ -748,6 +754,18 @@ impl LineHandler for Router {
 
     fn on_oversized(&self) {
         self.counters.bump(&self.counters.oversized_frames);
+    }
+
+    fn on_v2_connection(&self) {
+        self.counters.bump(&self.counters.v2_connections);
+    }
+
+    fn on_v2_frame(&self) {
+        self.counters.bump(&self.counters.v2_frames);
+    }
+
+    fn on_corrupt_frame(&self) {
+        self.counters.bump(&self.counters.corrupt_frames);
     }
 
     fn idle_timeout(&self) -> Option<Duration> {

@@ -78,8 +78,13 @@ pub struct ServeCounters {
     /// after a structured `400`).
     pub oversized_frames: AtomicU64,
     /// Envelope-shaped frames that failed structural or checksum
-    /// validation — never executed, answered with a bare `400`.
+    /// validation — never executed, answered with a bare `400`. v2
+    /// streams that turn structurally corrupt count here too.
     pub corrupt_frames: AtomicU64,
+    /// Connections that negotiated up to binary protocol v2.
+    pub v2_connections: AtomicU64,
+    /// Binary v2 frames decoded (hellos and requests both count).
+    pub v2_frames: AtomicU64,
     /// Requests served at pressure tier 1 / 2 / 3.
     pub degraded: [AtomicU64; 3],
 }

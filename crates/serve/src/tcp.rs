@@ -40,12 +40,32 @@ pub trait LineHandler: Send + Sync + 'static {
     /// Handles one frame; the returned line must be newline-terminated.
     fn handle_wire(&self, line: &str, client: &str) -> String;
 
+    /// Two-phase intake for pipelined peers: a handler that can
+    /// separate admission from completion returns `Pending`, letting
+    /// the wire loop put a whole burst of frames into the work queue
+    /// before collecting any outcome — the workers chew the backlog in
+    /// one scheduling quantum instead of round-tripping per request.
+    /// The default is the blocking round trip.
+    fn submit_wire(&self, line: &str, client: &str) -> WireSubmission {
+        WireSubmission::Done(self.handle_wire(line, client))
+    }
+
     /// Called when the idle reaper closes a connection.
     fn on_idle_reap(&self) {}
 
     /// Called when a connection is closed for exceeding
     /// [`crate::proto::MAX_FRAME_BYTES`] on one inbound line.
     fn on_oversized(&self) {}
+
+    /// Called once when a connection negotiates up to protocol v2.
+    fn on_v2_connection(&self) {}
+
+    /// Called per decoded v2 frame.
+    fn on_v2_frame(&self) {}
+
+    /// Called when a v2 stream turns structurally corrupt and the
+    /// connection is closed with an error frame.
+    fn on_corrupt_frame(&self) {}
 
     /// The idle timeout for connections served on behalf of this
     /// handler (`None` = never reap).
@@ -54,9 +74,41 @@ pub trait LineHandler: Send + Sync + 'static {
     }
 }
 
+/// The result of [`LineHandler::submit_wire`].
+pub enum WireSubmission {
+    /// Resolved immediately; the line is newline-terminated.
+    Done(String),
+    /// Admitted; the single response arrives on this channel.
+    Pending(std::sync::mpsc::Receiver<Response>),
+}
+
 impl LineHandler for Server {
     fn handle_wire(&self, line: &str, client: &str) -> String {
         self.handle_frame(line, client)
+    }
+
+    fn submit_wire(&self, line: &str, client: &str) -> WireSubmission {
+        // Only a bare frame can split admission from completion; an
+        // enveloped frame owes the idempotency layer a resolution,
+        // which the blocking path provides.
+        if !matches!(crate::proto::unwrap_envelope(line), crate::proto::Envelope::Bare) {
+            return WireSubmission::Done(self.handle_frame(line, client));
+        }
+        match catch_unwind(AssertUnwindSafe(|| self.submit_line(line, client))) {
+            Ok(crate::Submitted::Done(r)) => WireSubmission::Done(r.to_line()),
+            Ok(crate::Submitted::Pending(rx)) => WireSubmission::Pending(rx),
+            Err(p) => WireSubmission::Done(
+                Response::error(
+                    &crate::proto::frame_id(line),
+                    500,
+                    &format!(
+                        "panic contained in request loop: {}",
+                        mcc_harness::pool::panic_text(p.as_ref())
+                    ),
+                )
+                .to_line(),
+            ),
+        }
     }
 
     fn on_idle_reap(&self) {
@@ -67,6 +119,21 @@ impl LineHandler for Server {
     fn on_oversized(&self) {
         let c = self.counters();
         c.bump(&c.oversized_frames);
+    }
+
+    fn on_v2_connection(&self) {
+        let c = self.counters();
+        c.bump(&c.v2_connections);
+    }
+
+    fn on_v2_frame(&self) {
+        let c = self.counters();
+        c.bump(&c.v2_frames);
+    }
+
+    fn on_corrupt_frame(&self) {
+        let c = self.counters();
+        c.bump(&c.corrupt_frames);
     }
 
     fn idle_timeout(&self) -> Option<Duration> {
@@ -90,19 +157,36 @@ pub enum FrameRead {
     TimedOut,
 }
 
-/// Reads one capped frame, carrying partial-frame state in `buf` so a caller
-/// that polls with a short read timeout (e.g. to check a stop flag) never
-/// loses bytes across [`FrameRead::TimedOut`] returns. `EINTR` is retried,
-/// matching the [`write_frame`] write-all discipline.
+/// [`read_frame_into`] minus the `String`: the frame's bytes (including
+/// the newline) are left in `buf` for the caller to borrow, so a
+/// connection loop can reuse one buffer for its whole lifetime instead
+/// of allocating a `String` per request.
+#[derive(Debug)]
+pub enum FrameBufRead {
+    /// One complete frame's bytes are in the caller's buffer.
+    Frame,
+    /// See [`FrameRead::Eof`].
+    Eof,
+    /// See [`FrameRead::Oversized`]; the buffer has been cleared.
+    Oversized,
+    /// See [`FrameRead::TimedOut`]; partial bytes stay in the buffer.
+    TimedOut,
+}
+
+/// Reads one capped frame into `buf`, leaving the bytes there (see
+/// [`FrameBufRead`]). Partial-frame state persists in `buf` across
+/// [`FrameBufRead::TimedOut`] returns so a caller that polls with a
+/// short read timeout never loses bytes. `EINTR` is retried, matching
+/// the [`write_frame`] write-all discipline.
 ///
 /// # Errors
 ///
 /// Any I/O error other than `EINTR` and the timeout kinds.
-pub fn read_frame_into(
+pub fn read_frame_buf(
     r: &mut impl BufRead,
     buf: &mut Vec<u8>,
     max: usize,
-) -> io::Result<FrameRead> {
+) -> io::Result<FrameBufRead> {
     loop {
         let (take, done) = {
             let chunk = match r.fill_buf() {
@@ -114,12 +198,12 @@ pub fn read_frame_into(
                         io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                     ) =>
                 {
-                    return Ok(FrameRead::TimedOut)
+                    return Ok(FrameBufRead::TimedOut)
                 }
                 Err(e) => return Err(e),
             };
             if chunk.is_empty() {
-                return Ok(FrameRead::Eof);
+                return Ok(FrameBufRead::Eof);
             }
             match chunk.iter().position(|b| *b == b'\n') {
                 Some(i) => {
@@ -135,14 +219,36 @@ pub fn read_frame_into(
         r.consume(take);
         if buf.len() > max {
             buf.clear();
-            return Ok(FrameRead::Oversized);
+            return Ok(FrameBufRead::Oversized);
         }
         if done {
-            let frame = String::from_utf8_lossy(buf).into_owned();
-            buf.clear();
-            return Ok(FrameRead::Frame(frame));
+            return Ok(FrameBufRead::Frame);
         }
     }
+}
+
+/// Reads one capped frame as an owned `String`, carrying partial-frame
+/// state in `buf` across [`FrameRead::TimedOut`] returns. Built on
+/// [`read_frame_buf`]; callers that can borrow should use that directly.
+///
+/// # Errors
+///
+/// See [`read_frame_buf`].
+pub fn read_frame_into(
+    r: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> io::Result<FrameRead> {
+    Ok(match read_frame_buf(r, buf, max)? {
+        FrameBufRead::Frame => {
+            let frame = String::from_utf8_lossy(buf).into_owned();
+            buf.clear();
+            FrameRead::Frame(frame)
+        }
+        FrameBufRead::Eof => FrameRead::Eof,
+        FrameBufRead::Oversized => FrameRead::Oversized,
+        FrameBufRead::TimedOut => FrameRead::TimedOut,
+    })
 }
 
 /// [`read_frame_into`] with a throwaway buffer — for callers that treat a
@@ -213,7 +319,7 @@ pub fn serve_lines(
                 let stop = Arc::clone(&stop);
                 let client = addr.to_string();
                 std::thread::spawn(move || {
-                    let _ = connection(&*handler, stream, &client, &stop);
+                    let _ = connection(handler, stream, &client, &stop);
                 });
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -240,32 +346,66 @@ pub fn serve(
     serve_lines(server, listener, stop)
 }
 
-/// One connection: read frames, answer each with exactly one line. An
-/// idle timeout on the read side feeds the reaper.
+/// One connection. The first inbound byte picks the protocol: the v2
+/// magic (`0xB5`) routes to the pipelined frame loop, anything else
+/// (a `{` or `@` from a v1 peer) to the classic line loop — so v1-only
+/// clients get correct service from a v2 server with zero
+/// configuration. An idle timeout on the read side feeds the reaper.
 fn connection(
-    handler: &dyn LineHandler,
+    handler: Arc<dyn LineHandler>,
     stream: TcpStream,
     client: &str,
     stop: &AtomicBool,
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(handler.idle_timeout())?;
-    let mut writer = stream.try_clone()?;
+    let writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     loop {
-        let line = match read_frame(&mut reader, crate::proto::MAX_FRAME_BYTES)? {
-            FrameRead::Frame(line) => line,
-            FrameRead::Eof => return Ok(()), // client closed cleanly.
+        match reader.fill_buf() {
+            Ok([]) => return Ok(()), // closed before the first byte.
+            Ok(chunk) if chunk[0] == crate::proto2::MAGIC[0] => {
+                return v2_connection(handler, reader, writer, client, stop);
+            }
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                handler.on_idle_reap();
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    v1_connection(&*handler, reader, writer, client, stop)
+}
+
+/// The classic v1 loop: read lines, answer each with exactly one line.
+/// One reusable buffer carries every request; the line is borrowed from
+/// it (`Cow`), so the steady state allocates nothing on the read side.
+fn v1_connection(
+    handler: &dyn LineHandler,
+    mut reader: BufReader<TcpStream>,
+    mut writer: TcpStream,
+    client: &str,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        match read_frame_buf(&mut reader, &mut buf, crate::proto::MAX_FRAME_BYTES)? {
+            FrameBufRead::Frame => {}
+            FrameBufRead::Eof => return Ok(()), // client closed cleanly.
             // The read timed out with nothing (or only a partial frame)
             // buffered: reap the connection. A stalled half-frame is
             // reaped too — the client was mid-line for the whole window.
-            FrameRead::TimedOut => {
+            FrameBufRead::TimedOut => {
                 handler.on_idle_reap();
                 return Ok(());
             }
             // One endless line must not OOM the daemon: structured 400,
             // count it, close — resyncing on the rest is unbounded too.
-            FrameRead::Oversized => {
+            FrameBufRead::Oversized => {
                 handler.on_oversized();
                 let resp = Response::error(
                     "",
@@ -278,19 +418,482 @@ fn connection(
                 let _ = write_frame(&mut writer, resp.to_line().as_bytes());
                 return Ok(());
             }
-        };
-        if line.trim().is_empty() {
-            continue;
         }
-        let response = handler.handle_wire(&line, client);
-        write_frame(&mut writer, response.as_bytes())?;
-        // A drain frame stops the accept loop too, not just this
-        // connection. Enveloped drains count: unwrap before sniffing.
-        let body = crate::proto::envelope_body(&line);
-        if matches!(crate::proto::parse_request(body), Ok(crate::Request::Drain)) {
-            stop.store(true, Ordering::SeqCst);
+        {
+            let line = String::from_utf8_lossy(&buf);
+            if !line.trim().is_empty() {
+                let response = handler.handle_wire(&line, client);
+                write_frame(&mut writer, response.as_bytes())?;
+                // A drain frame stops the accept loop too, not just this
+                // connection. Enveloped drains count: unwrap first.
+                let body = crate::proto::envelope_body(&line);
+                if matches!(crate::proto::parse_request(body), Ok(crate::Request::Drain)) {
+                    stop.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+        crate::buf::shrink_reusable(&mut buf);
+    }
+}
+
+/// Ceiling on worker threads spawned per v2 connection; the negotiated
+/// window can exceed this (requests still queue), but per-connection
+/// thread fan-out stays bounded.
+const V2_WORKERS_MAX: usize = 8;
+
+/// Per-connection worker budget: the machine's parallelism, capped at
+/// [`V2_WORKERS_MAX`]. A budget of 1 selects the inline dispatch path —
+/// on a single-core box every extra thread hop is pure context-switch
+/// overhead, and pipelining should win on syscall amortization alone.
+/// `MCC_V2_WORKERS` overrides (clamped to `1..=V2_WORKERS_MAX`), which
+/// CI uses to pin one path regardless of runner shape.
+fn v2_worker_budget() -> usize {
+    if let Some(n) = std::env::var("MCC_V2_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        return n.clamp(1, V2_WORKERS_MAX);
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(V2_WORKERS_MAX)
+}
+
+/// The v2 pipelined loop. One reader (this thread) decodes frames and
+/// dispatches requests to a small lazy worker pool; one writer thread
+/// batches response frames through a [`crate::buf::SegBuf`]. Requests
+/// with a non-empty cid are re-wrapped as `@mcc1` envelopes before
+/// hitting the handler, so v2 rides the exact dedup/replay machinery
+/// that made v1 exactly-once — the protocols cannot drift.
+fn v2_connection(
+    handler: Arc<dyn LineHandler>,
+    mut reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    client: &str,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    use crate::proto2::{self, Caps, FrameFault, FrameType};
+    use std::sync::mpsc;
+    use std::sync::{Condvar, Mutex};
+
+    if v2_worker_budget() == 1 {
+        return v2_connection_inline(handler, reader, writer, client, stop);
+    }
+
+    handler.on_v2_connection();
+    writer.set_write_timeout(handler.idle_timeout()).ok();
+
+    // Writer thread: encodes into a reusable segmented buffer, batching
+    // everything queued at wake-up into one write burst.
+    let compress_on = Arc::new(AtomicBool::new(false));
+    let (wtx, wrx) = mpsc::channel::<(FrameType, String, u64, String)>();
+    let writer_compress = Arc::clone(&compress_on);
+    let writer_handle = std::thread::spawn(move || {
+        let mut w = writer;
+        let mut seg = crate::buf::SegBuf::new();
+        let mut scratch: Vec<u8> = Vec::new();
+        while let Ok(first) = wrx.recv() {
+            let min = writer_compress
+                .load(Ordering::SeqCst)
+                .then_some(proto2::COMPRESS_MIN_BYTES);
+            let encode = |(ftype, cid, rid, body): (FrameType, String, u64, String),
+                              seg: &mut crate::buf::SegBuf,
+                              scratch: &mut Vec<u8>| {
+                crate::buf::shrink_reusable(scratch);
+                proto2::encode_frame(scratch, ftype, &cid, rid, body.trim_end_matches('\n'), min);
+                seg.extend(scratch);
+            };
+            encode(first, &mut seg, &mut scratch);
+            while seg.len() < 256 * 1024 {
+                match wrx.try_recv() {
+                    Ok(next) => encode(next, &mut seg, &mut scratch),
+                    Err(_) => break,
+                }
+            }
+            if seg.write_out(&mut w).is_err() {
+                return; // peer gone; the reader will see EOF/RST.
+            }
+        }
+    });
+
+    // Lazy worker pool: a Mutex-guarded Receiver is the spmc queue.
+    let (work_tx, work_rx) = mpsc::channel::<(String, u64, String)>();
+    let work_rx = Arc::new(Mutex::new(work_rx));
+    let in_flight = Arc::new((Mutex::new(0usize), Condvar::new()));
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let spawn_worker = |workers: &mut Vec<std::thread::JoinHandle<()>>| {
+        let handler = Arc::clone(&handler);
+        let wtx = wtx.clone();
+        let rx = Arc::clone(&work_rx);
+        let gate = Arc::clone(&in_flight);
+        let client = client.to_string();
+        workers.push(std::thread::spawn(move || loop {
+            // Holding the lock across recv serializes the *wait*, not
+            // the work: the winner releases it as soon as an item lands.
+            let item = rx.lock().unwrap().recv();
+            let Ok((cid, rid, body)) = item else { return };
+            let line = if cid.is_empty() {
+                format!("{body}\n")
+            } else {
+                crate::proto::wrap_envelope(&cid, rid, &body)
+            };
+            let resp = handler.handle_wire(&line, &client);
+            let out = match crate::proto::unwrap_envelope(&resp) {
+                crate::proto::Envelope::Enveloped { body, .. } => body,
+                _ => resp.trim_end_matches('\n').to_string(),
+            };
+            let _ = wtx.send((FrameType::Response, cid, rid, out));
+            let (m, cv) = &*gate;
+            *m.lock().unwrap() -= 1;
+            cv.notify_all();
+        }));
+    };
+
+    let mut caps = Caps { compress: false, window: proto2::DEFAULT_WINDOW };
+    let mut acc: Vec<u8> = Vec::new();
+    'conn: loop {
+        // Drain every complete frame already buffered.
+        loop {
+            let bait = acc.iter().take_while(|b| **b == b'\n').count();
+            if bait > 0 {
+                acc.drain(..bait);
+            }
+            let total = match proto2::frame_len(&acc) {
+                Ok(Some(t)) if acc.len() >= t => t,
+                Ok(_) => break, // need more bytes.
+                Err(fault) => {
+                    match &fault {
+                        FrameFault::Oversized(_) => handler.on_oversized(),
+                        FrameFault::Corrupt(_) => handler.on_corrupt_frame(),
+                    }
+                    let resp = Response::error("", 400, fault.reason());
+                    let _ = wtx.send((
+                        FrameType::Error,
+                        String::new(),
+                        0,
+                        resp.to_line().trim_end().to_string(),
+                    ));
+                    break 'conn;
+                }
+            };
+            let frame = match proto2::decode_frame(&acc) {
+                Ok((f, _)) => f,
+                Err(proto2::DecodeErr::Corrupt(reason)) => {
+                    handler.on_corrupt_frame();
+                    let resp = Response::error("", 400, &reason);
+                    let _ = wtx.send((
+                        FrameType::Error,
+                        String::new(),
+                        0,
+                        resp.to_line().trim_end().to_string(),
+                    ));
+                    break 'conn;
+                }
+                Err(proto2::DecodeErr::Incomplete) => unreachable!("length was checked"),
+            };
+            acc.drain(..total);
+            handler.on_v2_frame();
+            match frame.ftype {
+                // Repeated hellos are acked idempotently — a chaos
+                // Duplicate fault can double one, and the client just
+                // discards extra acks.
+                FrameType::Hello => {
+                    if let Some(want) = proto2::parse_hello(&frame.body) {
+                        caps = proto2::negotiate(&want);
+                        compress_on.store(caps.compress, Ordering::SeqCst);
+                    }
+                    let _ = wtx.send((
+                        FrameType::HelloAck,
+                        String::new(),
+                        0,
+                        proto2::hello_body(&caps),
+                    ));
+                }
+                FrameType::Request => {
+                    // Respect the negotiated window: wait for a slot.
+                    {
+                        let (m, cv) = &*in_flight;
+                        let mut n = m.lock().unwrap();
+                        while *n >= caps.window as usize {
+                            // Workers are panic-contained, so a slot
+                            // always frees; the timeout is belt and
+                            // braces against a wedged handler.
+                            let (next, _) = cv
+                                .wait_timeout(n, Duration::from_millis(100))
+                                .unwrap();
+                            n = next;
+                        }
+                        *n += 1;
+                        if workers.len() < (caps.window as usize).min(v2_worker_budget())
+                            && *n > workers.len()
+                        {
+                            spawn_worker(&mut workers);
+                        }
+                    }
+                    // Drain sniff before dispatch, mirroring the v1 loop.
+                    if matches!(
+                        crate::proto::parse_request(&frame.body),
+                        Ok(crate::Request::Drain)
+                    ) {
+                        stop.store(true, Ordering::SeqCst);
+                    }
+                    let _ = work_tx.send((frame.cid, frame.rid, frame.body));
+                }
+                // A client has no business sending these; close loudly.
+                FrameType::HelloAck | FrameType::Response | FrameType::Error => {
+                    handler.on_corrupt_frame();
+                    let resp =
+                        Response::error("", 400, "unexpected frame type from a client");
+                    let _ = wtx.send((
+                        FrameType::Error,
+                        String::new(),
+                        0,
+                        resp.to_line().trim_end().to_string(),
+                    ));
+                    break 'conn;
+                }
+            }
+        }
+        match reader.fill_buf() {
+            Ok([]) => break 'conn, // clean close; a torn tail is dropped.
+            Ok(chunk) => {
+                let n = chunk.len();
+                acc.extend_from_slice(chunk);
+                reader.consume(n);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                let idle = {
+                    let (m, _) = &*in_flight;
+                    *m.lock().unwrap() == 0
+                };
+                if idle {
+                    handler.on_idle_reap();
+                    break 'conn;
+                }
+            }
+            Err(_) => break 'conn,
         }
     }
+    // Teardown order matters: close the work queue, let workers flush
+    // their last responses, then close the writer queue and flush it.
+    drop(work_tx);
+    for w in workers {
+        let _ = w.join();
+    }
+    drop(wtx);
+    let _ = writer_handle.join();
+    Ok(())
+}
+
+/// The single-thread v2 loop, selected when [`v2_worker_budget`] is 1:
+/// decode every complete frame in the read burst, handle each inline,
+/// batch the response frames into one segmented buffer, and flush it
+/// with one write before the next read. No worker pool, no writer
+/// thread — on a machine with nothing to parallelize, the whole win of
+/// pipelining is one read and one write syscall per burst instead of
+/// one of each per request. Semantics match the pooled path: same
+/// negotiation, same envelope/dedup routing, same fault handling; only
+/// in-flight overlap (pointless on one core) is absent.
+fn v2_connection_inline(
+    handler: Arc<dyn LineHandler>,
+    mut reader: BufReader<TcpStream>,
+    mut writer: TcpStream,
+    client: &str,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    use crate::proto2::{self, Caps, FrameFault, FrameType};
+
+    handler.on_v2_connection();
+    writer.set_write_timeout(handler.idle_timeout()).ok();
+
+    /// One frame owed to the peer, in arrival order: either already
+    /// resolved, or an admitted compile whose outcome the supervisor
+    /// still owes. Deferring the collection until the whole read burst
+    /// is admitted is the inline path's pipelining: the worker pool
+    /// drains the burst's backlog without a per-request round trip.
+    enum Out {
+        Ready { ftype: FrameType, cid: String, rid: u64, body: String },
+        Rx { rid: u64, rx: std::sync::mpsc::Receiver<Response> },
+    }
+
+    let mut caps = Caps { compress: false, window: proto2::DEFAULT_WINDOW };
+    let mut acc: Vec<u8> = Vec::new();
+    let mut seg = crate::buf::SegBuf::new();
+    let mut scratch: Vec<u8> = Vec::new();
+    let mut outs: Vec<Out> = Vec::new();
+    let mut fatal = false;
+    'conn: loop {
+        let push = |ftype: FrameType, cid: &str, rid: u64, body: &str,
+                        seg: &mut crate::buf::SegBuf,
+                        scratch: &mut Vec<u8>,
+                        caps: &Caps| {
+            crate::buf::shrink_reusable(scratch);
+            let min = caps.compress.then_some(proto2::COMPRESS_MIN_BYTES);
+            proto2::encode_frame(scratch, ftype, cid, rid, body.trim_end_matches('\n'), min);
+            seg.extend(scratch);
+        };
+        // Drain every complete frame already buffered.
+        loop {
+            let bait = acc.iter().take_while(|b| **b == b'\n').count();
+            if bait > 0 {
+                acc.drain(..bait);
+            }
+            let total = match proto2::frame_len(&acc) {
+                Ok(Some(t)) if acc.len() >= t => t,
+                Ok(_) => break, // need more bytes.
+                Err(fault) => {
+                    match &fault {
+                        FrameFault::Oversized(_) => handler.on_oversized(),
+                        FrameFault::Corrupt(_) => handler.on_corrupt_frame(),
+                    }
+                    let resp = Response::error("", 400, fault.reason());
+                    outs.push(Out::Ready {
+                        ftype: FrameType::Error,
+                        cid: String::new(),
+                        rid: 0,
+                        body: resp.to_line().trim_end().to_string(),
+                    });
+                    fatal = true;
+                    break;
+                }
+            };
+            let frame = match proto2::decode_frame(&acc) {
+                Ok((f, _)) => f,
+                Err(proto2::DecodeErr::Corrupt(reason)) => {
+                    handler.on_corrupt_frame();
+                    let resp = Response::error("", 400, &reason);
+                    outs.push(Out::Ready {
+                        ftype: FrameType::Error,
+                        cid: String::new(),
+                        rid: 0,
+                        body: resp.to_line().trim_end().to_string(),
+                    });
+                    fatal = true;
+                    break;
+                }
+                Err(proto2::DecodeErr::Incomplete) => unreachable!("length was checked"),
+            };
+            acc.drain(..total);
+            handler.on_v2_frame();
+            match frame.ftype {
+                FrameType::Hello => {
+                    if let Some(want) = proto2::parse_hello(&frame.body) {
+                        caps = proto2::negotiate(&want);
+                    }
+                    outs.push(Out::Ready {
+                        ftype: FrameType::HelloAck,
+                        cid: String::new(),
+                        rid: 0,
+                        body: proto2::hello_body(&caps),
+                    });
+                }
+                FrameType::Request => {
+                    // Drain sniff before dispatch, mirroring the v1 loop.
+                    if matches!(
+                        crate::proto::parse_request(&frame.body),
+                        Ok(crate::Request::Drain)
+                    ) {
+                        stop.store(true, Ordering::SeqCst);
+                    }
+                    if frame.cid.is_empty() {
+                        match handler.submit_wire(&format!("{}\n", frame.body), client) {
+                            WireSubmission::Done(resp) => outs.push(Out::Ready {
+                                ftype: FrameType::Response,
+                                cid: String::new(),
+                                rid: frame.rid,
+                                body: resp.trim_end_matches('\n').to_string(),
+                            }),
+                            WireSubmission::Pending(rx) => {
+                                outs.push(Out::Rx { rid: frame.rid, rx });
+                            }
+                        }
+                    } else {
+                        // An enveloped frame resolves through the
+                        // idempotency layer, which is a blocking path.
+                        let line =
+                            crate::proto::wrap_envelope(&frame.cid, frame.rid, &frame.body);
+                        let resp = handler.handle_wire(&line, client);
+                        let out = match crate::proto::unwrap_envelope(&resp) {
+                            crate::proto::Envelope::Enveloped { body, .. } => body,
+                            _ => resp.trim_end_matches('\n').to_string(),
+                        };
+                        outs.push(Out::Ready {
+                            ftype: FrameType::Response,
+                            cid: frame.cid,
+                            rid: frame.rid,
+                            body: out,
+                        });
+                    }
+                }
+                // A client has no business sending these; close loudly.
+                FrameType::HelloAck | FrameType::Response | FrameType::Error => {
+                    handler.on_corrupt_frame();
+                    let resp = Response::error("", 400, "unexpected frame type from a client");
+                    outs.push(Out::Ready {
+                        ftype: FrameType::Error,
+                        cid: String::new(),
+                        rid: 0,
+                        body: resp.to_line().trim_end().to_string(),
+                    });
+                    fatal = true;
+                    break;
+                }
+            }
+        }
+        // The whole burst is admitted; now collect outcomes in arrival
+        // order and answer with one write burst per read burst.
+        for out in outs.drain(..) {
+            match out {
+                Out::Ready { ftype, cid, rid, body } => {
+                    push(ftype, &cid, rid, &body, &mut seg, &mut scratch, &caps);
+                }
+                Out::Rx { rid, rx } => {
+                    // The supervisor guarantees exactly one send per
+                    // admitted request; mirror `handle_line`'s fallback.
+                    let r = rx
+                        .recv()
+                        .unwrap_or_else(|_| Response::error("", 500, "response channel lost"));
+                    push(
+                        FrameType::Response,
+                        "",
+                        rid,
+                        r.to_line().trim_end(),
+                        &mut seg,
+                        &mut scratch,
+                        &caps,
+                    );
+                }
+            }
+        }
+        if !seg.is_empty() && seg.write_out(&mut writer).is_err() {
+            break 'conn;
+        }
+        if fatal {
+            break 'conn;
+        }
+        match reader.fill_buf() {
+            Ok([]) => break 'conn, // clean close; a torn tail is dropped.
+            Ok(chunk) => {
+                let n = chunk.len();
+                acc.extend_from_slice(chunk);
+                reader.consume(n);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                // Serial handling means nothing is ever in flight here.
+                handler.on_idle_reap();
+                break 'conn;
+            }
+            Err(_) => break 'conn,
+        }
+    }
+    Ok(())
 }
 
 /// Handles one frame with panic containment: a panic anywhere in the
@@ -603,6 +1206,193 @@ mod tests {
         stop.store(true, Ordering::SeqCst);
         drop(writer);
         drop(reader);
+        if let Ok(s) = Arc::try_unwrap(server) {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn v2_handshake_negotiates_and_pipelines_out_of_order_safely() {
+        use crate::proto2::{Caps, Client, FrameType, Handshake};
+        let (server, addr, stop) = start_tcp(ServeConfig::default());
+        let stream = TcpStream::connect(addr).unwrap();
+        let want = Caps { compress: true, window: 8 };
+        let mut c = match Client::handshake(stream, Some(Duration::from_secs(10)), &want).unwrap()
+        {
+            Handshake::V2(c) => c,
+            Handshake::V1Peer => panic!("a v2 server must ack the hello"),
+        };
+        assert!(c.caps.compress, "compression negotiated on");
+        assert_eq!(c.caps.window, 8, "window clamped to the client ask");
+        // Pipeline several requests before reading anything.
+        for rid in 0..4u64 {
+            let body = proto::compile_line(
+                &format!("p{rid}"),
+                "hm1",
+                "yalll",
+                &format!("reg a = R0\nconst a, {rid}\nexit a\n"),
+            );
+            c.send(FrameType::Request, "t", rid, &body).unwrap();
+        }
+        let mut seen = std::collections::HashMap::new();
+        while seen.len() < 4 {
+            let f = c.recv().unwrap();
+            assert_eq!(f.ftype, FrameType::Response);
+            assert_eq!(f.cid, "t");
+            seen.insert(f.rid, f.body);
+        }
+        for rid in 0..4u64 {
+            let body = &seen[&rid];
+            assert_eq!(Response::field_num(body, "code"), Some(200), "rid {rid}: {body}");
+            assert_eq!(
+                Response::field_str(body, "id").as_deref(),
+                Some(format!("p{rid}").as_str()),
+                "responses matched by rid, not arrival order"
+            );
+        }
+        // A v1 client on the same server still gets line service.
+        let v1 = TcpStream::connect(addr).unwrap();
+        let mut w1 = v1.try_clone().unwrap();
+        let mut r1 = BufReader::new(v1);
+        w1.write_all(b"{\"op\":\"ping\"}\n").unwrap();
+        let mut line = String::new();
+        r1.read_line(&mut line).unwrap();
+        assert_eq!(Response::field_num(&line, "code"), Some(200));
+        // And stats counts the v2 traffic: 1 connection, 5 frames
+        // (hello + 4 requests).
+        line.clear();
+        w1.write_all(b"{\"op\":\"stats\"}\n").unwrap();
+        r1.read_line(&mut line).unwrap();
+        assert_eq!(Response::field_num(&line, "v2_connections"), Some(1), "{line}");
+        assert_eq!(Response::field_num(&line, "v2_frames"), Some(5), "{line}");
+        stop.store(true, Ordering::SeqCst);
+        drop(c);
+        drop(w1);
+        drop(r1);
+        if let Ok(s) = Arc::try_unwrap(server) {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn v2_replay_is_deduped_across_reconnects() {
+        use crate::proto2::{Caps, Client, Handshake};
+        let (server, addr, stop) = start_tcp(ServeConfig::default());
+        let want = Caps { compress: false, window: 4 };
+        let mut bodies = Vec::new();
+        for _ in 0..2 {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut c =
+                match Client::handshake(stream, Some(Duration::from_secs(10)), &want).unwrap() {
+                    Handshake::V2(c) => c,
+                    Handshake::V1Peer => panic!("v2 expected"),
+                };
+            let body = proto::compile_line("dup", "hm1", "yalll", "reg a = R0\nexit a\n");
+            bodies.push(c.call("replayer", 42, &body).unwrap());
+        }
+        assert_eq!(bodies[0], bodies[1], "the replay is byte-identical");
+        // The dedup window recorded exactly one execution.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut w = stream.try_clone().unwrap();
+        let mut r = BufReader::new(stream);
+        w.write_all(b"{\"op\":\"stats\"}\n").unwrap();
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert_eq!(Response::field_num(&line, "replayed"), Some(1), "{line}");
+        assert_eq!(Response::field_num(&line, "accepted"), Some(1), "{line}");
+        stop.store(true, Ordering::SeqCst);
+        drop(w);
+        drop(r);
+        if let Ok(s) = Arc::try_unwrap(server) {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn v2_corrupt_stream_gets_an_error_frame_and_close() {
+        use crate::proto2::{self, FrameType};
+        let (server, addr, stop) = start_tcp(ServeConfig::default());
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut w = stream.try_clone().unwrap();
+        // A frame whose checksum is wrong: flip one payload byte.
+        let mut bytes = Vec::new();
+        proto2::encode_frame(&mut bytes, FrameType::Request, "x", 1, "{\"op\":\"ping\"}", None);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        w.write_all(&bytes).unwrap();
+        w.flush().unwrap();
+        // The server answers with an error frame, then closes.
+        let mut r = BufReader::new(stream);
+        let mut acc = Vec::new();
+        let err = loop {
+            match read_frame_buf(&mut r, &mut acc, 1 << 20) {
+                Ok(FrameBufRead::Frame) | Ok(FrameBufRead::Eof) => break acc.clone(),
+                Ok(FrameBufRead::TimedOut) => continue,
+                other => panic!("unexpected read: {other:?}"),
+            }
+        };
+        let (f, _) = proto2::decode_frame(&err).expect("a well-formed error frame");
+        assert_eq!(f.ftype, FrameType::Error);
+        assert!(
+            f.body.contains("checksum") || f.body.contains("magic"),
+            "diagnostic names the fault: {}",
+            f.body
+        );
+        // Corruption is counted, and nothing was executed.
+        let s2 = TcpStream::connect(addr).unwrap();
+        let mut w2 = s2.try_clone().unwrap();
+        let mut r2 = BufReader::new(s2);
+        w2.write_all(b"{\"op\":\"stats\"}\n").unwrap();
+        let mut line = String::new();
+        r2.read_line(&mut line).unwrap();
+        assert_eq!(Response::field_num(&line, "corrupt_frames"), Some(1), "{line}");
+        assert_eq!(Response::field_num(&line, "accepted"), Some(0), "{line}");
+        stop.store(true, Ordering::SeqCst);
+        drop(w2);
+        drop(r2);
+        if let Ok(s) = Arc::try_unwrap(server) {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn v2_oversized_declaration_is_refused_from_the_header_alone() {
+        use crate::proto2::{self, FrameType};
+        let (server, addr, stop) = start_tcp(ServeConfig::default());
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut w = stream.try_clone().unwrap();
+        // Header declaring a 2 MiB payload; never send the payload.
+        let mut header = vec![proto2::MAGIC[0], proto2::MAGIC[1], proto2::VERSION, 3, 0];
+        proto2::write_varint(&mut header, 0);
+        proto2::write_varint(&mut header, 1);
+        proto2::write_varint(&mut header, 2 * 1024 * 1024);
+        proto2::write_varint(&mut header, 2 * 1024 * 1024);
+        w.write_all(&header).unwrap();
+        w.flush().unwrap();
+        let mut r = BufReader::new(stream);
+        let mut acc = Vec::new();
+        let err = loop {
+            match read_frame_buf(&mut r, &mut acc, 1 << 20) {
+                Ok(FrameBufRead::Frame) | Ok(FrameBufRead::Eof) => break acc.clone(),
+                Ok(FrameBufRead::TimedOut) => continue,
+                other => panic!("unexpected read: {other:?}"),
+            }
+        };
+        let (f, _) = proto2::decode_frame(&err).expect("a well-formed error frame");
+        assert_eq!(f.ftype, FrameType::Error);
+        assert!(f.body.contains("exceeds"), "names the cap: {}", f.body);
+        let s2 = TcpStream::connect(addr).unwrap();
+        let mut w2 = s2.try_clone().unwrap();
+        let mut r2 = BufReader::new(s2);
+        w2.write_all(b"{\"op\":\"stats\"}\n").unwrap();
+        let mut line = String::new();
+        r2.read_line(&mut line).unwrap();
+        assert_eq!(Response::field_num(&line, "oversized_frames"), Some(1), "{line}");
+        stop.store(true, Ordering::SeqCst);
+        drop(w2);
+        drop(r2);
         if let Ok(s) = Arc::try_unwrap(server) {
             s.shutdown();
         }

@@ -1,0 +1,244 @@
+//! Golden wire fixtures: the exact bytes of representative v2 frames,
+//! pinned as hex dumps under `tests/golden/wire/`.
+//!
+//! The codec battery (`tests/proto2_battery.rs`) proves encode∘decode
+//! identity for arbitrary frames; these fixtures pin the *layout* — a
+//! byte moved, a field reordered, or a changed varint encoding shows up
+//! as a diff against the committed dump even though identity still
+//! holds. That is what keeps an old client talking to a new server.
+//!
+//! To regenerate after an intentional layout change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_wire
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use mcc::serve::proto2::{
+    decode_frame, encode_frame, hello_body, hexdump, negotiate, Caps, FrameType,
+    COMPRESS_MIN_BYTES,
+};
+
+fn wire_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/wire")
+}
+
+fn update_requested() -> bool {
+    std::env::var("UPDATE_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn first_divergence(want: &str, got: &str) -> String {
+    for (i, (w, g)) in want.lines().zip(got.lines()).enumerate() {
+        if w != g {
+            return format!("line {}: expected `{w}`, got `{g}`", i + 1);
+        }
+    }
+    format!(
+        "line counts differ: expected {}, got {}",
+        want.lines().count(),
+        got.lines().count()
+    )
+}
+
+/// The pinned frames. Every entry is deterministic: fixed capability
+/// offers, fixed cid/rid, and bodies built from pure functions.
+fn fixtures() -> Vec<(&'static str, Vec<u8>)> {
+    let offer = Caps { compress: true, window: 16 };
+    let mut out = Vec::new();
+
+    let mut hello = Vec::new();
+    encode_frame(&mut hello, FrameType::Hello, "", 0, &hello_body(&offer), None);
+    out.push(("hello", hello));
+
+    let mut ack = Vec::new();
+    encode_frame(
+        &mut ack,
+        FrameType::HelloAck,
+        "",
+        0,
+        &hello_body(&negotiate(&offer)),
+        None,
+    );
+    out.push(("hello_ack", ack));
+
+    let body = mcc::serve::proto::compile_line(
+        "g1",
+        "hm1",
+        "yalll",
+        "reg a = R0\nconst a, 3\nexit a\n",
+    );
+    let mut request = Vec::new();
+    // Client::send strips the line terminator before framing; mirror it.
+    encode_frame(
+        &mut request,
+        FrameType::Request,
+        "golden",
+        7,
+        body.trim_end_matches('\n'),
+        None,
+    );
+    out.push(("request", request));
+
+    let mut response = Vec::new();
+    encode_frame(
+        &mut response,
+        FrameType::Response,
+        "golden",
+        7,
+        "{\"id\":\"g1\",\"code\":\"200\",\"tier\":\"0\",\"checksum\":\"00e570d682fa4ce1\"}",
+        None,
+    );
+    out.push(("response", response));
+
+    let mut error = Vec::new();
+    encode_frame(
+        &mut error,
+        FrameType::Error,
+        "",
+        0,
+        "{\"code\":\"400\",\"error\":\"declared frame length exceeds cap\"}",
+        None,
+    );
+    out.push(("error", error));
+
+    // A body long and repetitive enough that the threshold-gated
+    // compressor always keeps the compressed payload.
+    let padded = format!(
+        "{}; {}",
+        body.trim_end_matches('\n'),
+        "pad pad pad pad ".repeat(COMPRESS_MIN_BYTES / 16 + 1)
+    );
+    let mut compressed = Vec::new();
+    let squeezed = encode_frame(
+        &mut compressed,
+        FrameType::Request,
+        "golden",
+        8,
+        &padded,
+        Some(COMPRESS_MIN_BYTES),
+    );
+    assert!(squeezed, "the padded fixture body must take the compressed arm");
+    out.push(("compressed", compressed));
+
+    out
+}
+
+#[test]
+fn wire_frames_match_goldens() {
+    let update = update_requested();
+    let mut failures = Vec::new();
+
+    for (name, bytes) in fixtures() {
+        // Whatever we pin must itself decode: a fixture that the decoder
+        // refuses would freeze a broken layout into the suite.
+        let (frame, used) =
+            decode_frame(&bytes).unwrap_or_else(|e| panic!("{name}: fixture does not decode: {e:?}"));
+        assert_eq!(used, bytes.len(), "{name}: trailing bytes after the frame");
+        assert!(!frame.body.is_empty(), "{name}: every fixture carries a body");
+
+        let dump = hexdump(&bytes);
+        let path = wire_dir().join(format!("{name}.hex"));
+        if update {
+            fs::create_dir_all(path.parent().unwrap()).unwrap();
+            fs::write(&path, &dump).unwrap();
+            continue;
+        }
+        match fs::read_to_string(&path) {
+            Ok(want) if want == dump => {}
+            Ok(want) => failures.push(format!(
+                "{name}: frame bytes diverge from {} ({}); run UPDATE_GOLDEN=1 if intentional",
+                path.display(),
+                first_divergence(&want, &dump)
+            )),
+            Err(e) => failures.push(format!(
+                "{name}: cannot read {} ({e}); run UPDATE_GOLDEN=1 to create it",
+                path.display()
+            )),
+        }
+    }
+
+    assert!(
+        failures.is_empty(),
+        "wire golden failures:\n  {}",
+        failures.join("\n  ")
+    );
+}
+
+/// The committed dumps round-trip through the decoder: parse the hex
+/// back to bytes and decode. This catches a hand-edited fixture (or a
+/// decoder regression against pinned history) independently of the
+/// encoder path above.
+#[test]
+fn committed_wire_goldens_decode() {
+    let update = update_requested();
+    for (name, bytes) in fixtures() {
+        let path = wire_dir().join(format!("{name}.hex"));
+        let Ok(dump) = fs::read_to_string(&path) else {
+            assert!(
+                update,
+                "{}: missing; run UPDATE_GOLDEN=1 to create it",
+                path.display()
+            );
+            continue;
+        };
+        let parsed: Vec<u8> = dump
+            .split_whitespace()
+            .map(|h| {
+                u8::from_str_radix(h, 16)
+                    .unwrap_or_else(|e| panic!("{name}: bad hex byte `{h}`: {e}"))
+            })
+            .collect();
+        let (committed, used) = decode_frame(&parsed)
+            .unwrap_or_else(|e| panic!("{name}: committed fixture does not decode: {e:?}"));
+        assert_eq!(used, parsed.len(), "{name}: committed fixture has trailing bytes");
+
+        let (expected, _) = decode_frame(&bytes).unwrap();
+        assert_eq!(
+            committed, expected,
+            "{name}: committed fixture decodes to different content"
+        );
+    }
+}
+
+/// The wire fixture directory must not accumulate stale files.
+#[test]
+fn no_orphan_wire_goldens() {
+    let Ok(entries) = fs::read_dir(wire_dir()) else {
+        return;
+    };
+    let known: Vec<String> = fixtures()
+        .iter()
+        .map(|(name, _)| format!("{name}.hex"))
+        .collect();
+    for e in entries {
+        let name = e.unwrap().file_name().to_string_lossy().into_owned();
+        assert!(
+            known.contains(&name),
+            "tests/golden/wire/{name} does not match any pinned fixture"
+        );
+    }
+}
+
+/// Layout sanity pinned as plain assertions (readable without hex): the
+/// magic pair, the version byte, and the frame-type byte lead every
+/// fixture, and only the compressed fixture sets the compression flag.
+#[test]
+fn fixture_headers_carry_magic_version_type_flags() {
+    for (name, bytes) in fixtures() {
+        assert_eq!(&bytes[..2], &[0xB5, 0x32], "{name}: magic");
+        assert_eq!(bytes[2], 0x02, "{name}: version");
+        let expected_flags = u8::from(name == "compressed");
+        assert_eq!(bytes[4], expected_flags, "{name}: flags byte");
+        let frame = decode_frame(&bytes).unwrap().0;
+        let expected_type = match frame.ftype {
+            FrameType::Hello => 1,
+            FrameType::HelloAck => 2,
+            FrameType::Request => 3,
+            FrameType::Response => 4,
+            FrameType::Error => 5,
+        };
+        assert_eq!(bytes[3], expected_type, "{name}: type byte");
+    }
+}

@@ -1,0 +1,198 @@
+//! Property battery over the v2 binary wire codec (proptest).
+//!
+//! The invariants proven here are the ones the serving path leans on:
+//!
+//! - `decode_frame(encode_frame(f)) == f` for arbitrary frames, with and
+//!   without compression in play (encode keeps a compressed payload only
+//!   when it is strictly smaller, so identity must hold either way);
+//! - LEB128 varints round-trip for every `u64` and overlong images —
+//!   a terminal zero group after continuation bytes — are rejected;
+//! - the decoder never panics on arbitrary byte soup, whether or not it
+//!   starts with valid magic;
+//! - flipping any single byte of a valid frame is either rejected or
+//!   yields a content-identical frame (the trailing FNV-1a checksum
+//!   covers everything after the magic, so silent corruption cannot
+//!   produce a different accepted frame);
+//! - the mlz compressor round-trips arbitrary payloads through
+//!   `mlz_decompress` under an exact output budget.
+
+use proptest::prelude::*;
+
+use mcc::serve::proto2::{
+    decode_frame, encode_frame, frame_len, mlz_compress, mlz_decompress, read_varint,
+    write_varint, DecodeErr, Frame, FrameType, COMPRESS_MIN_BYTES, MAX_CID_BYTES,
+};
+
+fn ftype_strategy() -> BoxedStrategy<FrameType> {
+    prop_oneof![
+        Just(FrameType::Hello),
+        Just(FrameType::HelloAck),
+        Just(FrameType::Request),
+        Just(FrameType::Response),
+        Just(FrameType::Error),
+    ]
+    .boxed()
+}
+
+/// Arbitrary text from lossy-decoded random bytes. Lossy decoding maps
+/// each input byte to at most one char of up to three UTF-8 bytes, so a
+/// `max` of 64 keeps cids safely under [`MAX_CID_BYTES`].
+fn text(max: usize) -> BoxedStrategy<String> {
+    prop::collection::vec(any::<u8>(), 0..max)
+        .prop_map(|b| String::from_utf8_lossy(&b).into_owned())
+        .boxed()
+}
+
+/// A compressible body: a short random seed repeated enough times to
+/// clear the compression threshold, so `Some(..)` minimums really do
+/// exercise the compressed arm of the codec.
+fn repetitive_body() -> BoxedStrategy<String> {
+    (text(24), 1usize..80)
+        .prop_map(|(seed, n)| {
+            let unit = if seed.is_empty() { "pad ".to_string() } else { seed };
+            unit.repeat(n.max(COMPRESS_MIN_BYTES / unit.len().max(1) + 1))
+        })
+        .boxed()
+}
+
+fn compress_min_strategy() -> BoxedStrategy<Option<usize>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(0usize)),
+        Just(Some(COMPRESS_MIN_BYTES)),
+    ]
+    .boxed()
+}
+
+fn frame_strategy() -> BoxedStrategy<(FrameType, String, u64, String)> {
+    (ftype_strategy(), text(64), any::<u64>(), text(2048)).boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn varints_round_trip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, v);
+        prop_assert!(buf.len() <= 10);
+        let mut pos = 0;
+        let back = read_varint(&buf, &mut pos).expect("canonical image decodes");
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn overlong_varint_images_are_rejected(n in 1usize..10) {
+        // n continuation groups followed by a zero terminal group encode
+        // a value that fits in fewer bytes only when the terminal group
+        // is zero — the canonical decoder must refuse the overlong image.
+        let mut buf = vec![0x80u8; n];
+        buf.push(0x00);
+        let mut pos = 0;
+        prop_assert!(matches!(
+            read_varint(&buf, &mut pos),
+            Err(DecodeErr::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn frames_round_trip_under_every_compression_policy(
+        parts in frame_strategy(),
+        compress_min in compress_min_strategy(),
+    ) {
+        let (ftype, cid, rid, body) = parts;
+        assert!(cid.len() <= MAX_CID_BYTES, "text(64) stays under the cid cap");
+        let mut wire = Vec::new();
+        encode_frame(&mut wire, ftype, &cid, rid, &body, compress_min);
+        let total = frame_len(&wire)
+            .expect("valid frame")
+            .expect("complete frame");
+        prop_assert_eq!(total, wire.len());
+        let (frame, used) = decode_frame(&wire).expect("own frame decodes");
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(frame, Frame { ftype, cid, rid, body });
+    }
+
+    #[test]
+    fn compressed_frames_round_trip(
+        body in repetitive_body(),
+        cid in text(32),
+        rid in any::<u64>(),
+    ) {
+        let mut wire = Vec::new();
+        let squeezed =
+            encode_frame(&mut wire, FrameType::Request, &cid, rid, &body, Some(0));
+        // A body this repetitive must actually take the compressed arm.
+        prop_assert!(squeezed, "repetitive body should compress");
+        let (frame, _) = decode_frame(&wire).expect("compressed frame decodes");
+        prop_assert_eq!(frame.body, body);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_byte_soup(
+        soup in prop::collection::vec(any::<u8>(), 0..4096),
+        with_magic in any::<bool>(),
+    ) {
+        let mut bytes = soup;
+        if with_magic && bytes.len() >= 2 {
+            bytes[0] = 0xB5;
+            bytes[1] = 0x32;
+        }
+        // Both entry points must return, never panic, on arbitrary input.
+        let _ = frame_len(&bytes);
+        let _ = decode_frame(&bytes);
+    }
+
+    #[test]
+    fn single_byte_corruption_is_rejected_or_content_identical(
+        parts in frame_strategy(),
+        at_pick in any::<u64>(),
+        flip_pick in any::<u8>(),
+    ) {
+        let (ftype, cid, rid, body) = parts;
+        assert!(cid.len() <= MAX_CID_BYTES, "text(64) stays under the cid cap");
+        let mut wire = Vec::new();
+        encode_frame(&mut wire, ftype, &cid, rid, &body, None);
+        let original = Frame { ftype, cid, rid, body };
+        let mut hit = wire.clone();
+        let at = (at_pick as usize) % hit.len();
+        let flip = (flip_pick % 255) + 1; // non-zero xor: always a real change
+        hit[at] ^= flip;
+        match frame_len(&hit) {
+            // Structurally refused, or the mutated header now wants more
+            // bytes than exist — either way nothing wrong was accepted.
+            Err(_) | Ok(None) => {}
+            Ok(Some(total)) if total > hit.len() => {}
+            Ok(Some(_)) => match decode_frame(&hit) {
+                Err(_) => {}
+                Ok((frame, _)) => prop_assert_eq!(frame, original),
+            },
+        }
+    }
+
+    #[test]
+    fn mlz_round_trips_under_an_exact_budget(
+        payload in prop::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        let packed = mlz_compress(&payload);
+        let back = mlz_decompress(&packed, payload.len()).expect("round trip");
+        prop_assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn mlz_truncation_never_yields_the_original(
+        payload in prop::collection::vec(any::<u8>(), 64..2048),
+        cut in any::<u64>(),
+    ) {
+        let packed = mlz_compress(&payload);
+        assert!(packed.len() > 1, "a 64+ byte payload never packs to one byte");
+        let keep = 1 + (cut as usize) % (packed.len() - 1);
+        // Every strict prefix either errors or decodes to something
+        // shorter than the original — a truncated stream can never be
+        // mistaken for the full payload.
+        if let Ok(out) = mlz_decompress(&packed[..keep], payload.len()) {
+            prop_assert!(out.len() < payload.len());
+        }
+    }
+}
