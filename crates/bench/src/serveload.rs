@@ -21,6 +21,7 @@
 //! the parser.
 
 mod chaosnet;
+mod diurnal;
 mod proto_ab;
 mod soak;
 
@@ -83,6 +84,11 @@ pub struct LoadConfig {
     /// under a realistic link RTT instead of the loopback special case
     /// where a lockstep round trip is nearly free.
     pub net_delay_us: u64,
+    /// Diurnal QoS mode (`--diurnal`): a seeded day-curve of well-behaved
+    /// interactive tenants plus one flooding batch abuser, gating the WFQ
+    /// share, quota throttling, latency isolation, metrics shape, and
+    /// trace replay.
+    pub diurnal: bool,
 }
 
 /// Which wire protocol(s) a `--proto` run drives.
@@ -134,6 +140,7 @@ impl Default for LoadConfig {
             chaos_net: false,
             proto: None,
             net_delay_us: 0,
+            diurnal: false,
         }
     }
 }
@@ -202,6 +209,12 @@ struct Sample {
 ///
 /// Invariant violations and JSON-report I/O errors.
 pub fn run(cfg: &LoadConfig) -> Result<(), String> {
+    if cfg.diurnal {
+        if cfg.chaos_net || cfg.chaos_soak || cfg.backends > 0 || cfg.proto.is_some() {
+            return Err("--diurnal combines only with the default mode".to_string());
+        }
+        return diurnal::run(cfg);
+    }
     if cfg.chaos_net {
         return chaosnet::run(cfg);
     }

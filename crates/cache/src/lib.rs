@@ -640,8 +640,7 @@ mod tests {
         );
         assert!(canonical_key_prefix("no-such-machine", SourceLang::Yalll, &opts).is_none());
         // Different options produce a different prefix under the memo.
-        let mut tuned = CompilerOptions::default();
-        tuned.algorithm = Algorithm::Linear;
+        let tuned = CompilerOptions { algorithm: Algorithm::Linear, ..Default::default() };
         assert_ne!(
             canonical_key_prefix("hm1", SourceLang::Yalll, &opts),
             canonical_key_prefix("hm1", SourceLang::Yalll, &tuned)

@@ -40,12 +40,14 @@
 //!   every backend — strictly in that order, so no request is in flight
 //!   anywhere when the fleet goes down.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use mcc_harness::{Admit, Breaker, BreakerConfig};
+use mcc_serve::metrics::{merge_with_label, sanitize_label};
 use mcc_serve::proto::{
     self, frame_id, parse_request, CompileReq, Envelope, JoinReq, Request, Response,
 };
@@ -469,6 +471,7 @@ impl Router {
                 r.to_line()
             }
             Ok(Request::Stats) => self.stats_response(&frame_id(line)).to_line(),
+            Ok(Request::Metrics) => self.metrics_response(&frame_id(line)).to_line(),
             Ok(Request::Drain) => {
                 let inflight = self.drain();
                 let mut r = Response::new(&frame_id(line), 200);
@@ -715,13 +718,132 @@ impl Router {
                 s.probe_fail.load(Ordering::Relaxed),
             );
         }
+        let slots: Vec<Arc<Slot>> = m.slots.clone();
         drop(m);
         r.push_str(
             "draining",
             if self.is_draining() { "true" } else { "false" },
         );
+        // Per-tenant rollup: ask every live backend for its stats and
+        // sum the QoS served counters. Pre-QoS shards answer without
+        // the fields and simply drop out of the sum.
+        let mut tenants: BTreeMap<String, u64> = BTreeMap::new();
+        for s in &slots {
+            if !s.breaker.lock().unwrap().is_closed() {
+                continue;
+            }
+            if let Ok(reply) = s.transport().call("{\"op\":\"stats\"}\n", "route-stats") {
+                for (t, n) in tenant_served_from_stats(&reply) {
+                    *tenants.entry(t).or_insert(0) += n;
+                }
+            }
+        }
+        r.push_str(
+            "tenants",
+            &tenants
+                .keys()
+                .map(String::as_str)
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        for (t, n) in &tenants {
+            r.push_num(&format!("tenant_served_{t}"), *n);
+        }
         r
     }
+
+    /// Answers the wire `metrics` op: the merged exposition as a `text`
+    /// field, mirroring the shard-side response shape.
+    fn metrics_response(&self, id: &str) -> Response {
+        let mut r = Response::new(id, 200);
+        r.push_str("format", "prometheus-text");
+        r.push_str("text", &self.metrics_text());
+        r
+    }
+
+    /// Renders the router's own Prometheus exposition, then fans the
+    /// `metrics` op out to every live backend and folds each shard's
+    /// exposition in under a `shard="<name>"` label.
+    pub fn metrics_text(&self) -> String {
+        let c = &self.counters;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut out = String::new();
+        for (name, help, val) in [
+            ("mcc_route_routed_total", "Compile requests routed.", load(&c.routed)),
+            (
+                "mcc_route_failovers_total",
+                "Requests re-fired at a ring successor.",
+                load(&c.failovers),
+            ),
+            ("mcc_route_hedges_total", "Hedges fired.", load(&c.hedges)),
+            (
+                "mcc_route_no_backend_total",
+                "Requests with no live backend.",
+                load(&c.no_backend),
+            ),
+            (
+                "mcc_route_drain_rejects_total",
+                "Requests rejected while draining.",
+                load(&c.drain_rejects),
+            ),
+        ] {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {val}\n"
+            ));
+        }
+        let slots: Vec<Arc<Slot>> = self.membership.read().unwrap().slots.clone();
+        out.push_str(
+            "# HELP mcc_route_backend_up Breaker state per backend (1 = closed).\n# TYPE mcc_route_backend_up gauge\n",
+        );
+        for s in &slots {
+            let up = s.breaker.lock().unwrap().is_closed();
+            out.push_str(&format!(
+                "mcc_route_backend_up{{backend=\"{}\"}} {}\n",
+                sanitize_label(&s.name),
+                u8::from(up),
+            ));
+        }
+        out.push_str(
+            "# HELP mcc_route_backend_served_total Requests served per backend.\n# TYPE mcc_route_backend_served_total counter\n",
+        );
+        for s in &slots {
+            out.push_str(&format!(
+                "mcc_route_backend_served_total{{backend=\"{}\"}} {}\n",
+                sanitize_label(&s.name),
+                s.served.load(Ordering::Relaxed),
+            ));
+        }
+        for s in &slots {
+            if !s.breaker.lock().unwrap().is_closed() {
+                continue;
+            }
+            if let Ok(reply) = s.transport().call("{\"op\":\"metrics\"}\n", "route-metrics") {
+                if let Some(text) = Response::field_str(&reply, "text") {
+                    merge_with_label(&mut out, &text, "shard", &s.name);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Pulls the per-tenant served counters out of one backend's `stats`
+/// line. Peers predating the QoS fields lack them entirely: they
+/// contribute nothing, and that absence is not an error — the same
+/// back-compat rule as the four-field cache stats parse.
+pub fn tenant_served_from_stats(line: &str) -> Vec<(String, u64)> {
+    let Some(csv) = Response::field_str(line, "tenants") else {
+        return Vec::new();
+    };
+    csv.split(',')
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            (
+                t.to_string(),
+                Response::field_num(line, &format!("tenant_served_{t}")).unwrap_or(0),
+            )
+        })
+        .collect()
 }
 
 impl RouteCounters {

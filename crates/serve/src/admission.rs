@@ -21,10 +21,10 @@
 //! `mcc-compact` guarantees that — so shedding tiers trade packing
 //! quality and cache warmth for latency, never correctness.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The pressure tier for a given queue depth under a given bound, or
 /// `None` when the request must be shed.
@@ -87,6 +87,14 @@ pub struct ServeCounters {
     pub v2_frames: AtomicU64,
     /// Requests served at pressure tier 1 / 2 / 3.
     pub degraded: [AtomicU64; 3],
+    /// Requests shed `503` because their tenant's queued quota was full
+    /// (the WFQ refuses to let one tenant own the backlog).
+    pub quota_shed: AtomicU64,
+    /// Requests shed `503` at the class-scaled bound, by class
+    /// (interactive / batch / background) — background sheds first.
+    pub shed_by_class: [AtomicU64; 3],
+    /// Compile requests answered `200`, by class.
+    pub served_by_class: [AtomicU64; 3],
 }
 
 impl ServeCounters {
@@ -107,20 +115,61 @@ struct Bucket {
     last: Instant,
 }
 
+/// Default cap on distinct client buckets ([`RateLimiter::with_cap`]
+/// overrides it). Sized like the dedup window: enough for every live
+/// client of a busy shard, small enough that a churn attack tops out in
+/// the low megabytes.
+pub const RATE_BUCKET_CAP: usize = 4096;
+
+/// A bucket evicted this recently gets a second chance instead (it
+/// belongs to a live client; evicting it would hand the client a fresh
+/// burst allowance).
+const EVICT_IDLE_FLOOR: Duration = Duration::from_secs(1);
+
 /// Per-client token-bucket rate limiting: `rate` tokens per second,
 /// burst capacity of `2 × rate`. `None` disables limiting entirely.
+///
+/// The bucket map is capped (the §6i dedup-window idiom): client ids
+/// arrive off the wire, so an adversary churning fresh ids must not
+/// grow server memory without bound. Eviction is second-chance FIFO on
+/// insertion order — a candidate touched within [`EVICT_IDLE_FLOOR`]
+/// rotates to the back (bounded times per insert) instead of being
+/// dropped, so live clients keep their debt and only idle buckets fall
+/// out. Evictions are counted: a climbing `rate_buckets_evicted` under
+/// steady traffic is the signature of an id-churn attack.
 pub struct RateLimiter {
     rate: Option<u32>,
-    buckets: Mutex<HashMap<String, Bucket>>,
+    cap: usize,
+    evicted: AtomicU64,
+    /// Bucket map plus insertion-order queue; both behind one lock so
+    /// they can never disagree.
+    buckets: Mutex<(HashMap<String, Bucket>, VecDeque<String>)>,
 }
 
 impl RateLimiter {
     /// A limiter admitting `rate` requests/second per client id.
     pub fn new(rate: Option<u32>) -> RateLimiter {
+        RateLimiter::with_cap(rate, RATE_BUCKET_CAP)
+    }
+
+    /// A limiter with an explicit bucket cap (tests use tiny caps).
+    pub fn with_cap(rate: Option<u32>, cap: usize) -> RateLimiter {
         RateLimiter {
             rate,
-            buckets: Mutex::new(HashMap::new()),
+            cap: cap.max(1),
+            evicted: AtomicU64::new(0),
+            buckets: Mutex::new((HashMap::new(), VecDeque::new())),
         }
+    }
+
+    /// Buckets dropped by the cap so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Distinct clients currently tracked (test observability).
+    pub fn tracked(&self) -> usize {
+        self.buckets.lock().unwrap().0.len()
     }
 
     /// Takes one token for `client`; `false` means reject with `429`.
@@ -133,11 +182,19 @@ impl RateLimiter {
         }
         let burst = f64::from(rate) * 2.0;
         let now = Instant::now();
-        let mut buckets = self.buckets.lock().unwrap();
-        let b = buckets.entry(client.to_string()).or_insert(Bucket {
-            tokens: burst,
-            last: now,
-        });
+        let mut guard = self.buckets.lock().unwrap();
+        let (buckets, order) = &mut *guard;
+        if !buckets.contains_key(client) {
+            if buckets.len() >= self.cap {
+                self.evict(buckets, order, now);
+            }
+            buckets.insert(
+                client.to_string(),
+                Bucket { tokens: burst, last: now },
+            );
+            order.push_back(client.to_string());
+        }
+        let b = buckets.get_mut(client).expect("bucket just ensured");
         let elapsed = now.duration_since(b.last).as_secs_f64();
         b.tokens = (b.tokens + elapsed * f64::from(rate)).min(burst);
         b.last = now;
@@ -146,6 +203,39 @@ impl RateLimiter {
             true
         } else {
             false
+        }
+    }
+
+    /// Drops one bucket to make room: the oldest insertion whose client
+    /// has been idle past the floor. The rotation scan is bounded, so a
+    /// pathological all-live map still evicts in O(bound).
+    fn evict(&self, buckets: &mut HashMap<String, Bucket>, order: &mut VecDeque<String>, now: Instant) {
+        const MAX_ROTATIONS: usize = 8;
+        for _ in 0..MAX_ROTATIONS {
+            let Some(victim) = order.pop_front() else {
+                return;
+            };
+            // Stale slot: the bucket was already evicted under a later
+            // queue entry for the same id; skip without counting.
+            let Some(b) = buckets.get(&victim) else {
+                continue;
+            };
+            if now.duration_since(b.last) < EVICT_IDLE_FLOOR && order.len() >= MAX_ROTATIONS {
+                // Recently live: second chance.
+                order.push_back(victim);
+                continue;
+            }
+            buckets.remove(&victim);
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Everything scanned was live: evict the oldest anyway — the cap
+        // is a hard bound, fairness to one hot bucket is not.
+        while let Some(victim) = order.pop_front() {
+            if buckets.remove(&victim).is_some() {
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
         }
     }
 }
@@ -181,6 +271,43 @@ mod tests {
         for _ in 0..10_000 {
             assert!(rl.admit("c"));
         }
+    }
+
+    #[test]
+    fn bucket_map_is_capped_and_counts_evictions() {
+        let rl = RateLimiter::with_cap(Some(100), 8);
+        // Churn 1000 distinct client ids: memory must stay at the cap
+        // and the overflow must be counted, not leaked.
+        for i in 0..1000 {
+            assert!(rl.admit(&format!("churn-{i}")));
+        }
+        assert!(rl.tracked() <= 8, "tracked {} exceeds cap", rl.tracked());
+        assert_eq!(rl.evicted(), 1000 - rl.tracked() as u64);
+    }
+
+    #[test]
+    fn eviction_resets_a_returning_clients_bucket() {
+        // A client whose bucket is evicted and who then returns gets a
+        // fresh burst — the documented (and bounded) cost of the cap.
+        let rl = RateLimiter::with_cap(Some(1), 2);
+        assert!(rl.admit("victim"));
+        assert!(rl.admit("victim"));
+        assert!(!rl.admit("victim"), "burst of 2 exhausted");
+        for i in 0..10 {
+            rl.admit(&format!("churn-{i}"));
+        }
+        assert!(rl.evicted() > 0);
+        assert!(rl.admit("victim"), "returning client starts a fresh bucket");
+    }
+
+    #[test]
+    fn uncapped_clients_within_cap_are_never_evicted() {
+        let rl = RateLimiter::with_cap(Some(100), 64);
+        for i in 0..64 {
+            assert!(rl.admit(&format!("c{i}")));
+        }
+        assert_eq!(rl.evicted(), 0);
+        assert_eq!(rl.tracked(), 64);
     }
 
     #[test]

@@ -45,13 +45,17 @@ use mcc_harness::{BreakerBank, BreakerConfig, PoolHandle, TaskOutcome, WorkerPoo
 pub mod admission;
 pub mod buf;
 pub mod dedup;
+pub mod metrics;
 pub mod proto;
 pub mod proto2;
+pub mod qos;
 pub mod tcp;
+pub mod trace;
 
 pub use admission::{tier_for_depth, RateLimiter, ServeCounters};
 pub use dedup::{Claim, DedupWindow};
 pub use proto::{parse_request, CompileReq, Request, Response};
+pub use qos::{tier_for_class, Class, WfqQueue};
 
 /// Server tuning.
 #[derive(Debug, Clone)]
@@ -74,6 +78,16 @@ pub struct ServeConfig {
     /// Capacity of the idempotency window: how many `(client, request_id)`
     /// keys the server remembers for exactly-once retries.
     pub dedup_window: usize,
+    /// WFQ weight for tenants not named in [`ServeConfig::tenant_weights`].
+    pub default_weight: u32,
+    /// Per-tenant WFQ weight overrides (`(tenant, weight)`).
+    pub tenant_weights: Vec<(String, u32)>,
+    /// Maximum *queued* (admitted but not yet dispatched) requests one
+    /// tenant may hold; excess is shed `503`. `0` disables the quota.
+    pub tenant_quota: usize,
+    /// Per-request trace journal path (`None` = tracing off). The file
+    /// is truncated at start; records are FNV-sealed JSONL ([`trace`]).
+    pub trace_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +100,10 @@ impl Default for ServeConfig {
             breaker: BreakerConfig::default(),
             idle_timeout: Some(Duration::from_millis(30_000)),
             dedup_window: 4096,
+            default_weight: 1,
+            tenant_weights: Vec::new(),
+            tenant_quota: 0,
+            trace_path: None,
         }
     }
 }
@@ -130,6 +148,25 @@ struct Pending {
     tier: u8,
     deadline: Instant,
     responder: mpsc::Sender<Response>,
+    /// QoS accounting identity for the metrics/trace layer.
+    client: String,
+    tenant: String,
+    class: Class,
+    /// Intake timestamp: the latency histograms measure from here.
+    enqueued: Instant,
+}
+
+/// One compile job waiting in (or released from) the weighted-fair
+/// queue — exactly what the pool runs.
+type Job = mcc_harness::Task<CompileResult>;
+
+/// The fair-queueing stage between admission and the pool: queued jobs
+/// plus the count currently handed to workers. Jobs are released only
+/// while `dispatched < workers`, so the pool's FIFO channel never holds
+/// a backlog that could re-serialise the fair order.
+struct QosState {
+    wfq: WfqQueue<Job>,
+    dispatched: usize,
 }
 
 struct Inner {
@@ -161,6 +198,12 @@ struct Inner {
     /// slot, no pool round trip — which is what a pipelined wire peer
     /// needs for a whole burst to resolve in one scheduling quantum.
     responses: Mutex<HashMap<u128, RespConsts>>,
+    /// The weighted-fair queue between admission and the pool.
+    qos: Mutex<QosState>,
+    /// The per-tenant/class/tier metrics registry behind the `metrics` op.
+    metrics: metrics::QosMetrics,
+    /// The per-request trace journal (`--trace`), when configured.
+    trace: Option<Mutex<trace::TraceWriter>>,
     handle: PoolHandle<CompileResult>,
     started: Instant,
 }
@@ -256,10 +299,27 @@ impl Server {
     pub fn start(cfg: ServeConfig) -> Server {
         let pool: WorkerPool<CompileResult> = WorkerPool::new(cfg.workers);
         let handle = pool.handle();
+        let trace = cfg.trace_path.as_ref().and_then(|p| {
+            match trace::TraceWriter::create(p) {
+                Ok(w) => Some(Mutex::new(w)),
+                Err(e) => {
+                    // Tracing is observability: a bad path degrades it,
+                    // never the daemon.
+                    eprintln!("mcc serve: trace disabled ({}: {e})", p.display());
+                    None
+                }
+            }
+        });
         let inner = Arc::new(Inner {
             breakers: Mutex::new((BreakerBank::new(cfg.breaker), 0)),
             limiter: RateLimiter::new(cfg.rate_per_client),
             dedup: DedupWindow::new(cfg.dedup_window),
+            qos: Mutex::new(QosState {
+                wfq: WfqQueue::new(cfg.default_weight, &cfg.tenant_weights),
+                dispatched: 0,
+            }),
+            metrics: metrics::QosMetrics::default(),
+            trace,
             cfg,
             counters: ServeCounters::default(),
             inflight: AtomicUsize::new(0),
@@ -386,6 +446,11 @@ impl Server {
                 r.id = proto::frame_id(line);
                 Submitted::Done(r)
             }
+            Request::Metrics => {
+                let mut r = self.metrics_response();
+                r.id = proto::frame_id(line);
+                Submitted::Done(r)
+            }
             Request::Drain => {
                 self.begin_drain();
                 let mut r = Response::new(&proto::frame_id(line), 200);
@@ -412,13 +477,32 @@ impl Server {
     fn submit_compile(&self, req: CompileReq, client: &str) -> Submitted {
         let inner = &*self.inner;
         let counters = &inner.counters;
+        let arrived = Instant::now();
+        // QoS identity: the tenant defaults to the transport client id
+        // so bare peers keep working, the class to interactive so the
+        // pre-QoS shed thresholds apply unchanged.
+        let tenant = req.tenant.clone().unwrap_or_else(|| client.to_string());
+        let class = match Class::parse(req.class.as_deref()) {
+            Ok(c) => c,
+            Err(reason) => {
+                counters.bump(&counters.bad_requests);
+                observe(inner, client, &tenant, Class::Interactive, &req.id, 400, 0, 0);
+                return Submitted::Done(Response::error(&req.id, 400, &reason));
+            }
+        };
+        // Every early resolution flows through here so the metrics and
+        // trace layers see rejections, not just admissions.
+        let reject = |code: u16, reason: &str| {
+            observe(inner, client, &tenant, class, &req.id, code, 0, us_since(arrived));
+            Submitted::Done(Response::error(&req.id, code, reason))
+        };
         if inner.draining.load(Ordering::SeqCst) {
             counters.bump(&counters.drain_rejects);
-            return Submitted::Done(Response::error(&req.id, 503, "draining"));
+            return reject(503, "draining");
         }
         if !inner.limiter.admit(client) {
             counters.bump(&counters.rate_limited);
-            return Submitted::Done(Response::error(&req.id, 429, "rate limited"));
+            return reject(429, "rate limited");
         }
 
         // Validate names before spending a pool slot. `is_known` avoids
@@ -426,19 +510,11 @@ impl Server {
         // `compile_consts` below builds it once per (machine, options).
         if !mcc_machine::machines::is_known(&req.machine) {
             counters.bump(&counters.bad_requests);
-            return Submitted::Done(Response::error(
-                &req.id,
-                400,
-                &format!("unknown machine `{}`", req.machine),
-            ));
+            return reject(400, &format!("unknown machine `{}`", req.machine));
         }
         let Some(lang) = SourceLang::from_name(&req.lang) else {
             counters.bump(&counters.bad_requests);
-            return Submitted::Done(Response::error(
-                &req.id,
-                400,
-                &format!("unknown language `{}`", req.lang),
-            ));
+            return reject(400, &format!("unknown language `{}`", req.lang));
         };
         let mut opts = CompilerOptions::default();
         if let Some(name) = &req.algo {
@@ -446,11 +522,7 @@ impl Server {
                 Some(a) => opts.algorithm = a,
                 None => {
                     counters.bump(&counters.bad_requests);
-                    return Submitted::Done(Response::error(
-                        &req.id,
-                        400,
-                        &format!("unknown algorithm `{name}`"),
-                    ));
+                    return reject(400, &format!("unknown algorithm `{name}`"));
                 }
             }
         }
@@ -462,11 +534,7 @@ impl Server {
             let now = b.1;
             if b.0.admit(&req.machine, now) == mcc_harness::Admit::Reject {
                 counters.bump(&counters.breaker_rejects);
-                return Submitted::Done(Response::error(
-                    &req.id,
-                    503,
-                    &format!("breaker open for machine `{}`", req.machine),
-                ));
+                return reject(503, &format!("breaker open for machine `{}`", req.machine));
             }
         }
 
@@ -477,9 +545,11 @@ impl Server {
         // rate limit, validation, breaker) has already been applied;
         // the breaker clock and the counters tick exactly as a pooled
         // resolution would. A full queue still sheds everything.
-        if let Some(tier) =
-            tier_for_depth(inner.inflight.load(Ordering::SeqCst), inner.cfg.queue_bound)
-        {
+        if let Some(tier) = tier_for_class(
+            inner.inflight.load(Ordering::SeqCst),
+            inner.cfg.queue_bound,
+            class,
+        ) {
             let t_opts = options_for_tier(opts.clone(), tier);
             let (_, prefix) = inner.compile_consts(&req.machine, lang, &t_opts);
             let key = mcc_cache::key_from_prefix(prefix, &req.src);
@@ -495,6 +565,7 @@ impl Server {
                     }
                     counters.bump(&counters.completed);
                     breaker_result(inner, &req.machine, true);
+                    observe(inner, client, &tenant, class, &req.id, 200, tier, us_since(arrived));
                     let mut r = Response::new(&req.id, 200);
                     r.push_num("instrs", rc.instrs as u64);
                     r.push_num("ops", rc.ops as u64);
@@ -508,13 +579,25 @@ impl Server {
             }
         }
 
+        // Per-tenant quota: one tenant may not own the whole backlog,
+        // no matter how far under the global bound it is.
+        if inner.cfg.tenant_quota > 0
+            && inner.qos.lock().unwrap().wfq.queued_of(&tenant) >= inner.cfg.tenant_quota
+        {
+            counters.bump(&counters.quota_shed);
+            return reject(503, "tenant quota exceeded");
+        }
+
         // The bounded queue: reserve a slot or shed. compare_exchange so
-        // concurrent submitters can never overshoot the bound.
+        // concurrent submitters can never overshoot the bound. The
+        // effective bound is class-scaled: background sheds first,
+        // interactive last.
         let tier = loop {
             let depth = inner.inflight.load(Ordering::SeqCst);
-            let Some(tier) = tier_for_depth(depth, inner.cfg.queue_bound) else {
+            let Some(tier) = tier_for_class(depth, inner.cfg.queue_bound, class) else {
                 counters.bump(&counters.shed);
-                return Submitted::Done(Response::error(&req.id, 503, "queue full: shed"));
+                counters.bump(&counters.shed_by_class[class.idx()]);
+                return reject(503, "queue full: shed");
             };
             if inner
                 .inflight
@@ -551,28 +634,39 @@ impl Server {
                 tier,
                 deadline: Instant::now() + deadline,
                 responder: tx,
+                client: client.to_string(),
+                tenant: tenant.clone(),
+                class,
+                enqueued: arrived,
             },
         );
         let (compiler, prefix) = inner.compile_consts(&req.machine, lang, &opts);
         let src = req.src;
-        inner.handle.submit(
-            token,
-            Box::new(move || {
-                let key = mcc_cache::key_from_prefix(prefix, &src);
-                match mcc_cache::compile_cached_keyed(key, &compiler, lang, &src, persist) {
-                    Ok(art) => Ok(CompileOk {
-                        instrs: art.stats.micro_instrs,
-                        ops: art.stats.micro_ops,
-                        spills: art.stats.spills,
-                        algorithm: art.stats.algorithm_used.clone(),
-                        cached: art.stats.cached,
-                        checksum: artifact_checksum(&art),
-                        key: key.0,
-                    }),
-                    Err(e) => Err(e.to_string()),
-                }
-            }),
-        );
+        let job: Job = Box::new(move || {
+            let key = mcc_cache::key_from_prefix(prefix, &src);
+            match mcc_cache::compile_cached_keyed(key, &compiler, lang, &src, persist) {
+                Ok(art) => Ok(CompileOk {
+                    instrs: art.stats.micro_instrs,
+                    ops: art.stats.micro_ops,
+                    spills: art.stats.spills,
+                    algorithm: art.stats.algorithm_used.clone(),
+                    cached: art.stats.cached,
+                    checksum: artifact_checksum(&art),
+                    key: key.0,
+                }),
+                Err(e) => Err(e.to_string()),
+            }
+        });
+        // Into the weighted-fair queue, not straight to the pool: the
+        // dispatcher releases jobs one free worker at a time in virtual-
+        // finish order, so a flooding tenant waits its turn.
+        inner
+            .qos
+            .lock()
+            .unwrap()
+            .wfq
+            .push(&tenant, class, token, job);
+        dispatch_ready(inner);
         Submitted::Pending(rx)
     }
 
@@ -605,6 +699,27 @@ impl Server {
         r.push_num("degraded_t1", load(&c.degraded[0]));
         r.push_num("degraded_t2", load(&c.degraded[1]));
         r.push_num("degraded_t3", load(&c.degraded[2]));
+        // QoS fields (absent from pre-WFQ servers; aggregating peers
+        // must treat them as 0 when missing — see the route crate's
+        // cross-version parse test).
+        r.push_num("rate_buckets_evicted", inner.limiter.evicted());
+        r.push_num("quota_shed", load(&c.quota_shed));
+        r.push_num("wfq_depth", inner.qos.lock().unwrap().wfq.len() as u64);
+        for class in Class::ALL {
+            r.push_num(&format!("shed_{}", class.name()), load(&c.shed_by_class[class.idx()]));
+            r.push_num(
+                &format!("class_served_{}", class.name()),
+                load(&c.served_by_class[class.idx()]),
+            );
+        }
+        let by_tenant = inner.metrics.served_by_tenant();
+        r.push_str(
+            "tenants",
+            &by_tenant.iter().map(|(t, _)| t.as_str()).collect::<Vec<_>>().join(","),
+        );
+        for (t, n) in &by_tenant {
+            r.push_num(&format!("tenant_served_{t}"), *n);
+        }
         let breakers = inner.breakers.lock().unwrap();
         r.push_num("breaker_trips", breakers.0.trips());
         r.push_str("breakers_open", &breakers.0.degraded_keys().join(","));
@@ -622,6 +737,80 @@ impl Server {
             if inner.draining.load(Ordering::SeqCst) { "true" } else { "false" },
         );
         r
+    }
+
+    /// Renders the `metrics` response: the full Prometheus text
+    /// exposition in the `text` field (JSON-escaped; clients unescape
+    /// via [`Response::field_str`]).
+    fn metrics_response(&self) -> Response {
+        let mut r = Response::new("", 200);
+        r.push_str("format", "prometheus-text");
+        r.push_str("text", &self.metrics_text());
+        r
+    }
+
+    /// The raw Prometheus text exposition for this server.
+    pub fn metrics_text(&self) -> String {
+        let inner = &*self.inner;
+        let c = &inner.counters;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let gauge = |name: &str, help: &str, v: u64| {
+            (name.to_string(), help.to_string(), "gauge", String::new(), v)
+        };
+        let counter = |name: &str, help: &str, v: u64| {
+            (name.to_string(), help.to_string(), "counter", String::new(), v)
+        };
+        let cache = mcc_cache::global().counters();
+        let extra = vec![
+            gauge(
+                "mcc_serve_queue_depth",
+                "Admitted-but-unresolved compile requests.",
+                inner.inflight.load(Ordering::SeqCst) as u64,
+            ),
+            gauge(
+                "mcc_serve_wfq_depth",
+                "Admitted requests still queued in the weighted-fair queue.",
+                inner.qos.lock().unwrap().wfq.len() as u64,
+            ),
+            gauge(
+                "mcc_serve_draining",
+                "1 while the server is draining.",
+                u64::from(inner.draining.load(Ordering::SeqCst)),
+            ),
+            gauge(
+                "mcc_serve_uptime_ms",
+                "Milliseconds since the server started.",
+                inner.started.elapsed().as_millis() as u64,
+            ),
+            counter("mcc_serve_accepted_total", "Compile requests admitted.", load(&c.accepted)),
+            counter("mcc_serve_completed_total", "Admitted requests answered 200.", load(&c.completed)),
+            counter("mcc_serve_shed_total", "Requests shed 503 at the class bound.", load(&c.shed)),
+            counter(
+                "mcc_serve_quota_shed_total",
+                "Requests shed 503 by their tenant's queued quota.",
+                load(&c.quota_shed),
+            ),
+            counter("mcc_serve_rate_limited_total", "Requests rejected 429.", load(&c.rate_limited)),
+            counter(
+                "mcc_serve_breaker_rejects_total",
+                "Requests rejected 503 by an open breaker.",
+                load(&c.breaker_rejects),
+            ),
+            counter(
+                "mcc_serve_deadline_expired_total",
+                "Admitted requests answered 504.",
+                load(&c.deadline_expired),
+            ),
+            counter("mcc_serve_panics_total", "Contained pipeline panics.", load(&c.panics)),
+            counter(
+                "mcc_serve_rate_buckets_evicted_total",
+                "Per-client rate buckets evicted by the cap.",
+                inner.limiter.evicted(),
+            ),
+            counter("mcc_serve_cache_hits_total", "Compile cache hits.", cache.hits()),
+            counter("mcc_serve_cache_misses_total", "Compile cache misses.", cache.misses),
+        ];
+        inner.metrics.render(&extra)
     }
 
     /// Current counters (for the in-process bench and tests).
@@ -693,8 +882,15 @@ fn supervise(inner: Arc<Inner>, mut pool: WorkerPool<CompileResult>) {
     loop {
         match pool.recv_timeout(SUPERVISOR_TICK) {
             Ok((token, outcome)) => {
+                // Whatever the outcome, a worker slot just freed: the
+                // dispatcher may release the next fair-queue head.
+                {
+                    let mut q = inner.qos.lock().unwrap();
+                    q.dispatched = q.dispatched.saturating_sub(1);
+                }
                 let Some(p) = inner.pending.lock().unwrap().remove(&token) else {
                     // Already condemned and answered 504.
+                    dispatch_ready(&inner);
                     continue;
                 };
                 let response = match outcome {
@@ -735,18 +931,31 @@ fn supervise(inner: Arc<Inner>, mut pool: WorkerPool<CompileResult>) {
                         Response::error(&p.id, 500, &format!("panic contained: {text}"))
                     }
                 };
+                observe(
+                    &inner,
+                    &p.client,
+                    &p.tenant,
+                    p.class,
+                    &p.id,
+                    response.code,
+                    p.tier,
+                    us_since(p.enqueued),
+                );
                 // Decrement before sending: a client that reacts to its
                 // response must observe the freed queue slot.
                 inner.inflight.fetch_sub(1, Ordering::SeqCst);
                 maybe_clear_pressure(&inner);
+                dispatch_ready(&inner);
                 let _ = p.responder.send(response);
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {}
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
         }
 
-        // Deadline scan: condemn overdue attempts and answer 504 now —
-        // the replacement worker keeps the pool at capacity.
+        // Deadline scan: condemn overdue attempts and answer 504 now.
+        // A still-queued job is simply unqueued; a dispatched one is
+        // condemned in the pool, where the replacement worker keeps the
+        // pool at capacity.
         let now = Instant::now();
         let overdue: Vec<u64> = inner
             .pending
@@ -760,11 +969,27 @@ fn supervise(inner: Arc<Inner>, mut pool: WorkerPool<CompileResult>) {
             let Some(p) = inner.pending.lock().unwrap().remove(&token) else {
                 continue;
             };
-            pool.condemn(token);
+            let was_queued = inner.qos.lock().unwrap().wfq.remove(token).is_some();
+            if !was_queued {
+                pool.condemn(token);
+                let mut q = inner.qos.lock().unwrap();
+                q.dispatched = q.dispatched.saturating_sub(1);
+            }
             counters.bump(&counters.deadline_expired);
             breaker_result(&inner, &p.machine, false);
+            observe(
+                &inner,
+                &p.client,
+                &p.tenant,
+                p.class,
+                &p.id,
+                504,
+                p.tier,
+                us_since(p.enqueued),
+            );
             inner.inflight.fetch_sub(1, Ordering::SeqCst);
             maybe_clear_pressure(&inner);
+            dispatch_ready(&inner);
             let _ = p.responder.send(Response::error(&p.id, 504, "deadline expired"));
         }
 
@@ -773,6 +998,58 @@ fn supervise(inner: Arc<Inner>, mut pool: WorkerPool<CompileResult>) {
         }
     }
     pool.shutdown();
+}
+
+/// Microseconds since `start`, saturating into the histogram domain.
+fn us_since(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Releases fair-queue heads to the pool while worker slots are free.
+/// Jobs are handed over in virtual-finish order, at most `workers` at a
+/// time, so the pool's FIFO channel never re-serialises the fair order.
+fn dispatch_ready(inner: &Inner) {
+    let mut q = inner.qos.lock().unwrap();
+    let slots = inner.cfg.workers.max(1);
+    while q.dispatched < slots {
+        let Some((token, job)) = q.wfq.pop() else {
+            break;
+        };
+        q.dispatched += 1;
+        inner.handle.submit(token, job);
+    }
+}
+
+/// Records one resolved request in the per-class counters, the metrics
+/// registry, and (when configured) the trace journal.
+#[allow(clippy::too_many_arguments)]
+fn observe(
+    inner: &Inner,
+    client: &str,
+    tenant: &str,
+    class: Class,
+    id: &str,
+    code: u16,
+    tier: u8,
+    us: u64,
+) {
+    if code == 200 {
+        inner.counters.bump(&inner.counters.served_by_class[class.idx()]);
+        inner.metrics.record_tier(class, tier);
+    }
+    inner.metrics.record(tenant, class, code, Some(us));
+    if let Some(tw) = &inner.trace {
+        tw.lock().unwrap().record(&trace::TraceRecord {
+            seq: 0, // stamped by the writer
+            client: client.to_string(),
+            tenant: tenant.to_string(),
+            class,
+            id: id.to_string(),
+            code,
+            tier,
+            us,
+        });
+    }
 }
 
 /// Advances breaker logical time and records one request's outcome.

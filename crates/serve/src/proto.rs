@@ -8,13 +8,17 @@
 //! {"op":"compile","id":"r1","machine":"hm1","lang":"yalll","src":"..."}
 //! {"op":"ping"}
 //! {"op":"stats"}
+//! {"op":"metrics"}
 //! {"op":"drain"}
 //! {"op":"join","name":"b2","addr":"127.0.0.1:7102"}
 //! {"op":"leave","name":"b2"}
 //! ```
 //!
-//! `compile` accepts optional `"algo"` (the CLI's algorithm names) and
-//! `"deadline_ms"` fields. Every op accepts an optional `"id"`, echoed
+//! `compile` accepts optional `"algo"` (the CLI's algorithm names),
+//! `"deadline_ms"`, `"tenant"` (QoS accounting identity; defaults to
+//! the transport client id so bare peers keep working), and `"class"`
+//! (`interactive` | `batch` | `background`, default `interactive`)
+//! fields. Every op accepts an optional `"id"`, echoed
 //! verbatim in the response so clients can pipeline. Responses carry an
 //! HTTP-flavoured `code`:
 //!
@@ -137,6 +141,8 @@ pub enum Request {
     Ping,
     /// Server counters snapshot.
     Stats,
+    /// Prometheus text exposition (per-tenant/class/tier series).
+    Metrics,
     /// Begin graceful drain.
     Drain,
     /// Router admin: add (or re-point) a backend on the live ring.
@@ -165,6 +171,11 @@ pub struct CompileReq {
     pub algo: Option<String>,
     /// Optional per-request deadline override.
     pub deadline_ms: Option<u64>,
+    /// Optional QoS tenant id (defaults to the transport client id).
+    pub tenant: Option<String>,
+    /// Optional priority class name (default `interactive`); validated
+    /// at admission so an unknown class is a structured `400`.
+    pub class: Option<String>,
 }
 
 /// The payload of a `join` request.
@@ -251,6 +262,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     match op.as_str() {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "drain" => Ok(Request::Drain),
         "join" => Ok(Request::Join(JoinReq {
             id: get_str(&m, "id").unwrap_or_default(),
@@ -268,6 +280,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 src: get_str(&m, "src").ok_or("compile: missing `src`")?,
                 algo: get_str(&m, "algo"),
                 deadline_ms: get_num(&m, "deadline_ms"),
+                tenant: get_str(&m, "tenant"),
+                class: get_str(&m, "class"),
             };
             Ok(Request::Compile(req))
         }
@@ -293,6 +307,34 @@ pub fn compile_line(id: &str, machine: &str, lang: &str, src: &str) -> String {
         esc(lang),
         esc(src)
     )
+}
+
+/// Renders a compile request carrying QoS identity — the encoder the
+/// diurnal load generator and the QoS tests use. Omitted (`None`)
+/// fields are left off the wire entirely, so old servers parse the
+/// line unchanged.
+pub fn compile_line_qos(
+    id: &str,
+    machine: &str,
+    lang: &str,
+    src: &str,
+    tenant: Option<&str>,
+    class: Option<&str>,
+) -> String {
+    let mut line = format!(
+        "{{\"op\":\"compile\",\"id\":\"{}\",\"machine\":\"{}\",\"lang\":\"{}\"",
+        esc(id),
+        esc(machine),
+        esc(lang),
+    );
+    if let Some(t) = tenant {
+        line.push_str(&format!(",\"tenant\":\"{}\"", esc(t)));
+    }
+    if let Some(c) = class {
+        line.push_str(&format!(",\"class\":\"{}\"", esc(c)));
+    }
+    line.push_str(&format!(",\"src\":\"{}\"}}\n", esc(src)));
+    line
 }
 
 /// Renders a `join` admin frame — the client-side encoder used by the
@@ -339,7 +381,35 @@ mod tests {
     fn control_requests_parse() {
         assert_eq!(parse_request("{\"op\":\"ping\"}").unwrap(), Request::Ping);
         assert_eq!(parse_request("{\"op\":\"stats\"}\n").unwrap(), Request::Stats);
+        assert_eq!(parse_request("{\"op\":\"metrics\"}").unwrap(), Request::Metrics);
         assert_eq!(parse_request("{\"op\":\"drain\"}").unwrap(), Request::Drain);
+    }
+
+    #[test]
+    fn qos_fields_round_trip_and_stay_optional() {
+        let line = compile_line_qos("q1", "hm1", "yalll", "exit\n", Some("acme"), Some("batch"));
+        match parse_request(&line).unwrap() {
+            Request::Compile(c) => {
+                assert_eq!(c.tenant.as_deref(), Some("acme"));
+                assert_eq!(c.class.as_deref(), Some("batch"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Bare encoders leave the fields off the wire entirely.
+        let bare = compile_line_qos("q2", "hm1", "yalll", "exit\n", None, None);
+        assert!(!bare.contains("tenant") && !bare.contains("class"));
+        match parse_request(&bare).unwrap() {
+            Request::Compile(c) => {
+                assert_eq!(c.tenant, None);
+                assert_eq!(c.class, None);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // And the legacy encoder still parses identically.
+        match parse_request(&compile_line("q3", "hm1", "yalll", "exit\n")).unwrap() {
+            Request::Compile(c) => assert_eq!(c.tenant, None),
+            other => panic!("wrong parse: {other:?}"),
+        }
     }
 
     #[test]

@@ -97,11 +97,21 @@ serve options:
                                (default: unlimited)
       --idle-timeout-ms <n>    reap connections idle this long
                                (default 30000; 0 = never)
+      --tenant-weight <t=w>    WFQ weight for tenant t (repeatable;
+                               unnamed tenants get weight 1)
+      --tenant-quota <n>       max queued requests per tenant; excess is
+                               shed 503 (default 0 = off)
+      --trace <file>           per-request trace journal: FNV-sealed
+                               JSONL, one record per resolved request
 
   The daemon speaks newline-delimited JSON: {{\"op\":\"compile\",...}},
-  {{\"op\":\"ping\"}}, {{\"op\":\"stats\"}}, {{\"op\":\"drain\"}}. SIGTERM,
-  SIGINT, or a drain frame stop admission, finish the in-flight
-  requests, flush the cache journal, and exit 0.
+  {{\"op\":\"ping\"}}, {{\"op\":\"stats\"}}, {{\"op\":\"metrics\"}},
+  {{\"op\":\"drain\"}}. Compiles may carry \"tenant\" and \"class\"
+  (interactive|batch|background); bare frames default to the client id
+  at interactive. Intake is weighted-fair across tenants; `metrics`
+  answers a Prometheus text exposition. SIGTERM, SIGINT, or a drain
+  frame stop admission, finish the in-flight requests, flush the cache
+  journal, and exit 0.
 
 route options:
       --backend <[name=]addr>  one serve backend (repeat per shard; required)
@@ -177,6 +187,14 @@ bench-serve options:
                                series into one JSON report. Combined with
                                --chaos-net it picks the wire the fault battery
                                runs on (`both` = two full passes)
+      --diurnal                per-tenant QoS mode: a saturated WFQ share
+                               check (four weighted tenants vs one abuser),
+                               then a seeded day curve of interactive
+                               tenants against a quota-throttled batch
+                               flood; gates the abuser's analytic share,
+                               well-behaved p99, zero drops, the metrics
+                               exposition shape, and trace replay after a
+                               torn tail
       --net-delay-us <n>       A/B emulated WAN: relay every client byte burst
                                through an in-process proxy adding n µs each
                                way (netem-style constant delay; default 0 =
@@ -259,6 +277,10 @@ struct Args {
     resume: bool,
     chaos: bool,
     no_cache: bool,
+    diurnal: bool,
+    trace: Option<String>,
+    tenant_weight: Vec<String>,
+    tenant_quota: Option<usize>,
     positional: Vec<String>,
 }
 
@@ -339,6 +361,10 @@ fn parse_args() -> Option<Args> {
         resume: false,
         chaos: false,
         no_cache: false,
+        diurnal: false,
+        trace: None,
+        tenant_weight: Vec::new(),
+        tenant_quota: None,
         positional: Vec::new(),
     };
     while let Some(arg) = it.next() {
@@ -393,6 +419,10 @@ fn parse_args() -> Option<Args> {
             "--resume" => a.resume = true,
             "--chaos" => a.chaos = true,
             "--no-cache" => a.no_cache = true,
+            "--diurnal" => a.diurnal = true,
+            "--trace" => a.trace = Some(it.next()?),
+            "--tenant-weight" => a.tenant_weight.push(it.next()?),
+            "--tenant-quota" => a.tenant_quota = Some(numeric("--tenant-quota", it.next())?),
             _ => a.positional.push(arg),
         }
     }
@@ -711,12 +741,25 @@ fn serve_command(args: &Args) -> Result<(), String> {
     use std::sync::atomic::AtomicBool;
     use std::sync::Arc;
 
+    let mut tenant_weights = Vec::new();
+    for spec in &args.tenant_weight {
+        let parsed = spec
+            .split_once('=')
+            .and_then(|(name, w)| w.parse::<u32>().ok().map(|w| (name.to_string(), w)));
+        match parsed {
+            Some(tw) => tenant_weights.push(tw),
+            None => return Err(format!("serve: --tenant-weight expects name=weight, got `{spec}`")),
+        }
+    }
     let cfg = mcc::serve::ServeConfig {
         workers: positive_jobs("serve: --jobs", args.jobs, 4),
         queue_bound: positive_jobs("serve: --queue-bound", args.queue_bound, 64),
         deadline: std::time::Duration::from_millis(args.deadline_ms.unwrap_or(10_000)),
         rate_per_client: args.rate,
         idle_timeout: idle_timeout(args),
+        tenant_weights,
+        tenant_quota: args.tenant_quota.unwrap_or(0),
+        trace_path: args.trace.as_ref().map(std::path::PathBuf::from),
         ..mcc::serve::ServeConfig::default()
     };
     let port = args.port.unwrap_or(7077);
@@ -900,6 +943,7 @@ fn bench_serve_command(args: &Args) -> Result<(), String> {
         bursts: args.bursts.unwrap_or(4),
         proto,
         net_delay_us: args.net_delay_us.unwrap_or(0),
+        diurnal: args.diurnal,
     };
     mcc::bench::serveload::run(&cfg)
 }

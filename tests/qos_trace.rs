@@ -1,0 +1,154 @@
+//! QoS observability, end to end: the `--trace` journal's torn-tail
+//! replay discipline against a live server, the per-tenant stats
+//! aggregation through a router (including the cross-version parse of a
+//! pre-QoS peer's stats line), and the merged Prometheus exposition.
+
+use std::sync::Arc;
+
+use mcc::route::{tenant_served_from_stats, Backend, InProcBackend, RouteConfig, Router};
+use mcc::serve::proto::{compile_line_qos, Response};
+use mcc::serve::{metrics, trace, ServeConfig, Server};
+
+/// A YALLL kernel that always compiles; the nonce comment keeps each
+/// request's cache key distinct so every request really executes.
+fn src(nonce: usize) -> String {
+    format!("reg a = R0\nstart: add a, a, 1\n exit\n; nonce {nonce}\n")
+}
+
+#[test]
+fn trace_journal_replays_exactly_and_survives_a_torn_tail() {
+    let dir = std::env::temp_dir().join(format!("mcc-qos-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        trace_path: Some(path.clone()),
+        ..ServeConfig::default()
+    });
+    for k in 0..10 {
+        let line = compile_line_qos(
+            &format!("r{k}"),
+            "hm1",
+            "yalll",
+            &src(k),
+            Some(if k % 2 == 0 { "acme" } else { "blue" }),
+            Some(if k % 3 == 0 { "batch" } else { "interactive" }),
+        );
+        let r = server.handle_line(&line, "client-a");
+        assert_eq!(r.code, 200, "{}", r.to_line());
+    }
+    // A malformed class is rejected 400 — and still traced.
+    let bad = compile_line_qos("rbad", "hm1", "yalll", &src(99), Some("acme"), Some("warp"));
+    assert_eq!(server.handle_line(&bad, "client-a").code, 400);
+    server.drain();
+    drop(server);
+
+    let (records, torn) = trace::replay(&path).expect("trace replays");
+    assert!(!torn, "clean shutdown must not read as torn");
+    assert_eq!(records.len(), 11, "one sealed record per resolved request");
+    assert_eq!(records[0].tenant, "acme");
+    assert_eq!(records[0].seq, 1);
+    assert!(records.iter().any(|r| r.code == 400), "the reject is traced too");
+    assert!(
+        records.windows(2).all(|w| w[0].seq + 1 == w[1].seq),
+        "sequence numbers are dense"
+    );
+
+    // Tear the tail mid-record: the durable prefix must replay unchanged.
+    let mut raw = std::fs::read(&path).unwrap();
+    raw.extend_from_slice(b"{\"seq\":12,\"client\":\"client-a\",\"tena");
+    std::fs::write(&path, &raw).unwrap();
+    let (after, torn) = trace::replay(&path).expect("torn trace still replays");
+    assert!(torn, "the torn tail must be detected");
+    assert_eq!(after.len(), 11, "the prefix survives");
+    assert_eq!(after, records);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_parse_tolerates_pre_qos_peers() {
+    // A modern shard's stats line carries the per-tenant fields.
+    let server = Server::start(ServeConfig::default());
+    for k in 0..3 {
+        let line =
+            compile_line_qos(&format!("q{k}"), "hm1", "yalll", &src(k), Some("acme"), None);
+        assert_eq!(server.handle_line(&line, "c").code, 200);
+    }
+    let stats = server.handle_line("{\"op\":\"stats\",\"id\":\"s\"}\n", "c").to_line();
+    let parsed = tenant_served_from_stats(&stats);
+    assert_eq!(parsed, vec![("acme".to_string(), 3)]);
+    server.drain();
+
+    // A pre-QoS peer's line lacks the fields entirely: the parse yields
+    // nothing rather than an error — old and new shards can share a ring.
+    let old = "{\"id\":\"s\",\"code\":200,\"role\":\"serve\",\"accepted\":7,\"completed\":7}\n";
+    assert!(tenant_served_from_stats(old).is_empty());
+
+    // Half-upgraded: a `tenants` csv naming a tenant whose counter field
+    // is missing contributes a zero, not a parse failure.
+    let half = "{\"id\":\"s\",\"code\":200,\"tenants\":\"ghost\"}\n";
+    assert_eq!(tenant_served_from_stats(half), vec![("ghost".to_string(), 0)]);
+}
+
+#[test]
+fn router_aggregates_tenant_stats_and_merges_shard_metrics() {
+    let shards: Vec<Arc<Server>> = (0..2)
+        .map(|_| Arc::new(Server::start(ServeConfig::default())))
+        .collect();
+    let backends: Vec<Arc<dyn Backend>> = shards
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            Arc::new(InProcBackend::new(&format!("b{i}"), Arc::clone(s))) as Arc<dyn Backend>
+        })
+        .collect();
+    let router = Router::new(
+        backends,
+        RouteConfig {
+            hedge_after: None,
+            ..RouteConfig::default()
+        },
+    );
+
+    for k in 0..8 {
+        let tenant = if k % 2 == 0 { "acme" } else { "blue" };
+        let line = compile_line_qos(
+            &format!("t{k}"),
+            "hm1",
+            "yalll",
+            &src(k),
+            Some(tenant),
+            Some("interactive"),
+        );
+        let resp = router.handle_line(&line, "client");
+        assert_eq!(Response::field_num(&resp, "code"), Some(200), "{resp}");
+    }
+
+    // Stats: per-tenant served counters summed across both shards.
+    let stats = router.handle_line("{\"op\":\"stats\",\"id\":\"s\"}\n", "client");
+    assert_eq!(Response::field_str(&stats, "tenants").as_deref(), Some("acme,blue"));
+    let acme = Response::field_num(&stats, "tenant_served_acme").unwrap_or(0);
+    let blue = Response::field_num(&stats, "tenant_served_blue").unwrap_or(0);
+    assert_eq!(acme + blue, 8, "every compile lands in exactly one tenant counter");
+    assert_eq!(acme, 4);
+    assert_eq!(blue, 4);
+
+    // Metrics: the merged exposition validates as Prometheus text and
+    // carries both the router's own series and shard-labelled series.
+    let m = router.handle_line("{\"op\":\"metrics\",\"id\":\"m\"}\n", "client");
+    assert_eq!(Response::field_num(&m, "code"), Some(200));
+    let text = Response::field_str(&m, "text").expect("metrics text field");
+    metrics::validate(&text).expect("merged exposition validates");
+    assert!(text.contains("mcc_route_routed_total 8"), "{text}");
+    assert!(
+        text.contains("shard=\"b0\"") && text.contains("shard=\"b1\""),
+        "both shards' series are folded in under their label"
+    );
+    assert!(
+        text.contains("mcc_serve_requests_total{shard="),
+        "shard serve counters survive the merge"
+    );
+    router.stop_probes();
+}
